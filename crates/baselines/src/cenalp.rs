@@ -1,0 +1,183 @@
+//! CENALP — joint link prediction and network alignment (Du, Yan & Zha,
+//! IJCAI 2019), simplified.
+//!
+//! The original CENALP interleaves cross-graph skip-gram embedding with
+//! iterative anchor expansion and link prediction.  The component that drives
+//! its alignment quality — and the one this reproduction keeps — is the
+//! *iterative anchor expansion*: starting from the seed anchors, candidate
+//! pairs in the neighbourhood of already-aligned pairs are scored by a
+//! combination of attribute similarity and the fraction of already-aligned
+//! common neighbours, and the most confident mutual matches are promoted to
+//! anchors for the next round.  The cross-graph skip-gram walks are omitted
+//! (documented substitution; they mainly accelerate convergence on very large
+//! graphs and dominate CENALP's runtime, which is also what Table II reports).
+
+use crate::traits::{attribute_similarity, Aligner, BaselineError};
+use htc_graph::perturb::GroundTruth;
+use htc_graph::AttributedNetwork;
+use htc_linalg::DenseMatrix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Simplified CENALP configuration and aligner.
+#[derive(Debug, Clone)]
+pub struct Cenalp {
+    /// Number of expansion rounds.
+    pub rounds: usize,
+    /// Weight of the structural (aligned-common-neighbour) score relative to
+    /// the attribute score.
+    pub structure_weight: f64,
+}
+
+impl Default for Cenalp {
+    fn default() -> Self {
+        Self {
+            rounds: 10,
+            structure_weight: 1.0,
+        }
+    }
+}
+
+impl Aligner for Cenalp {
+    fn name(&self) -> &'static str {
+        "CENALP"
+    }
+
+    fn is_supervised(&self) -> bool {
+        true
+    }
+
+    fn align(
+        &self,
+        source: &AttributedNetwork,
+        target: &AttributedNetwork,
+        seeds: &GroundTruth,
+    ) -> Result<DenseMatrix, BaselineError> {
+        let ns = source.num_nodes();
+        let nt = target.num_nodes();
+        let attr_sim = attribute_similarity(source, target)?;
+
+        // Current anchor set (source -> target), initialised with the seeds.
+        let mut anchors: BTreeMap<usize, usize> = seeds
+            .anchors()
+            .filter(|&(s, t)| s < ns && t < nt)
+            .collect();
+        let mut matched_targets: BTreeSet<usize> = anchors.values().copied().collect();
+
+        // The score matrix accumulates attribute similarity plus a structural
+        // bonus that grows as more neighbours become aligned.
+        let mut scores = attr_sim.clone();
+        for (&s, &t) in &anchors {
+            scores.add_at(s, t, 10.0); // pin the seeds
+        }
+
+        for _ in 0..self.rounds {
+            // Structural bonus: for every candidate pair in the frontier of the
+            // current anchors, count aligned common neighbours.
+            let mut candidate_scores: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+            for (&s_anchor, &t_anchor) in &anchors {
+                for &su in source.graph().neighbors(s_anchor) {
+                    if anchors.contains_key(&su) {
+                        continue;
+                    }
+                    for &tv in target.graph().neighbors(t_anchor) {
+                        if matched_targets.contains(&tv) {
+                            continue;
+                        }
+                        let entry = candidate_scores.entry((su, tv)).or_insert(0.0);
+                        *entry += self.structure_weight;
+                    }
+                }
+            }
+            if candidate_scores.is_empty() {
+                break;
+            }
+            // Promote the highest-confidence candidates (greedy one-to-one).
+            let mut ranked: Vec<((usize, usize), f64)> = candidate_scores
+                .into_iter()
+                .map(|((s, t), structural)| {
+                    ((s, t), structural + attr_sim.get(s, t))
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let mut promoted = 0usize;
+            let budget = (ns / 10).max(1);
+            for ((s, t), score) in ranked {
+                if promoted >= budget {
+                    break;
+                }
+                if anchors.contains_key(&s) || matched_targets.contains(&t) {
+                    continue;
+                }
+                anchors.insert(s, t);
+                matched_targets.insert(t);
+                scores.add_at(s, t, 2.0 + score);
+                promoted += 1;
+            }
+            if promoted == 0 {
+                break;
+            }
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_graph::generators::{seeded_rng, watts_strogatz};
+    use htc_linalg::ops::row_argmax;
+    use rand::Rng;
+
+    fn pair(n: usize) -> (AttributedNetwork, AttributedNetwork, GroundTruth) {
+        let mut rng = seeded_rng(11);
+        let g = watts_strogatz(n, 4, 0.1, &mut rng);
+        let data: Vec<f64> = (0..n * 5).map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
+        let x = DenseMatrix::from_vec(n, 5, data).unwrap();
+        (
+            AttributedNetwork::new(g.clone(), x.clone()).unwrap(),
+            AttributedNetwork::new(g, x).unwrap(),
+            GroundTruth::identity(n),
+        )
+    }
+
+    #[test]
+    fn expansion_grows_correct_anchors_on_identical_graphs() {
+        let (s, t, gt) = pair(40);
+        let mut rng = seeded_rng(3);
+        let seeds = gt.sample_fraction(0.1, &mut rng);
+        let m = Cenalp::default().align(&s, &t, &seeds).unwrap();
+        let best = row_argmax(&m);
+        let correct = best.iter().enumerate().filter(|&(i, &j)| i == j).count();
+        // Should recover clearly more than the 4 seeded anchors.
+        assert!(correct > 8, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn works_without_seeds_as_pure_attribute_matcher() {
+        let (s, t, _) = pair(15);
+        let m = Cenalp::default()
+            .align(&s, &t, &GroundTruth::new(vec![None; 15]))
+            .unwrap();
+        assert_eq!(m.shape(), (15, 15));
+        assert!(m.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn metadata() {
+        let c = Cenalp::default();
+        assert_eq!(c.name(), "CENALP");
+        assert!(c.is_supervised());
+    }
+
+    #[test]
+    fn promoted_anchors_are_one_to_one() {
+        let (s, t, gt) = pair(30);
+        let mut rng = seeded_rng(4);
+        let seeds = gt.sample_fraction(0.1, &mut rng);
+        let m = Cenalp::default().align(&s, &t, &seeds).unwrap();
+        // One-to-one promotion means no target column receives the "pin"
+        // bonus (>= 2.0 on top of cosine) from two different sources in the
+        // same round; we just sanity-check the score matrix is bounded.
+        assert!(m.max_abs() < 50.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The common aligner interface.
+
+use htc_graph::perturb::GroundTruth;
+use htc_graph::AttributedNetwork;
+use htc_linalg::DenseMatrix;
+use std::fmt;
+
+/// Errors produced by baseline aligners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The two networks cannot be aligned by this method (e.g. attribute
+    /// dimensionalities differ for an attribute-based method).
+    IncompatibleInputs(String),
+    /// A supervised method was invoked without any seed anchors.
+    MissingSupervision(&'static str),
+    /// An internal numerical failure.
+    Numerical(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::IncompatibleInputs(msg) => write!(f, "incompatible inputs: {msg}"),
+            BaselineError::MissingSupervision(name) => {
+                write!(f, "{name} requires seed anchors but none were provided")
+            }
+            BaselineError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A network-alignment method producing an `n_s × n_t` score matrix.
+pub trait Aligner {
+    /// Human-readable method name (as used in the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Whether the method consumes seed anchors (10 % of ground truth in the
+    /// paper's protocol).
+    fn is_supervised(&self) -> bool {
+        false
+    }
+
+    /// Aligns `source` against `target`.
+    ///
+    /// `seeds` carries the supervision available to supervised methods;
+    /// unsupervised methods must ignore it.
+    fn align(
+        &self,
+        source: &AttributedNetwork,
+        target: &AttributedNetwork,
+        seeds: &GroundTruth,
+    ) -> Result<DenseMatrix, BaselineError>;
+}
+
+/// Builds the prior alignment matrix used by IsoRank/FINAL: seed pairs get
+/// weight 1, everything else a small uniform mass.
+pub fn seed_prior(
+    num_source: usize,
+    num_target: usize,
+    seeds: &GroundTruth,
+) -> DenseMatrix {
+    let uniform = 1.0 / (num_source.max(1) * num_target.max(1)) as f64;
+    let mut h = DenseMatrix::filled(num_source, num_target, uniform);
+    for (s, t) in seeds.anchors() {
+        if s < num_source && t < num_target {
+            h.set(s, t, 1.0);
+        }
+    }
+    h
+}
+
+/// Cosine-similarity matrix between the attribute rows of two networks.
+pub fn attribute_similarity(
+    source: &AttributedNetwork,
+    target: &AttributedNetwork,
+) -> Result<DenseMatrix, BaselineError> {
+    if source.attr_dim() != target.attr_dim() {
+        return Err(BaselineError::IncompatibleInputs(format!(
+            "attribute dimensions differ: {} vs {}",
+            source.attr_dim(),
+            target.attr_dim()
+        )));
+    }
+    let mut xs = source.attributes().clone();
+    let mut xt = target.attributes().clone();
+    htc_linalg::ops::l2_normalize_rows(&mut xs);
+    htc_linalg::ops::l2_normalize_rows(&mut xt);
+    xs.matmul_transpose(&xt)
+        .map_err(|e| BaselineError::Numerical(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_graph::Graph;
+
+    #[test]
+    fn error_display() {
+        assert!(BaselineError::IncompatibleInputs("x".into()).to_string().contains("x"));
+        assert!(BaselineError::MissingSupervision("PALE").to_string().contains("PALE"));
+        assert!(BaselineError::Numerical("nan".into()).to_string().contains("nan"));
+    }
+
+    #[test]
+    fn seed_prior_marks_anchors() {
+        let gt = GroundTruth::new(vec![Some(2), None, Some(0)]);
+        let h = seed_prior(3, 3, &gt);
+        assert_eq!(h.get(0, 2), 1.0);
+        assert_eq!(h.get(2, 0), 1.0);
+        assert!(h.get(1, 1) < 0.2);
+    }
+
+    #[test]
+    fn attribute_similarity_is_cosine() {
+        let g = Graph::empty(2);
+        let xs = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        let xt = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 1.0]).unwrap();
+        let s = AttributedNetwork::new(g.clone(), xs).unwrap();
+        let t = AttributedNetwork::new(g, xt).unwrap();
+        let sim = attribute_similarity(&s, &t).unwrap();
+        assert!((sim.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((sim.get(0, 1) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((sim.get(1, 0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribute_similarity_rejects_mismatched_dims() {
+        let g = Graph::empty(2);
+        let s = AttributedNetwork::new(g.clone(), DenseMatrix::zeros(2, 3)).unwrap();
+        let t = AttributedNetwork::new(g, DenseMatrix::zeros(2, 4)).unwrap();
+        assert!(attribute_similarity(&s, &t).is_err());
+    }
+}

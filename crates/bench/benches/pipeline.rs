@@ -1,0 +1,82 @@
+//! End-to-end Criterion benchmarks: the full HTC pipeline and the baselines
+//! on a small synthetic pair, plus the ablation variants.  These are the
+//! "who is faster, by roughly what factor" counterparts of Fig. 7 at a size
+//! Criterion can iterate on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htc_baselines::{table2_baselines, Aligner, DegreeAttr};
+use htc_core::{HtcAligner, HtcConfig, HtcVariant};
+use htc_datasets::{generate_pair, DatasetPair, SyntheticPairConfig};
+use htc_graph::generators::seeded_rng;
+use htc_graph::perturb::GroundTruth;
+
+fn bench_pair(n: usize) -> DatasetPair {
+    generate_pair(&SyntheticPairConfig {
+        edge_removal: 0.1,
+        ..SyntheticPairConfig::tiny(n)
+    })
+}
+
+fn htc_config() -> HtcConfig {
+    let mut config = HtcConfig::fast();
+    config.epochs = 20;
+    config
+}
+
+fn bench_htc_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htc_pipeline");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let pair = bench_pair(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, pair| {
+            b.iter(|| {
+                HtcAligner::new(htc_config())
+                    .align(&pair.source, &pair.target)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htc_variants");
+    group.sample_size(10);
+    let pair = bench_pair(150);
+    for variant in HtcVariant::all() {
+        let config = variant.configure(&htc_config());
+        group.bench_with_input(BenchmarkId::from_parameter(variant.name()), &config, |b, config| {
+            b.iter(|| {
+                HtcAligner::new(config.clone())
+                    .align(&pair.source, &pair.target)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let pair = bench_pair(150);
+    let mut rng = seeded_rng(1);
+    let seeds = pair.ground_truth.sample_fraction(0.1, &mut rng);
+    let unsupervised = GroundTruth::new(vec![None; pair.source.num_nodes()]);
+    let mut methods: Vec<Box<dyn Aligner>> = table2_baselines(1);
+    methods.push(Box::new(DegreeAttr::new()));
+    for method in &methods {
+        let supervision = if method.is_supervised() { &seeds } else { &unsupervised };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            method,
+            |b, method| {
+                b.iter(|| method.align(&pair.source, &pair.target, supervision).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_htc_end_to_end, bench_variants, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 10** — sensitivity of p@1 to the key hyper-parameters:
+//! number of orbits `K` (10a), embedding dimension `d` (10b), LISI
+//! neighbourhood size `m` (10c) and reinforcement rate `β` (10d), on the
+//! Douban and Allmovie&Imdb analogues.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin fig10_hyperparams --release -- --which k
+//! cargo run -p htc-bench --bin fig10_hyperparams --release            # all four sweeps
+//! ```
+
+use htc_bench::{htc_config_for_scale, parse_args, print_table, Table};
+use htc_core::{HtcAligner, HtcConfig};
+use htc_datasets::{generate_pair, DatasetPair, DatasetPreset};
+use htc_metrics::precision_at_q;
+
+fn evaluate(pair: &DatasetPair, config: HtcConfig) -> f64 {
+    let result = HtcAligner::new(config)
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets satisfy the input contract");
+    precision_at_q(result.alignment(), &pair.ground_truth, 1)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let base = htc_config_for_scale(args.scale);
+    let which = args.which.clone().unwrap_or_else(|| "all".to_string());
+    let mut table = Table::new(&["Sweep", "Dataset", "Value", "p@1"]);
+
+    let pairs: Vec<DatasetPair> = [DatasetPreset::Douban, DatasetPreset::AllmovieImdb]
+        .iter()
+        .map(|p| generate_pair(&p.config(args.scale)))
+        .collect();
+
+    for pair in &pairs {
+        if which == "k" || which == "all" {
+            for k in [1usize, 3, 5, 7, 9, 11, 13] {
+                eprintln!("[fig10a] {} with K={k}", pair.name);
+                let p1 = evaluate(pair, base.clone().with_num_orbits(k));
+                table.add_row(vec!["K (orbits)".into(), pair.name.clone(), k.to_string(), format!("{p1:.4}")]);
+            }
+        }
+        if which == "d" || which == "all" {
+            for d in [8usize, 16, 32, 64, 128, 200] {
+                eprintln!("[fig10b] {} with d={d}", pair.name);
+                let p1 = evaluate(pair, base.clone().with_embedding_dim(d));
+                table.add_row(vec!["d (dimension)".into(), pair.name.clone(), d.to_string(), format!("{p1:.4}")]);
+            }
+        }
+        if which == "m" || which == "all" {
+            for m in [5usize, 10, 20, 50, 100] {
+                eprintln!("[fig10c] {} with m={m}", pair.name);
+                let p1 = evaluate(pair, base.clone().with_nearest_neighbors(m));
+                table.add_row(vec!["m (neighbours)".into(), pair.name.clone(), m.to_string(), format!("{p1:.4}")]);
+            }
+        }
+        if which == "beta" || which == "all" {
+            for beta in [1.1, 1.3, 1.5, 1.7, 2.0] {
+                eprintln!("[fig10d] {} with beta={beta}", pair.name);
+                let p1 = evaluate(pair, base.clone().with_reinforcement_rate(beta));
+                table.add_row(vec!["beta (reinforcement)".into(), pair.name.clone(), format!("{beta:.1}"), format!("{p1:.4}")]);
+            }
+        }
+    }
+
+    print_table(
+        &format!("Fig. 10: hyper-parameter sensitivity ({:?} scale, sweep = {which})", args.scale),
+        "fig10",
+        &table,
+    );
+}

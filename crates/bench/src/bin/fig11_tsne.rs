@@ -1,0 +1,96 @@
+//! Regenerates **Fig. 11** — the t-SNE visualisation of ground-truth anchor
+//! node embeddings on the Douban analogue, before alignment (embeddings from
+//! the untrained encoder) and after alignment (refined embeddings), for the
+//! first five orbits.
+//!
+//! The output is TSV (`#TSV fig11 <phase> <orbit> <side> <node> <x> <y>`)
+//! that any plotting tool can scatter directly.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin fig11_tsne --release -- --scale small
+//! ```
+
+use htc_bench::{htc_config_for_scale, parse_args, tsv_line};
+use htc_core::training::generate_embeddings;
+use htc_core::{laplacian::orbit_laplacians, HtcAligner};
+use htc_datasets::{generate_pair, DatasetPreset};
+use htc_graph::generators::seeded_rng;
+use htc_nn::{Activation, GcnEncoder};
+use htc_orbits::{GomSet, GomWeighting};
+use htc_viz::{tsne, TsneConfig};
+use rand::seq::SliceRandom;
+
+/// Number of anchor nodes sampled for the scatter plot (150 in the paper).
+const SAMPLE: usize = 150;
+/// Orbits visualised (the paper shows orbits 0, 1, 3, 5, 7).
+const ORBITS: [usize; 5] = [0, 1, 3, 5, 7];
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let mut config = htc_config_for_scale(args.scale);
+    config.keep_embeddings = true;
+
+    let pair = generate_pair(&DatasetPreset::Douban.config(args.scale));
+    let mut anchors: Vec<(usize, usize)> = pair.ground_truth.anchors().collect();
+    let mut rng = seeded_rng(7);
+    anchors.shuffle(&mut rng);
+    anchors.truncate(SAMPLE);
+    let source_nodes: Vec<usize> = anchors.iter().map(|&(s, _)| s).collect();
+    let target_nodes: Vec<usize> = anchors.iter().map(|&(_, t)| t).collect();
+
+    // "Before": embeddings from a freshly initialised (untrained) encoder.
+    eprintln!("[fig11] computing pre-alignment embeddings");
+    let goms_s = GomSet::build(pair.source.graph(), 8, GomWeighting::Weighted);
+    let goms_t = GomSet::build(pair.target.graph(), 8, GomWeighting::Weighted);
+    let laps_s = orbit_laplacians(&goms_s);
+    let laps_t = orbit_laplacians(&goms_t);
+    let mut init_rng = seeded_rng(config.seed);
+    let dims = [pair.source.attr_dim(), config.hidden_dims[0], config.embedding_dim()];
+    let untrained = GcnEncoder::new(&dims, Activation::Tanh, &mut init_rng);
+    let before_s = generate_embeddings(&untrained, &laps_s, pair.source.attributes()).unwrap();
+    let before_t = generate_embeddings(&untrained, &laps_t, pair.target.attributes()).unwrap();
+
+    // "After": refined embeddings from the full pipeline.
+    eprintln!("[fig11] running the full HTC pipeline");
+    let result = HtcAligner::new(config)
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets satisfy the input contract");
+    let refined = result.embeddings().expect("keep_embeddings was set");
+
+    let tsne_config = TsneConfig {
+        perplexity: 20.0,
+        iterations: 300,
+        ..TsneConfig::default()
+    };
+    println!("{}", tsv_line("fig11", &["phase", "orbit", "side", "node", "x", "y"]).trim_end());
+    for &orbit in &ORBITS {
+        for (phase, hs, ht) in [
+            ("before", &before_s[orbit.min(before_s.len() - 1)], &before_t[orbit.min(before_t.len() - 1)]),
+            ("after", &refined[orbit.min(refined.len() - 1)].0, &refined[orbit.min(refined.len() - 1)].1),
+        ] {
+            eprintln!("[fig11] t-SNE for orbit {orbit} ({phase})");
+            let sampled_s = hs.select_rows(&source_nodes);
+            let sampled_t = ht.select_rows(&target_nodes);
+            let stacked = sampled_s.vstack(&sampled_t).expect("same embedding dimension");
+            let coords = tsne(&stacked, &tsne_config);
+            for (i, &node) in source_nodes.iter().chain(&target_nodes).enumerate() {
+                let side = if i < source_nodes.len() { "source" } else { "target" };
+                print!(
+                    "{}",
+                    tsv_line(
+                        "fig11",
+                        &[
+                            phase.to_string(),
+                            orbit.to_string(),
+                            side.to_string(),
+                            node.to_string(),
+                            format!("{:.4}", coords.get(i, 0)),
+                            format!("{:.4}", coords.get(i, 1)),
+                        ],
+                    )
+                );
+            }
+        }
+    }
+    eprintln!("[fig11] done — scatter the x/y columns per (phase, orbit) to reproduce the figure");
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 7** — runtime comparison between HTC and the baselines
+//! on the three real-world dataset pairs.
+//!
+//! The same numbers appear in the Time column of `table2_overall`; this
+//! binary reruns only the timing sweep so the figure can be refreshed without
+//! recomputing the whole table.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin fig7_runtime --release -- --scale small
+//! ```
+
+use htc_baselines::table2_baselines;
+use htc_bench::{align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table};
+use htc_datasets::{generate_pair, DatasetPreset};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let config = htc_config_for_scale(args.scale);
+    let mut table = Table::new(&["Dataset", "Method", "Time(s)"]);
+
+    for preset in DatasetPreset::real_world() {
+        let pair = generate_pair(&preset.config(args.scale));
+        eprintln!("[fig7] timing methods on {}", pair.name);
+        let htc_run = align_with_htc(&pair, &config);
+        table.add_row(vec![
+            pair.name.clone(),
+            "HTC".into(),
+            format!("{:.2}", htc_run.elapsed.as_secs_f64()),
+        ]);
+        for baseline in table2_baselines(config.seed) {
+            let run = align_with_baseline(&pair, baseline.as_ref(), config.seed);
+            table.add_row(vec![
+                pair.name.clone(),
+                run.method.clone(),
+                format!("{:.2}", run.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Fig. 7: runtime comparison ({:?} scale)", args.scale),
+        "fig7",
+        &table,
+    );
+}

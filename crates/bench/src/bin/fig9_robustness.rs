@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 9** — robustness against topological noise: p@1 of HTC
+//! and all baselines on the Econ and BN synthetic pairs as the edge-removal
+//! ratio grows from 0.1 to 0.5.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin fig9_robustness --release -- --scale small
+//! ```
+
+use htc_baselines::table2_baselines;
+use htc_bench::{align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let config = htc_config_for_scale(args.scale);
+    let ratios = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut table = Table::new(&["Dataset", "Removal ratio", "Method", "p@1"]);
+
+    let dataset_configs: Vec<(&str, Box<dyn Fn(f64) -> SyntheticPairConfig>)> = vec![
+        ("Econ", Box::new(move |r| SyntheticPairConfig::econ(args.scale, r))),
+        ("BN", Box::new(move |r| SyntheticPairConfig::bn(args.scale, r))),
+    ];
+
+    for (name, make_config) in &dataset_configs {
+        for &ratio in &ratios {
+            let pair = generate_pair(&make_config(ratio));
+            eprintln!("[fig9] {name} at removal ratio {ratio}");
+            let htc_run = align_with_htc(&pair, &config);
+            table.add_row(vec![
+                name.to_string(),
+                format!("{ratio:.1}"),
+                "HTC".into(),
+                format!("{:.4}", htc_run.p1()),
+            ]);
+            for baseline in table2_baselines(config.seed) {
+                let run = align_with_baseline(&pair, baseline.as_ref(), config.seed);
+                table.add_row(vec![
+                    name.to_string(),
+                    format!("{ratio:.1}"),
+                    run.method.clone(),
+                    format!("{:.4}", run.p1()),
+                ]);
+            }
+        }
+    }
+
+    print_table(
+        &format!("Fig. 9: robustness to edge removal ({:?} scale)", args.scale),
+        "fig9",
+        &table,
+    );
+}

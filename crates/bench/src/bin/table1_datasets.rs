@@ -1,0 +1,32 @@
+//! Regenerates **Table I** — statistical details of the evaluation networks.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin table1_datasets --release -- --scale small
+//! ```
+
+use htc_bench::{parse_args, print_table, Table};
+use htc_datasets::{generate_pair, pair_statistics, DatasetPreset};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let mut table = Table::new(&["Network", "#Edges", "#Nodes", "#Attrs", "Avg. Deg", "#Anchors"]);
+    for preset in DatasetPreset::all() {
+        let pair = generate_pair(&preset.config(args.scale));
+        let (source, target, anchors) = pair_statistics(&pair);
+        for stats in [source, target] {
+            table.add_row(vec![
+                stats.name.clone(),
+                stats.edges.to_string(),
+                stats.nodes.to_string(),
+                stats.attrs.to_string(),
+                format!("{:.1}", stats.avg_degree),
+                anchors.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Table I: dataset statistics ({:?} scale)", args.scale),
+        "table1",
+        &table,
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Table II** — overall alignment effectiveness (p@1, p@10,
+//! MRR, wall-clock time) of HTC and all baselines on the three "real-world"
+//! dataset pairs, and at the same time the runtime comparison of **Fig. 7**.
+//!
+//! ```text
+//! cargo run -p htc-bench --bin table2_overall --release -- --scale small
+//! ```
+
+use htc_baselines::table2_baselines;
+use htc_bench::{align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table};
+use htc_datasets::{generate_pair, DatasetPreset};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let config = htc_config_for_scale(args.scale);
+    let mut table = Table::new(&["Dataset", "Method", "p@1", "p@10", "MRR", "Time(s)"]);
+
+    for preset in DatasetPreset::real_world() {
+        let pair = generate_pair(&preset.config(args.scale));
+        eprintln!(
+            "[table2] {} — source {} nodes / {} edges, target {} nodes / {} edges, {} anchors",
+            pair.name,
+            pair.source.num_nodes(),
+            pair.source.num_edges(),
+            pair.target.num_nodes(),
+            pair.target.num_edges(),
+            pair.num_anchors()
+        );
+
+        let htc_run = align_with_htc(&pair, &config);
+        table.add_row(vec![
+            pair.name.clone(),
+            htc_run.method.clone(),
+            format!("{:.4}", htc_run.p1()),
+            format!("{:.4}", htc_run.p10()),
+            format!("{:.4}", htc_run.report.mrr()),
+            format!("{:.2}", htc_run.elapsed.as_secs_f64()),
+        ]);
+        eprintln!("[table2]   HTC done: p@1={:.4}", htc_run.p1());
+
+        for baseline in table2_baselines(config.seed) {
+            let run = align_with_baseline(&pair, baseline.as_ref(), config.seed);
+            eprintln!("[table2]   {} done: p@1={:.4}", run.method, run.p1());
+            table.add_row(vec![
+                pair.name.clone(),
+                run.method.clone(),
+                format!("{:.4}", run.p1()),
+                format!("{:.4}", run.p10()),
+                format!("{:.4}", run.report.mrr()),
+                format!("{:.2}", run.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!(
+            "Table II: overall alignment performance ({:?} scale; the Time column doubles as Fig. 7)",
+            args.scale
+        ),
+        "table2",
+        &table,
+    );
+}

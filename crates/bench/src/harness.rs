@@ -1,0 +1,172 @@
+//! Shared runners used by every table/figure binary.
+
+use htc_baselines::Aligner;
+use htc_core::{HtcAligner, HtcConfig};
+use htc_datasets::{DatasetPair, Scale};
+use htc_graph::generators::seeded_rng;
+use htc_metrics::AlignmentReport;
+use std::time::{Duration, Instant};
+
+/// Command-line arguments shared by the harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Evaluation scale (`--scale small|paper`).
+    pub scale: Scale,
+    /// Free-form selector used by the multi-mode binaries
+    /// (`--which k|d|m|beta` for Fig. 10).
+    pub which: Option<String>,
+    /// Number of repeated runs to average over (`--runs N`).
+    pub runs: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            which: None,
+            runs: 1,
+        }
+    }
+}
+
+/// Parses `--scale`, `--which` and `--runs` from an argument iterator.
+///
+/// Unknown arguments are ignored so binaries can add their own flags.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
+    let mut parsed = HarnessArgs::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                if let Some(value) = iter.next() {
+                    if let Some(scale) = Scale::parse(&value) {
+                        parsed.scale = scale;
+                    } else {
+                        eprintln!("warning: unknown scale {value:?}, using small");
+                    }
+                }
+            }
+            "--which" => parsed.which = iter.next(),
+            "--runs" => {
+                if let Some(value) = iter.next() {
+                    parsed.runs = value.parse().unwrap_or(1).max(1);
+                }
+            }
+            _ => {}
+        }
+    }
+    parsed
+}
+
+/// The HTC configuration matched to an evaluation scale.
+pub fn htc_config_for_scale(scale: Scale) -> HtcConfig {
+    match scale {
+        Scale::Small => HtcConfig::small(),
+        Scale::Paper => HtcConfig::paper(),
+    }
+}
+
+/// Result of running one method on one dataset pair.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Method name (matching the paper's tables).
+    pub method: String,
+    /// Quality metrics.
+    pub report: AlignmentReport,
+    /// Wall-clock time of the alignment call.
+    pub elapsed: Duration,
+}
+
+impl MethodRun {
+    /// Precision@1 shorthand (0 when not evaluated).
+    pub fn p1(&self) -> f64 {
+        self.report.precision(1).unwrap_or(0.0)
+    }
+
+    /// Precision@10 shorthand (0 when not evaluated).
+    pub fn p10(&self) -> f64 {
+        self.report.precision(10).unwrap_or(0.0)
+    }
+}
+
+/// Runs HTC on a dataset pair and evaluates the result.
+pub fn align_with_htc(pair: &DatasetPair, config: &HtcConfig) -> MethodRun {
+    let start = Instant::now();
+    let result = HtcAligner::new(config.clone())
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets always satisfy HTC's input contract");
+    let elapsed = start.elapsed();
+    let report = AlignmentReport::evaluate(result.alignment(), &pair.ground_truth, &[1, 10]);
+    MethodRun {
+        method: "HTC".to_string(),
+        report,
+        elapsed,
+    }
+}
+
+/// Runs a baseline on a dataset pair, feeding supervised methods 10 % of the
+/// ground truth as the paper does, and evaluates the result.
+pub fn align_with_baseline(pair: &DatasetPair, baseline: &dyn Aligner, seed: u64) -> MethodRun {
+    let mut rng = seeded_rng(seed);
+    let seeds = if baseline.is_supervised() {
+        pair.ground_truth.sample_fraction(0.1, &mut rng)
+    } else {
+        htc_graph::perturb::GroundTruth::new(vec![None; pair.source.num_nodes()])
+    };
+    let start = Instant::now();
+    let alignment = baseline
+        .align(&pair.source, &pair.target, &seeds)
+        .expect("baselines accept every generated dataset");
+    let elapsed = start.elapsed();
+    let report = AlignmentReport::evaluate(&alignment, &pair.ground_truth, &[1, 10]);
+    MethodRun {
+        method: baseline.name().to_string(),
+        report,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_baselines::DegreeAttr;
+    use htc_datasets::{generate_pair, SyntheticPairConfig};
+
+    fn args(items: &[&str]) -> HarnessArgs {
+        parse_args(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        assert_eq!(args(&[]), HarnessArgs::default());
+        let a = args(&["--scale", "paper", "--which", "k", "--runs", "3"]);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.which.as_deref(), Some("k"));
+        assert_eq!(a.runs, 3);
+        // Unknown flags and bad values are tolerated.
+        let b = args(&["--scale", "bogus", "--runs", "x", "--other"]);
+        assert_eq!(b.scale, Scale::Small);
+        assert_eq!(b.runs, 1);
+    }
+
+    #[test]
+    fn config_for_scale_differs() {
+        let small = htc_config_for_scale(Scale::Small);
+        let paper = htc_config_for_scale(Scale::Paper);
+        assert!(small.embedding_dim() < paper.embedding_dim());
+        assert_eq!(paper.embedding_dim(), 200);
+    }
+
+    #[test]
+    fn htc_and_baseline_runners_produce_reports() {
+        let pair = generate_pair(&SyntheticPairConfig::tiny(12));
+        let run = align_with_htc(&pair, &HtcConfig::fast());
+        assert_eq!(run.method, "HTC");
+        assert!(run.p1() >= 0.0 && run.p1() <= 1.0);
+        assert!(run.elapsed.as_nanos() > 0);
+
+        let baseline_run = align_with_baseline(&pair, &DegreeAttr::new(), 7);
+        assert_eq!(baseline_run.method, "Degree+Attr");
+        assert!(baseline_run.p10() >= baseline_run.p1());
+    }
+}

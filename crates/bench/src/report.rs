@@ -1,0 +1,118 @@
+//! Plain-text table and TSV rendering for the harness binaries.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must have the same arity as the header).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every row as TSV lines prefixed with `#TSV`.
+    pub fn render_tsv(&self, tag: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&tsv_line(tag, &self.header));
+        for row in &self.rows {
+            out.push_str(&tsv_line(tag, row));
+        }
+        out
+    }
+}
+
+/// Formats one `#TSV`-prefixed line for machine consumption.
+pub fn tsv_line<S: AsRef<str>>(tag: &str, cells: &[S]) -> String {
+    let joined = cells
+        .iter()
+        .map(|c| c.as_ref().to_string())
+        .collect::<Vec<_>>()
+        .join("\t");
+    format!("#TSV\t{tag}\t{joined}\n")
+}
+
+/// Prints the table followed by its TSV form.
+pub fn print_table(title: &str, tag: &str, table: &Table) {
+    println!("\n== {title} ==");
+    println!("{}", table.render());
+    print!("{}", table.render_tsv(tag));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["method", "p@1"]);
+        t.add_row(vec!["HTC".into(), "0.84".into()]);
+        t.add_row(vec!["IsoRank".into(), "0.46".into()]);
+        let text = t.render();
+        assert!(text.contains("method"));
+        assert!(text.contains("IsoRank  0.46"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn tsv_lines_are_prefixed_and_tab_separated() {
+        let line = tsv_line("table2", &["HTC", "0.84"]);
+        assert_eq!(line, "#TSV\ttable2\tHTC\t0.84\n");
+        let mut t = Table::new(&["x"]);
+        t.add_row(vec!["1".into()]);
+        let tsv = t.render_tsv("tag");
+        assert_eq!(tsv.lines().count(), 2);
+        assert!(tsv.lines().all(|l| l.starts_with("#TSV\ttag")));
+    }
+}

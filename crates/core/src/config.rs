@@ -1,0 +1,315 @@
+//! Pipeline configuration.
+
+use crate::error::HtcError;
+use crate::Result;
+use htc_nn::Activation;
+use htc_orbits::{GomWeighting, NUM_EDGE_ORBITS};
+
+/// Which topological views feed the encoder.
+///
+/// `Orbits` is the paper's method; the other modes exist for the ablation
+/// study of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyMode {
+    /// The first `K` graphlet-orbit matrices (the HTC method; `K = 13` in the
+    /// paper).
+    Orbits {
+        /// Number of orbits used (clamped to 1–13).
+        num_orbits: usize,
+        /// Weighted or binary GOM entries.
+        weighting: GomWeighting,
+    },
+    /// Only the trivial edge pattern (orbit 0) — the HTC-L / HTC-LT variants.
+    LowOrderOnly,
+    /// Personalised-PageRank diffusion matrices of increasing order — the
+    /// HTC-DT variant of the ablation study.
+    Diffusion {
+        /// Number of diffusion views (matching the paper's best `k = 5`).
+        num_views: usize,
+        /// Teleport probability `α` (the paper's best `0.15`).
+        alpha: f64,
+    },
+}
+
+impl TopologyMode {
+    /// Number of topological views this mode produces.
+    pub fn num_views(&self) -> usize {
+        match *self {
+            TopologyMode::Orbits { num_orbits, .. } => num_orbits.clamp(1, NUM_EDGE_ORBITS),
+            TopologyMode::LowOrderOnly => 1,
+            TopologyMode::Diffusion { num_views, .. } => num_views.max(1),
+        }
+    }
+}
+
+/// Hyper-parameters of the HTC pipeline.
+///
+/// Field defaults follow Section V-A of the paper: 2 GCN layers, embedding
+/// dimension `d = 200`, learning rate `0.01`, `m = 20` nearest neighbours,
+/// reinforcement rate `β = 1.1`, all 13 orbits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtcConfig {
+    /// Topological views fed to the encoder.
+    pub topology: TopologyMode,
+    /// Hidden-layer dimensions of the GCN encoder, **excluding** the input
+    /// dimension (which is taken from the attribute matrix).  The last entry
+    /// is the embedding dimension `d`.
+    pub hidden_dims: Vec<usize>,
+    /// Activation used on every encoder layer.
+    pub activation: Activation,
+    /// Adam learning rate `η`.
+    pub learning_rate: f64,
+    /// Number of training epochs for the multi-orbit-aware stage.
+    pub epochs: usize,
+    /// Number of nearest neighbours `m` used by the LISI hubness terms.
+    pub nearest_neighbors: usize,
+    /// Reinforcement rate `β > 1` of the trusted-pair fine-tuning.
+    pub reinforcement_rate: f64,
+    /// Whether to run the trusted-pair fine-tuning stage at all (disabled for
+    /// the HTC-L / HTC-H ablation variants).
+    pub fine_tune: bool,
+    /// Safety cap on fine-tuning iterations per orbit (the paper's loop stops
+    /// when the trusted-pair count stops growing; this cap guards against
+    /// pathological oscillation).
+    pub max_finetune_iters: usize,
+    /// Whether to append a normalised-degree column to the node attributes
+    /// (useful when the datasets carry very few attributes).
+    pub append_degree_feature: bool,
+    /// Whether the result should retain the per-orbit refined embeddings
+    /// (needed for the t-SNE visualisation of Fig. 11; costs memory).
+    pub keep_embeddings: bool,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for HtcConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl HtcConfig {
+    /// The hyper-parameters used in the paper's experiments.
+    pub fn paper() -> Self {
+        Self {
+            topology: TopologyMode::Orbits {
+                num_orbits: NUM_EDGE_ORBITS,
+                weighting: GomWeighting::Weighted,
+            },
+            hidden_dims: vec![200, 200],
+            activation: Activation::Tanh,
+            learning_rate: 0.01,
+            epochs: 100,
+            nearest_neighbors: 20,
+            reinforcement_rate: 1.1,
+            fine_tune: true,
+            max_finetune_iters: 30,
+            append_degree_feature: false,
+            keep_embeddings: false,
+            seed: 42,
+        }
+    }
+
+    /// A reduced configuration for the `Small`-scale benchmark harness: the
+    /// same structure as [`HtcConfig::paper`] but a smaller embedding space
+    /// and fewer epochs so the full suite stays within a laptop budget.
+    pub fn small() -> Self {
+        Self {
+            hidden_dims: vec![96, 64],
+            epochs: 60,
+            ..Self::paper()
+        }
+    }
+
+    /// A very small configuration for unit tests and doctests.
+    pub fn fast() -> Self {
+        Self {
+            topology: TopologyMode::Orbits {
+                num_orbits: 5,
+                weighting: GomWeighting::Weighted,
+            },
+            hidden_dims: vec![16, 8],
+            activation: Activation::Tanh,
+            learning_rate: 0.02,
+            epochs: 15,
+            nearest_neighbors: 3,
+            reinforcement_rate: 1.1,
+            fine_tune: true,
+            max_finetune_iters: 5,
+            append_degree_feature: false,
+            keep_embeddings: false,
+            seed: 42,
+        }
+    }
+
+    /// Embedding (output) dimension `d`.
+    pub fn embedding_dim(&self) -> usize {
+        *self.hidden_dims.last().expect("validated: at least one layer")
+    }
+
+    /// Number of topological views the configuration will use.
+    pub fn num_views(&self) -> usize {
+        self.topology.num_views()
+    }
+
+    /// Checks that every hyper-parameter is in its valid range.
+    pub fn validate(&self) -> Result<()> {
+        if self.hidden_dims.is_empty() {
+            return Err(HtcError::InvalidConfig(
+                "hidden_dims must contain at least the embedding dimension".into(),
+            ));
+        }
+        if self.hidden_dims.iter().any(|&d| d == 0) {
+            return Err(HtcError::InvalidConfig("layer dimensions must be positive".into()));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(HtcError::InvalidConfig("learning_rate must be positive".into()));
+        }
+        if self.epochs == 0 {
+            return Err(HtcError::InvalidConfig("epochs must be positive".into()));
+        }
+        if self.nearest_neighbors == 0 {
+            return Err(HtcError::InvalidConfig(
+                "nearest_neighbors must be positive".into(),
+            ));
+        }
+        if self.reinforcement_rate <= 1.0 {
+            return Err(HtcError::InvalidConfig(
+                "reinforcement_rate must be greater than 1".into(),
+            ));
+        }
+        if let TopologyMode::Diffusion { alpha, .. } = self.topology {
+            if !(0.0..1.0).contains(&alpha) {
+                return Err(HtcError::InvalidConfig(
+                    "diffusion teleport probability must be in (0, 1)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the number of orbits (keeps other topology
+    /// settings; switches to orbit mode if needed).
+    pub fn with_num_orbits(mut self, k: usize) -> Self {
+        let weighting = match self.topology {
+            TopologyMode::Orbits { weighting, .. } => weighting,
+            _ => GomWeighting::Weighted,
+        };
+        self.topology = TopologyMode::Orbits {
+            num_orbits: k,
+            weighting,
+        };
+        self
+    }
+
+    /// Builder-style setter for the embedding dimension (rescales the last
+    /// hidden layer only).
+    pub fn with_embedding_dim(mut self, d: usize) -> Self {
+        if let Some(last) = self.hidden_dims.last_mut() {
+            *last = d;
+        }
+        self
+    }
+
+    /// Builder-style setter for the LISI neighbourhood size `m`.
+    pub fn with_nearest_neighbors(mut self, m: usize) -> Self {
+        self.nearest_neighbors = m;
+        self
+    }
+
+    /// Builder-style setter for the reinforcement rate `β`.
+    pub fn with_reinforcement_rate(mut self, beta: f64) -> Self {
+        self.reinforcement_rate = beta;
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_va() {
+        let cfg = HtcConfig::paper();
+        assert_eq!(cfg.hidden_dims.len(), 2);
+        assert_eq!(cfg.embedding_dim(), 200);
+        assert_eq!(cfg.learning_rate, 0.01);
+        assert_eq!(cfg.nearest_neighbors, 20);
+        assert!((cfg.reinforcement_rate - 1.1).abs() < 1e-12);
+        assert_eq!(cfg.num_views(), 13);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(HtcConfig::default(), cfg);
+    }
+
+    #[test]
+    fn fast_and_small_validate() {
+        assert!(HtcConfig::fast().validate().is_ok());
+        assert!(HtcConfig::small().validate().is_ok());
+        assert!(HtcConfig::fast().num_views() <= 5);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut cfg = HtcConfig::fast();
+        cfg.hidden_dims.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.hidden_dims = vec![0];
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.learning_rate = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.epochs = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.nearest_neighbors = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.reinforcement_rate = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HtcConfig::fast();
+        cfg.topology = TopologyMode::Diffusion { num_views: 3, alpha: 1.5 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_mode_view_counts() {
+        assert_eq!(TopologyMode::LowOrderOnly.num_views(), 1);
+        assert_eq!(
+            TopologyMode::Orbits { num_orbits: 50, weighting: GomWeighting::Weighted }.num_views(),
+            13
+        );
+        assert_eq!(
+            TopologyMode::Diffusion { num_views: 4, alpha: 0.15 }.num_views(),
+            4
+        );
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = HtcConfig::fast()
+            .with_num_orbits(7)
+            .with_embedding_dim(32)
+            .with_nearest_neighbors(11)
+            .with_reinforcement_rate(1.5)
+            .with_seed(9);
+        assert_eq!(cfg.num_views(), 7);
+        assert_eq!(cfg.embedding_dim(), 32);
+        assert_eq!(cfg.nearest_neighbors, 11);
+        assert_eq!(cfg.reinforcement_rate, 1.5);
+        assert_eq!(cfg.seed, 9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type of the HTC pipeline.
+
+use htc_linalg::LinalgError;
+use std::fmt;
+
+/// Errors surfaced by the alignment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HtcError {
+    /// The two input networks have incompatible attribute dimensionalities;
+    /// the shared encoder requires a common attribute space.
+    AttributeDimensionMismatch {
+        /// Source attribute dimensionality.
+        source: usize,
+        /// Target attribute dimensionality.
+        target: usize,
+    },
+    /// One of the input networks has no nodes.
+    EmptyNetwork,
+    /// A configuration value is outside its valid range.
+    InvalidConfig(String),
+    /// An underlying linear-algebra operation failed (this indicates a bug in
+    /// the pipeline rather than bad user input).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for HtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtcError::AttributeDimensionMismatch { source, target } => write!(
+                f,
+                "attribute dimensionality mismatch: source has {source}, target has {target}"
+            ),
+            HtcError::EmptyNetwork => write!(f, "input network has no nodes"),
+            HtcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HtcError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HtcError {}
+
+impl From<LinalgError> for HtcError {
+    fn from(e: LinalgError) -> Self {
+        HtcError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = HtcError::AttributeDimensionMismatch { source: 3, target: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(HtcError::EmptyNetwork.to_string().contains("no nodes"));
+        assert!(HtcError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        let lin: HtcError = LinalgError::DataLength { expected: 1, actual: 2 }.into();
+        assert!(lin.to_string().contains("linear algebra"));
+    }
+}

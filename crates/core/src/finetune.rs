@@ -1,0 +1,194 @@
+//! Trusted-pair based fine-tuning (Algorithm 2, Eq. 13–14).
+//!
+//! After training, each orbit's embeddings are refined independently:
+//!
+//! 1. compute the LISI alignment matrix for the current embeddings;
+//! 2. identify trusted pairs (mutual LISI arg-maxes) and count them;
+//! 3. multiply the reinforcement factor of both ends of every trusted pair by
+//!    `β` (Eq. 13);
+//! 4. re-encode both graphs with the reinforced propagator `R L̃ R` (Eq. 14);
+//! 5. repeat until the trusted-pair count stops growing.
+//!
+//! Proposition 2 of the paper shows that boosting the aggregation
+//! coefficients of trusted anchors pulls the embeddings of their undiscovered
+//! neighbouring anchors closer together, which is why the count tends to grow
+//! for a few rounds before saturating.
+
+use crate::config::HtcConfig;
+use crate::lisi::{lisi_matrix, trusted_pairs};
+use crate::Result;
+use htc_linalg::{CsrMatrix, DenseMatrix};
+use htc_nn::GcnEncoder;
+
+/// The refined state of a single orbit after fine-tuning.
+#[derive(Debug, Clone)]
+pub struct OrbitRefinement {
+    /// Refined source embeddings for this orbit.
+    pub source_embedding: DenseMatrix,
+    /// Refined target embeddings for this orbit.
+    pub target_embedding: DenseMatrix,
+    /// The maximal number of trusted pairs observed (the `Tm_k` of Alg. 2);
+    /// this is the weight ingredient of the posterior importance assignment.
+    pub trusted_count: usize,
+    /// Number of refinement iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Runs Algorithm 2 for one orbit.
+///
+/// `lap_source` / `lap_target` are the orbit's normalised Laplacians;
+/// the encoder is the (already trained) shared encoder.  When
+/// `config.fine_tune` is `false` the function still computes the initial LISI
+/// matrix and trusted-pair count (needed for the posterior importance weights)
+/// but performs no reinforcement.
+pub fn refine_orbit(
+    encoder: &GcnEncoder,
+    lap_source: &CsrMatrix,
+    lap_target: &CsrMatrix,
+    source_attrs: &DenseMatrix,
+    target_attrs: &DenseMatrix,
+    config: &HtcConfig,
+) -> Result<OrbitRefinement> {
+    let mut reinforcement_source = vec![1.0; lap_source.rows()];
+    let mut reinforcement_target = vec![1.0; lap_target.rows()];
+
+    let mut current_source = encoder.forward(lap_source, source_attrs)?;
+    let mut current_target = encoder.forward(lap_target, target_attrs)?;
+
+    let mut best_source = current_source.clone();
+    let mut best_target = current_target.clone();
+    let mut best_count = 0usize;
+    let mut iterations = 0usize;
+
+    let max_iters = if config.fine_tune {
+        config.max_finetune_iters.max(1)
+    } else {
+        1
+    };
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        let lisi = lisi_matrix(&current_source, &current_target, config.nearest_neighbors);
+        let pairs = trusted_pairs(&lisi);
+        let count = pairs.len();
+        if count <= best_count && iterations > 1 {
+            break;
+        }
+        if count > best_count || iterations == 1 {
+            best_count = count.max(best_count);
+            best_source = current_source.clone();
+            best_target = current_target.clone();
+        }
+        if !config.fine_tune {
+            break;
+        }
+        // Eq. 13: boost the reinforcement factors of both ends of each pair.
+        for &(s, t) in &pairs {
+            reinforcement_source[s] *= config.reinforcement_rate;
+            reinforcement_target[t] *= config.reinforcement_rate;
+        }
+        // Eq. 14: re-encode with R L̃ R.
+        let boosted_source = lap_source.scale_sym(&reinforcement_source, &reinforcement_source)?;
+        let boosted_target = lap_target.scale_sym(&reinforcement_target, &reinforcement_target)?;
+        current_source = encoder.forward(&boosted_source, source_attrs)?;
+        current_target = encoder.forward(&boosted_target, target_attrs)?;
+    }
+
+    Ok(OrbitRefinement {
+        source_embedding: best_source,
+        target_embedding: best_target,
+        trusted_count: best_count,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::orbit_laplacians;
+    use crate::training::train_multi_orbit;
+    use htc_graph::Graph;
+    use htc_orbits::{GomSet, GomWeighting};
+
+    fn trained_setup() -> (
+        GcnEncoder,
+        Vec<CsrMatrix>,
+        Vec<CsrMatrix>,
+        DenseMatrix,
+        DenseMatrix,
+    ) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+        .unwrap();
+        let goms = GomSet::build(&g, 4, GomWeighting::Weighted);
+        let laps = orbit_laplacians(&goms);
+        let xs = DenseMatrix::from_vec(
+            8,
+            2,
+            vec![
+                1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.2, 0.8, 0.9, 0.1, 0.4, 0.6, 0.7, 0.3, 0.1, 0.9,
+            ],
+        )
+        .unwrap();
+        let model = train_multi_orbit(&laps, &laps, &xs, &xs, &HtcConfig::fast()).unwrap();
+        (model.encoder, laps.clone(), laps, xs.clone(), xs)
+    }
+
+    #[test]
+    fn identical_graphs_yield_full_trusted_set() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let config = HtcConfig::fast();
+        let refinement = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &config).unwrap();
+        // Two identical graphs with identical attributes: the bulk of the
+        // nodes should form trusted pairs straight away (graph automorphisms
+        // can tie a few of them).
+        assert!(
+            refinement.trusted_count >= 6 && refinement.trusted_count <= 8,
+            "trusted count {}",
+            refinement.trusted_count
+        );
+        assert!(refinement.iterations >= 1);
+        assert_eq!(refinement.source_embedding.shape(), refinement.target_embedding.shape());
+    }
+
+    #[test]
+    fn disabling_fine_tune_runs_single_iteration() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let mut config = HtcConfig::fast();
+        config.fine_tune = false;
+        let refinement = refine_orbit(&encoder, &ls[1], &lt[1], &xs, &xt, &config).unwrap();
+        assert_eq!(refinement.iterations, 1);
+        assert!(refinement.trusted_count > 0);
+    }
+
+    #[test]
+    fn fine_tuning_never_reduces_the_reported_count() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let with_ft = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &HtcConfig::fast()).unwrap();
+        let mut no_ft_cfg = HtcConfig::fast();
+        no_ft_cfg.fine_tune = false;
+        let without_ft = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &no_ft_cfg).unwrap();
+        assert!(with_ft.trusted_count >= without_ft.trusted_count);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let mut config = HtcConfig::fast();
+        config.max_finetune_iters = 2;
+        let refinement = refine_orbit(&encoder, &ls[2], &lt[2], &xs, &xt, &config).unwrap();
+        assert!(refinement.iterations <= 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Posterior importance assignment (Section IV-E, Eq. 15).
+//!
+//! Each orbit's refined embeddings produce their own alignment matrix `M_k`.
+//! The orbits are not equally informative — dense graphs populate many
+//! higher-order orbits, sparse graphs barely any — so the final matrix is a
+//! convex combination weighted by the number of trusted pairs each orbit
+//! identified:
+//!
+//! ```text
+//! γ_k = T_k / Σ_i T_i,        M = Σ_k γ_k · M_k
+//! ```
+
+use htc_linalg::DenseMatrix;
+
+/// Computes the orbit importance weights `γ_k` from per-orbit trusted-pair
+/// counts (Eq. 15).  Falls back to uniform weights when no orbit identified
+/// any trusted pair.
+pub fn orbit_importance(trusted_counts: &[usize]) -> Vec<f64> {
+    let total: usize = trusted_counts.iter().sum();
+    if trusted_counts.is_empty() {
+        return Vec::new();
+    }
+    if total == 0 {
+        let uniform = 1.0 / trusted_counts.len() as f64;
+        return vec![uniform; trusted_counts.len()];
+    }
+    trusted_counts
+        .iter()
+        .map(|&t| t as f64 / total as f64)
+        .collect()
+}
+
+/// Accumulator for the weighted sum `M = Σ γ_k M_k` that only ever holds one
+/// per-orbit matrix at a time (the per-orbit matrices are `n_s × n_t` dense,
+/// so materialising all of them simultaneously would dominate memory).
+#[derive(Debug, Clone)]
+pub struct AlignmentAccumulator {
+    accum: DenseMatrix,
+}
+
+impl AlignmentAccumulator {
+    /// Creates an all-zero accumulator of the given shape.
+    pub fn new(source_nodes: usize, target_nodes: usize) -> Self {
+        Self {
+            accum: DenseMatrix::zeros(source_nodes, target_nodes),
+        }
+    }
+
+    /// Adds `weight * matrix` into the accumulator.
+    ///
+    /// # Panics
+    /// Panics if the matrix shape differs from the accumulator shape.
+    pub fn add_weighted(&mut self, matrix: &DenseMatrix, weight: f64) {
+        self.accum
+            .add_scaled_inplace(matrix, weight)
+            .expect("all per-orbit alignment matrices share the same shape");
+    }
+
+    /// Finalises the accumulation and returns the combined alignment matrix.
+    pub fn finish(self) -> DenseMatrix {
+        self.accum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn importance_is_normalised() {
+        let gamma = orbit_importance(&[3, 1, 0, 4]);
+        assert_eq!(gamma.len(), 4);
+        assert!((gamma.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((gamma[0] - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(gamma[2], 0.0);
+    }
+
+    #[test]
+    fn zero_counts_fall_back_to_uniform() {
+        let gamma = orbit_importance(&[0, 0, 0]);
+        assert_eq!(gamma, vec![1.0 / 3.0; 3]);
+        assert!(orbit_importance(&[]).is_empty());
+    }
+
+    #[test]
+    fn accumulator_computes_weighted_sum() {
+        let a = DenseMatrix::filled(2, 3, 1.0);
+        let b = DenseMatrix::filled(2, 3, 2.0);
+        let mut acc = AlignmentAccumulator::new(2, 3);
+        acc.add_weighted(&a, 0.25);
+        acc.add_weighted(&b, 0.75);
+        let m = acc.finish();
+        assert!((m.get(0, 0) - (0.25 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn accumulator_rejects_mismatched_shapes() {
+        let mut acc = AlignmentAccumulator::new(2, 2);
+        acc.add_weighted(&DenseMatrix::zeros(3, 2), 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Property: γ is a probability distribution proportional to the
+        /// trusted-pair counts.
+        #[test]
+        fn importance_is_proportional(counts in proptest::collection::vec(0usize..50, 1..13)) {
+            let gamma = orbit_importance(&counts);
+            prop_assert_eq!(gamma.len(), counts.len());
+            prop_assert!((gamma.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let total: usize = counts.iter().sum();
+            if total > 0 {
+                for (g, &c) in gamma.iter().zip(&counts) {
+                    prop_assert!((g - c as f64 / total as f64).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

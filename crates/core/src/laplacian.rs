@@ -1,0 +1,181 @@
+//! Orbit Laplacian construction (Section IV-B of the paper).
+//!
+//! For every orbit matrix `O_k` the propagator fed to the GCN is
+//!
+//! ```text
+//! Õ_k = O_k + C_k                      (frequency-aware self-connection, Eq. 3)
+//! L̃_k = F̃_k^{-1/2} Õ_k F̃_k^{-1/2}      (symmetric normalisation)
+//! ```
+//!
+//! where `C_k(i, i)` equals the maximum orbit-k weight among `i`'s edges (or 1
+//! if the node has none) and `F̃_k(i, i)` is the row sum of `Õ_k`.  The
+//! frequency-aware self-connection keeps a node's own contribution comparable
+//! to its strongest neighbour even when orbit counts are much larger than 1 —
+//! a plain identity self-loop would be drowned out.
+
+use htc_linalg::CsrMatrix;
+use htc_orbits::GomSet;
+
+/// Self-connection diagonal of Eq. 3: `max_j O_k(i, j)`, or 1 for isolated
+/// nodes.
+pub fn self_connection_diagonal(orbit_matrix: &CsrMatrix) -> Vec<f64> {
+    orbit_matrix
+        .row_max()
+        .into_iter()
+        .map(|m| if m == 0.0 { 1.0 } else { m })
+        .collect()
+}
+
+/// Builds the normalised orbit Laplacian `L̃_k` from the orbit matrix `O_k`.
+pub fn orbit_laplacian(orbit_matrix: &CsrMatrix) -> CsrMatrix {
+    let n = orbit_matrix.rows();
+    debug_assert_eq!(n, orbit_matrix.cols(), "orbit matrices are square");
+    let diag = self_connection_diagonal(orbit_matrix);
+    let with_self = orbit_matrix
+        .add(&CsrMatrix::from_diagonal(&diag))
+        .expect("orbit matrix and its self-connection have the same shape");
+    let row_sums = with_self.row_sums();
+    let inv_sqrt: Vec<f64> = row_sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+        .collect();
+    with_self
+        .scale_sym(&inv_sqrt, &inv_sqrt)
+        .expect("diagonal lengths match the matrix dimensions")
+}
+
+/// Builds the normalised Laplacians for every orbit of a [`GomSet`].
+pub fn orbit_laplacians(goms: &GomSet) -> Vec<CsrMatrix> {
+    goms.iter().map(|(_, o)| orbit_laplacian(o)).collect()
+}
+
+/// Builds the classic GCN propagator `D^{-1/2}(A + I)D^{-1/2}` from a binary
+/// adjacency matrix (used by the low-order ablation variants and by several
+/// baselines).
+pub fn normalized_adjacency(adjacency: &CsrMatrix) -> CsrMatrix {
+    orbit_laplacian(adjacency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_graph::Graph;
+    use htc_orbits::GomWeighting;
+    use proptest::prelude::*;
+
+    fn toy_gom() -> CsrMatrix {
+        // Weighted orbit matrix of a triangle with an extra isolated node.
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 1, 2.0),
+                (1, 0, 2.0),
+                (1, 2, 5.0),
+                (2, 1, 5.0),
+                (0, 2, 1.0),
+                (2, 0, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn self_connection_matches_eq3() {
+        let diag = self_connection_diagonal(&toy_gom());
+        assert_eq!(diag, vec![2.0, 5.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn laplacian_is_symmetric_and_normalised() {
+        let l = orbit_laplacian(&toy_gom());
+        assert!(l.is_symmetric(1e-12));
+        // Every entry of F^{-1/2} Õ F^{-1/2} is bounded by 1 (Cauchy–Schwarz
+        // on the normalised weights) and every row keeps positive mass.
+        for (_, _, v) in l.triplets() {
+            assert!(v > 0.0);
+            assert!(v <= 1.0 + 1e-9, "entry {v}");
+        }
+        for s in l.row_sums() {
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_unit_self_loop() {
+        let l = orbit_laplacian(&toy_gom());
+        // Node 3 has no orbit edges: its self-connection is 1 and normalises
+        // to exactly 1.
+        assert!((l.get(3, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(l.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn diagonal_dominates_relative_to_strongest_neighbor() {
+        let l = orbit_laplacian(&toy_gom());
+        // Node 1's strongest orbit edge has weight 5; its self-connection is
+        // also 5, so after normalisation the diagonal should be comparable to
+        // (not drowned out by) the strongest off-diagonal entry of its row.
+        let diag = l.get(1, 1);
+        let strongest = l.get(1, 2).max(l.get(1, 0));
+        assert!(diag >= 0.5 * strongest, "diag {diag} vs strongest {strongest}");
+    }
+
+    #[test]
+    fn laplacians_built_for_every_orbit() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]).unwrap();
+        let goms = GomSet::build(&g, 13, GomWeighting::Weighted);
+        let laps = orbit_laplacians(&goms);
+        assert_eq!(laps.len(), 13);
+        for l in &laps {
+            assert!(l.is_symmetric(1e-12));
+            assert_eq!(l.rows(), 5);
+            // Every node always has at least its self-loop.
+            for r in 0..5 {
+                assert!(l.row_nnz(r) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_adjacency_of_cycle() {
+        let g = Graph::cycle(4);
+        let l = normalized_adjacency(&g.adjacency());
+        // Every node of C4 has degree 2 plus a unit self-loop → row sum 3,
+        // entries 1/3 after symmetric normalisation.
+        for &(u, v) in g.edges() {
+            assert!((l.get(u, v) - 1.0 / 3.0).abs() < 1e-12);
+        }
+        for u in 0..4 {
+            assert!((l.get(u, u) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: the spectral radius of L̃ is at most 1 (power iteration
+        /// bound), which is what prevents exploding activations in the GCN.
+        #[test]
+        fn spectral_norm_bounded(seed in 0u64..500, n in 3usize..12) {
+            use htc_graph::generators::{erdos_renyi_gnm, seeded_rng};
+            let mut rng = seeded_rng(seed);
+            let g = erdos_renyi_gnm(n, 2 * n, &mut rng);
+            let goms = GomSet::build(&g, 6, GomWeighting::Weighted);
+            for (_, o) in goms.iter() {
+                let l = orbit_laplacian(o);
+                // Power iteration for the dominant eigenvalue.
+                let mut x = vec![1.0; n];
+                for _ in 0..50 {
+                    let y = l.matvec(&x).unwrap();
+                    let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+                    if norm < 1e-12 { break; }
+                    x = y.iter().map(|v| v / norm).collect();
+                }
+                let y = l.matvec(&x).unwrap();
+                let lambda = x.iter().zip(&y).map(|(a, b)| a * b).sum::<f64>();
+                prop_assert!(lambda <= 1.0 + 1e-6, "spectral radius {lambda}");
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # htc-core
+//!
+//! The HTC alignment pipeline — the primary contribution of *"Towards
+//! Higher-order Topological Consistency for Unsupervised Network Alignment"*
+//! (ICDE 2023).
+//!
+//! Given two attributed networks `G_s = (V_s, A_s, X_s)` and
+//! `G_t = (V_t, A_t, X_t)`, HTC produces an alignment matrix
+//! `M ∈ R^{n_s × n_t}` without any labelled anchor links:
+//!
+//! 1. **GOM construction** ([`htc_orbits`]) — count the 13 edge orbits of
+//!    2–4-node graphlets for both graphs;
+//! 2. **Orbit Laplacians** ([`laplacian`]) — add the frequency-aware
+//!    self-connection of Eq. 3 and normalise symmetrically;
+//! 3. **Multi-orbit-aware training** ([`training`], Alg. 1) — train one
+//!    shared GCN encoder to reconstruct every orbit Laplacian of both graphs;
+//! 4. **Trusted-pair fine-tuning** ([`finetune`], Alg. 2) — refine per-orbit
+//!    embeddings by boosting the aggregation coefficients of mutually
+//!    nearest (LISI) node pairs;
+//! 5. **Posterior importance assignment** ([`integrate`], Eq. 15) — combine
+//!    the per-orbit alignment matrices weighted by how many trusted pairs
+//!    each orbit identified.
+//!
+//! The entry point is [`HtcAligner`]; ablation variants (HTC-L, HTC-H,
+//! HTC-LT, HTC-DT) live in [`variants`].
+//!
+//! ```
+//! use htc_core::{HtcAligner, HtcConfig};
+//! use htc_datasets::{generate_pair, SyntheticPairConfig};
+//!
+//! let pair = generate_pair(&SyntheticPairConfig::tiny(8));
+//! let result = HtcAligner::new(HtcConfig::fast())
+//!     .align(&pair.source, &pair.target)
+//!     .unwrap();
+//! assert_eq!(result.alignment().shape(), (8, 8));
+//! ```
+
+pub mod config;
+pub mod diffusion;
+pub mod error;
+pub mod finetune;
+pub mod integrate;
+pub mod laplacian;
+pub mod lisi;
+pub mod matching;
+pub mod pipeline;
+pub mod training;
+pub mod variants;
+
+pub use config::{HtcConfig, TopologyMode};
+pub use error::HtcError;
+pub use pipeline::{HtcAligner, HtcResult};
+pub use variants::HtcVariant;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HtcError>;

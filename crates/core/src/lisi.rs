@@ -1,0 +1,178 @@
+//! The locally isolated similarity index (LISI, Eq. 9–11) and trusted pairs
+//! (Eq. 12).
+//!
+//! Raw nearest-neighbour matching over embeddings suffers from the *hubness*
+//! problem: a few target embeddings become the nearest neighbour of a large
+//! fraction of source embeddings.  LISI corrects the Pearson correlation of a
+//! pair by subtracting both nodes' mean similarity to their `m` nearest
+//! cross-graph neighbours, preferring pairs that are similar to each other
+//! *and* locally isolated:
+//!
+//! ```text
+//! LISI(h_s, h_t) = 2·corr(h_s, h_t) − D_t(h_s) − D_s(h_t)
+//! ```
+//!
+//! A *trusted pair* is a pair that are mutually each other's LISI arg-max.
+
+use htc_linalg::ops::{col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means};
+use htc_linalg::DenseMatrix;
+
+/// Full Pearson-correlation matrix between the rows of `source` and `target`.
+///
+/// Rows are mean-centred and ℓ₂-normalised first, so the correlation matrix is
+/// a single `n_s × n_t` mat-mul.
+pub fn correlation_matrix(source: &DenseMatrix, target: &DenseMatrix) -> DenseMatrix {
+    let mut s = source.clone();
+    let mut t = target.clone();
+    pearson_normalize_rows(&mut s);
+    pearson_normalize_rows(&mut t);
+    s.matmul_transpose(&t)
+        .expect("embedding dimensions match because the encoder is shared")
+}
+
+/// Computes the LISI score matrix (Eq. 11) from two embedding matrices.
+///
+/// `m` is the neighbourhood size used by the hubness terms (Eq. 10).
+pub fn lisi_matrix(source: &DenseMatrix, target: &DenseMatrix, m: usize) -> DenseMatrix {
+    let corr = correlation_matrix(source, target);
+    lisi_from_correlation(&corr, m)
+}
+
+/// Computes LISI given an already-materialised correlation matrix.
+pub fn lisi_from_correlation(corr: &DenseMatrix, m: usize) -> DenseMatrix {
+    let m = m.max(1);
+    // D_t(h_s): mean similarity of each source node to its m nearest targets.
+    let hub_source = row_top_k_means(corr, m);
+    // D_s(h_t): mean similarity of each target node to its m nearest sources.
+    let hub_target = col_top_k_means(corr, m);
+    let mut lisi = corr.scale(2.0);
+    for r in 0..lisi.rows() {
+        let penalty_r = hub_source[r];
+        let row = lisi.row_mut(r);
+        for (c, v) in row.iter_mut().enumerate() {
+            *v -= penalty_r + hub_target[c];
+        }
+    }
+    lisi
+}
+
+/// Identifies trusted pairs: mutual arg-maxes of the LISI matrix (Eq. 12).
+pub fn trusted_pairs(lisi: &DenseMatrix) -> Vec<(usize, usize)> {
+    mutual_argmax_pairs(lisi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_embedding(n: usize, d: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(n, d, data).unwrap()
+    }
+
+    #[test]
+    fn correlation_of_identical_embeddings_is_one_on_diagonal() {
+        let h = random_embedding(6, 5, 1);
+        let corr = correlation_matrix(&h, &h);
+        for i in 0..6 {
+            assert!((corr.get(i, i) - 1.0).abs() < 1e-9);
+        }
+        // All correlations are bounded by 1 in magnitude.
+        assert!(corr.max_abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn identical_embeddings_recover_identity_pairs() {
+        let h = random_embedding(8, 6, 2);
+        let lisi = lisi_matrix(&h, &h, 3);
+        let pairs = trusted_pairs(&lisi);
+        // Every node should be matched to itself.
+        assert_eq!(pairs.len(), 8);
+        for (s, t) in pairs {
+            assert_eq!(s, t);
+        }
+    }
+
+    #[test]
+    fn lisi_penalises_hubs() {
+        // Build a target set where one embedding (the "hub") is close to every
+        // source embedding while individual matches are slightly better.
+        let source = DenseMatrix::from_rows(&[
+            vec![1.0, 0.05, 0.0],
+            vec![0.05, 1.0, 0.0],
+        ])
+        .unwrap();
+        let hubby_target = DenseMatrix::from_rows(&[
+            vec![1.0, 0.1, 0.0],  // good match for source 0
+            vec![0.1, 1.0, 0.0],  // good match for source 1
+            vec![0.6, 0.6, 0.1],  // hub: decently close to both
+        ])
+        .unwrap();
+        let corr = correlation_matrix(&source, &hubby_target);
+        let lisi = lisi_from_correlation(&corr, 2);
+        // With LISI, the hub column is penalised relative to the true matches.
+        let pairs = trusted_pairs(&lisi);
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn trusted_pairs_are_mutual() {
+        let hs = random_embedding(10, 4, 3);
+        let ht = random_embedding(12, 4, 4);
+        let lisi = lisi_matrix(&hs, &ht, 3);
+        for (s, t) in trusted_pairs(&lisi) {
+            // t is the argmax of row s …
+            let row = lisi.row(s);
+            assert!(row.iter().all(|&v| v <= row[t] + 1e-12));
+            // … and s is the argmax of column t.
+            let col = lisi.column(t);
+            assert!(col.iter().all(|&v| v <= col[s] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes_are_supported() {
+        let hs = random_embedding(5, 4, 5);
+        let ht = random_embedding(9, 4, 6);
+        let lisi = lisi_matrix(&hs, &ht, 4);
+        assert_eq!(lisi.shape(), (5, 9));
+        assert!(trusted_pairs(&lisi).len() <= 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: the number of trusted pairs never exceeds min(n_s, n_t)
+        /// and each node appears in at most one pair.
+        #[test]
+        fn trusted_pairs_form_partial_matching(seed in 0u64..500, ns in 2usize..10, nt in 2usize..10, d in 2usize..6) {
+            let hs = random_embedding(ns, d, seed);
+            let ht = random_embedding(nt, d, seed.wrapping_add(1));
+            let lisi = lisi_matrix(&hs, &ht, 3);
+            let pairs = trusted_pairs(&lisi);
+            prop_assert!(pairs.len() <= ns.min(nt));
+            let mut sources: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let mut targets: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            sources.dedup();
+            targets.sort_unstable();
+            targets.dedup();
+            prop_assert_eq!(sources.len(), pairs.len());
+            prop_assert_eq!(targets.len(), pairs.len());
+        }
+
+        /// Property: LISI values stay within [-4, 4] for normalised inputs
+        /// (correlations are in [-1, 1], so 2·corr − D_t − D_s ∈ [-4, 4]).
+        #[test]
+        fn lisi_values_are_bounded(seed in 0u64..500, n in 2usize..8, d in 2usize..5) {
+            let hs = random_embedding(n, d, seed);
+            let ht = random_embedding(n, d, seed.wrapping_add(7));
+            let lisi = lisi_matrix(&hs, &ht, 2);
+            prop_assert!(lisi.max_abs() <= 4.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The end-to-end HTC alignment pipeline (Fig. 3 of the paper).
+
+use crate::config::{HtcConfig, TopologyMode};
+use crate::diffusion::diffusion_propagators;
+use crate::error::HtcError;
+use crate::finetune::{refine_orbit, OrbitRefinement};
+use crate::integrate::{orbit_importance, AlignmentAccumulator};
+use crate::laplacian::{normalized_adjacency, orbit_laplacians};
+use crate::lisi::lisi_matrix;
+use crate::training::train_multi_orbit;
+use crate::Result;
+use htc_graph::AttributedNetwork;
+use htc_linalg::{CsrMatrix, DenseMatrix};
+use htc_metrics::StageTimer;
+use htc_orbits::GomSet;
+
+/// Stage names used in the runtime decomposition (Fig. 8 of the paper).
+pub mod stages {
+    /// GOM / orbit counting stage.
+    pub const ORBIT_COUNTING: &str = "orbit counting";
+    /// Orbit Laplacian construction stage.
+    pub const LAPLACIAN: &str = "laplacian construction";
+    /// Multi-orbit-aware training stage.
+    pub const TRAINING: &str = "multi-orbit-aware training";
+    /// Trusted-pair based fine-tuning stage.
+    pub const FINE_TUNING: &str = "trusted-pair fine-tuning";
+    /// Weighted integration stage.
+    pub const INTEGRATION: &str = "weighted integration";
+}
+
+/// The outcome of one HTC alignment run.
+#[derive(Debug, Clone)]
+pub struct HtcResult {
+    alignment: DenseMatrix,
+    orbit_importance: Vec<f64>,
+    trusted_counts: Vec<usize>,
+    loss_history: Vec<f64>,
+    timer: StageTimer,
+    embeddings: Option<Vec<(DenseMatrix, DenseMatrix)>>,
+}
+
+impl HtcResult {
+    /// The final alignment matrix `M ∈ R^{n_s × n_t}`.
+    pub fn alignment(&self) -> &DenseMatrix {
+        &self.alignment
+    }
+
+    /// Per-orbit importance weights `γ_k` (Eq. 15); sums to 1.
+    pub fn orbit_importance(&self) -> &[f64] {
+        &self.orbit_importance
+    }
+
+    /// Per-orbit trusted-pair counts `T_k`.
+    pub fn trusted_counts(&self) -> &[usize] {
+        &self.trusted_counts
+    }
+
+    /// Total training loss per epoch.
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// Wall-clock decomposition of the run into the paper's stages.
+    pub fn timer(&self) -> &StageTimer {
+        &self.timer
+    }
+
+    /// Refined `(source, target)` embeddings per orbit; present only when the
+    /// configuration asked to keep them ([`HtcConfig::keep_embeddings`]).
+    pub fn embeddings(&self) -> Option<&[(DenseMatrix, DenseMatrix)]> {
+        self.embeddings.as_deref()
+    }
+
+    /// For every source node, the index of the best-scoring target node.
+    pub fn predicted_anchors(&self) -> Vec<usize> {
+        htc_linalg::ops::row_argmax(&self.alignment)
+    }
+}
+
+/// The HTC aligner: owns a configuration and aligns attributed network pairs.
+#[derive(Debug, Clone)]
+pub struct HtcAligner {
+    config: HtcConfig,
+}
+
+impl HtcAligner {
+    /// Creates an aligner with the given configuration.
+    pub fn new(config: HtcConfig) -> Self {
+        Self { config }
+    }
+
+    /// The aligner's configuration.
+    pub fn config(&self) -> &HtcConfig {
+        &self.config
+    }
+
+    /// Aligns `source` against `target`, returning the alignment matrix and
+    /// per-stage diagnostics.
+    pub fn align(&self, source: &AttributedNetwork, target: &AttributedNetwork) -> Result<HtcResult> {
+        self.config.validate()?;
+        if source.num_nodes() == 0 || target.num_nodes() == 0 {
+            return Err(HtcError::EmptyNetwork);
+        }
+        if source.attr_dim() != target.attr_dim() {
+            return Err(HtcError::AttributeDimensionMismatch {
+                source: source.attr_dim(),
+                target: target.attr_dim(),
+            });
+        }
+
+        let mut timer = StageTimer::new();
+        let (source, target) = if self.config.append_degree_feature {
+            (source.with_degree_feature(), target.with_degree_feature())
+        } else {
+            (source.clone(), target.clone())
+        };
+
+        // Stage 1 + 2: topology views and their normalised propagators.
+        let (source_laps, target_laps) = self.build_propagators(&source, &target, &mut timer);
+
+        // Stage 3: multi-orbit-aware training of the shared encoder.
+        let model = timer.time(stages::TRAINING, || {
+            train_multi_orbit(
+                &source_laps,
+                &target_laps,
+                source.attributes(),
+                target.attributes(),
+                &self.config,
+            )
+        })?;
+
+        // Stage 4: per-orbit trusted-pair fine-tuning.
+        let refinements: Vec<OrbitRefinement> = timer.time(stages::FINE_TUNING, || {
+            source_laps
+                .iter()
+                .zip(&target_laps)
+                .map(|(ls, lt)| {
+                    refine_orbit(
+                        &model.encoder,
+                        ls,
+                        lt,
+                        source.attributes(),
+                        target.attributes(),
+                        &self.config,
+                    )
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
+
+        // Stage 5: posterior importance assignment and weighted integration.
+        let trusted_counts: Vec<usize> = refinements.iter().map(|r| r.trusted_count).collect();
+        let gamma = orbit_importance(&trusted_counts);
+        let alignment = timer.time(stages::INTEGRATION, || {
+            let mut accum = AlignmentAccumulator::new(source.num_nodes(), target.num_nodes());
+            for (refinement, &weight) in refinements.iter().zip(&gamma) {
+                if weight == 0.0 {
+                    continue;
+                }
+                let m_k = lisi_matrix(
+                    &refinement.source_embedding,
+                    &refinement.target_embedding,
+                    self.config.nearest_neighbors,
+                );
+                accum.add_weighted(&m_k, weight);
+            }
+            accum.finish()
+        });
+
+        let embeddings = if self.config.keep_embeddings {
+            Some(
+                refinements
+                    .into_iter()
+                    .map(|r| (r.source_embedding, r.target_embedding))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        Ok(HtcResult {
+            alignment,
+            orbit_importance: gamma,
+            trusted_counts,
+            loss_history: model.loss_history,
+            timer,
+            embeddings,
+        })
+    }
+
+    /// Builds the per-view propagators for both graphs according to the
+    /// configured topology mode, recording the orbit-counting and Laplacian
+    /// construction stages in `timer`.
+    fn build_propagators(
+        &self,
+        source: &AttributedNetwork,
+        target: &AttributedNetwork,
+        timer: &mut StageTimer,
+    ) -> (Vec<CsrMatrix>, Vec<CsrMatrix>) {
+        match self.config.topology {
+            TopologyMode::Orbits {
+                num_orbits,
+                weighting,
+            } => {
+                let (goms_s, goms_t) = timer.time(stages::ORBIT_COUNTING, || {
+                    (
+                        GomSet::build(source.graph(), num_orbits, weighting),
+                        GomSet::build(target.graph(), num_orbits, weighting),
+                    )
+                });
+                timer.time(stages::LAPLACIAN, || {
+                    (orbit_laplacians(&goms_s), orbit_laplacians(&goms_t))
+                })
+            }
+            TopologyMode::LowOrderOnly => timer.time(stages::LAPLACIAN, || {
+                (
+                    vec![normalized_adjacency(&source.graph().adjacency())],
+                    vec![normalized_adjacency(&target.graph().adjacency())],
+                )
+            }),
+            TopologyMode::Diffusion { num_views, alpha } => {
+                timer.time(stages::LAPLACIAN, || {
+                    (
+                        diffusion_propagators(&source.graph().adjacency(), num_views, alpha, 1e-4),
+                        diffusion_propagators(&target.graph().adjacency(), num_views, alpha, 1e-4),
+                    )
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_datasets::{generate_pair, SyntheticPairConfig};
+    use htc_metrics::AlignmentReport;
+
+    fn tiny_pair() -> htc_datasets::DatasetPair {
+        generate_pair(&SyntheticPairConfig {
+            edge_removal: 0.0,
+            attr_flip: 0.0,
+            ..SyntheticPairConfig::tiny(14)
+        })
+    }
+
+    #[test]
+    fn aligns_a_noise_free_pair_well() {
+        let pair = tiny_pair();
+        let mut config = HtcConfig::fast();
+        config.epochs = 40;
+        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        assert_eq!(result.alignment().shape(), (14, 14));
+        let report = AlignmentReport::evaluate(result.alignment(), &pair.ground_truth, &[1, 5]);
+        // A permuted copy with no noise should be essentially solvable.
+        assert!(
+            report.precision(1).unwrap() >= 0.5,
+            "p@1 = {:?}",
+            report.precision(1)
+        );
+        assert!(report.mrr() >= 0.5);
+    }
+
+    #[test]
+    fn result_diagnostics_are_consistent() {
+        let pair = tiny_pair();
+        let result = HtcAligner::new(HtcConfig::fast())
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let k = HtcConfig::fast().num_views();
+        assert_eq!(result.orbit_importance().len(), k);
+        assert_eq!(result.trusted_counts().len(), k);
+        assert!((result.orbit_importance().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(result.loss_history().len(), HtcConfig::fast().epochs);
+        assert!(result.timer().total().as_nanos() > 0);
+        assert!(result.embeddings().is_none());
+        assert_eq!(result.predicted_anchors().len(), 14);
+    }
+
+    #[test]
+    fn keep_embeddings_returns_per_orbit_pairs() {
+        let pair = tiny_pair();
+        let mut config = HtcConfig::fast();
+        config.keep_embeddings = true;
+        let result = HtcAligner::new(config.clone())
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let embeddings = result.embeddings().unwrap();
+        assert_eq!(embeddings.len(), config.num_views());
+        assert_eq!(embeddings[0].0.rows(), 14);
+        assert_eq!(embeddings[0].1.rows(), 14);
+        assert_eq!(embeddings[0].0.cols(), config.embedding_dim());
+    }
+
+    #[test]
+    fn rejects_mismatched_attribute_dimensions() {
+        let pair = tiny_pair();
+        let bad_target = pair
+            .target
+            .with_attributes(htc_linalg::DenseMatrix::zeros(pair.target.num_nodes(), 9))
+            .unwrap();
+        let err = HtcAligner::new(HtcConfig::fast())
+            .align(&pair.source, &bad_target)
+            .unwrap_err();
+        assert!(matches!(err, HtcError::AttributeDimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_networks() {
+        let pair = tiny_pair();
+        let empty = AttributedNetwork::topology_only(htc_graph::Graph::empty(0));
+        let err = HtcAligner::new(HtcConfig::fast())
+            .align(&empty, &pair.target)
+            .unwrap_err();
+        assert_eq!(err, HtcError::EmptyNetwork);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let pair = tiny_pair();
+        let a = HtcAligner::new(HtcConfig::fast())
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let b = HtcAligner::new(HtcConfig::fast())
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        assert!(a.alignment().approx_eq(b.alignment(), 0.0));
+        assert_eq!(a.trusted_counts(), b.trusted_counts());
+    }
+
+    #[test]
+    fn low_order_mode_uses_single_view() {
+        let pair = tiny_pair();
+        let mut config = HtcConfig::fast();
+        config.topology = TopologyMode::LowOrderOnly;
+        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        assert_eq!(result.trusted_counts().len(), 1);
+    }
+
+    #[test]
+    fn degree_feature_augmentation_runs() {
+        let pair = tiny_pair();
+        let mut config = HtcConfig::fast();
+        config.append_degree_feature = true;
+        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        assert_eq!(result.alignment().rows(), 14);
+    }
+}

@@ -1,0 +1,157 @@
+//! Ablation variants of the pipeline (Table III of the paper).
+//!
+//! | Variant | Topology | Fine-tuning |
+//! |---|---|---|
+//! | `HTC-L`  | trivial edge pattern (orbit 0) only | no |
+//! | `HTC-H`  | all orbit views | no |
+//! | `HTC-LT` | trivial edge pattern only | yes |
+//! | `HTC-DT` | diffusion matrices (k = 5, α = 0.15) | yes |
+//! | `HTC` (a.k.a. HTC-HT) | all orbit views | yes |
+
+use crate::config::{HtcConfig, TopologyMode};
+use htc_orbits::{GomWeighting, NUM_EDGE_ORBITS};
+
+/// The ablation variants evaluated in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HtcVariant {
+    /// Low-order topology, no fine-tuning (HTC-L).
+    LowOrder,
+    /// Higher-order topology, no fine-tuning (HTC-H).
+    HighOrder,
+    /// Low-order topology with fine-tuning (HTC-LT).
+    LowOrderFineTuned,
+    /// Diffusion-matrix topology with fine-tuning (HTC-DT).
+    DiffusionFineTuned,
+    /// The full method (HTC, i.e. HTC-HT).
+    Full,
+}
+
+impl HtcVariant {
+    /// All variants in the order of Table III.
+    pub fn all() -> [HtcVariant; 5] {
+        [
+            HtcVariant::LowOrder,
+            HtcVariant::HighOrder,
+            HtcVariant::LowOrderFineTuned,
+            HtcVariant::DiffusionFineTuned,
+            HtcVariant::Full,
+        ]
+    }
+
+    /// The name used in the paper's ablation table.
+    pub fn name(self) -> &'static str {
+        match self {
+            HtcVariant::LowOrder => "HTC-L",
+            HtcVariant::HighOrder => "HTC-H",
+            HtcVariant::LowOrderFineTuned => "HTC-LT",
+            HtcVariant::DiffusionFineTuned => "HTC-DT",
+            HtcVariant::Full => "HTC",
+        }
+    }
+
+    /// Derives the variant's configuration from a base configuration (keeping
+    /// the base encoder/optimiser hyper-parameters so the comparison isolates
+    /// the topology and fine-tuning choices, as the paper does).
+    pub fn configure(self, base: &HtcConfig) -> HtcConfig {
+        let mut config = base.clone();
+        match self {
+            HtcVariant::LowOrder => {
+                config.topology = TopologyMode::LowOrderOnly;
+                config.fine_tune = false;
+            }
+            HtcVariant::HighOrder => {
+                config.topology = orbit_topology(base);
+                config.fine_tune = false;
+            }
+            HtcVariant::LowOrderFineTuned => {
+                config.topology = TopologyMode::LowOrderOnly;
+                config.fine_tune = true;
+            }
+            HtcVariant::DiffusionFineTuned => {
+                // The paper reports its best HTC-DT result with k = 5 and
+                // teleport probability 0.15.
+                config.topology = TopologyMode::Diffusion {
+                    num_views: 5,
+                    alpha: 0.15,
+                };
+                config.fine_tune = true;
+            }
+            HtcVariant::Full => {
+                config.topology = orbit_topology(base);
+                config.fine_tune = true;
+            }
+        }
+        config
+    }
+}
+
+/// Keeps the base orbit settings when they exist, otherwise falls back to the
+/// paper's 13 weighted orbits.
+fn orbit_topology(base: &HtcConfig) -> TopologyMode {
+    match base.topology {
+        TopologyMode::Orbits { .. } => base.topology,
+        _ => TopologyMode::Orbits {
+            num_orbits: NUM_EDGE_ORBITS,
+            weighting: GomWeighting::Weighted,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = HtcVariant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["HTC-L", "HTC-H", "HTC-LT", "HTC-DT", "HTC"]);
+    }
+
+    #[test]
+    fn variant_configurations_differ_as_described() {
+        let base = HtcConfig::fast();
+
+        let low = HtcVariant::LowOrder.configure(&base);
+        assert_eq!(low.topology, TopologyMode::LowOrderOnly);
+        assert!(!low.fine_tune);
+
+        let high = HtcVariant::HighOrder.configure(&base);
+        assert!(matches!(high.topology, TopologyMode::Orbits { .. }));
+        assert!(!high.fine_tune);
+
+        let low_ft = HtcVariant::LowOrderFineTuned.configure(&base);
+        assert_eq!(low_ft.topology, TopologyMode::LowOrderOnly);
+        assert!(low_ft.fine_tune);
+
+        let diff = HtcVariant::DiffusionFineTuned.configure(&base);
+        assert!(matches!(
+            diff.topology,
+            TopologyMode::Diffusion { num_views: 5, .. }
+        ));
+        assert!(diff.fine_tune);
+
+        let full = HtcVariant::Full.configure(&base);
+        assert_eq!(full.topology, base.topology);
+        assert!(full.fine_tune);
+    }
+
+    #[test]
+    fn shared_hyperparameters_are_preserved() {
+        let base = HtcConfig::fast().with_embedding_dim(24).with_seed(77);
+        for variant in HtcVariant::all() {
+            let cfg = variant.configure(&base);
+            assert_eq!(cfg.embedding_dim(), 24, "{}", variant.name());
+            assert_eq!(cfg.seed, 77);
+            assert_eq!(cfg.epochs, base.epochs);
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn full_variant_falls_back_to_13_orbits() {
+        let mut base = HtcConfig::fast();
+        base.topology = TopologyMode::LowOrderOnly;
+        let full = HtcVariant::Full.configure(&base);
+        assert_eq!(full.num_views(), NUM_EDGE_ORBITS);
+    }
+}

@@ -1,0 +1,337 @@
+//! Dataset generation parameters and presets.
+
+/// Random-graph model used for the source network of a synthetic pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphModel {
+    /// Erdős–Rényi G(n, m) with the given number of edges.
+    ErdosRenyi {
+        /// Number of edges.
+        edges: usize,
+    },
+    /// Barabási–Albert preferential attachment with the given number of edges
+    /// added per new node (heavy-tailed degree distributions, social-network
+    /// like).
+    BarabasiAlbert {
+        /// Edges attached per new node.
+        attach: usize,
+    },
+    /// Watts–Strogatz small-world model (high clustering, brain-network like).
+    WattsStrogatz {
+        /// Ring-lattice neighbours per node.
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Planted-partition / stochastic block model (community structure,
+    /// co-actor and organisational networks).
+    PlantedPartition {
+        /// Number of equally sized communities.
+        communities: usize,
+        /// Intra-community edge probability.
+        p_in: f64,
+        /// Inter-community edge probability.
+        p_out: f64,
+    },
+}
+
+/// Evaluation scale.
+///
+/// `Small` shrinks every dataset so that the complete benchmark suite runs on
+/// a laptop-class CPU budget; `Paper` matches the node/edge counts of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Reduced sizes (default for the harness binaries and tests).
+    #[default]
+    Small,
+    /// The sizes reported in Table I of the paper.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name (`"small"` / `"paper"`), used by the harness CLIs.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// The named dataset pairs of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// Allmovie & Imdb — dense co-actor movie networks with 14 attributes.
+    AllmovieImdb,
+    /// Douban Online & Offline — Chinese social networks, sparse, hundreds of
+    /// attributes.
+    Douban,
+    /// Flickr & Myspace — extremely sparse, 3 attributes, weak consistency
+    /// (the hard case of Table II).
+    FlickrMyspace,
+    /// Econ — organisational/contract network used for the robustness test.
+    Econ,
+    /// BN — brain-voxel network used for the robustness test.
+    Bn,
+}
+
+impl DatasetPreset {
+    /// All presets in the order they appear in the paper.
+    pub fn all() -> [DatasetPreset; 5] {
+        [
+            DatasetPreset::AllmovieImdb,
+            DatasetPreset::Douban,
+            DatasetPreset::FlickrMyspace,
+            DatasetPreset::Econ,
+            DatasetPreset::Bn,
+        ]
+    }
+
+    /// The three "real-world" pairs used in Table II.
+    pub fn real_world() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::AllmovieImdb,
+            DatasetPreset::Douban,
+            DatasetPreset::FlickrMyspace,
+        ]
+    }
+
+    /// Human-readable pair name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::AllmovieImdb => "Allmovie & Imdb",
+            DatasetPreset::Douban => "Douban Online & Offline",
+            DatasetPreset::FlickrMyspace => "Flickr & Myspace",
+            DatasetPreset::Econ => "Econ",
+            DatasetPreset::Bn => "BN",
+        }
+    }
+
+    /// The generation config for this preset at the given scale.
+    pub fn config(self, scale: Scale) -> SyntheticPairConfig {
+        match self {
+            DatasetPreset::AllmovieImdb => SyntheticPairConfig::allmovie_imdb(scale),
+            DatasetPreset::Douban => SyntheticPairConfig::douban(scale),
+            DatasetPreset::FlickrMyspace => SyntheticPairConfig::flickr_myspace(scale),
+            DatasetPreset::Econ => SyntheticPairConfig::econ(scale, 0.2),
+            DatasetPreset::Bn => SyntheticPairConfig::bn(scale, 0.2),
+        }
+    }
+}
+
+/// Full parameter set for generating one source/target pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticPairConfig {
+    /// Human-readable name (shows up in harness output).
+    pub name: String,
+    /// Number of nodes of the source network.
+    pub num_nodes: usize,
+    /// Source-network random-graph model.
+    pub model: GraphModel,
+    /// Attribute dimensionality.
+    pub attr_dim: usize,
+    /// Fraction of source edges removed when deriving the target network
+    /// (structural noise, the paper's synthetic-protocol parameter).
+    pub edge_removal: f64,
+    /// Probability of flipping each binary attribute entry in the target
+    /// network (attribute-consistency violation).
+    pub attr_flip: f64,
+    /// Number of extra target-only nodes with no source counterpart (models
+    /// the size mismatch of e.g. Flickr & Myspace).
+    pub extra_target_nodes: usize,
+    /// Fraction of source nodes that appear in the ground truth (1.0 = every
+    /// node has a known anchor).
+    pub anchor_fraction: f64,
+    /// RNG seed; every derived quantity is deterministic given this seed.
+    pub seed: u64,
+}
+
+impl SyntheticPairConfig {
+    /// A very small pair for doctests and unit tests (`n` nodes).
+    pub fn tiny(n: usize) -> Self {
+        Self {
+            name: format!("tiny-{n}"),
+            num_nodes: n.max(4),
+            model: GraphModel::ErdosRenyi { edges: 3 * n },
+            attr_dim: 4,
+            edge_removal: 0.1,
+            attr_flip: 0.0,
+            extra_target_nodes: 0,
+            anchor_fraction: 1.0,
+            seed: 7,
+        }
+    }
+
+    /// Synthetic analogue of Allmovie & Imdb (dense co-actor networks,
+    /// 14 attributes, average degree ≈ 41 at paper scale).
+    pub fn allmovie_imdb(scale: Scale) -> Self {
+        let (n, attach) = match scale {
+            Scale::Small => (700, 10),
+            Scale::Paper => (6011, 21),
+        };
+        Self {
+            name: "Allmovie & Imdb".into(),
+            num_nodes: n,
+            model: GraphModel::PlantedPartition {
+                communities: 20,
+                p_in: 2.0 * attach as f64 / (n as f64 / 20.0),
+                p_out: 0.2 * attach as f64 / n as f64,
+            },
+            attr_dim: 14,
+            edge_removal: 0.20,
+            attr_flip: 0.05,
+            extra_target_nodes: 0,
+            anchor_fraction: 0.9,
+            seed: 101,
+        }
+    }
+
+    /// Synthetic analogue of Douban Online & Offline (sparse social networks
+    /// with a large attribute space).
+    pub fn douban(scale: Scale) -> Self {
+        let (n, attach, attrs) = match scale {
+            Scale::Small => (800, 2, 64),
+            Scale::Paper => (3906, 2, 538),
+        };
+        Self {
+            name: "Douban Online & Offline".into(),
+            num_nodes: n,
+            model: GraphModel::BarabasiAlbert { attach },
+            attr_dim: attrs,
+            edge_removal: 0.35,
+            attr_flip: 0.05,
+            extra_target_nodes: 0,
+            anchor_fraction: 0.6,
+            seed: 202,
+        }
+    }
+
+    /// Synthetic analogue of Flickr & Myspace (extremely sparse, 3 attributes,
+    /// strong consistency violation — the hard case).
+    pub fn flickr_myspace(scale: Scale) -> Self {
+        let (n, extra) = match scale {
+            Scale::Small => (900, 350),
+            Scale::Paper => (6714, 4019),
+        };
+        Self {
+            name: "Flickr & Myspace".into(),
+            num_nodes: n,
+            model: GraphModel::BarabasiAlbert { attach: 1 },
+            attr_dim: 3,
+            edge_removal: 0.5,
+            attr_flip: 0.25,
+            extra_target_nodes: extra,
+            anchor_fraction: 0.05,
+            seed: 303,
+        }
+    }
+
+    /// Synthetic analogue of the Econ robustness dataset with a configurable
+    /// edge-removal ratio (the x-axis of Fig. 9a).
+    pub fn econ(scale: Scale, edge_removal: f64) -> Self {
+        let n = match scale {
+            Scale::Small => 500,
+            Scale::Paper => 1258,
+        };
+        Self {
+            name: "Econ".into(),
+            num_nodes: n,
+            model: GraphModel::PlantedPartition {
+                communities: 8,
+                p_in: 12.0 / (n as f64 / 8.0),
+                p_out: 1.6 / n as f64,
+            },
+            attr_dim: 20,
+            edge_removal,
+            attr_flip: 0.0,
+            extra_target_nodes: 0,
+            anchor_fraction: 1.0,
+            seed: 404,
+        }
+    }
+
+    /// Synthetic analogue of the BN (brain network) robustness dataset with a
+    /// configurable edge-removal ratio (the x-axis of Fig. 9b).
+    pub fn bn(scale: Scale, edge_removal: f64) -> Self {
+        let n = match scale {
+            Scale::Small => 600,
+            Scale::Paper => 1781,
+        };
+        Self {
+            name: "BN".into(),
+            num_nodes: n,
+            model: GraphModel::WattsStrogatz { k: 10, beta: 0.15 },
+            attr_dim: 20,
+            edge_removal,
+            attr_flip: 0.0,
+            extra_target_nodes: 0,
+            anchor_fraction: 1.0,
+            seed: 505,
+        }
+    }
+
+    /// Returns a copy with a different seed (used to average over runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different edge-removal ratio (used for Fig. 9).
+    pub fn with_edge_removal(mut self, ratio: f64) -> Self {
+        self.edge_removal = ratio;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::default(), Scale::Small);
+    }
+
+    #[test]
+    fn presets_cover_paper_datasets() {
+        assert_eq!(DatasetPreset::all().len(), 5);
+        assert_eq!(DatasetPreset::real_world().len(), 3);
+        for preset in DatasetPreset::all() {
+            let cfg = preset.config(Scale::Small);
+            assert!(cfg.num_nodes >= 100, "{}", preset.name());
+            assert!(cfg.attr_dim >= 3);
+            assert!((0.0..1.0).contains(&cfg.edge_removal));
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_table1_sizes() {
+        assert_eq!(SyntheticPairConfig::allmovie_imdb(Scale::Paper).num_nodes, 6011);
+        assert_eq!(SyntheticPairConfig::douban(Scale::Paper).num_nodes, 3906);
+        assert_eq!(SyntheticPairConfig::douban(Scale::Paper).attr_dim, 538);
+        assert_eq!(SyntheticPairConfig::flickr_myspace(Scale::Paper).num_nodes, 6714);
+        assert_eq!(SyntheticPairConfig::econ(Scale::Paper, 0.1).num_nodes, 1258);
+        assert_eq!(SyntheticPairConfig::bn(Scale::Paper, 0.1).num_nodes, 1781);
+    }
+
+    #[test]
+    fn tiny_is_small_and_deterministic() {
+        let a = SyntheticPairConfig::tiny(8);
+        let b = SyntheticPairConfig::tiny(8);
+        assert_eq!(a, b);
+        assert!(a.num_nodes <= 10);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let cfg = SyntheticPairConfig::econ(Scale::Small, 0.1)
+            .with_seed(99)
+            .with_edge_removal(0.4);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.edge_removal, 0.4);
+    }
+}

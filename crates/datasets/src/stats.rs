@@ -1,0 +1,75 @@
+//! Network statistics (Table I of the paper).
+
+use crate::generate::DatasetPair;
+use htc_graph::AttributedNetwork;
+
+/// Statistics of one network, matching the columns of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Network name (e.g. "Allmovie").
+    pub name: String,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Attribute dimensionality.
+    pub attrs: usize,
+    /// Average degree `2e / n`.
+    pub avg_degree: f64,
+}
+
+impl NetworkStats {
+    /// Computes the statistics of one attributed network.
+    pub fn of(name: &str, network: &AttributedNetwork) -> Self {
+        Self {
+            name: name.to_string(),
+            edges: network.num_edges(),
+            nodes: network.num_nodes(),
+            attrs: network.attr_dim(),
+            avg_degree: network.graph().average_degree(),
+        }
+    }
+
+    /// Renders one TSV row (`name edges nodes attrs avg_degree`).
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.1}",
+            self.name, self.edges, self.nodes, self.attrs, self.avg_degree
+        )
+    }
+}
+
+/// Statistics of both sides of a dataset pair plus its anchor count.
+pub fn pair_statistics(pair: &DatasetPair) -> (NetworkStats, NetworkStats, usize) {
+    let source = NetworkStats::of(&format!("{} (source)", pair.name), &pair.source);
+    let target = NetworkStats::of(&format!("{} (target)", pair.name), &pair.target);
+    (source, target, pair.num_anchors())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SyntheticPairConfig;
+    use crate::generate::generate_pair;
+
+    #[test]
+    fn stats_match_network() {
+        let pair = generate_pair(&SyntheticPairConfig::tiny(12));
+        let (s, t, anchors) = pair_statistics(&pair);
+        assert_eq!(s.nodes, 12);
+        assert_eq!(t.nodes, 12);
+        assert_eq!(s.edges, pair.source.num_edges());
+        assert_eq!(s.attrs, 4);
+        assert_eq!(anchors, 12);
+        assert!((s.avg_degree - 2.0 * s.edges as f64 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_row_is_tab_separated() {
+        let pair = generate_pair(&SyntheticPairConfig::tiny(8));
+        let (s, _, _) = pair_statistics(&pair);
+        let row = s.tsv_row();
+        assert_eq!(row.split('\t').count(), 5);
+        assert!(row.contains("tiny-8"));
+    }
+}

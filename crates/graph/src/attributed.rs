@@ -1,0 +1,170 @@
+//! Attributed networks `G = (V, A, X)`.
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use htc_linalg::DenseMatrix;
+
+/// A graph together with a dense node-attribute matrix.
+///
+/// This is the input object of every alignment method in the workspace: the
+/// adjacency structure comes from [`Graph`] and node `i`'s attribute vector is
+/// row `i` of the attribute matrix.  Methods that ignore attributes simply use
+/// [`AttributedNetwork::topology_only`], which attaches a constant one-column
+/// attribute matrix (equivalent to using node degree-independent features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributedNetwork {
+    graph: Graph,
+    attributes: DenseMatrix,
+}
+
+impl AttributedNetwork {
+    /// Pairs a graph with a node-attribute matrix.
+    ///
+    /// The attribute matrix must have exactly one row per node.
+    pub fn new(graph: Graph, attributes: DenseMatrix) -> Result<Self> {
+        if attributes.rows() != graph.num_nodes() {
+            return Err(GraphError::AttributeShape {
+                nodes: graph.num_nodes(),
+                rows: attributes.rows(),
+            });
+        }
+        Ok(Self { graph, attributes })
+    }
+
+    /// Wraps a bare graph with a constant single-column attribute matrix.
+    pub fn topology_only(graph: Graph) -> Self {
+        let attributes = DenseMatrix::filled(graph.num_nodes(), 1, 1.0);
+        Self { graph, attributes }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node-attribute matrix (one row per node).
+    #[inline]
+    pub fn attributes(&self) -> &DenseMatrix {
+        &self.attributes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Attribute dimensionality.
+    #[inline]
+    pub fn attr_dim(&self) -> usize {
+        self.attributes.cols()
+    }
+
+    /// Attribute vector of node `u`.
+    #[inline]
+    pub fn node_attributes(&self, u: usize) -> &[f64] {
+        self.attributes.row(u)
+    }
+
+    /// Replaces the attribute matrix, keeping the graph.
+    pub fn with_attributes(&self, attributes: DenseMatrix) -> Result<Self> {
+        Self::new(self.graph.clone(), attributes)
+    }
+
+    /// Decomposes into the graph and attribute matrix.
+    pub fn into_parts(self) -> (Graph, DenseMatrix) {
+        (self.graph, self.attributes)
+    }
+
+    /// Appends the (normalised) node degree as an extra attribute column.
+    ///
+    /// Several baselines (REGAL, degree heuristics) expect a structural
+    /// feature even when the dataset provides none; appending `deg(u) /
+    /// max_deg` is the conventional choice.
+    pub fn with_degree_feature(&self) -> Self {
+        let n = self.num_nodes();
+        let d = self.attr_dim();
+        let max_deg = self.graph.max_degree().max(1) as f64;
+        let mut data = Vec::with_capacity(n * (d + 1));
+        for u in 0..n {
+            data.extend_from_slice(self.attributes.row(u));
+            data.push(self.graph.degree(u) as f64 / max_deg);
+        }
+        let attributes = DenseMatrix::from_vec(n, d + 1, data)
+            .expect("dimensions are consistent by construction");
+        Self {
+            graph: self.graph.clone(),
+            attributes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> AttributedNetwork {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let x = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        AttributedNetwork::new(g, x).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let net = toy();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(net.attr_dim(), 2);
+        assert_eq!(net.node_attributes(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_mismatched_attributes() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let x = DenseMatrix::zeros(2, 4);
+        assert!(matches!(
+            AttributedNetwork::new(g, x),
+            Err(GraphError::AttributeShape { nodes: 3, rows: 2 })
+        ));
+    }
+
+    #[test]
+    fn topology_only_uses_constant_attribute() {
+        let net = AttributedNetwork::topology_only(Graph::cycle(4));
+        assert_eq!(net.attr_dim(), 1);
+        assert!(net.attributes().data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn with_attributes_swaps_matrix() {
+        let net = toy();
+        let new_x = DenseMatrix::filled(3, 5, 0.5);
+        let swapped = net.with_attributes(new_x).unwrap();
+        assert_eq!(swapped.attr_dim(), 5);
+        assert!(net.with_attributes(DenseMatrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn degree_feature_appended_and_normalised() {
+        let net = toy().with_degree_feature();
+        assert_eq!(net.attr_dim(), 3);
+        // Node 1 has the max degree (2) -> normalised to 1.0.
+        assert_eq!(net.node_attributes(1)[2], 1.0);
+        assert_eq!(net.node_attributes(0)[2], 0.5);
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let net = toy();
+        let (g, x) = net.clone().into_parts();
+        let rebuilt = AttributedNetwork::new(g, x).unwrap();
+        assert_eq!(rebuilt, net);
+    }
+}

@@ -1,0 +1,130 @@
+//! Incremental graph construction.
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use std::collections::BTreeSet;
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder accepts edges in any order and orientation, silently ignores
+/// duplicates, and rejects self-loops and out-of-range endpoints at insertion
+/// time so that errors point at the offending edge rather than surfacing at
+/// finalisation.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the undirected edge `(u, v)` has already been added.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Returns `Ok(true)` if the edge was new, `Ok(false)` if it was already
+    /// present, and an error for self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<bool> {
+        if u >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        Ok(self.edges.insert((u.min(v), u.max(v))))
+    }
+
+    /// Adds every edge from an iterator, stopping at the first error.
+    pub fn add_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, edges: I) -> Result<()> {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Removes the undirected edge `(u, v)` if present; returns whether it was.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        self.edges.remove(&(u.min(v), u.max(v)))
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let edges: Vec<(usize, usize)> = self.edges.into_iter().collect();
+        Graph::from_edges(self.num_nodes, &edges)
+            .expect("builder validates edges at insertion time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_deduplicated_graph() {
+        let mut b = GraphBuilder::new(4);
+        assert!(b.add_edge(0, 1).unwrap());
+        assert!(!b.add_edge(1, 0).unwrap());
+        assert!(b.add_edge(2, 3).unwrap());
+        assert_eq!(b.num_edges(), 2);
+        assert!(b.has_edge(1, 0));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn rejects_invalid_edges_eagerly() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 0).is_err());
+        assert!(b.add_edge(0, 7).is_err());
+        assert!(b.add_edges([(0, 1), (1, 5)]).is_err());
+        // The valid prefix was kept.
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.remove_edge(1, 0));
+        assert!(!b.remove_edge(1, 0));
+        assert_eq!(b.build().num_edges(), 0);
+    }
+
+    #[test]
+    fn default_builder_is_empty() {
+        let b = GraphBuilder::default();
+        assert_eq!(b.num_nodes(), 0);
+        assert_eq!(b.build().num_nodes(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Random-graph generators.
+//!
+//! These models are used by `htc-datasets` to synthesise source networks whose
+//! global statistics (size, density, degree distribution, clustering) match
+//! the datasets reported in Table I of the paper:
+//!
+//! * [`erdos_renyi_gnm`] — uniform random graphs, a neutral substrate;
+//! * [`barabasi_albert`] — preferential attachment, heavy-tailed degrees
+//!   (social-network-like datasets: Douban, Flickr, Myspace);
+//! * [`watts_strogatz`] — rewired ring lattices with high clustering
+//!   (brain-network-like BN dataset);
+//! * [`planted_partition`] — community-structured graphs (co-actor networks
+//!   such as Allmovie/Imdb, organisational networks such as Econ).
+//!
+//! All generators are deterministic given the supplied RNG.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Convenience constructor for a seeded RNG used across the workspace.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// G(n, m) Erdős–Rényi graph: exactly `m` distinct edges chosen uniformly.
+///
+/// `m` is clamped to the number of possible edges.
+pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut StdRng) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut builder = GraphBuilder::new(n);
+    while builder.num_edges() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            let _ = builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// G(n, p) Erdős–Rényi graph: each possible edge included with probability `p`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, rng: &mut StdRng) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u, v).expect("indices are in range");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a clique on `m0 = m_attach + 1` nodes and attaches every new
+/// node to `m_attach` existing nodes chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut StdRng) -> Graph {
+    let m_attach = m_attach.max(1);
+    let m0 = (m_attach + 1).min(n.max(1));
+    let mut builder = GraphBuilder::new(n);
+    // Degree-proportional sampling via a repeated-endpoint list.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            builder.add_edge(u, v).expect("seed clique indices are valid");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in m0..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m_attach.min(new) && guard < 50 * m_attach + 50 {
+            guard += 1;
+            let t = if endpoints.is_empty() || rng.gen::<f64>() < 0.05 {
+                rng.gen_range(0..new)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != new {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            builder.add_edge(new, t).expect("indices are in range");
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` nearest neighbours
+/// per node (rounded down to even), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut StdRng) -> Graph {
+    let half = (k / 2).max(1);
+    let mut builder = GraphBuilder::new(n);
+    if n < 2 {
+        return builder.build();
+    }
+    for u in 0..n {
+        for offset in 1..=half {
+            let v = (u + offset) % n;
+            if u == v {
+                continue;
+            }
+            if rng.gen::<f64>() < beta {
+                // Rewire the lattice edge to a uniformly random non-neighbour.
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    let w = rng.gen_range(0..n);
+                    if w != u && !builder.has_edge(u, w) {
+                        builder.add_edge(u, w).expect("indices are in range");
+                        break;
+                    }
+                    if guard > 100 {
+                        let _ = builder.add_edge(u, v);
+                        break;
+                    }
+                }
+            } else {
+                let _ = builder.add_edge(u, v);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Planted-partition (stochastic block model) graph.
+///
+/// Nodes are split into `communities` equally sized blocks; an edge appears
+/// with probability `p_in` inside a block and `p_out` across blocks.
+/// Returns the graph and the community id of every node.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut StdRng,
+) -> (Graph, Vec<usize>) {
+    let communities = communities.max(1);
+    let labels: Vec<usize> = (0..n).map(|u| u * communities / n.max(1)).collect();
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u, v).expect("indices are in range");
+            }
+        }
+    }
+    (builder.build(), labels)
+}
+
+/// Generates a random permutation of `0..n`.
+pub fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_requested_edges() {
+        let mut rng = seeded_rng(1);
+        let g = erdos_renyi_gnm(50, 120, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 120);
+    }
+
+    #[test]
+    fn gnm_clamps_to_maximum() {
+        let mut rng = seeded_rng(2);
+        let g = erdos_renyi_gnm(5, 1000, &mut rng);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_density_roughly_matches_p() {
+        let mut rng = seeded_rng(3);
+        let g = erdos_renyi_gnp(120, 0.1, &mut rng);
+        let expected = 0.1 * (120.0 * 119.0 / 2.0);
+        let actual = g.num_edges() as f64;
+        assert!((actual - expected).abs() < 0.35 * expected, "actual={actual}");
+    }
+
+    #[test]
+    fn barabasi_albert_has_heavy_tail() {
+        let mut rng = seeded_rng(4);
+        let g = barabasi_albert(300, 3, &mut rng);
+        assert_eq!(g.num_nodes(), 300);
+        // Preferential attachment should produce a hub much larger than the
+        // attachment parameter.
+        assert!(g.max_degree() > 12, "max degree {}", g.max_degree());
+        // Every non-seed node attaches with at least one edge.
+        assert!(g.degrees().iter().filter(|&&d| d == 0).count() == 0);
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_lattice() {
+        let mut rng = seeded_rng(5);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+        for u in 0..20 {
+            assert!(g.has_edge(u, (u + 1) % 20));
+            assert!(g.has_edge(u, (u + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_preserves_node_count() {
+        let mut rng = seeded_rng(6);
+        let g = watts_strogatz(60, 6, 0.3, &mut rng);
+        assert_eq!(g.num_nodes(), 60);
+        assert!(g.num_edges() > 100);
+    }
+
+    #[test]
+    fn planted_partition_favours_intra_community_edges() {
+        let mut rng = seeded_rng(7);
+        let (g, labels) = planted_partition(100, 4, 0.3, 0.01, &mut rng);
+        assert_eq!(labels.len(), 100);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for &(u, v) in g.edges() {
+            if labels[u] == labels[v] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 3 * inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let g1 = barabasi_albert(80, 2, &mut seeded_rng(42));
+        let g2 = barabasi_albert(80, 2, &mut seeded_rng(42));
+        assert_eq!(g1, g2);
+        let g3 = erdos_renyi_gnm(80, 150, &mut seeded_rng(9));
+        let g4 = erdos_renyi_gnm(80, 150, &mut seeded_rng(9));
+        assert_eq!(g3, g4);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = seeded_rng(8);
+        let p = random_permutation(40, &mut rng);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+}

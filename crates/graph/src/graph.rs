@@ -1,0 +1,374 @@
+//! Immutable undirected simple graph in CSR form.
+
+use crate::{GraphError, Result};
+use htc_linalg::CsrMatrix;
+
+/// An undirected simple graph with `n` nodes stored as a CSR adjacency list.
+///
+/// Nodes are identified by dense indices `0..n`.  Neighbour lists are sorted,
+/// which gives `O(log d)` edge queries and makes neighbourhood intersections
+/// (the kernel of orbit counting) a linear merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: usize,
+    /// CSR row pointers, length `num_nodes + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    neighbors: Vec<usize>,
+    /// Canonical edge list with `u < v`, sorted lexicographically.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges (in either orientation) are collapsed, self-loops are
+    /// rejected and node indices must be `< num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut canonical: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: u, num_nodes });
+            }
+            if v >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            canonical.push((u.min(v), u.max(v)));
+        }
+        canonical.sort_unstable();
+        canonical.dedup();
+
+        let mut degrees = vec![0usize; num_nodes];
+        for &(u, v) in &canonical {
+            degrees[u] += 1;
+            degrees[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0usize; 2 * canonical.len()];
+        let mut cursor = offsets[..num_nodes].to_vec();
+        for &(u, v) in &canonical {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Neighbour lists must be sorted for binary-search edge queries.
+        for u in 0..num_nodes {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Ok(Self {
+            num_nodes,
+            offsets,
+            neighbors,
+            edges: canonical,
+        })
+    }
+
+    /// An empty graph with `num_nodes` isolated nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self::from_edges(num_nodes, &[]).expect("empty edge list is always valid")
+    }
+
+    /// Complete graph on `num_nodes` nodes.
+    pub fn complete(num_nodes: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..num_nodes {
+            for v in (u + 1)..num_nodes {
+                edges.push((u, v));
+            }
+        }
+        Self::from_edges(num_nodes, &edges).expect("complete graph edges are valid")
+    }
+
+    /// Path graph `0 - 1 - ... - (n-1)`.
+    pub fn path(num_nodes: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..num_nodes).map(|v| (v - 1, v)).collect();
+        Self::from_edges(num_nodes, &edges).expect("path edges are valid")
+    }
+
+    /// Cycle graph on `num_nodes >= 3` nodes.
+    pub fn cycle(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 3, "a cycle needs at least 3 nodes");
+        let mut edges: Vec<(usize, usize)> = (1..num_nodes).map(|v| (v - 1, v)).collect();
+        edges.push((num_nodes - 1, 0));
+        Self::from_edges(num_nodes, &edges).expect("cycle edges are valid")
+    }
+
+    /// Star graph with node 0 as the hub and `num_leaves` leaves.
+    pub fn star(num_leaves: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..=num_leaves).map(|v| (0, v)).collect();
+        Self::from_edges(num_leaves + 1, &edges).expect("star edges are valid")
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2e / n` (0 when there are no nodes).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Sorted neighbour slice of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// True if the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.num_nodes || v >= self.num_nodes {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Canonical edge list with `u < v`, sorted lexicographically.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Common neighbours of `u` and `v` (sorted), computed by a linear merge.
+    pub fn common_neighbors(&self, u: usize, v: usize) -> Vec<usize> {
+        let (mut a, mut b) = (self.neighbors(u).iter(), self.neighbors(v).iter());
+        let mut out = Vec::new();
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(&p), Some(&q)) = (x, y) {
+            match p.cmp(&q) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => {
+                    out.push(p);
+                    x = a.next();
+                    y = b.next();
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of triangles that contain the edge `(u, v)`.
+    pub fn edge_triangles(&self, u: usize, v: usize) -> usize {
+        self.common_neighbors(u, v).len()
+    }
+
+    /// Total number of triangles in the graph.
+    pub fn triangle_count(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|&(u, v)| self.edge_triangles(u, v))
+            .sum::<usize>()
+            / 3
+    }
+
+    /// Degree sequence (indexed by node).
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes).map(|u| self.degree(u)).collect()
+    }
+
+    /// Binary adjacency matrix as CSR (both orientations stored).
+    pub fn adjacency(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(2 * self.edges.len());
+        for &(u, v) in &self.edges {
+            triplets.push((u, v, 1.0));
+            triplets.push((v, u, 1.0));
+        }
+        CsrMatrix::from_triplets(self.num_nodes, self.num_nodes, &triplets)
+            .expect("edge indices are validated at construction")
+    }
+
+    /// Connected components as a vector of component ids (0-based, ordered by
+    /// first appearance).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.num_nodes];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..self.num_nodes {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.connected_components().iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// True if the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.num_components() <= 1
+    }
+
+    /// Returns the subgraph induced by `nodes` along with the mapping from new
+    /// indices to original node ids.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Result<(Graph, Vec<usize>)> {
+        let mut index_of = std::collections::HashMap::with_capacity(nodes.len());
+        for (new, &old) in nodes.iter().enumerate() {
+            if old >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: old,
+                    num_nodes: self.num_nodes,
+                });
+            }
+            index_of.insert(old, new);
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            if let (Some(&nu), Some(&nv)) = (index_of.get(&u), index_of.get(&v)) {
+                edges.push((nu, nv));
+            }
+        }
+        Ok((Graph::from_edges(nodes.len(), &edges)?, nodes.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        // Triangle 0-1-2 plus pendant 3 attached to 0, isolated node 4.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 9));
+    }
+
+    #[test]
+    fn duplicates_and_orientations_collapse() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(Graph::empty(4).num_edges(), 0);
+        assert_eq!(Graph::complete(5).num_edges(), 10);
+        assert_eq!(Graph::path(4).num_edges(), 3);
+        assert_eq!(Graph::cycle(4).num_edges(), 4);
+        let s = Graph::star(3);
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.degree(0), 3);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = toy();
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn common_neighbors_and_triangles() {
+        let g = toy();
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        assert_eq!(g.common_neighbors(0, 3), Vec::<usize>::new());
+        assert_eq!(g.edge_triangles(0, 1), 1);
+        assert_eq!(g.triangle_count(), 1);
+        assert_eq!(Graph::complete(4).triangle_count(), 4);
+        assert_eq!(Graph::cycle(5).triangle_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_binary() {
+        let g = toy();
+        let a = g.adjacency();
+        assert_eq!(a.nnz(), 8);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 4), 0.0);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = toy();
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+        assert_eq!(g.num_components(), 2);
+        assert!(!g.is_connected());
+        assert!(Graph::cycle(6).is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = toy();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]).unwrap();
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        let (sub2, _) = g.induced_subgraph(&[3, 4]).unwrap();
+        assert_eq!(sub2.num_edges(), 0);
+        assert!(g.induced_subgraph(&[10]).is_err());
+    }
+}

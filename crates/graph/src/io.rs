@@ -1,0 +1,179 @@
+//! Plain-text serialisation of graphs and attributed networks.
+//!
+//! The format is deliberately simple so the example binaries can ship small
+//! datasets as text files and users can plug in their own edge lists:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <num_nodes>
+//! u v        # one undirected edge per line
+//! ```
+//!
+//! Attribute matrices use one whitespace-separated row per node.
+
+use crate::attributed::AttributedNetwork;
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use htc_linalg::DenseMatrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serialises a graph to the edge-list text format.
+pub fn graph_to_string(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# htc edge list: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    let _ = writeln!(out, "{}", graph.num_nodes());
+    for &(u, v) in graph.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+pub fn graph_from_string(text: &str) -> Result<Graph> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| GraphError::Io("missing node-count line".into()))?
+        .parse()
+        .map_err(|e| GraphError::Io(format!("bad node count: {e}")))?;
+    let mut edges = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Io(format!("bad edge line: {line:?}")))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad edge endpoint: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Io(format!("bad edge line: {line:?}")))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad edge endpoint: {e}")))?;
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Serialises an attribute matrix, one whitespace-separated row per node.
+pub fn attributes_to_string(attributes: &DenseMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# htc attributes: {} x {}", attributes.rows(), attributes.cols());
+    for r in 0..attributes.rows() {
+        let row: Vec<String> = attributes.row(r).iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Parses an attribute matrix written by [`attributes_to_string`].
+pub fn attributes_from_string(text: &str) -> Result<DenseMatrix> {
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| {
+                    tok.parse::<f64>()
+                        .map_err(|e| GraphError::Io(format!("bad attribute value {tok:?}: {e}")))
+                })
+                .collect::<Result<Vec<f64>>>()
+        })
+        .collect::<Result<Vec<Vec<f64>>>>()?;
+    DenseMatrix::from_rows(&rows).map_err(|e| GraphError::Io(format!("ragged attribute rows: {e}")))
+}
+
+/// Writes a graph to a file in edge-list format.
+pub fn write_graph(graph: &Graph, path: &Path) -> Result<()> {
+    std::fs::write(path, graph_to_string(graph)).map_err(|e| GraphError::Io(e.to_string()))
+}
+
+/// Reads a graph from an edge-list file.
+pub fn read_graph(path: &Path) -> Result<Graph> {
+    let text = std::fs::read_to_string(path).map_err(|e| GraphError::Io(e.to_string()))?;
+    graph_from_string(&text)
+}
+
+/// Writes an attributed network as `<stem>.edges` and `<stem>.attrs`.
+pub fn write_network(network: &AttributedNetwork, stem: &Path) -> Result<()> {
+    let edges_path = stem.with_extension("edges");
+    let attrs_path = stem.with_extension("attrs");
+    write_graph(network.graph(), &edges_path)?;
+    std::fs::write(&attrs_path, attributes_to_string(network.attributes()))
+        .map_err(|e| GraphError::Io(e.to_string()))
+}
+
+/// Reads an attributed network written by [`write_network`].
+pub fn read_network(stem: &Path) -> Result<AttributedNetwork> {
+    let graph = read_graph(&stem.with_extension("edges"))?;
+    let text = std::fs::read_to_string(stem.with_extension("attrs"))
+        .map_err(|e| GraphError::Io(e.to_string()))?;
+    let attributes = attributes_from_string(&text)?;
+    AttributedNetwork::new(graph, attributes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_text_round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3), (1, 2)]).unwrap();
+        let text = graph_to_string(&g);
+        let parsed = graph_from_string(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn graph_parse_errors() {
+        assert!(graph_from_string("").is_err());
+        assert!(graph_from_string("3\n0").is_err());
+        assert!(graph_from_string("x\n0 1").is_err());
+        assert!(graph_from_string("3\n0 z").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n3\n# edge below\n0 2\n";
+        let g = graph_from_string(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn attribute_text_round_trip() {
+        let x = DenseMatrix::from_vec(2, 3, vec![1.0, -0.5, 2.25, 0.0, 4.0, 5.5]).unwrap();
+        let parsed = attributes_from_string(&attributes_to_string(&x)).unwrap();
+        assert!(parsed.approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn attribute_parse_rejects_garbage() {
+        assert!(attributes_from_string("1.0 oops").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("htc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("toy");
+        let g = Graph::cycle(5);
+        let x = DenseMatrix::filled(5, 2, 0.5);
+        let net = AttributedNetwork::new(g, x).unwrap();
+        write_network(&net, &stem).unwrap();
+        let back = read_network(&stem).unwrap();
+        assert_eq!(back.num_edges(), 5);
+        assert!(back.attributes().approx_eq(net.attributes(), 1e-12));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_graph(Path::new("/nonexistent/htc/file.edges")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! # htc-graph
+//!
+//! Graph substrate for the HTC network-alignment reproduction.
+//!
+//! The paper operates on *attributed networks* `G = (V, A, X)`: an undirected
+//! simple graph together with a dense node-attribute matrix.  This crate
+//! provides:
+//!
+//! * [`Graph`] — an immutable undirected simple graph stored in CSR form with
+//!   O(1) degree queries and O(log d) edge lookups;
+//! * [`GraphBuilder`] — an incremental builder that deduplicates edges and
+//!   rejects self-loops;
+//! * [`AttributedNetwork`] — a graph paired with a node-attribute matrix;
+//! * [`generators`] — random-graph models (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, planted partition) used to synthesise the evaluation
+//!   datasets;
+//! * [`perturb`] — edge removal, node permutation and attribute noise, the
+//!   operations used to create alignment targets and robustness workloads;
+//! * [`io`] — plain-text edge-list / attribute serialisation for examples.
+
+pub mod attributed;
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod perturb;
+
+pub use attributed::AttributedNetwork;
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the alignment graphs are simple.
+    SelfLoop(usize),
+    /// The attribute matrix has a different number of rows than the graph has
+    /// nodes.
+    AttributeShape {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of attribute rows supplied.
+        rows: usize,
+    },
+    /// A parse or I/O failure while reading a graph file.
+    Io(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
+            GraphError::AttributeShape { nodes, rows } => write!(
+                f,
+                "attribute matrix has {rows} rows but the graph has {nodes} nodes"
+            ),
+            GraphError::Io(msg) => write!(f, "graph i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::SelfLoop(3).to_string().contains("3"));
+        assert!(GraphError::NodeOutOfRange { node: 9, num_nodes: 5 }
+            .to_string()
+            .contains("9"));
+        assert!(GraphError::AttributeShape { nodes: 4, rows: 2 }
+            .to_string()
+            .contains("2"));
+        assert!(GraphError::Io("nope".into()).to_string().contains("nope"));
+    }
+}

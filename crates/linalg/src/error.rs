@@ -1,0 +1,112 @@
+//! Error types shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given a data buffer whose length does not match the
+    /// requested dimensions.
+    DataLength {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the matrix it was applied to.
+    IndexOutOfBounds {
+        /// The offending (row, column) index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A sparse constructor was handed an invalid structure (e.g. unsorted or
+    /// out-of-range column indices).
+    InvalidSparseStructure(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::DataLength { expected, actual } => write!(
+                f,
+                "data length mismatch: expected {expected} elements, got {actual}"
+            ),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::InvalidSparseStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_data_length() {
+        let err = LinalgError::DataLength {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(err.to_string().contains("expected 6"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = LinalgError::IndexOutOfBounds {
+            index: (7, 1),
+            shape: (3, 3),
+        };
+        assert!(err.to_string().contains("(7, 1)"));
+    }
+
+    #[test]
+    fn display_invalid_sparse() {
+        let err = LinalgError::InvalidSparseStructure("bad".into());
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&LinalgError::DataLength {
+            expected: 1,
+            actual: 2,
+        });
+    }
+}

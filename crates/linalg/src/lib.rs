@@ -1,0 +1,33 @@
+//! # htc-linalg
+//!
+//! Dense and sparse linear-algebra substrate for the HTC network-alignment
+//! reproduction.
+//!
+//! The HTC paper relies on PyTorch for its tensor operations.  This crate
+//! replaces that dependency with a small, dependency-free implementation that
+//! covers exactly the operators the alignment pipeline needs:
+//!
+//! * [`DenseMatrix`] — row-major `f64` matrices with (multi-threaded) matrix
+//!   multiplication, Gram products, Frobenius norms and row-wise utilities;
+//! * [`CsrMatrix`] — compressed-sparse-row matrices used for adjacency,
+//!   graphlet-orbit and Laplacian matrices, with sparse×dense products;
+//! * [`ops`] — alignment-specific helpers (Pearson row normalisation, top-k
+//!   selection, row arg-max, mutual arg-max pairs);
+//! * [`parallel`] — a tiny chunked parallel-for used by the heavier kernels.
+//!
+//! All matrices are `f64`: the problem sizes in the paper (≤ ~10⁴ nodes) fit
+//! comfortably in memory and double precision keeps the finite-difference
+//! gradient checks in `htc-nn` tight.
+
+pub mod dense;
+pub mod error;
+pub mod ops;
+pub mod parallel;
+pub mod sparse;
+
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use sparse::CsrMatrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

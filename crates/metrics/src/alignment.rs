@@ -1,0 +1,216 @@
+//! Alignment quality metrics.
+//!
+//! Both metrics consume an alignment matrix `M ∈ R^{n_s × n_t}` (row `i` holds
+//! the alignment scores of source node `i` against every target node) and the
+//! ground-truth anchor links:
+//!
+//! * `precision@q` (Eq. 16) — the fraction of ground-truth anchors whose true
+//!   target appears among the `q` highest-scoring candidates of its row;
+//! * `MRR` (Eq. 17) — the mean reciprocal rank of the true target within its
+//!   row.
+
+use htc_graph::perturb::GroundTruth;
+use htc_linalg::ops::{rank_of, top_k_indices};
+use htc_linalg::DenseMatrix;
+use std::collections::BTreeMap;
+
+/// Computes `precision@q` of `alignment` against `ground_truth`.
+///
+/// Anchors whose source or target index falls outside the alignment matrix are
+/// counted as misses (this mirrors how partially-covered ground truth is
+/// handled in the paper's real-world datasets).  Returns 0 when there are no
+/// anchors.
+pub fn precision_at_q(alignment: &DenseMatrix, ground_truth: &GroundTruth, q: usize) -> f64 {
+    let anchors: Vec<(usize, usize)> = ground_truth.anchors().collect();
+    if anchors.is_empty() || q == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for &(s, t) in &anchors {
+        if s >= alignment.rows() || t >= alignment.cols() {
+            continue;
+        }
+        let row = alignment.row(s);
+        if top_k_indices(row, q).contains(&t) {
+            hits += 1;
+        }
+    }
+    hits as f64 / anchors.len() as f64
+}
+
+/// Computes the mean reciprocal rank of the true anchors.
+pub fn mrr(alignment: &DenseMatrix, ground_truth: &GroundTruth) -> f64 {
+    let anchors: Vec<(usize, usize)> = ground_truth.anchors().collect();
+    if anchors.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &(s, t) in &anchors {
+        if s >= alignment.rows() || t >= alignment.cols() {
+            continue;
+        }
+        let rank = rank_of(alignment.row(s), t);
+        total += 1.0 / rank as f64;
+    }
+    total / anchors.len() as f64
+}
+
+/// A bundle of precision@q values (for several q) plus MRR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentReport {
+    precisions: BTreeMap<usize, f64>,
+    mrr: f64,
+    num_anchors: usize,
+}
+
+impl AlignmentReport {
+    /// Evaluates an alignment matrix at the requested `q` values.
+    pub fn evaluate(alignment: &DenseMatrix, ground_truth: &GroundTruth, qs: &[usize]) -> Self {
+        let precisions = qs
+            .iter()
+            .map(|&q| (q, precision_at_q(alignment, ground_truth, q)))
+            .collect();
+        Self {
+            precisions,
+            mrr: mrr(alignment, ground_truth),
+            num_anchors: ground_truth.num_anchors(),
+        }
+    }
+
+    /// The precision at a specific `q`, if it was requested.
+    pub fn precision(&self, q: usize) -> Option<f64> {
+        self.precisions.get(&q).copied()
+    }
+
+    /// All requested `(q, precision)` pairs in ascending order of `q`.
+    pub fn precisions(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.precisions.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// The mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        self.mrr
+    }
+
+    /// Number of ground-truth anchors the report was computed over.
+    pub fn num_anchors(&self) -> usize {
+        self.num_anchors
+    }
+}
+
+impl std::fmt::Display for AlignmentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (q, p) in &self.precisions {
+            write!(f, "p@{q}={p:.4} ")?;
+        }
+        write!(f, "MRR={:.4} (anchors={})", self.mrr, self.num_anchors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn identity_gt(n: usize) -> GroundTruth {
+        GroundTruth::identity(n)
+    }
+
+    #[test]
+    fn perfect_alignment_scores_one() {
+        let m = DenseMatrix::identity(5);
+        let gt = identity_gt(5);
+        assert_eq!(precision_at_q(&m, &gt, 1), 1.0);
+        assert_eq!(precision_at_q(&m, &gt, 10), 1.0);
+        assert_eq!(mrr(&m, &gt), 1.0);
+    }
+
+    #[test]
+    fn worst_alignment_scores_near_zero() {
+        // Scores that rank the true anchor last.
+        let mut m = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, if i == j { -1.0 } else { 1.0 });
+            }
+        }
+        let gt = identity_gt(3);
+        assert_eq!(precision_at_q(&m, &gt, 1), 0.0);
+        assert_eq!(precision_at_q(&m, &gt, 3), 1.0);
+        assert!((mrr(&m, &gt) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ground_truth_is_supported() {
+        let m = DenseMatrix::identity(4);
+        let gt = GroundTruth::new(vec![Some(0), None, Some(2), None]);
+        assert_eq!(precision_at_q(&m, &gt, 1), 1.0);
+        assert_eq!(gt.num_anchors(), 2);
+    }
+
+    #[test]
+    fn out_of_range_anchor_counts_as_miss() {
+        let m = DenseMatrix::identity(3);
+        let gt = GroundTruth::new(vec![Some(0), Some(1), Some(7)]);
+        assert!((precision_at_q(&m, &gt, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mrr(&m, &gt) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ground_truth_returns_zero() {
+        let m = DenseMatrix::identity(3);
+        let gt = GroundTruth::new(vec![None, None, None]);
+        assert_eq!(precision_at_q(&m, &gt, 1), 0.0);
+        assert_eq!(mrr(&m, &gt), 0.0);
+    }
+
+    #[test]
+    fn mrr_uses_reciprocal_rank() {
+        // True anchor ranked 2nd for source 0, 1st for source 1.
+        let m = DenseMatrix::from_vec(2, 2, vec![0.4, 0.6, 0.1, 0.9]).unwrap();
+        let gt = identity_gt(2);
+        assert!((mrr(&m, &gt) - (0.5 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(precision_at_q(&m, &gt, 1), 0.5);
+    }
+
+    #[test]
+    fn report_collects_everything() {
+        let m = DenseMatrix::identity(4);
+        let gt = identity_gt(4);
+        let report = AlignmentReport::evaluate(&m, &gt, &[1, 5]);
+        assert_eq!(report.precision(1), Some(1.0));
+        assert_eq!(report.precision(5), Some(1.0));
+        assert_eq!(report.precision(3), None);
+        assert_eq!(report.mrr(), 1.0);
+        assert_eq!(report.num_anchors(), 4);
+        assert_eq!(report.precisions().count(), 2);
+        let shown = report.to_string();
+        assert!(shown.contains("p@1=1.0000"));
+        assert!(shown.contains("MRR=1.0000"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Property: precision@q is monotone in q and bounded by [0, 1];
+        /// MRR never exceeds precision@large-q and also lies in [0, 1].
+        #[test]
+        fn metric_bounds(seed in 0u64..1000, n in 2usize..10) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let m = DenseMatrix::from_vec(n, n, data).unwrap();
+            let gt = GroundTruth::identity(n);
+            let p1 = precision_at_q(&m, &gt, 1);
+            let p3 = precision_at_q(&m, &gt, 3.min(n));
+            let pn = precision_at_q(&m, &gt, n);
+            let r = mrr(&m, &gt);
+            prop_assert!((0.0..=1.0).contains(&p1));
+            prop_assert!(p1 <= p3 + 1e-12);
+            prop_assert!(p3 <= pn + 1e-12);
+            prop_assert!((pn - 1.0).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(p1 <= r + 1e-12, "p@1 {p1} should not exceed MRR {r}");
+        }
+    }
+}

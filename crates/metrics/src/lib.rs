@@ -1,0 +1,14 @@
+//! # htc-metrics
+//!
+//! Evaluation metrics and instrumentation for the HTC reproduction:
+//!
+//! * [`alignment`] — `precision@q` (Eq. 16) and `MRR` (Eq. 17) plus a
+//!   convenience [`AlignmentReport`] bundling both;
+//! * [`timing`] — a stage timer used to produce the runtime decomposition of
+//!   Fig. 8 and the runtime comparison of Fig. 7.
+
+pub mod alignment;
+pub mod timing;
+
+pub use alignment::{mrr, precision_at_q, AlignmentReport};
+pub use timing::StageTimer;

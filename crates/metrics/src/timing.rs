@@ -1,0 +1,136 @@
+//! Stage timing instrumentation.
+//!
+//! The efficiency analysis of the paper (Fig. 7 and Fig. 8) breaks the HTC
+//! runtime into named stages (orbit counting, Laplacian construction,
+//! multi-orbit-aware training, trusted-pair fine-tuning, weighted integration,
+//! other).  [`StageTimer`] accumulates wall-clock durations per named stage
+//! while preserving insertion order so the harness can print the same
+//! decomposition.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates named stage durations in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimer {
+    stages: Vec<(String, Duration)>,
+}
+
+impl StageTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times the execution of `body` and records it under `stage`.
+    pub fn time<T>(&mut self, stage: &str, body: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = body();
+        self.record(stage, start.elapsed());
+        result
+    }
+
+    /// Adds `duration` to the accumulated time of `stage` (creating it if
+    /// needed).
+    pub fn record(&mut self, stage: &str, duration: Duration) {
+        if let Some(entry) = self.stages.iter_mut().find(|(name, _)| name == stage) {
+            entry.1 += duration;
+        } else {
+            self.stages.push((stage.to_string(), duration));
+        }
+    }
+
+    /// Accumulated duration of `stage` (zero if never recorded).
+    pub fn duration(&self, stage: &str) -> Duration {
+        self.stages
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Total accumulated duration across all stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Stages in insertion order with their durations.
+    pub fn stages(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.stages.iter().map(|(name, d)| (name.as_str(), *d))
+    }
+
+    /// Merges another timer into this one (summing shared stages).
+    pub fn merge(&mut self, other: &StageTimer) {
+        for (name, d) in other.stages() {
+            self.record(name, d);
+        }
+    }
+
+    /// Renders a simple per-stage breakdown in seconds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, d) in self.stages() {
+            out.push_str(&format!("{name}: {:.3}s\n", d.as_secs_f64()));
+        }
+        out.push_str(&format!("total: {:.3}s\n", self.total().as_secs_f64()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_accumulates() {
+        let mut t = StageTimer::new();
+        t.record("training", Duration::from_millis(100));
+        t.record("training", Duration::from_millis(50));
+        t.record("fine-tuning", Duration::from_millis(30));
+        assert_eq!(t.duration("training"), Duration::from_millis(150));
+        assert_eq!(t.duration("missing"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(180));
+        assert_eq!(t.stages().count(), 2);
+    }
+
+    #[test]
+    fn time_wraps_closures() {
+        let mut t = StageTimer::new();
+        let out = t.time("compute", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(t.duration("compute") >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut t = StageTimer::new();
+        t.record("b", Duration::from_millis(1));
+        t.record("a", Duration::from_millis(1));
+        t.record("b", Duration::from_millis(1));
+        let names: Vec<&str> = t.stages().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn merge_sums_stages() {
+        let mut a = StageTimer::new();
+        a.record("x", Duration::from_millis(10));
+        let mut b = StageTimer::new();
+        b.record("x", Duration::from_millis(5));
+        b.record("y", Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.duration("x"), Duration::from_millis(15));
+        assert_eq!(a.duration("y"), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let mut t = StageTimer::new();
+        t.record("stage one", Duration::from_millis(1500));
+        let text = t.render();
+        assert!(text.contains("stage one: 1.500s"));
+        assert!(text.contains("total: 1.500s"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The Adam optimiser (Kingma & Ba, 2014), used to minimise the multi-orbit
+//! reconstruction objective.
+
+use htc_linalg::DenseMatrix;
+
+/// Adam optimiser state for a fixed set of parameter matrices.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    first_moment: Vec<DenseMatrix>,
+    second_moment: Vec<DenseMatrix>,
+}
+
+impl Adam {
+    /// Creates an optimiser for parameters with the given shapes, using the
+    /// standard hyper-parameters `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(learning_rate: f64, shapes: &[(usize, usize)]) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            first_moment: shapes.iter().map(|&(r, c)| DenseMatrix::zeros(r, c)).collect(),
+            second_moment: shapes.iter().map(|&(r, c)| DenseMatrix::zeros(r, c)).collect(),
+        }
+    }
+
+    /// Convenience constructor reading the shapes from existing parameters.
+    pub fn for_parameters(learning_rate: f64, params: &[DenseMatrix]) -> Self {
+        let shapes: Vec<(usize, usize)> = params.iter().map(|p| p.shape()).collect();
+        Self::new(learning_rate, &shapes)
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Number of optimisation steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one Adam update to `params` given `grads`.
+    ///
+    /// # Panics
+    /// Panics if the number or shapes of parameters/gradients do not match the
+    /// shapes the optimiser was created with.
+    pub fn step(&mut self, params: &mut [DenseMatrix], grads: &[DenseMatrix]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter");
+        assert_eq!(
+            params.len(),
+            self.first_moment.len(),
+            "optimiser was created for a different parameter count"
+        );
+        self.step += 1;
+        let t = self.step as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for ((param, grad), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.first_moment.iter_mut().zip(self.second_moment.iter_mut()))
+        {
+            assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
+            assert_eq!(param.shape(), m.shape(), "optimiser state shape mismatch");
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.epsilon, self.learning_rate);
+            for ((p, &g), (m_e, v_e)) in param
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                *m_e = b1 * *m_e + (1.0 - b1) * g;
+                *v_e = b2 * *v_e + (1.0 - b2) * g * g;
+                let m_hat = *m_e / bias1;
+                let v_hat = *v_e / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimising f(x) = (x - 3)² should converge to x = 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = vec![DenseMatrix::from_vec(1, 1, vec![-5.0]).unwrap()];
+        let mut adam = Adam::for_parameters(0.1, &params);
+        for _ in 0..500 {
+            let x = params[0].get(0, 0);
+            let grad = vec![DenseMatrix::from_vec(1, 1, vec![2.0 * (x - 3.0)]).unwrap()];
+            adam.step(&mut params, &grad);
+        }
+        assert!((params[0].get(0, 0) - 3.0).abs() < 1e-3);
+        assert_eq!(adam.steps_taken(), 500);
+    }
+
+    /// Minimising a two-parameter quadratic bowl.
+    #[test]
+    fn converges_on_multivariate_bowl() {
+        let mut params = vec![
+            DenseMatrix::from_vec(2, 1, vec![4.0, -2.0]).unwrap(),
+            DenseMatrix::from_vec(1, 2, vec![1.5, -0.5]).unwrap(),
+        ];
+        let targets = [vec![1.0, 2.0], vec![-1.0, 0.5]];
+        let mut adam = Adam::for_parameters(0.05, &params);
+        for _ in 0..2000 {
+            let grads: Vec<DenseMatrix> = params
+                .iter()
+                .zip(&targets)
+                .map(|(p, t)| {
+                    let data: Vec<f64> = p
+                        .data()
+                        .iter()
+                        .zip(t)
+                        .map(|(&x, &target)| 2.0 * (x - target))
+                        .collect();
+                    DenseMatrix::from_vec(p.rows(), p.cols(), data).unwrap()
+                })
+                .collect();
+            adam.step(&mut params, &grads);
+        }
+        assert!((params[0].get(0, 0) - 1.0).abs() < 1e-2);
+        assert!((params[0].get(1, 0) - 2.0).abs() < 1e-2);
+        assert!((params[1].get(0, 0) + 1.0).abs() < 1e-2);
+        assert!((params[1].get(0, 1) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_step_moves_by_roughly_learning_rate() {
+        // With bias correction, the very first Adam update has magnitude ≈ lr.
+        let mut params = vec![DenseMatrix::from_vec(1, 1, vec![0.0]).unwrap()];
+        let mut adam = Adam::for_parameters(0.01, &params);
+        let grads = vec![DenseMatrix::from_vec(1, 1, vec![123.0]).unwrap()];
+        adam.step(&mut params, &grads);
+        assert!((params[0].get(0, 0).abs() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter")]
+    fn mismatched_gradient_count_panics() {
+        let mut params = vec![DenseMatrix::zeros(1, 1)];
+        let mut adam = Adam::for_parameters(0.01, &params);
+        adam.step(&mut params, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let mut params = vec![DenseMatrix::zeros(2, 2)];
+        let mut adam = Adam::for_parameters(0.01, &params);
+        let grads = vec![DenseMatrix::zeros(1, 1)];
+        adam.step(&mut params, &grads);
+    }
+}

@@ -1,0 +1,335 @@
+//! The shared-parameter GCN encoder.
+//!
+//! One encoder instance holds the weight matrices `W⁰ … W^{L-1}` that the
+//! paper shares between the source graph, the target graph and every orbit
+//! view.  A forward pass is parameterised by a *propagator* — the normalised
+//! orbit Laplacian `L̃_k` (Eq. 4–5), possibly wrapped by the reinforcement
+//! matrices of the fine-tuning stage (Eq. 14) — and the node attribute matrix:
+//!
+//! ```text
+//! H⁰ = X,   H^{l+1} = f_l(L̃ H^l W^l)
+//! ```
+//!
+//! The backward pass assumes the propagator is **symmetric** (all propagators
+//! in this workspace are: symmetric normalisation and the diagonal
+//! reinforcement wrapping both preserve symmetry), which avoids materialising
+//! its transpose.
+
+use crate::activation::Activation;
+use crate::init::xavier_uniform;
+use htc_linalg::{CsrMatrix, DenseMatrix, LinalgError};
+use rand::rngs::StdRng;
+
+/// Intermediate quantities of one forward pass, needed for backpropagation.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Propagated inputs `P_l = L̃ · H^{l-1}` for every layer.
+    propagated: Vec<DenseMatrix>,
+    /// Pre-activations `Z_l = P_l · W^l` for every layer.
+    pre_activations: Vec<DenseMatrix>,
+    /// Final output `H^L`.
+    output: DenseMatrix,
+}
+
+impl ForwardCache {
+    /// The final embedding of this forward pass.
+    pub fn output(&self) -> &DenseMatrix {
+        &self.output
+    }
+}
+
+/// A multi-layer GCN encoder with shared weights.
+#[derive(Debug, Clone)]
+pub struct GcnEncoder {
+    weights: Vec<DenseMatrix>,
+    activations: Vec<Activation>,
+}
+
+impl GcnEncoder {
+    /// Creates an encoder with layer dimensions `dims = [d_in, d_1, …, d_L]`
+    /// (so `dims.len() - 1` layers), Xavier-initialised weights and the same
+    /// activation on every layer.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dimensions are supplied.
+    pub fn new(dims: &[usize], activation: Activation, rng: &mut StdRng) -> Self {
+        assert!(
+            dims.len() >= 2,
+            "an encoder needs at least an input and an output dimension"
+        );
+        let weights: Vec<DenseMatrix> = dims
+            .windows(2)
+            .map(|w| xavier_uniform(w[0], w[1], rng))
+            .collect();
+        let activations = vec![activation; weights.len()];
+        Self {
+            weights,
+            activations,
+        }
+    }
+
+    /// Creates an encoder from explicit weights and per-layer activations.
+    ///
+    /// # Panics
+    /// Panics if the number of activations differs from the number of weight
+    /// matrices or if consecutive weight shapes are incompatible.
+    pub fn from_weights(weights: Vec<DenseMatrix>, activations: Vec<Activation>) -> Self {
+        assert_eq!(weights.len(), activations.len());
+        for pair in weights.windows(2) {
+            assert_eq!(
+                pair[0].cols(),
+                pair[1].rows(),
+                "consecutive layer dimensions must match"
+            );
+        }
+        Self {
+            weights,
+            activations,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input feature dimension expected by the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].rows()
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().expect("at least one layer").cols()
+    }
+
+    /// Immutable access to the weight matrices.
+    pub fn weights(&self) -> &[DenseMatrix] {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrices (used by the optimiser).
+    pub fn weights_mut(&mut self) -> &mut [DenseMatrix] {
+        &mut self.weights
+    }
+
+    /// Per-layer activations.
+    pub fn activations(&self) -> &[Activation] {
+        &self.activations
+    }
+
+    /// Plain forward pass returning the final embedding.
+    pub fn forward(
+        &self,
+        propagator: &CsrMatrix,
+        features: &DenseMatrix,
+    ) -> Result<DenseMatrix, LinalgError> {
+        Ok(self.forward_cached(propagator, features)?.output)
+    }
+
+    /// Forward pass that also records the intermediate quantities needed by
+    /// [`GcnEncoder::backward`].
+    pub fn forward_cached(
+        &self,
+        propagator: &CsrMatrix,
+        features: &DenseMatrix,
+    ) -> Result<ForwardCache, LinalgError> {
+        let mut propagated = Vec::with_capacity(self.num_layers());
+        let mut pre_activations = Vec::with_capacity(self.num_layers());
+        let mut h = features.clone();
+        for (w, act) in self.weights.iter().zip(&self.activations) {
+            let p = propagator.matmul_dense(&h)?;
+            let z = p.matmul(w)?;
+            h = act.apply(&z);
+            propagated.push(p);
+            pre_activations.push(z);
+        }
+        Ok(ForwardCache {
+            propagated,
+            pre_activations,
+            output: h,
+        })
+    }
+
+    /// Backpropagates `grad_output = ∂loss/∂H^L` through the cached forward
+    /// pass and returns `∂loss/∂W^l` for every layer.
+    ///
+    /// The propagator must be the same (symmetric) matrix used in the forward
+    /// pass.
+    pub fn backward(
+        &self,
+        propagator: &CsrMatrix,
+        cache: &ForwardCache,
+        grad_output: &DenseMatrix,
+    ) -> Result<Vec<DenseMatrix>, LinalgError> {
+        let layers = self.num_layers();
+        let mut grads: Vec<DenseMatrix> = self
+            .weights
+            .iter()
+            .map(|w| DenseMatrix::zeros(w.rows(), w.cols()))
+            .collect();
+        let mut grad_h = grad_output.clone();
+        for l in (0..layers).rev() {
+            // dZ_l = dH_l ∘ f'(Z_l)
+            let dz = grad_h.hadamard(&self.activations[l].derivative(&cache.pre_activations[l]))?;
+            // dW_l = P_lᵀ dZ_l
+            grads[l] = cache.propagated[l].transpose().matmul(&dz)?;
+            if l > 0 {
+                // dH_{l-1} = L̃ᵀ (dZ_l W_lᵀ); the propagator is symmetric so
+                // L̃ᵀ = L̃.
+                let dz_w = dz.matmul_transpose(&self.weights[l])?;
+                grad_h = propagator.matmul_dense(&dz_w)?;
+            }
+        }
+        Ok(grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::reconstruction_loss_and_grad;
+    use rand::SeedableRng;
+
+    fn toy_propagator() -> CsrMatrix {
+        // Symmetric normalised Laplacian-like matrix of a 4-node path.
+        let triplets = vec![
+            (0, 0, 0.5),
+            (0, 1, 0.4),
+            (1, 0, 0.4),
+            (1, 1, 0.3),
+            (1, 2, 0.35),
+            (2, 1, 0.35),
+            (2, 2, 0.3),
+            (2, 3, 0.4),
+            (3, 2, 0.4),
+            (3, 3, 0.5),
+        ];
+        CsrMatrix::from_triplets(4, 4, &triplets).unwrap()
+    }
+
+    fn toy_features() -> DenseMatrix {
+        DenseMatrix::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 0.2, -0.3, 0.5, -1.0, 0.8, 0.0, 0.7, 1.2, -0.4, 0.1, 0.6,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = GcnEncoder::new(&[3, 8, 4], Activation::Tanh, &mut rng);
+        assert_eq!(enc.num_layers(), 2);
+        assert_eq!(enc.input_dim(), 3);
+        assert_eq!(enc.output_dim(), 4);
+        let out = enc.forward(&toy_propagator(), &toy_features()).unwrap();
+        assert_eq!(out.shape(), (4, 4));
+        assert!(out.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output dimension")]
+    fn rejects_too_few_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = GcnEncoder::new(&[3], Activation::Tanh, &mut rng);
+    }
+
+    #[test]
+    fn forward_is_deterministic_given_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = GcnEncoder::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        let a = enc.forward(&toy_propagator(), &toy_features()).unwrap();
+        let b = enc.forward(&toy_propagator(), &toy_features()).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn shared_weights_map_identical_inputs_identically() {
+        // Proposition 1's mechanism: the same encoder applied to identical
+        // (propagator, features) pairs yields identical embeddings.
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = GcnEncoder::new(&[3, 6, 3], Activation::Tanh, &mut rng);
+        let h_source = enc.forward(&toy_propagator(), &toy_features()).unwrap();
+        let h_target = enc.forward(&toy_propagator(), &toy_features()).unwrap();
+        assert!(h_source.approx_eq(&h_target, 0.0));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut enc = GcnEncoder::new(&[3, 5, 3], Activation::Tanh, &mut rng);
+        let prop = toy_propagator();
+        let x = toy_features();
+        let target = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 0.8),
+                (0, 1, 0.2),
+                (1, 0, 0.2),
+                (1, 1, 0.6),
+                (2, 2, 0.9),
+                (2, 3, 0.1),
+                (3, 2, 0.1),
+                (3, 3, 0.7),
+            ],
+        )
+        .unwrap();
+
+        // Analytic gradient.
+        let cache = enc.forward_cached(&prop, &x).unwrap();
+        let (_, grad_h) = reconstruction_loss_and_grad(&target, cache.output());
+        let grads = enc.backward(&prop, &cache, &grad_h).unwrap();
+
+        // Finite differences on a handful of weight entries.
+        let eps = 1e-5;
+        for layer in 0..enc.num_layers() {
+            for &(r, c) in &[(0usize, 0usize), (1, 2), (2, 1)] {
+                if r >= enc.weights()[layer].rows() || c >= enc.weights()[layer].cols() {
+                    continue;
+                }
+                let original = enc.weights()[layer].get(r, c);
+                enc.weights_mut()[layer].set(r, c, original + eps);
+                let h_plus = enc.forward(&prop, &x).unwrap();
+                let (loss_plus, _) = reconstruction_loss_and_grad(&target, &h_plus);
+                enc.weights_mut()[layer].set(r, c, original - eps);
+                let h_minus = enc.forward(&prop, &x).unwrap();
+                let (loss_minus, _) = reconstruction_loss_and_grad(&target, &h_minus);
+                enc.weights_mut()[layer].set(r, c, original);
+                let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+                let analytic = grads[layer].get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-4 * (1.0 + analytic.abs()),
+                    "layer {layer} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_weights_validates_shapes() {
+        let w0 = DenseMatrix::zeros(3, 4);
+        let w1 = DenseMatrix::zeros(4, 2);
+        let enc = GcnEncoder::from_weights(vec![w0, w1], vec![Activation::Relu, Activation::Identity]);
+        assert_eq!(enc.output_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive layer dimensions must match")]
+    fn from_weights_rejects_mismatched_shapes() {
+        let w0 = DenseMatrix::zeros(3, 4);
+        let w1 = DenseMatrix::zeros(5, 2);
+        let _ = GcnEncoder::from_weights(vec![w0, w1], vec![Activation::Relu, Activation::Relu]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_feature_dim() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = GcnEncoder::new(&[5, 4], Activation::Tanh, &mut rng);
+        assert!(enc.forward(&toy_propagator(), &toy_features()).is_err());
+    }
+}

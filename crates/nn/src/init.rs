@@ -1,0 +1,71 @@
+//! Weight initialisation.
+
+use htc_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+///
+/// Implemented locally so the workspace does not need `rand_distr`.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` weight matrix.
+///
+/// Entries are drawn uniformly from `[-a, a]` with `a = sqrt(6 / (fan_in +
+/// fan_out))`, the standard choice for tanh networks and the one used by the
+/// GCN reference implementation the paper builds on.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> DenseMatrix {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let data: Vec<f64> = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-a..=a))
+        .collect();
+    DenseMatrix::from_vec(fan_in, fan_out, data).expect("dimensions match data length")
+}
+
+/// Gaussian initialisation with the given standard deviation.
+pub fn gaussian(rows: usize, cols: usize, std_dev: f64, rng: &mut StdRng) -> DenseMatrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| std_dev * standard_normal(rng))
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data).expect("dimensions match data length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(30, 50, &mut rng);
+        let bound = (6.0f64 / 80.0).sqrt();
+        assert_eq!(w.shape(), (30, 50));
+        assert!(w.data().iter().all(|v| v.abs() <= bound + 1e-12));
+        // Not all zero.
+        assert!(w.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = gaussian(100, 100, 0.5, &mut rng);
+        let mean = w.sum() / 10_000.0;
+        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

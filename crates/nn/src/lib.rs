@@ -1,0 +1,29 @@
+//! # htc-nn
+//!
+//! A minimal neural-network substrate replacing the PyTorch pieces of the HTC
+//! paper.  It provides exactly the operators the orbit-weighted graph
+//! auto-encoder needs:
+//!
+//! * [`activation`] — element-wise activations and their derivatives;
+//! * [`init`] — Xavier/Glorot weight initialisation (plus a Box–Muller normal
+//!   sampler so no external distribution crate is required);
+//! * [`encoder`] — the shared-parameter GCN encoder `H^{l+1} = f(L H^l W^l)`
+//!   with an explicit forward cache and hand-derived backward pass;
+//! * [`loss`] — the graph auto-encoder reconstruction loss
+//!   `‖L̃ − HHᵀ‖²_F` evaluated (value and gradient) without materialising the
+//!   `n × n` reconstruction;
+//! * [`adam`] — the Adam optimiser used to minimise the multi-orbit objective.
+//!
+//! The backward pass is verified against central finite differences in the
+//! test suites of [`encoder`] and [`loss`].
+
+pub mod activation;
+pub mod adam;
+pub mod encoder;
+pub mod init;
+pub mod loss;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use encoder::{ForwardCache, GcnEncoder};
+pub use loss::{reconstruction_loss, reconstruction_loss_and_grad};

@@ -1,0 +1,183 @@
+//! Graphlet orbit matrices (GOMs).
+//!
+//! For every orbit `k` the GOM `O_k` is an `n × n` symmetric sparse matrix
+//! whose `(i, j)` entry is the number of times edge `(i, j)` occurs on orbit
+//! `k` (Eq. 1 of the paper).  The paper primarily uses the *weighted* form;
+//! the *binary* form (1 whenever the count is positive) is also provided to
+//! support the corresponding ablation.
+
+use crate::counting::{count_edge_orbits, EdgeOrbitCounts};
+use crate::orbit::NUM_EDGE_ORBITS;
+use htc_graph::Graph;
+use htc_linalg::CsrMatrix;
+
+/// Whether GOM entries carry orbit frequencies or mere occurrence flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GomWeighting {
+    /// `O_k(i, j)` = number of occurrences of edge `(i, j)` on orbit `k`
+    /// (the form the paper uses throughout).
+    #[default]
+    Weighted,
+    /// `O_k(i, j)` = 1 if the edge occurs on orbit `k` at least once.
+    Binary,
+}
+
+/// The set of graphlet orbit matrices of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GomSet {
+    num_nodes: usize,
+    weighting: GomWeighting,
+    matrices: Vec<CsrMatrix>,
+}
+
+impl GomSet {
+    /// Builds the first `num_orbits` GOMs of `graph` (at most
+    /// [`NUM_EDGE_ORBITS`]).
+    pub fn build(graph: &Graph, num_orbits: usize, weighting: GomWeighting) -> Self {
+        let counts = count_edge_orbits(graph);
+        Self::from_counts(graph.num_nodes(), &counts, num_orbits, weighting)
+    }
+
+    /// Builds GOMs from pre-computed orbit counts (lets callers reuse a single
+    /// counting pass for several configurations).
+    pub fn from_counts(
+        num_nodes: usize,
+        counts: &EdgeOrbitCounts,
+        num_orbits: usize,
+        weighting: GomWeighting,
+    ) -> Self {
+        let k = num_orbits.clamp(1, NUM_EDGE_ORBITS);
+        let mut matrices = Vec::with_capacity(k);
+        for orbit in 0..k {
+            let mut triplets = Vec::new();
+            for (&(u, v), c) in counts.edges.iter().zip(&counts.edge_counts) {
+                let raw = c[orbit];
+                if raw == 0 {
+                    continue;
+                }
+                let value = match weighting {
+                    GomWeighting::Weighted => raw as f64,
+                    GomWeighting::Binary => 1.0,
+                };
+                triplets.push((u, v, value));
+                triplets.push((v, u, value));
+            }
+            matrices.push(
+                CsrMatrix::from_triplets(num_nodes, num_nodes, &triplets)
+                    .expect("edge indices come from a validated graph"),
+            );
+        }
+        Self {
+            num_nodes,
+            weighting,
+            matrices,
+        }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of orbit matrices stored.
+    pub fn num_orbits(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// The weighting mode used at construction.
+    pub fn weighting(&self) -> GomWeighting {
+        self.weighting
+    }
+
+    /// The orbit-`k` matrix.
+    pub fn orbit(&self, k: usize) -> &CsrMatrix {
+        &self.matrices[k]
+    }
+
+    /// Iterator over `(orbit index, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CsrMatrix)> {
+        self.matrices.iter().enumerate()
+    }
+
+    /// Number of non-zero entries per orbit (a sparsity profile; higher-order
+    /// orbits are increasingly sparse, which Fig. 10a of the paper relies on).
+    pub fn nnz_profile(&self) -> Vec<usize> {
+        self.matrices.iter().map(|m| m.nnz()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orbit::EdgeOrbit;
+    use htc_graph::generators::{erdos_renyi_gnm, seeded_rng};
+
+    #[test]
+    fn orbit0_matches_adjacency() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]).unwrap();
+        let goms = GomSet::build(&g, 13, GomWeighting::Weighted);
+        assert_eq!(goms.num_orbits(), 13);
+        let o0 = goms.orbit(0);
+        assert_eq!(o0.nnz(), 2 * g.num_edges());
+        for &(u, v) in g.edges() {
+            assert_eq!(o0.get(u, v), 1.0);
+            assert_eq!(o0.get(v, u), 1.0);
+        }
+    }
+
+    #[test]
+    fn matrices_are_symmetric() {
+        let mut rng = seeded_rng(3);
+        let g = erdos_renyi_gnm(20, 50, &mut rng);
+        let goms = GomSet::build(&g, 13, GomWeighting::Weighted);
+        for (_, m) in goms.iter() {
+            assert!(m.is_symmetric(0.0));
+        }
+    }
+
+    #[test]
+    fn weighted_counts_match_counter() {
+        let g = Graph::complete(4);
+        let goms = GomSet::build(&g, 13, GomWeighting::Weighted);
+        // Every edge of K4 sits in two triangles.
+        assert_eq!(goms.orbit(EdgeOrbit::TriangleEdge.index()).get(0, 1), 2.0);
+        // ... and one clique.
+        assert_eq!(goms.orbit(EdgeOrbit::CliqueEdge.index()).get(2, 3), 1.0);
+    }
+
+    #[test]
+    fn binary_weighting_clamps_to_one() {
+        let g = Graph::complete(4);
+        let goms = GomSet::build(&g, 13, GomWeighting::Binary);
+        assert_eq!(goms.orbit(EdgeOrbit::TriangleEdge.index()).get(0, 1), 1.0);
+        assert_eq!(goms.weighting(), GomWeighting::Binary);
+    }
+
+    #[test]
+    fn num_orbits_is_clamped() {
+        let g = Graph::path(4);
+        assert_eq!(GomSet::build(&g, 0, GomWeighting::Weighted).num_orbits(), 1);
+        assert_eq!(GomSet::build(&g, 50, GomWeighting::Weighted).num_orbits(), 13);
+        assert_eq!(GomSet::build(&g, 5, GomWeighting::Weighted).num_orbits(), 5);
+    }
+
+    #[test]
+    fn higher_order_orbits_are_sparser_on_sparse_graphs() {
+        let mut rng = seeded_rng(11);
+        let g = erdos_renyi_gnm(60, 90, &mut rng);
+        let goms = GomSet::build(&g, 13, GomWeighting::Weighted);
+        let profile = goms.nnz_profile();
+        // Orbit 0 is the densest view; the 4-clique orbit is the sparsest.
+        assert!(profile[0] >= *profile.last().unwrap());
+        assert_eq!(profile[0], 2 * g.num_edges());
+    }
+
+    #[test]
+    fn from_counts_reuses_counting_pass() {
+        let g = Graph::cycle(6);
+        let counts = count_edge_orbits(&g);
+        let a = GomSet::from_counts(6, &counts, 13, GomWeighting::Weighted);
+        let b = GomSet::build(&g, 13, GomWeighting::Weighted);
+        assert_eq!(a, b);
+    }
+}

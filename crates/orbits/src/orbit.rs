@@ -1,0 +1,409 @@
+//! The 2–4-node graphlet and edge-orbit taxonomy.
+//!
+//! Numbering follows Fig. 4 of the paper:
+//!
+//! | Graphlet | Description | Edge orbits |
+//! |---|---|---|
+//! | G0 | single edge | 0 |
+//! | G1 | two-edge chain (path on 3 nodes) | 1 |
+//! | G2 | triangle | 2 |
+//! | G3 | three-edge chain (path on 4 nodes) | 3 (end edges), 4 (bridge) |
+//! | G4 | star (claw) | 5 |
+//! | G5 | quadrangle (4-cycle) | 6 |
+//! | G6 | tailed triangle (paw) | 7 (pendant), 8 (triangle edges incident to the tailed node), 9 (triangle edge opposite the tail) |
+//! | G7 | diagonal quadrangle (diamond) | 10 (outer edges), 11 (diagonal/chord) |
+//! | G8 | clique on 4 nodes | 12 |
+
+/// Number of edge orbits defined on graphlets with 2–4 nodes.
+pub const NUM_EDGE_ORBITS: usize = 13;
+
+/// The nine connected graphlets on 2–4 nodes (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Graphlet {
+    /// G0 — a single edge.
+    Edge,
+    /// G1 — path on three nodes (two-edge chain).
+    TwoEdgeChain,
+    /// G2 — triangle.
+    Triangle,
+    /// G3 — path on four nodes (three-edge chain).
+    ThreeEdgeChain,
+    /// G4 — star with three leaves (claw).
+    Star,
+    /// G5 — cycle on four nodes (quadrangle).
+    Quadrangle,
+    /// G6 — triangle with a pendant edge (tailed triangle / paw).
+    TailedTriangle,
+    /// G7 — four-cycle with one diagonal (diamond).
+    DiagonalQuadrangle,
+    /// G8 — complete graph on four nodes.
+    Clique4,
+}
+
+impl Graphlet {
+    /// Number of nodes of the graphlet.
+    pub fn num_nodes(self) -> usize {
+        match self {
+            Graphlet::Edge => 2,
+            Graphlet::TwoEdgeChain | Graphlet::Triangle => 3,
+            _ => 4,
+        }
+    }
+
+    /// Number of edges of the graphlet.
+    pub fn num_edges(self) -> usize {
+        match self {
+            Graphlet::Edge => 1,
+            Graphlet::TwoEdgeChain => 2,
+            Graphlet::Triangle | Graphlet::ThreeEdgeChain | Graphlet::Star => 3,
+            Graphlet::Quadrangle | Graphlet::TailedTriangle => 4,
+            Graphlet::DiagonalQuadrangle => 5,
+            Graphlet::Clique4 => 6,
+        }
+    }
+
+    /// Edge orbits that appear in this graphlet, in ascending order.
+    pub fn edge_orbits(self) -> &'static [EdgeOrbit] {
+        use EdgeOrbit::*;
+        match self {
+            Graphlet::Edge => &[PlainEdge],
+            Graphlet::TwoEdgeChain => &[ChainEdge],
+            Graphlet::Triangle => &[TriangleEdge],
+            Graphlet::ThreeEdgeChain => &[PathEnd, PathBridge],
+            Graphlet::Star => &[StarEdge],
+            Graphlet::Quadrangle => &[CycleEdge],
+            Graphlet::TailedTriangle => &[PawPendant, PawIncident, PawOpposite],
+            Graphlet::DiagonalQuadrangle => &[DiamondOuter, DiamondChord],
+            Graphlet::Clique4 => &[CliqueEdge],
+        }
+    }
+}
+
+/// The thirteen edge orbits of 2–4-node graphlets.
+///
+/// The discriminant value of each variant is the orbit index used throughout
+/// the paper (and therefore throughout this workspace, e.g. as the index into
+/// a [`crate::gom::GomSet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum EdgeOrbit {
+    /// Orbit 0 — the edge of graphlet G0 (plain adjacency).
+    PlainEdge = 0,
+    /// Orbit 1 — either edge of the two-edge chain G1.
+    ChainEdge = 1,
+    /// Orbit 2 — any edge of the triangle G2.
+    TriangleEdge = 2,
+    /// Orbit 3 — an end edge of the three-edge chain G3.
+    PathEnd = 3,
+    /// Orbit 4 — the bridge (middle) edge of the three-edge chain G3.
+    PathBridge = 4,
+    /// Orbit 5 — any edge of the star G4.
+    StarEdge = 5,
+    /// Orbit 6 — any edge of the quadrangle G5.
+    CycleEdge = 6,
+    /// Orbit 7 — the pendant edge of the tailed triangle G6.
+    PawPendant = 7,
+    /// Orbit 8 — a triangle edge of G6 incident to the node carrying the tail.
+    PawIncident = 8,
+    /// Orbit 9 — the triangle edge of G6 opposite the tail.
+    PawOpposite = 9,
+    /// Orbit 10 — an outer (cycle) edge of the diamond G7.
+    DiamondOuter = 10,
+    /// Orbit 11 — the diagonal (chord) edge of the diamond G7.
+    DiamondChord = 11,
+    /// Orbit 12 — any edge of the 4-clique G8.
+    CliqueEdge = 12,
+}
+
+impl EdgeOrbit {
+    /// The orbit index (0–12).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All orbits in index order.
+    pub fn all() -> [EdgeOrbit; NUM_EDGE_ORBITS] {
+        use EdgeOrbit::*;
+        [
+            PlainEdge,
+            ChainEdge,
+            TriangleEdge,
+            PathEnd,
+            PathBridge,
+            StarEdge,
+            CycleEdge,
+            PawPendant,
+            PawIncident,
+            PawOpposite,
+            DiamondOuter,
+            DiamondChord,
+            CliqueEdge,
+        ]
+    }
+
+    /// Orbit from its index; `None` when out of range.
+    pub fn from_index(index: usize) -> Option<EdgeOrbit> {
+        Self::all().get(index).copied()
+    }
+
+    /// The graphlet this orbit belongs to.
+    pub fn graphlet(self) -> Graphlet {
+        use EdgeOrbit::*;
+        match self {
+            PlainEdge => Graphlet::Edge,
+            ChainEdge => Graphlet::TwoEdgeChain,
+            TriangleEdge => Graphlet::Triangle,
+            PathEnd | PathBridge => Graphlet::ThreeEdgeChain,
+            StarEdge => Graphlet::Star,
+            CycleEdge => Graphlet::Quadrangle,
+            PawPendant | PawIncident | PawOpposite => Graphlet::TailedTriangle,
+            DiamondOuter | DiamondChord => Graphlet::DiagonalQuadrangle,
+            CliqueEdge => Graphlet::Clique4,
+        }
+    }
+}
+
+/// Classifies the orbit of the edge `(0, 1)` within a connected induced
+/// subgraph on four nodes.
+///
+/// `adj[i][j]` is the adjacency of the induced subgraph; `adj[0][1]` must be
+/// `true`.  Returns `None` if the subgraph is not connected (such node sets do
+/// not form a graphlet and are skipped by the counters).
+pub fn classify_edge_in_four(adj: &[[bool; 4]; 4]) -> Option<EdgeOrbit> {
+    debug_assert!(adj[0][1], "classify_edge_in_four requires the (0,1) edge");
+    let mut deg = [0usize; 4];
+    let mut edges = 0usize;
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            if adj[i][j] {
+                deg[i] += 1;
+                deg[j] += 1;
+                edges += 1;
+            }
+        }
+    }
+    if !four_connected(adj) {
+        return None;
+    }
+    let (du, dv) = (deg[0], deg[1]);
+    Some(match edges {
+        3 => {
+            // Tree on 4 nodes: star (one node of degree 3) or path.
+            if deg.contains(&3) {
+                EdgeOrbit::StarEdge
+            } else if du == 2 && dv == 2 {
+                EdgeOrbit::PathBridge
+            } else {
+                EdgeOrbit::PathEnd
+            }
+        }
+        4 => {
+            // 4 nodes, 4 edges: quadrangle (all degree 2) or tailed triangle.
+            if deg.iter().all(|&d| d == 2) {
+                EdgeOrbit::CycleEdge
+            } else if du == 1 || dv == 1 {
+                EdgeOrbit::PawPendant
+            } else if du == 3 || dv == 3 {
+                EdgeOrbit::PawIncident
+            } else {
+                EdgeOrbit::PawOpposite
+            }
+        }
+        5 => {
+            // Diamond: the chord joins the two degree-3 nodes.
+            if du == 3 && dv == 3 {
+                EdgeOrbit::DiamondChord
+            } else {
+                EdgeOrbit::DiamondOuter
+            }
+        }
+        6 => EdgeOrbit::CliqueEdge,
+        _ => return None, // fewer than 3 edges cannot connect 4 nodes
+    })
+}
+
+/// Classifies a connected induced subgraph on four nodes into its graphlet
+/// type, or `None` when disconnected.
+pub fn classify_four_graphlet(adj: &[[bool; 4]; 4]) -> Option<Graphlet> {
+    if !four_connected(adj) {
+        return None;
+    }
+    let mut deg = [0usize; 4];
+    let mut edges = 0usize;
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            if adj[i][j] {
+                deg[i] += 1;
+                deg[j] += 1;
+                edges += 1;
+            }
+        }
+    }
+    Some(match edges {
+        3 => {
+            if deg.contains(&3) {
+                Graphlet::Star
+            } else {
+                Graphlet::ThreeEdgeChain
+            }
+        }
+        4 => {
+            if deg.iter().all(|&d| d == 2) {
+                Graphlet::Quadrangle
+            } else {
+                Graphlet::TailedTriangle
+            }
+        }
+        5 => Graphlet::DiagonalQuadrangle,
+        6 => Graphlet::Clique4,
+        _ => return None,
+    })
+}
+
+fn four_connected(adj: &[[bool; 4]; 4]) -> bool {
+    let mut seen = [false; 4];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..4 {
+            if i != j && adj[i][j] && !seen[j] {
+                seen[j] = true;
+                count += 1;
+                stack.push(j);
+            }
+        }
+    }
+    count == 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_from_edges(edges: &[(usize, usize)]) -> [[bool; 4]; 4] {
+        let mut adj = [[false; 4]; 4];
+        for &(a, b) in edges {
+            adj[a][b] = true;
+            adj[b][a] = true;
+        }
+        adj
+    }
+
+    #[test]
+    fn orbit_indices_are_stable() {
+        for (i, orbit) in EdgeOrbit::all().iter().enumerate() {
+            assert_eq!(orbit.index(), i);
+            assert_eq!(EdgeOrbit::from_index(i), Some(*orbit));
+        }
+        assert_eq!(EdgeOrbit::from_index(13), None);
+    }
+
+    #[test]
+    fn orbit_graphlet_membership_consistent() {
+        for orbit in EdgeOrbit::all() {
+            assert!(orbit.graphlet().edge_orbits().contains(&orbit));
+        }
+    }
+
+    #[test]
+    fn graphlet_counts() {
+        assert_eq!(Graphlet::Edge.num_nodes(), 2);
+        assert_eq!(Graphlet::Triangle.num_nodes(), 3);
+        assert_eq!(Graphlet::Clique4.num_nodes(), 4);
+        assert_eq!(Graphlet::Clique4.num_edges(), 6);
+        assert_eq!(Graphlet::DiagonalQuadrangle.num_edges(), 5);
+        assert_eq!(Graphlet::TailedTriangle.edge_orbits().len(), 3);
+        // 13 orbits in total across all graphlets.
+        let total: usize = [
+            Graphlet::Edge,
+            Graphlet::TwoEdgeChain,
+            Graphlet::Triangle,
+            Graphlet::ThreeEdgeChain,
+            Graphlet::Star,
+            Graphlet::Quadrangle,
+            Graphlet::TailedTriangle,
+            Graphlet::DiagonalQuadrangle,
+            Graphlet::Clique4,
+        ]
+        .iter()
+        .map(|g| g.edge_orbits().len())
+        .sum();
+        assert_eq!(total, NUM_EDGE_ORBITS);
+    }
+
+    #[test]
+    fn classify_path_edges() {
+        // Path 2-0-1-3: (0,1) is the bridge.
+        let adj = adj_from_edges(&[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::PathBridge));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::ThreeEdgeChain));
+        // Path 0-1-2-3: (0,1) is an end edge.
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::PathEnd));
+    }
+
+    #[test]
+    fn classify_star_edges() {
+        // Star centred at 0.
+        let adj = adj_from_edges(&[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::StarEdge));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::Star));
+        // Star centred at 1 — (0,1) is still a star edge.
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::StarEdge));
+    }
+
+    #[test]
+    fn classify_cycle_edge() {
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::CycleEdge));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::Quadrangle));
+    }
+
+    #[test]
+    fn classify_paw_edges() {
+        // Triangle 0-1-2 with tail 3 attached to 2: (0,1) is opposite the tail.
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::PawOpposite));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::TailedTriangle));
+        // Triangle 0-1-2 with tail 3 attached to 0: (0,1) touches the tailed node.
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::PawIncident));
+        // Pendant edge: (0,1) where 0 has degree 1.
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::PawPendant));
+    }
+
+    #[test]
+    fn classify_diamond_edges() {
+        // Diamond: 4-cycle 0-2-1-3 with chord (0,1).
+        let adj = adj_from_edges(&[(0, 2), (2, 1), (1, 3), (3, 0), (0, 1)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::DiamondChord));
+        // Same diamond but classify an outer edge by putting it at (0,1):
+        // chord (2,3), outer edges (0,2),(0,3),(1,2),(1,3) plus (0,1)? That
+        // would be 6 edges; instead build diamond with chord (1,2).
+        let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::DiamondOuter));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::DiagonalQuadrangle));
+    }
+
+    #[test]
+    fn classify_clique_edge() {
+        let adj = adj_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::CliqueEdge));
+        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::Clique4));
+    }
+
+    #[test]
+    fn disconnected_subgraphs_are_rejected() {
+        // Edge (0,1) plus edge (2,3): disconnected.
+        let adj = adj_from_edges(&[(0, 1), (2, 3)]);
+        assert_eq!(classify_edge_in_four(&adj), None);
+        assert_eq!(classify_four_graphlet(&adj), None);
+        // Edge (0,1) plus isolated nodes.
+        let adj = adj_from_edges(&[(0, 1)]);
+        assert_eq!(classify_edge_in_four(&adj), None);
+    }
+}

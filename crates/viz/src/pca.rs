@@ -1,0 +1,146 @@
+//! Principal component analysis by power iteration with deflation.
+
+use htc_linalg::DenseMatrix;
+
+/// Projects the rows of `data` onto their top `components` principal
+/// components.
+///
+/// The covariance matrix is never materialised for tall inputs; instead the
+/// power iteration works on the `d × d` Gram matrix of the centred data,
+/// which matches the sizes used in this workspace (`d ≤ a few hundred`).
+pub fn pca_project(data: &DenseMatrix, components: usize) -> DenseMatrix {
+    let (n, d) = data.shape();
+    if n == 0 || d == 0 || components == 0 {
+        return DenseMatrix::zeros(n, components);
+    }
+    // Centre the columns.
+    let mut centered = data.clone();
+    for c in 0..d {
+        let mean: f64 = (0..n).map(|r| data.get(r, c)).sum::<f64>() / n as f64;
+        for r in 0..n {
+            centered.add_at(r, c, -mean);
+        }
+    }
+    // d × d covariance (up to the 1/(n-1) factor, irrelevant for directions).
+    let mut cov = centered.gram();
+    let k = components.min(d);
+    let mut projection = DenseMatrix::zeros(d, k);
+    for comp in 0..k {
+        let direction = dominant_eigenvector(&cov, 200);
+        let eigenvalue = rayleigh_quotient(&cov, &direction);
+        for (r, &v) in direction.iter().enumerate() {
+            projection.set(r, comp, v);
+        }
+        // Deflate: cov ← cov − λ v vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                cov.add_at(i, j, -eigenvalue * direction[i] * direction[j]);
+            }
+        }
+    }
+    let mut out = centered
+        .matmul(&projection)
+        .expect("projection has d rows by construction");
+    if k < components {
+        out = pad_columns(&out, components);
+    }
+    out
+}
+
+fn dominant_eigenvector(matrix: &DenseMatrix, iterations: usize) -> Vec<f64> {
+    let d = matrix.rows();
+    // Deterministic start vector that is unlikely to be orthogonal to the
+    // dominant eigenvector.
+    let mut v: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+    normalize(&mut v);
+    for _ in 0..iterations {
+        let mut next = vec![0.0; d];
+        for i in 0..d {
+            let row = matrix.row(i);
+            next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        if normalize(&mut next) < 1e-14 {
+            return v;
+        }
+        v = next;
+    }
+    v
+}
+
+fn rayleigh_quotient(matrix: &DenseMatrix, v: &[f64]) -> f64 {
+    let d = matrix.rows();
+    let mut mv = vec![0.0; d];
+    for i in 0..d {
+        mv[i] = matrix.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+    }
+    v.iter().zip(&mv).map(|(a, b)| a * b).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-14 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+fn pad_columns(m: &DenseMatrix, cols: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(m.rows(), cols);
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            out.set(r, c, m.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along the (1, 1) diagonal with small orthogonal noise.
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            rows.push(vec![t + noise, t - noise]);
+        }
+        let data = DenseMatrix::from_rows(&rows).unwrap();
+        let projected = pca_project(&data, 1);
+        assert_eq!(projected.shape(), (50, 1));
+        // Variance captured by PC1 should dominate the (centred) variance of
+        // either raw coordinate, since the points lie along the diagonal.
+        let var_pc1: f64 = projected.column(0).iter().map(|v| v * v).sum();
+        let col = data.column(0);
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        let var_x: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum();
+        assert!(var_pc1 > 1.5 * var_x, "pc1 {var_pc1} vs x {var_x}");
+    }
+
+    #[test]
+    fn output_shape_is_n_by_k() {
+        let data = DenseMatrix::filled(10, 4, 1.0);
+        let p = pca_project(&data, 2);
+        assert_eq!(p.shape(), (10, 2));
+        // Constant data centres to zero.
+        assert!(p.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_components_than_dims_are_padded() {
+        let data = DenseMatrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let p = pca_project(&data, 3);
+        assert_eq!(p.shape(), (3, 3));
+        assert_eq!(p.column(2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pca_project(&DenseMatrix::zeros(0, 3), 2).shape(), (0, 2));
+        assert_eq!(pca_project(&DenseMatrix::zeros(4, 2), 0).shape(), (4, 0));
+    }
+}

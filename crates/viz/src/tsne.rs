@@ -1,0 +1,290 @@
+//! Exact t-SNE (van der Maaten & Hinton, JMLR 2008).
+//!
+//! The paper uses t-SNE to visualise anchor-node embeddings before and after
+//! alignment (Fig. 11).  This is the exact O(n²) formulation — entirely
+//! adequate for the few hundred sampled nodes the figure uses — with the
+//! standard tricks: per-point bandwidths found by binary search on the target
+//! perplexity, early exaggeration, momentum gradient descent, and PCA
+//! initialisation for determinism.
+
+use crate::pca::pca_project;
+use htc_linalg::DenseMatrix;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub early_exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            early_exaggeration: 4.0,
+        }
+    }
+}
+
+/// Embeds the rows of `data` into 2-D with t-SNE, returning an `n × 2` matrix.
+pub fn tsne(data: &DenseMatrix, config: &TsneConfig) -> DenseMatrix {
+    let n = data.rows();
+    if n == 0 {
+        return DenseMatrix::zeros(0, 2);
+    }
+    if n == 1 {
+        return DenseMatrix::zeros(1, 2);
+    }
+    let p = joint_probabilities(data, config.perplexity);
+
+    // PCA initialisation, scaled down as is conventional.
+    let mut y = pca_project(data, 2).scale(1e-2);
+    let mut velocity = DenseMatrix::zeros(n, 2);
+
+    let exaggeration_end = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < exaggeration_end {
+            config.early_exaggeration
+        } else {
+            1.0
+        };
+        let (q, num) = low_dim_affinities(&y);
+        // Gradient: 4 Σ_j (p_ij·ex − q_ij) num_ij (y_i − y_j).
+        let mut grad = DenseMatrix::zeros(n, 2);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let coeff = 4.0 * (exaggeration * p.get(i, j) - q.get(i, j)) * num.get(i, j);
+                for d in 0..2 {
+                    grad.add_at(i, d, coeff * (y.get(i, d) - y.get(j, d)));
+                }
+            }
+        }
+        for i in 0..n {
+            for d in 0..2 {
+                let v = config.momentum * velocity.get(i, d) - config.learning_rate * grad.get(i, d);
+                velocity.set(i, d, v);
+                y.add_at(i, d, v);
+            }
+        }
+        // Re-centre to keep the embedding bounded.
+        for d in 0..2 {
+            let mean: f64 = (0..n).map(|i| y.get(i, d)).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y.add_at(i, d, -mean);
+            }
+        }
+    }
+    y
+}
+
+/// Symmetrised high-dimensional joint probabilities with per-point bandwidth
+/// chosen by binary search on the perplexity.
+fn joint_probabilities(data: &DenseMatrix, perplexity: f64) -> DenseMatrix {
+    let n = data.rows();
+    let target_entropy = perplexity.max(2.0).ln();
+    // Pairwise squared distances.
+    let mut dist = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = data
+                .row(i)
+                .iter()
+                .zip(data.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            dist.set(i, j, d);
+            dist.set(j, i, d);
+        }
+    }
+    let mut p = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        let (mut beta, mut beta_min, mut beta_max) = (1.0_f64, 0.0_f64, f64::INFINITY);
+        let mut row = vec![0.0; n];
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                row[j] = if i == j { 0.0 } else { (-beta * dist.get(i, j)).exp() };
+                sum += row[j];
+            }
+            if sum < 1e-300 {
+                sum = 1e-300;
+            }
+            let mut entropy = 0.0;
+            for &v in &row {
+                let q = v / sum;
+                if q > 1e-12 {
+                    entropy -= q * q.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = (beta + beta_min) / 2.0;
+            }
+        }
+        let sum: f64 = row.iter().sum::<f64>().max(1e-300);
+        for j in 0..n {
+            p.set(i, j, row[j] / sum);
+        }
+    }
+    // Symmetrise and normalise.
+    let mut joint = DenseMatrix::zeros(n, n);
+    let norm = 2.0 * n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            let v = ((p.get(i, j) + p.get(j, i)) / norm).max(1e-12);
+            if i != j {
+                joint.set(i, j, v);
+            }
+        }
+    }
+    joint
+}
+
+/// Student-t low-dimensional affinities `q_ij` and the unnormalised kernel.
+fn low_dim_affinities(y: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+    let n = y.rows();
+    let mut num = DenseMatrix::zeros(n, n);
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = y
+                .row(i)
+                .iter()
+                .zip(y.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let k = 1.0 / (1.0 + d);
+            num.set(i, j, k);
+            num.set(j, i, k);
+            total += 2.0 * k;
+        }
+    }
+    let total = total.max(1e-300);
+    let q = num.map(|v| (v / total).max(1e-12));
+    (q, num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs should stay separated in 2-D.
+    #[test]
+    fn preserves_cluster_structure() {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 7) as f64 * 0.01;
+            rows.push(vec![0.0 + jitter, 0.0, jitter]);
+        }
+        for i in 0..30 {
+            let jitter = (i % 7) as f64 * 0.01;
+            rows.push(vec![10.0 + jitter, 10.0, jitter]);
+        }
+        let data = DenseMatrix::from_rows(&rows).unwrap();
+        let config = TsneConfig {
+            iterations: 250,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, &config);
+        assert_eq!(y.shape(), (60, 2));
+        // Mean intra-cluster distance must be much smaller than the
+        // inter-cluster centroid distance.
+        let centroid = |range: std::ops::Range<usize>| -> (f64, f64) {
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            for i in range.clone() {
+                cx += y.get(i, 0);
+                cy += y.get(i, 1);
+            }
+            (cx / range.len() as f64, cy / range.len() as f64)
+        };
+        let (ax, ay) = centroid(0..30);
+        let (bx, by) = centroid(30..60);
+        let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let mut within = 0.0;
+        for i in 0..30 {
+            within += ((y.get(i, 0) - ax).powi(2) + (y.get(i, 1) - ay).powi(2)).sqrt();
+        }
+        within /= 30.0;
+        assert!(
+            between > 2.0 * within,
+            "between {between} should exceed twice within {within}"
+        );
+    }
+
+    #[test]
+    fn joint_probabilities_are_a_distribution() {
+        let data = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ])
+        .unwrap();
+        let p = joint_probabilities(&data, 2.0);
+        let total = p.sum();
+        assert!((total - 1.0).abs() < 0.05, "total {total}");
+        for i in 0..4 {
+            assert_eq!(p.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn output_is_centred() {
+        let data = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![4.0, 4.0],
+            vec![2.0, 3.0],
+        ])
+        .unwrap();
+        let y = tsne(&data, &TsneConfig { iterations: 50, ..TsneConfig::default() });
+        for d in 0..2 {
+            let mean: f64 = (0..5).map(|i| y.get(i, d)).sum::<f64>() / 5.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(tsne(&DenseMatrix::zeros(0, 3), &TsneConfig::default()).shape(), (0, 2));
+        assert_eq!(tsne(&DenseMatrix::zeros(1, 3), &TsneConfig::default()).shape(), (1, 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = DenseMatrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 2.0],
+            vec![3.0, 0.5],
+        ])
+        .unwrap();
+        let cfg = TsneConfig { iterations: 40, ..TsneConfig::default() };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

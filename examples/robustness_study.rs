@@ -1,0 +1,50 @@
+//! Robustness of higher-order consistency to structural noise.
+//!
+//! ```text
+//! cargo run --example robustness_study --release
+//! ```
+//!
+//! This example reproduces the *mechanism* behind Fig. 9 at example scale: it
+//! takes the Econ analogue, removes an increasing fraction of edges from the
+//! target network and reports how the precision of the full HTC compares with
+//! the low-order variant (HTC-L) as noise grows.  The multi-orbit-aware
+//! encoder degrades more gracefully because missing edges remove some orbit
+//! views of an edge but rarely all of them.
+
+use htc::core::{HtcAligner, HtcConfig, HtcVariant};
+use htc::datasets::{generate_pair, SyntheticPairConfig, Scale};
+use htc::metrics::precision_at_q;
+
+fn main() {
+    let mut base = HtcConfig::fast();
+    base.epochs = 40;
+    base.topology = htc::core::TopologyMode::Orbits {
+        num_orbits: 9,
+        weighting: htc::orbits::GomWeighting::Weighted,
+    };
+
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "edge removal", "HTC p@1", "HTC-L p@1"
+    );
+    for ratio in [0.1, 0.3, 0.5] {
+        // A reduced Econ-like pair keeps the example quick.
+        let config = SyntheticPairConfig {
+            num_nodes: 250,
+            ..SyntheticPairConfig::econ(Scale::Small, ratio)
+        };
+        let pair = generate_pair(&config);
+
+        let full = HtcAligner::new(HtcVariant::Full.configure(&base))
+            .align(&pair.source, &pair.target)
+            .expect("valid inputs");
+        let low = HtcAligner::new(HtcVariant::LowOrder.configure(&base))
+            .align(&pair.source, &pair.target)
+            .expect("valid inputs");
+
+        let p_full = precision_at_q(full.alignment(), &pair.ground_truth, 1);
+        let p_low = precision_at_q(low.alignment(), &pair.ground_truth, 1);
+        println!("{:<16.1} {:>12.4} {:>12.4}", ratio, p_full, p_low);
+    }
+    println!("\nHigher-order consistency keeps more signal as structural noise grows.");
+}

@@ -1,0 +1,178 @@
+//! `htc-align` — command-line network alignment.
+//!
+//! Aligns two attributed networks stored in the workspace's plain-text format
+//! (see `htc::graph::io`) and writes the predicted anchor pairs to stdout (or
+//! a file).  This is the "I just want to align my two edge lists" entry point
+//! of the library.
+//!
+//! ```text
+//! htc-align --source data/source --target data/target \
+//!           [--output anchors.tsv] [--preset fast|small|paper] \
+//!           [--orbits K] [--one-to-one] [--seed N]
+//! ```
+//!
+//! `--source`/`--target` are path *stems*: `<stem>.edges` must contain the
+//! edge list and `<stem>.attrs` the attribute matrix (one row per node).
+
+use htc::core::matching::greedy_matching;
+use htc::core::{HtcAligner, HtcConfig};
+use htc::graph::io::read_network;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct CliArgs {
+    source: PathBuf,
+    target: PathBuf,
+    output: Option<PathBuf>,
+    preset: String,
+    orbits: Option<usize>,
+    one_to_one: bool,
+    seed: Option<u64>,
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: htc-align --source <stem> --target <stem> [--output <file>] \
+         [--preset fast|small|paper] [--orbits K] [--one-to-one] [--seed N]"
+    );
+}
+
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<CliArgs, String> {
+    let mut source = None;
+    let mut target = None;
+    let mut output = None;
+    let mut preset = "small".to_string();
+    let mut orbits = None;
+    let mut one_to_one = false;
+    let mut seed = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--source" => source = args.next().map(PathBuf::from),
+            "--target" => target = args.next().map(PathBuf::from),
+            "--output" => output = args.next().map(PathBuf::from),
+            "--preset" => preset = args.next().ok_or("--preset needs a value")?,
+            "--orbits" => {
+                orbits = Some(
+                    args.next()
+                        .ok_or("--orbits needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --orbits value: {e}"))?,
+                )
+            }
+            "--one-to-one" => one_to_one = true,
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .ok_or("--seed needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --seed value: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(CliArgs {
+        source: source.ok_or("--source is required")?,
+        target: target.ok_or("--target is required")?,
+        output,
+        preset,
+        orbits,
+        one_to_one,
+        seed,
+    })
+}
+
+fn config_from(args: &CliArgs) -> Result<HtcConfig, String> {
+    let mut config = match args.preset.as_str() {
+        "fast" => HtcConfig::fast(),
+        "small" => HtcConfig::small(),
+        "paper" => HtcConfig::paper(),
+        other => return Err(format!("unknown preset {other:?} (expected fast|small|paper)")),
+    };
+    if let Some(k) = args.orbits {
+        config = config.with_num_orbits(k);
+    }
+    if let Some(seed) = args.seed {
+        config = config.with_seed(seed);
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_cli(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+    let config = match config_from(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match read_network(&args.source) {
+        Ok(network) => network,
+        Err(e) => {
+            eprintln!("error: failed to read source network {:?}: {e}", args.source);
+            return ExitCode::FAILURE;
+        }
+    };
+    let target = match read_network(&args.target) {
+        Ok(network) => network,
+        Err(e) => {
+            eprintln!("error: failed to read target network {:?}: {e}", args.target);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "aligning {} nodes / {} edges against {} nodes / {} edges ({} preset, {} orbit views)",
+        source.num_nodes(),
+        source.num_edges(),
+        target.num_nodes(),
+        target.num_edges(),
+        args.preset,
+        config.num_views()
+    );
+
+    let result = match HtcAligner::new(config).align(&source, &target) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: alignment failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = String::from("source\ttarget\tscore\n");
+    if args.one_to_one {
+        let matching = greedy_matching(result.alignment());
+        for (s, t) in matching.pairs() {
+            lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.alignment().get(s, t)));
+        }
+    } else {
+        for (s, &t) in result.predicted_anchors().iter().enumerate() {
+            lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.alignment().get(s, t)));
+        }
+    }
+
+    match &args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &lines) {
+                eprintln!("error: failed to write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} predicted anchors to {path:?}", lines.lines().count() - 1);
+        }
+        None => print!("{lines}"),
+    }
+    eprintln!("\nruntime decomposition:\n{}", result.timer().render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! # htc
+//!
+//! Facade crate for the HTC reproduction: **"Towards Higher-order Topological
+//! Consistency for Unsupervised Network Alignment"** (ICDE 2023).
+//!
+//! The implementation lives in the workspace crates; this crate re-exports
+//! them under stable module names so downstream users (and the examples and
+//! integration tests in this repository) can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate ([`htc_graph`])
+//! * [`linalg`] — dense/sparse linear algebra ([`htc_linalg`])
+//! * [`orbits`] — edge-orbit counting and GOM construction ([`htc_orbits`])
+//! * [`nn`] — GCN auto-encoder substrate ([`htc_nn`])
+//! * [`core`] — the HTC alignment pipeline ([`htc_core`])
+//! * [`baselines`] — comparison methods ([`htc_baselines`])
+//! * [`datasets`] — synthetic evaluation datasets ([`htc_datasets`])
+//! * [`metrics`] — precision@q / MRR and timers ([`htc_metrics`])
+//! * [`viz`] — t-SNE / PCA for embedding figures ([`htc_viz`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use htc::datasets::{SyntheticPairConfig, generate_pair};
+//! use htc::core::{HtcConfig, HtcAligner};
+//! use htc::metrics::AlignmentReport;
+//!
+//! // Generate a small source/target pair with known ground truth.
+//! let pair = generate_pair(&SyntheticPairConfig::tiny(7));
+//! // Align it with HTC (reduced settings keep the doctest fast).
+//! let config = HtcConfig::fast();
+//! let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+//! let report = AlignmentReport::evaluate(result.alignment(), &pair.ground_truth, &[1, 10]);
+//! assert!(report.precision(1).unwrap() >= 0.0);
+//! ```
+
+pub use htc_baselines as baselines;
+pub use htc_core as core;
+pub use htc_datasets as datasets;
+pub use htc_graph as graph;
+pub use htc_linalg as linalg;
+pub use htc_metrics as metrics;
+pub use htc_nn as nn;
+pub use htc_orbits as orbits;
+pub use htc_viz as viz;

@@ -1,0 +1,92 @@
+//! Integration tests for the ablation variants: the orderings the paper's
+//! Table III relies on should hold qualitatively on structured synthetic
+//! pairs.
+
+use htc::core::{HtcAligner, HtcConfig, HtcVariant};
+use htc::datasets::{generate_pair, DatasetPair, SyntheticPairConfig};
+use htc::metrics::{mrr, precision_at_q};
+
+fn structured_pair() -> DatasetPair {
+    // A community-structured pair where attributes alone cannot disambiguate
+    // nodes inside a community, so topology (and its order) matters.
+    generate_pair(&SyntheticPairConfig {
+        name: "ablation-pair".into(),
+        num_nodes: 120,
+        model: htc::datasets::GraphModel::PlantedPartition {
+            communities: 6,
+            p_in: 0.4,
+            p_out: 0.01,
+        },
+        attr_dim: 8,
+        edge_removal: 0.1,
+        attr_flip: 0.02,
+        extra_target_nodes: 0,
+        anchor_fraction: 1.0,
+        seed: 99,
+    })
+}
+
+fn run_variant(pair: &DatasetPair, variant: HtcVariant) -> (f64, f64) {
+    let mut base = HtcConfig::fast();
+    base.epochs = 40;
+    base.topology = htc::core::TopologyMode::Orbits {
+        num_orbits: 9,
+        weighting: htc::orbits::GomWeighting::Weighted,
+    };
+    let result = HtcAligner::new(variant.configure(&base))
+        .align(&pair.source, &pair.target)
+        .unwrap();
+    (
+        precision_at_q(result.alignment(), &pair.ground_truth, 1),
+        mrr(result.alignment(), &pair.ground_truth),
+    )
+}
+
+/// The full method should not lose to the low-order, no-fine-tuning variant —
+/// the central claim of the ablation study.
+#[test]
+fn full_htc_beats_low_order_variant() {
+    let pair = structured_pair();
+    let (p_full, mrr_full) = run_variant(&pair, HtcVariant::Full);
+    let (p_low, mrr_low) = run_variant(&pair, HtcVariant::LowOrder);
+    assert!(
+        p_full >= p_low,
+        "full HTC p@1 {p_full} should be at least HTC-L {p_low}"
+    );
+    assert!(
+        mrr_full >= mrr_low * 0.95,
+        "full HTC MRR {mrr_full} should not trail HTC-L {mrr_low}"
+    );
+}
+
+/// Higher-order topology without fine-tuning should already improve on the
+/// plain low-order variant (HTC-H vs HTC-L in the paper).
+#[test]
+fn higher_order_topology_helps_without_finetuning() {
+    let pair = structured_pair();
+    let (p_high, _) = run_variant(&pair, HtcVariant::HighOrder);
+    let (p_low, _) = run_variant(&pair, HtcVariant::LowOrder);
+    assert!(
+        p_high >= p_low * 0.9,
+        "HTC-H p@1 {p_high} collapsed relative to HTC-L {p_low}"
+    );
+}
+
+/// All five ablation variants must at least run and produce valid scores on
+/// the same pair.
+#[test]
+fn all_variants_produce_valid_alignments() {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(30));
+    let base = HtcConfig::fast();
+    for variant in HtcVariant::all() {
+        let result = HtcAligner::new(variant.configure(&base))
+            .align(&pair.source, &pair.target)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", variant.name()));
+        assert_eq!(result.alignment().shape(), (30, 30), "{}", variant.name());
+        assert!(
+            result.alignment().data().iter().all(|v| v.is_finite()),
+            "{} produced non-finite scores",
+            variant.name()
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration tests exercising the facade crate's re-exports and the
+//! interplay of the substrate crates (graph → orbits → Laplacian → encoder →
+//! viz) without going through the full pipeline.
+
+use htc::core::laplacian::{orbit_laplacian, orbit_laplacians};
+use htc::graph::generators::{planted_partition, seeded_rng};
+use htc::graph::perturb::{permute_graph, GroundTruth};
+use htc::graph::Graph;
+use htc::linalg::DenseMatrix;
+use htc::nn::{Activation, GcnEncoder};
+use htc::orbits::{count_edge_orbits, EdgeOrbit, GomSet, GomWeighting};
+use htc::viz::pca_project;
+use rand::SeedableRng;
+
+/// Orbit counting is invariant under node relabelling: permuting the graph
+/// permutes the counts but never changes the multiset of per-edge vectors.
+#[test]
+fn orbit_counts_are_permutation_invariant() {
+    let mut rng = seeded_rng(5);
+    let (graph, _) = planted_partition(40, 4, 0.3, 0.02, &mut rng);
+    let perm: Vec<usize> = {
+        use htc::graph::generators::random_permutation;
+        random_permutation(40, &mut rng)
+    };
+    let permuted = permute_graph(&graph, &perm);
+
+    let counts = count_edge_orbits(&graph);
+    let counts_permuted = count_edge_orbits(&permuted);
+    for (&(u, v), vec) in counts.edges.iter().zip(&counts.edge_counts) {
+        let mapped = counts_permuted.counts_for(perm[u], perm[v]).unwrap();
+        assert_eq!(vec, mapped, "edge ({u},{v})");
+    }
+}
+
+/// The whole GOM → Laplacian → shared-encoder chain transforms consistency
+/// into identical embeddings (Proposition 1 in vitro): encoding a graph and
+/// its relabelled copy with shared weights yields embeddings that match up to
+/// the permutation.
+#[test]
+fn shared_encoder_is_equivariant_under_relabelling() {
+    let mut rng = seeded_rng(9);
+    let (graph, communities) = planted_partition(30, 3, 0.35, 0.02, &mut rng);
+    let perm: Vec<usize> = {
+        use htc::graph::generators::random_permutation;
+        random_permutation(30, &mut rng)
+    };
+    let permuted = permute_graph(&graph, &perm);
+
+    // Attributes follow the community id; permuted copy gets permuted rows.
+    let attrs = DenseMatrix::from_rows(
+        &communities
+            .iter()
+            .map(|&c| vec![c as f64, 1.0 - c as f64 * 0.5])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let mut permuted_attrs = DenseMatrix::zeros(30, 2);
+    for u in 0..30 {
+        permuted_attrs.row_mut(perm[u]).copy_from_slice(attrs.row(u));
+    }
+
+    let goms = GomSet::build(&graph, 6, GomWeighting::Weighted);
+    let goms_p = GomSet::build(&permuted, 6, GomWeighting::Weighted);
+    let laps = orbit_laplacians(&goms);
+    let laps_p = orbit_laplacians(&goms_p);
+
+    let mut enc_rng = rand::rngs::StdRng::seed_from_u64(3);
+    let encoder = GcnEncoder::new(&[2, 8, 4], Activation::Tanh, &mut enc_rng);
+    for (lap, lap_p) in laps.iter().zip(&laps_p) {
+        let h = encoder.forward(lap, &attrs).unwrap();
+        let h_p = encoder.forward(lap_p, &permuted_attrs).unwrap();
+        for u in 0..30 {
+            let original = h.row(u);
+            let relabelled = h_p.row(perm[u]);
+            for (a, b) in original.iter().zip(relabelled) {
+                assert!((a - b).abs() < 1e-9, "node {u}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+/// The normalised Laplacian of every orbit of a clique treats all nodes
+/// identically.
+#[test]
+fn clique_orbit_laplacians_are_node_symmetric() {
+    let graph = Graph::complete(6);
+    let goms = GomSet::build(&graph, 13, GomWeighting::Weighted);
+    for (k, gom) in goms.iter() {
+        let lap = orbit_laplacian(gom);
+        let first_diag = lap.get(0, 0);
+        for u in 1..6 {
+            assert!(
+                (lap.get(u, u) - first_diag).abs() < 1e-12,
+                "orbit {k}, node {u}"
+            );
+        }
+    }
+    // Clique-specific sanity: every edge of K6 lies on C(4,2)=6 four-cliques...
+    // more precisely on C(6-2, 2) = 6 of them.
+    let counts = count_edge_orbits(&graph);
+    assert_eq!(counts.counts_for(0, 1).unwrap()[EdgeOrbit::CliqueEdge.index()], 6);
+}
+
+/// Ground-truth bookkeeping composes with the facade's metric functions.
+#[test]
+fn ground_truth_and_pca_helpers_compose() {
+    let gt = GroundTruth::from_permutation(&[2, 0, 1]);
+    let mut alignment = DenseMatrix::zeros(3, 3);
+    for (s, t) in gt.anchors() {
+        alignment.set(s, t, 1.0);
+    }
+    assert_eq!(htc::metrics::precision_at_q(&alignment, &gt, 1), 1.0);
+
+    // PCA on embeddings produced by the encoder keeps the row count.
+    let data = DenseMatrix::from_rows(&[
+        vec![0.0, 0.1, 0.2],
+        vec![1.0, 0.9, 1.1],
+        vec![2.0, 2.1, 1.9],
+        vec![3.0, 3.2, 2.8],
+    ])
+    .unwrap();
+    let projected = pca_project(&data, 2);
+    assert_eq!(projected.shape(), (4, 2));
+}
