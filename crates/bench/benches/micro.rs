@@ -1,8 +1,11 @@
 //! Criterion micro-benchmarks of the individual pipeline stages: edge-orbit
 //! counting, orbit-Laplacian construction, sparse×dense propagation, one
-//! training epoch, the LISI matrix and trusted-pair identification.
+//! training epoch, the LISI matrix and trusted-pair identification — plus
+//! dense GEMM at 128/512/1024 comparing the blocked kernel against the
+//! original (pre-blocking) row-parallel kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htc_linalg::parallel::parallel_rows_mut;
 use htc_core::laplacian::{orbit_laplacian, orbit_laplacians};
 use htc_core::lisi::{lisi_matrix, trusted_pairs};
 use htc_core::training::train_multi_orbit;
@@ -87,11 +90,78 @@ fn bench_training_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense matmul kernel as it existed before the blocked GEMM rewrite
+/// (row-parallel, axpy inner loop, zero-skip).  Kept verbatim so the `gemm`
+/// group measures the blocked kernel against the seed implementation.
+fn seed_matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> DenseMatrix {
+    let (m, k, n) = (lhs.rows(), lhs.cols(), rhs.cols());
+    assert_eq!(k, rhs.rows());
+    let mut out = DenseMatrix::zeros(m, n);
+    let lhs_data = lhs.data();
+    let rhs_data = rhs.data();
+    parallel_rows_mut(out.data_mut(), n.max(1), |start_row, chunk| {
+        for (i, out_row) in chunk.chunks_mut(n.max(1)).enumerate() {
+            let r = start_row + i;
+            if r >= m || n == 0 {
+                continue;
+            }
+            let lhs_row = &lhs_data[r * k..(r + 1) * k];
+            for (p, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs_data[p * n..(p + 1) * n];
+                for (out_v, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *out_v += a * b;
+                }
+            }
+        }
+    });
+    out
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    DenseMatrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 1024] {
+        let a = random_matrix(n, n, 10 + n as u64);
+        let b = random_matrix(n, n, 20 + n as u64);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| a.matmul(b).unwrap());
+        });
+    }
+    for &n in &[128usize, 512, 1024] {
+        let a = random_matrix(n, n, 10 + n as u64);
+        let b = random_matrix(n, n, 20 + n as u64);
+        group.bench_with_input(BenchmarkId::new("seed_kernel", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| seed_matmul(a, b));
+        });
+    }
+    for &n in &[128usize, 512, 1024] {
+        let a = random_matrix(n, 64, 30 + n as u64);
+        let b = random_matrix(n, 64, 40 + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("matmul_transpose_d64", n),
+            &(a, b),
+            |bch, (a, b)| {
+                bch.iter(|| a.matmul_transpose(b).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_lisi(c: &mut Criterion) {
     let mut group = c.benchmark_group("lisi");
     group.sample_size(10);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    for &n in &[300usize, 600] {
+    for &n in &[128usize, 512, 1024] {
         let hs_data: Vec<f64> = (0..n * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let ht_data: Vec<f64> = (0..n * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let hs = DenseMatrix::from_vec(n, 64, hs_data).unwrap();
@@ -114,6 +184,7 @@ criterion_group!(
     bench_laplacian_construction,
     bench_propagation,
     bench_training_epoch,
+    bench_gemm,
     bench_lisi
 );
 criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Machine-readable pipeline benchmark: runs the HTC aligner over the
+//! real-world dataset presets and writes the per-stage wall-clock
+//! decomposition (from `StageTimer`) to a JSON artifact, so successive PRs
+//! have a comparable perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p htc-bench --bin bench_pipeline -- --scale small --out BENCH_pipeline.json
+//! ```
+//!
+//! Without `--out` the JSON is written to `BENCH_pipeline.json` in the
+//! current directory.  `--runs N` repeats each alignment N times and reports
+//! the minimum per-stage time (the usual criterion-style noise floor).
+
+use htc_bench::{htc_config_for_scale, parse_args};
+use htc_core::HtcAligner;
+use htc_datasets::{generate_pair, DatasetPreset};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let config = htc_config_for_scale(args.scale);
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    // Fail on an unwritable artifact path *before* spending minutes
+    // benchmarking, not after.
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("error: cannot write benchmark artifact {out_path:?}: {e}");
+        std::process::exit(2);
+    }
+
+    let mut datasets_json = Vec::new();
+    for preset in DatasetPreset::real_world() {
+        let pair = generate_pair(&preset.config(args.scale));
+        eprintln!("[bench_pipeline] timing HTC on {} ({} runs)", pair.name, args.runs);
+
+        // Per-stage minima across runs, preserving stage order from run 0.
+        let mut stage_names: Vec<String> = Vec::new();
+        let mut stage_best: Vec<f64> = Vec::new();
+        let mut best_wall = f64::INFINITY;
+        for _ in 0..args.runs {
+            let wall_start = Instant::now();
+            let result = HtcAligner::new(config.clone())
+                .align(&pair.source, &pair.target)
+                .expect("generated datasets satisfy the input contract");
+            best_wall = best_wall.min(wall_start.elapsed().as_secs_f64());
+            for (stage, duration) in result.timer().stages() {
+                let secs = duration.as_secs_f64();
+                match stage_names.iter().position(|n| n == stage) {
+                    Some(i) => stage_best[i] = stage_best[i].min(secs),
+                    None => {
+                        stage_names.push(stage.to_string());
+                        stage_best.push(secs);
+                    }
+                }
+            }
+        }
+
+        let mut stages = String::new();
+        for (i, (name, secs)) in stage_names.iter().zip(&stage_best).enumerate() {
+            if i > 0 {
+                stages.push_str(", ");
+            }
+            write!(stages, "{{\"stage\": \"{}\", \"seconds\": {:.6}}}", json_escape(name), secs)
+                .unwrap();
+        }
+        let accounted: f64 = stage_best.iter().sum();
+        datasets_json.push(format!(
+            "    {{\"dataset\": \"{}\", \"nodes\": [{}, {}], \"wall_seconds\": {:.6}, \"other_seconds\": {:.6}, \"stages\": [{}]}}",
+            json_escape(&pair.name),
+            pair.source.num_nodes(),
+            pair.target.num_nodes(),
+            best_wall,
+            (best_wall - accounted).max(0.0),
+            stages
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"htc-bench-pipeline-v1\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.runs,
+        htc_linalg::parallel::num_threads(),
+        datasets_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark artifact");
+    eprintln!("[bench_pipeline] wrote {out_path}");
+    println!("{json}");
+}

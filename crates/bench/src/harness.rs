@@ -17,6 +17,9 @@ pub struct HarnessArgs {
     pub which: Option<String>,
     /// Number of repeated runs to average over (`--runs N`).
     pub runs: usize,
+    /// Output artifact path (`--out PATH`), used by the `bench_pipeline`
+    /// harness mode to write `BENCH_pipeline.json`.
+    pub out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -25,11 +28,12 @@ impl Default for HarnessArgs {
             scale: Scale::Small,
             which: None,
             runs: 1,
+            out: None,
         }
     }
 }
 
-/// Parses `--scale`, `--which` and `--runs` from an argument iterator.
+/// Parses `--scale`, `--which`, `--runs` and `--out` from an argument iterator.
 ///
 /// Unknown arguments are ignored so binaries can add their own flags.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
@@ -47,6 +51,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
                 }
             }
             "--which" => parsed.which = iter.next(),
+            "--out" => parsed.out = iter.next(),
             "--runs" => {
                 if let Some(value) = iter.next() {
                     parsed.runs = value.parse().unwrap_or(1).max(1);
@@ -139,10 +144,11 @@ mod tests {
     #[test]
     fn parse_defaults_and_flags() {
         assert_eq!(args(&[]), HarnessArgs::default());
-        let a = args(&["--scale", "paper", "--which", "k", "--runs", "3"]);
+        let a = args(&["--scale", "paper", "--which", "k", "--runs", "3", "--out", "x.json"]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.which.as_deref(), Some("k"));
         assert_eq!(a.runs, 3);
+        assert_eq!(a.out.as_deref(), Some("x.json"));
         // Unknown flags and bad values are tolerated.
         let b = args(&["--scale", "bogus", "--runs", "x", "--other"]);
         assert_eq!(b.scale, Scale::Small);

@@ -15,7 +15,7 @@
 //! for a few rounds before saturating.
 
 use crate::config::HtcConfig;
-use crate::lisi::{lisi_matrix, trusted_pairs};
+use crate::lisi::{lisi_matrix_into, trusted_pairs, LisiScratch};
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use htc_nn::GcnEncoder;
@@ -66,9 +66,20 @@ pub fn refine_orbit(
         1
     };
 
+    // LISI buffers reused across refinement iterations (every iteration
+    // recomputes an n_s × n_t matrix over the same shapes).
+    let mut lisi_scratch = LisiScratch::new();
+    let mut lisi = DenseMatrix::zeros(0, 0);
+
     for _ in 0..max_iters {
         iterations += 1;
-        let lisi = lisi_matrix(&current_source, &current_target, config.nearest_neighbors);
+        lisi_matrix_into(
+            &current_source,
+            &current_target,
+            config.nearest_neighbors,
+            &mut lisi_scratch,
+            &mut lisi,
+        );
         let pairs = trusted_pairs(&lisi);
         let count = pairs.len();
         if count <= best_count && iterations > 1 {
@@ -76,8 +87,8 @@ pub fn refine_orbit(
         }
         if count > best_count || iterations == 1 {
             best_count = count.max(best_count);
-            best_source = current_source.clone();
-            best_target = current_target.clone();
+            best_source.copy_from(&current_source);
+            best_target.copy_from(&current_target);
         }
         if !config.fine_tune {
             break;

@@ -48,6 +48,12 @@ impl AlignmentAccumulator {
 
     /// Adds `weight * matrix` into the accumulator.
     ///
+    /// Routes through [`DenseMatrix::add_scaled_inplace`], i.e. the single
+    /// fused AXPY kernel (`htc_linalg::ops::axpy`) shared by gradient
+    /// accumulation and every other scaled-accumulate in the workspace — one
+    /// traversal of the `n_s × n_t` data, never a scale pass followed by an
+    /// add pass.
+    ///
     /// # Panics
     /// Panics if the matrix shape differs from the accumulator shape.
     pub fn add_weighted(&mut self, matrix: &DenseMatrix, weight: f64) {

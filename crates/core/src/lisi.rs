@@ -17,43 +17,108 @@
 use htc_linalg::ops::{col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means};
 use htc_linalg::DenseMatrix;
 
+/// Reusable buffers for the LISI computation.
+///
+/// Per orbit and per fine-tuning iteration the pipeline computes a fresh
+/// correlation and LISI matrix over the same shapes; one scratch instance
+/// held across iterations makes those computations allocation-free after
+/// warm-up and — crucially — avoids cloning both `n × d` embedding matrices
+/// per call just to normalise them.
+#[derive(Debug, Clone, Default)]
+pub struct LisiScratch {
+    /// Pearson-normalised copy of the source embeddings.
+    norm_source: DenseMatrix,
+    /// Pearson-normalised copy of the target embeddings.
+    norm_target: DenseMatrix,
+    /// The `n_s × n_t` correlation matrix.
+    corr: DenseMatrix,
+}
+
+impl LisiScratch {
+    /// Creates empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Full Pearson-correlation matrix between the rows of `source` and `target`.
 ///
 /// Rows are mean-centred and ℓ₂-normalised first, so the correlation matrix is
 /// a single `n_s × n_t` mat-mul.
 pub fn correlation_matrix(source: &DenseMatrix, target: &DenseMatrix) -> DenseMatrix {
-    let mut s = source.clone();
-    let mut t = target.clone();
-    pearson_normalize_rows(&mut s);
-    pearson_normalize_rows(&mut t);
-    s.matmul_transpose(&t)
-        .expect("embedding dimensions match because the encoder is shared")
+    let mut scratch = LisiScratch::new();
+    correlation_matrix_into(source, target, &mut scratch);
+    scratch.corr
+}
+
+/// Like [`correlation_matrix`], but normalises into the scratch buffers
+/// (leaving `source` / `target` untouched and allocating nothing after
+/// warm-up) and leaves the result in `scratch.corr`.
+pub fn correlation_matrix_into<'a>(
+    source: &DenseMatrix,
+    target: &DenseMatrix,
+    scratch: &'a mut LisiScratch,
+) -> &'a DenseMatrix {
+    scratch.norm_source.copy_from(source);
+    scratch.norm_target.copy_from(target);
+    pearson_normalize_rows(&mut scratch.norm_source);
+    pearson_normalize_rows(&mut scratch.norm_target);
+    scratch
+        .norm_source
+        .matmul_transpose_into(&scratch.norm_target, &mut scratch.corr)
+        .expect("embedding dimensions match because the encoder is shared");
+    &scratch.corr
 }
 
 /// Computes the LISI score matrix (Eq. 11) from two embedding matrices.
 ///
 /// `m` is the neighbourhood size used by the hubness terms (Eq. 10).
 pub fn lisi_matrix(source: &DenseMatrix, target: &DenseMatrix, m: usize) -> DenseMatrix {
-    let corr = correlation_matrix(source, target);
-    lisi_from_correlation(&corr, m)
+    let mut scratch = LisiScratch::new();
+    let mut out = DenseMatrix::zeros(0, 0);
+    lisi_matrix_into(source, target, m, &mut scratch, &mut out);
+    out
+}
+
+/// Like [`lisi_matrix`], but reuses scratch buffers and writes the LISI
+/// matrix into `out` (resized as needed) — the allocation-free path used by
+/// the per-orbit fine-tuning loop.
+pub fn lisi_matrix_into(
+    source: &DenseMatrix,
+    target: &DenseMatrix,
+    m: usize,
+    scratch: &mut LisiScratch,
+    out: &mut DenseMatrix,
+) {
+    correlation_matrix_into(source, target, scratch);
+    lisi_from_correlation_into(&scratch.corr, m, out);
 }
 
 /// Computes LISI given an already-materialised correlation matrix.
 pub fn lisi_from_correlation(corr: &DenseMatrix, m: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(0, 0);
+    lisi_from_correlation_into(corr, m, &mut out);
+    out
+}
+
+/// Like [`lisi_from_correlation`], but writes into `out` (resized as
+/// needed).  The scale-by-2 and hubness-subtraction passes are fused into a
+/// single traversal of the correlation matrix instead of a `scale` allocation
+/// followed by a second full sweep.
+pub fn lisi_from_correlation_into(corr: &DenseMatrix, m: usize, out: &mut DenseMatrix) {
     let m = m.max(1);
     // D_t(h_s): mean similarity of each source node to its m nearest targets.
     let hub_source = row_top_k_means(corr, m);
     // D_s(h_t): mean similarity of each target node to its m nearest sources.
     let hub_target = col_top_k_means(corr, m);
-    let mut lisi = corr.scale(2.0);
-    for r in 0..lisi.rows() {
+    out.copy_from(corr);
+    for r in 0..out.rows() {
         let penalty_r = hub_source[r];
-        let row = lisi.row_mut(r);
+        let row = out.row_mut(r);
         for (c, v) in row.iter_mut().enumerate() {
-            *v -= penalty_r + hub_target[c];
+            *v = 2.0 * *v - (penalty_r + hub_target[c]);
         }
     }
-    lisi
 }
 
 /// Identifies trusted pairs: mutual arg-maxes of the LISI matrix (Eq. 12).

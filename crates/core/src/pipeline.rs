@@ -10,6 +10,7 @@ use crate::lisi::lisi_matrix;
 use crate::training::train_multi_orbit;
 use crate::Result;
 use htc_graph::AttributedNetwork;
+use htc_linalg::parallel::parallel_task_map;
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use htc_metrics::StageTimer;
 use htc_orbits::GomSet;
@@ -129,39 +130,52 @@ impl HtcAligner {
             )
         })?;
 
-        // Stage 4: per-orbit trusted-pair fine-tuning.
+        // Stage 4: per-orbit trusted-pair fine-tuning.  Orbits are refined
+        // independently, so they run as coarse tasks on the shared worker
+        // pool (the dense kernels each orbit calls internally then run inline
+        // on their worker — no nested oversubscription).  Results are
+        // collected in orbit order, so the outcome is identical to the
+        // sequential loop for every thread count.
         let refinements: Vec<OrbitRefinement> = timer.time(stages::FINE_TUNING, || {
-            source_laps
-                .iter()
-                .zip(&target_laps)
-                .map(|(ls, lt)| {
-                    refine_orbit(
-                        &model.encoder,
-                        ls,
-                        lt,
-                        source.attributes(),
-                        target.attributes(),
-                        &self.config,
-                    )
-                })
-                .collect::<Result<Vec<_>>>()
+            parallel_task_map(source_laps.len(), |k| {
+                refine_orbit(
+                    &model.encoder,
+                    &source_laps[k],
+                    &target_laps[k],
+                    source.attributes(),
+                    target.attributes(),
+                    &self.config,
+                )
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>>>()
         })?;
 
         // Stage 5: posterior importance assignment and weighted integration.
+        // The per-orbit LISI matrices are computed across the pool; the
+        // weighted accumulation itself stays sequential in orbit order so the
+        // final matrix is bit-identical regardless of thread count.  This
+        // holds up to `num_views` n_s × n_t matrices in flight (instead of
+        // one), a deliberate memory-for-latency trade at K ≤ ~5 orbits.
         let trusted_counts: Vec<usize> = refinements.iter().map(|r| r.trusted_count).collect();
         let gamma = orbit_importance(&trusted_counts);
         let alignment = timer.time(stages::INTEGRATION, || {
+            let per_orbit: Vec<Option<DenseMatrix>> =
+                parallel_task_map(refinements.len(), |k| {
+                    if gamma[k] == 0.0 {
+                        return None;
+                    }
+                    Some(lisi_matrix(
+                        &refinements[k].source_embedding,
+                        &refinements[k].target_embedding,
+                        self.config.nearest_neighbors,
+                    ))
+                });
             let mut accum = AlignmentAccumulator::new(source.num_nodes(), target.num_nodes());
-            for (refinement, &weight) in refinements.iter().zip(&gamma) {
-                if weight == 0.0 {
-                    continue;
+            for (m_k, &weight) in per_orbit.iter().zip(&gamma) {
+                if let Some(m_k) = m_k {
+                    accum.add_weighted(m_k, weight);
                 }
-                let m_k = lisi_matrix(
-                    &refinement.source_embedding,
-                    &refinement.target_embedding,
-                    self.config.nearest_neighbors,
-                );
-                accum.add_weighted(&m_k, weight);
             }
             accum.finish()
         });
@@ -326,6 +340,10 @@ mod tests {
         assert!(a.alignment().approx_eq(b.alignment(), 0.0));
         assert_eq!(a.trusted_counts(), b.trusted_counts());
     }
+
+    // The single-thread-vs-multi-thread exactness check lives in
+    // `tests/thread_determinism.rs`: it mutates `HTC_NUM_THREADS`, which is
+    // only safe in a test binary where it is the sole test.
 
     #[test]
     fn low_order_mode_uses_single_view() {

@@ -11,7 +11,10 @@
 use crate::config::HtcConfig;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
-use htc_nn::{loss::reconstruction_loss_and_grad, Adam, GcnEncoder};
+use htc_nn::{
+    loss::reconstruction_loss_and_grad_into, BackwardScratch, ForwardCache, GcnEncoder,
+    LossScratch, Adam,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,20 +58,37 @@ pub fn train_multi_orbit(
     let mut encoder = GcnEncoder::new(&dims, config.activation, &mut rng);
     let mut optimizer = Adam::for_parameters(config.learning_rate, encoder.weights());
 
+    // All per-product buffers are hoisted out of the epoch loop: after the
+    // first (graph, orbit) pass every forward, loss and backward evaluation
+    // reuses these allocations (the packed GEMM panels are likewise reused
+    // through thread-locals inside htc-linalg).
+    let mut grad_accum: Vec<DenseMatrix> = encoder
+        .weights()
+        .iter()
+        .map(|w| DenseMatrix::zeros(w.rows(), w.cols()))
+        .collect();
+    let mut grads: Vec<DenseMatrix> = grad_accum.clone();
+    let mut cache = ForwardCache::new();
+    let mut grad_h = DenseMatrix::zeros(0, 0);
+    let mut loss_scratch = LossScratch::new();
+    let mut backward_scratch = BackwardScratch::new();
+
     let mut loss_history = Vec::with_capacity(config.epochs);
     for _epoch in 0..config.epochs {
-        let mut grad_accum: Vec<DenseMatrix> = encoder
-            .weights()
-            .iter()
-            .map(|w| DenseMatrix::zeros(w.rows(), w.cols()))
-            .collect();
+        for accum in &mut grad_accum {
+            accum.data_mut().fill(0.0);
+        }
         let mut total_loss = 0.0;
         for (lap_s, lap_t) in source_laplacians.iter().zip(target_laplacians) {
             for (lap, attrs) in [(lap_s, source_attrs), (lap_t, target_attrs)] {
-                let cache = encoder.forward_cached(lap, attrs)?;
-                let (loss, grad_h) = reconstruction_loss_and_grad(lap, cache.output());
-                total_loss += loss;
-                let grads = encoder.backward(lap, &cache, &grad_h)?;
+                encoder.forward_cached_into(lap, attrs, &mut cache)?;
+                total_loss += reconstruction_loss_and_grad_into(
+                    lap,
+                    cache.output(),
+                    &mut grad_h,
+                    &mut loss_scratch,
+                );
+                encoder.backward_into(lap, &cache, &grad_h, &mut grads, &mut backward_scratch)?;
                 for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
                     accum.add_scaled_inplace(grad, 1.0)?;
                 }

@@ -1,0 +1,40 @@
+//! Thread-count invariance of the full pipeline.
+//!
+//! Every parallel kernel in the workspace fixes its per-element accumulation
+//! order, so forcing the whole pipeline onto one thread must reproduce the
+//! multi-threaded alignment bit for bit (tolerance 0.0).
+//!
+//! This lives in its own integration-test binary because it sets
+//! `HTC_NUM_THREADS` for the whole process: as the only test here, nothing
+//! races the env mutation (and the pool, once lazily created, is not
+//! re-created — the env var is honoured at call granularity).
+
+use htc_core::{HtcAligner, HtcConfig};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+
+#[test]
+fn single_threaded_matches_multi_threaded_exactly() {
+    let pair = generate_pair(&SyntheticPairConfig {
+        edge_removal: 0.0,
+        attr_flip: 0.0,
+        ..SyntheticPairConfig::tiny(14)
+    });
+
+    // Multi-threaded first (machine default), so the pool is created with
+    // its normal worker count.
+    let multi = HtcAligner::new(HtcConfig::fast())
+        .align(&pair.source, &pair.target)
+        .unwrap();
+
+    std::env::set_var("HTC_NUM_THREADS", "1");
+    let single = HtcAligner::new(HtcConfig::fast()).align(&pair.source, &pair.target);
+    std::env::remove_var("HTC_NUM_THREADS");
+    let single = single.unwrap();
+
+    assert!(
+        multi.alignment().approx_eq(single.alignment(), 0.0),
+        "alignment must be bit-identical across thread counts"
+    );
+    assert_eq!(multi.trusted_counts(), single.trusted_counts());
+    assert_eq!(multi.loss_history(), single.loss_history());
+}

@@ -3,13 +3,17 @@
 //! [`DenseMatrix`] is the workhorse container of the reproduction: node
 //! attribute matrices, GCN weights, embeddings, alignment matrices and
 //! correlation matrices are all dense.  The implementation favours clarity and
-//! predictable memory layout (a single contiguous `Vec<f64>`); the only
-//! hand-optimised kernel is matrix multiplication, which is blocked over the
-//! inner dimension and parallelised over output rows because it dominates the
-//! runtime of both training and the LISI computation.
+//! predictable memory layout (a single contiguous `Vec<f64>`); the
+//! hand-optimised kernels are the three matrix products (`A·B`, `A·Bᵀ`,
+//! `AᵀA`), which route through the cache-blocked, register-tiled GEMM driver
+//! in [`crate::gemm`] because they dominate the runtime of both training and
+//! the LISI computation.  The `*_into` variants write into caller-owned
+//! output matrices so hot loops (training epochs, per-orbit refinement) reuse
+//! allocations instead of re-allocating per product.
 
 use crate::error::LinalgError;
-use crate::parallel::parallel_rows_mut;
+use crate::gemm;
+use crate::ops::axpy;
 use crate::Result;
 
 /// A row-major dense `f64` matrix.
@@ -18,6 +22,14 @@ pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Default for DenseMatrix {
+    /// An empty `0 × 0` matrix — the canonical "unsized scratch buffer" that
+    /// every `*_into` kernel resizes on first use.
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
 }
 
 impl DenseMatrix {
@@ -174,19 +186,65 @@ impl DenseMatrix {
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Resizes to `rows x cols` without preserving contents, reusing the
+    /// existing allocation where possible.  Every element is considered
+    /// uninitialised after the call; callers must overwrite the full buffer.
+    pub(crate) fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other` into `self`, reusing `self`'s allocation.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        self.resize_for_overwrite(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Overwrites `self` with `f` applied element-wise to `src`, reusing
+    /// `self`'s allocation (`self` is resized to `src`'s shape).
+    ///
+    /// This is the allocation-free counterpart of [`DenseMatrix::map`]; the
+    /// encoder's activation layers use it so every epoch reuses the same
+    /// hidden-state buffers.
+    pub fn map_from(&mut self, src: &DenseMatrix, f: impl Fn(f64) -> f64) {
+        self.resize_for_overwrite(src.rows, src.cols);
+        for (dst, &v) in self.data.iter_mut().zip(&src.data) {
+            *dst = f(v);
+        }
+    }
+
+    /// Returns the transpose as a new matrix (tile-blocked so both operands
+    /// stream through cache in lines rather than strided single elements).
     pub fn transpose(&self) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        const TILE: usize = 32;
+        let (rows, cols) = self.shape();
+        let mut out = DenseMatrix::zeros(cols, rows);
+        for r0 in (0..rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(rows);
+            for c0 in (0..cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * rows + r] = self.data[r * cols + c];
+                    }
+                }
             }
         }
         out
     }
 
-    /// Matrix product `self * rhs`, parallelised over output rows.
+    /// Matrix product `self * rhs` (blocked GEMM, parallelised over output
+    /// row chunks).
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`DenseMatrix::matmul`], but writes into `out`, reusing its
+    /// allocation (`out` is resized as needed).
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -195,28 +253,18 @@ impl DenseMatrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = DenseMatrix::zeros(m, n);
+        out.resize_for_overwrite(m, n);
         let lhs_data = &self.data;
         let rhs_data = &rhs.data;
-        parallel_rows_mut(&mut out.data, n.max(1), |start_row, chunk| {
-            for (i, out_row) in chunk.chunks_mut(n.max(1)).enumerate() {
-                let r = start_row + i;
-                if r >= m || n == 0 {
-                    continue;
-                }
-                let lhs_row = &lhs_data[r * k..(r + 1) * k];
-                for (p, &a) in lhs_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let rhs_row = &rhs_data[p * n..(p + 1) * n];
-                    for (out_v, &b) in out_row.iter_mut().zip(rhs_row) {
-                        *out_v += a * b;
-                    }
-                }
-            }
-        });
-        Ok(out)
+        gemm::gemm_into(
+            m,
+            n,
+            k,
+            |i, p| lhs_data[i * k + p],
+            |p, j| rhs_data[p * n + j],
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Computes `selfᵀ * self` (the `cols x cols` Gram matrix) without
@@ -224,28 +272,69 @@ impl DenseMatrix {
     pub fn gram(&self) -> DenseMatrix {
         let (n, d) = self.shape();
         let mut out = DenseMatrix::zeros(d, d);
-        for r in 0..n {
-            let row = self.row(r);
-            for i in 0..d {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * d..(i + 1) * d];
-                for (j, &b) in row.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
+        let data = &self.data;
+        gemm::gemm_into(
+            d,
+            d,
+            n,
+            |i, p| data[p * d + i],
+            |p, j| data[p * d + j],
+            &mut out.data,
+        );
         out
+    }
+
+    /// Computes `selfᵀ * rhs` without materialising the transpose of `self`.
+    ///
+    /// Both operands must have the same number of rows (the contracted
+    /// dimension).  The result is `self.cols x rhs.cols`.  This is the kernel
+    /// behind the weight gradient `∂loss/∂W = Pᵀ·dZ` of GCN backpropagation,
+    /// which previously paid for an explicit transpose per layer per epoch.
+    pub fn transposed_matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.transposed_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`DenseMatrix::transposed_matmul`], but writes into `out`, reusing
+    /// its allocation (`out` is resized as needed).
+    pub fn transposed_matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transposed_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        out.resize_for_overwrite(m, n);
+        let lhs_data = &self.data;
+        let rhs_data = &rhs.data;
+        gemm::gemm_into(
+            m,
+            n,
+            k,
+            |i, p| lhs_data[p * m + i],
+            |p, j| rhs_data[p * n + j],
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Computes `self * rhsᵀ` without materialising the transpose of `rhs`.
     ///
     /// Both operands must have the same number of columns. The result is
     /// `self.rows x rhs.rows`.  This is the kernel behind the node-embedding
-    /// correlation matrix, so it is parallelised over output rows.
+    /// correlation matrix.
     pub fn matmul_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmul_transpose_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`DenseMatrix::matmul_transpose`], but writes into `out`, reusing
+    /// its allocation (`out` is resized as needed).
+    pub fn matmul_transpose_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_transpose",
@@ -254,27 +343,18 @@ impl DenseMatrix {
             });
         }
         let (m, d, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = DenseMatrix::zeros(m, n);
+        out.resize_for_overwrite(m, n);
         let lhs_data = &self.data;
         let rhs_data = &rhs.data;
-        parallel_rows_mut(&mut out.data, n.max(1), |start_row, chunk| {
-            for (i, out_row) in chunk.chunks_mut(n.max(1)).enumerate() {
-                let r = start_row + i;
-                if r >= m || n == 0 {
-                    continue;
-                }
-                let lhs_row = &lhs_data[r * d..(r + 1) * d];
-                for (c, out_v) in out_row.iter_mut().enumerate() {
-                    let rhs_row = &rhs_data[c * d..(c + 1) * d];
-                    let mut acc = 0.0;
-                    for (a, b) in lhs_row.iter().zip(rhs_row) {
-                        acc += a * b;
-                    }
-                    *out_v = acc;
-                }
-            }
-        });
-        Ok(out)
+        gemm::gemm_into(
+            m,
+            n,
+            d,
+            |i, p| lhs_data[i * d + p],
+            |p, j| rhs_data[j * d + p],
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Element-wise sum. Shapes must match.
@@ -318,7 +398,9 @@ impl DenseMatrix {
         })
     }
 
-    /// In-place element-wise addition of `alpha * rhs`.
+    /// In-place element-wise addition of `alpha * rhs` (fused AXPY — one
+    /// traversal, shared with every other scaled-accumulate in the
+    /// workspace via [`crate::ops::axpy`]).
     pub fn add_scaled_inplace(&mut self, rhs: &DenseMatrix, alpha: f64) -> Result<()> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
@@ -327,9 +409,7 @@ impl DenseMatrix {
                 rhs: rhs.shape(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        axpy(alpha, &rhs.data, &mut self.data);
         Ok(())
     }
 
@@ -654,6 +734,26 @@ mod tests {
         let via_t = a.matmul(&b.transpose()).unwrap();
         let direct = a.matmul_transpose(&b).unwrap();
         assert!(via_t.approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit_transpose() {
+        let a = DenseMatrix::from_vec(4, 2, (0..8).map(|v| v as f64 - 3.0).collect()).unwrap();
+        let b = DenseMatrix::from_vec(4, 3, (0..12).map(|v| v as f64 * 0.5).collect()).unwrap();
+        let via_t = a.transpose().matmul(&b).unwrap();
+        let direct = a.transposed_matmul(&b).unwrap();
+        assert!(via_t.approx_eq(&direct, 1e-12));
+        // Mismatched contracted dimension is rejected.
+        assert!(a.transposed_matmul(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn map_from_reuses_and_resizes() {
+        let src = small();
+        let mut out = DenseMatrix::zeros(7, 7);
+        out.map_from(&src, |v| v * 2.0);
+        assert_eq!(out.shape(), src.shape());
+        assert_eq!(out.get(1, 2), 12.0);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Cache-blocked, register-tiled dense matrix-multiply kernels.
+//!
+//! The three dense products the pipeline spends its time in — `A·B`, `A·Bᵀ`
+//! and `AᵀA` — all route through one blocked GEMM driver:
+//!
+//! * the inner dimension is processed in `KC`-sized panels so the packed
+//!   operands stay resident in cache while they are reused;
+//! * the B panel is packed once per k-panel into `NR`-wide column slabs
+//!   (contiguous `kc × NR` blocks that the micro-kernel streams from L1);
+//! * each worker packs `MR`-row micro-panels of A for its row block into a
+//!   thread-local buffer (so panel packing never allocates after warm-up);
+//! * an `MR×NR` register-tiled micro-kernel accumulates into 32 independent
+//!   scalar accumulators that LLVM autovectorizes.
+//!
+//! **Determinism.** For any fixed output element the contributions are added
+//! in ascending-`k` order regardless of how rows are distributed over
+//! threads, so results are bit-identical for every thread count (including
+//! `HTC_NUM_THREADS=1`).
+//!
+//! The packing closures (`a_at`, `b_at`) abstract the memory layout of the
+//! operands, which is how the same driver serves `A·B` (row-major B), `A·Bᵀ`
+//! (B indexed transposed) and `AᵀA` (both operands read from the same
+//! buffer) without materialising any transpose.
+
+use crate::parallel::parallel_rows_mut;
+use std::cell::RefCell;
+
+/// Rows per micro-tile.
+pub const MR: usize = 4;
+/// Columns per micro-tile.
+pub const NR: usize = 8;
+/// Inner-dimension panel size (packed operand panels span `KC` k-steps).
+pub const KC: usize = 256;
+/// Row-block size each worker packs at a time (`MC × KC` doubles ≈ 128 KiB,
+/// comfortably inside L2).
+pub const MC: usize = 64;
+
+thread_local! {
+    /// Per-thread packed-A buffer (`≤ MC×KC` doubles).  Thread-locals on the
+    /// persistent pool workers make repeated products allocation-free.
+    static PACK_A: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-B buffer; only the thread driving a product uses it.
+    static PACK_B: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `MR × NR` register-tiled micro-kernel: `acc += Aᵖ·Bᵖ` over `kc` k-steps.
+///
+/// `pa` holds `MR`-interleaved A values (`pa[p*MR + i]`), `pb` holds
+/// `NR`-interleaved B values (`pb[p*NR + j]`); both are zero-padded at tile
+/// tails so the kernel never branches on shape.
+#[inline(always)]
+fn micro_kernel(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+    for p in 0..kc {
+        let a = &pa[p * MR..p * MR + MR];
+        let b = &pb[p * NR..p * NR + NR];
+        for (i, acc_row) in acc.chunks_exact_mut(NR).enumerate() {
+            let av = a[i];
+            for (c, &bv) in acc_row.iter_mut().zip(b) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs the B panel `k ∈ [kp, kp+kc), j ∈ [0, n)` into `NR`-wide slabs.
+///
+/// Slab `s` occupies `pb[s*kc*NR ..][p*NR + j]`; tail columns are zero-padded.
+#[inline]
+fn pack_b<FB: Fn(usize, usize) -> f64>(
+    pb: &mut Vec<f64>,
+    b_at: &FB,
+    kp: usize,
+    kc: usize,
+    n: usize,
+) {
+    let slabs = n.div_ceil(NR);
+    pb.clear();
+    pb.resize(slabs * kc * NR, 0.0);
+    for s in 0..slabs {
+        let j0 = s * NR;
+        let nr = NR.min(n - j0);
+        let slab = &mut pb[s * kc * NR..(s + 1) * kc * NR];
+        for p in 0..kc {
+            let row = &mut slab[p * NR..p * NR + NR];
+            for (j, slot) in row[..nr].iter_mut().enumerate() {
+                *slot = b_at(kp + p, j0 + j);
+            }
+            // Tail lanes stay zero from the resize above.
+        }
+    }
+}
+
+/// Packs the A block `i ∈ [i0, i0+mb), k ∈ [kp, kp+kc)` into `MR`-row
+/// micro-panels (`pa[micro*kc*MR ..][p*MR + i]`), zero-padding tail rows.
+#[inline]
+fn pack_a<FA: Fn(usize, usize) -> f64>(
+    pa: &mut Vec<f64>,
+    a_at: &FA,
+    i0: usize,
+    mb: usize,
+    kp: usize,
+    kc: usize,
+) {
+    let micros = mb.div_ceil(MR);
+    pa.clear();
+    pa.resize(micros * kc * MR, 0.0);
+    for micro in 0..micros {
+        let r0 = i0 + micro * MR;
+        let mr = MR.min(i0 + mb - r0);
+        let panel = &mut pa[micro * kc * MR..(micro + 1) * kc * MR];
+        for p in 0..kc {
+            let col = &mut panel[p * MR..p * MR + MR];
+            for (i, slot) in col[..mr].iter_mut().enumerate() {
+                *slot = a_at(r0 + i, kp + p);
+            }
+        }
+    }
+}
+
+/// Blocked GEMM driver: `out[i,j] = Σ_p a_at(i,p) · b_at(p,j)`.
+///
+/// `out` must be an `m × n` row-major buffer; it is fully overwritten.
+/// Parallelised over output row chunks via the persistent pool; see the
+/// module docs for the determinism argument.
+pub(crate) fn gemm_into<FA, FB>(m: usize, n: usize, k: usize, a_at: FA, b_at: FB, out: &mut [f64])
+where
+    FA: Fn(usize, usize) -> f64 + Sync,
+    FB: Fn(usize, usize) -> f64 + Sync,
+{
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Small products skip the packing machinery entirely: below ~64k
+    // multiply-adds the pack/tile bookkeeping costs more than it saves, and
+    // these shapes (per-layer products on small graphs, tiny test matrices)
+    // are latency- not throughput-bound.  The axpy-form loop accumulates each
+    // output element in ascending-k order — the same order as the micro
+    // kernel — and skips zero lhs entries (common for one-hot attribute
+    // matrices).
+    const SMALL_PRODUCT_MADDS: usize = 1 << 16;
+    if m * n * k <= SMALL_PRODUCT_MADDS {
+        for i in 0..m {
+            let row = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = a_at(i, p);
+                if a == 0.0 {
+                    continue;
+                }
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o += a * b_at(p, j);
+                }
+            }
+        }
+        return;
+    }
+    PACK_B.with(|pb_cell| {
+        let mut pb = pb_cell.borrow_mut();
+        let mut kp = 0;
+        while kp < k {
+            let kc = KC.min(k - kp);
+            pack_b(&mut pb, &b_at, kp, kc, n);
+            let pb_ref: &[f64] = &pb;
+            let slabs = n.div_ceil(NR);
+            parallel_rows_mut(out, n, |start_row, chunk| {
+                let rows = chunk.len() / n;
+                PACK_A.with(|pa_cell| {
+                    let mut pa = pa_cell.borrow_mut();
+                    // Process this thread's rows in MC-sized blocks so the
+                    // packed A block stays in L2 while every B slab sweeps it.
+                    let mut b0 = 0;
+                    while b0 < rows {
+                        let mb = MC.min(rows - b0);
+                        pack_a(&mut pa, &a_at, start_row + b0, mb, kp, kc);
+                        let micros = mb.div_ceil(MR);
+                        for s in 0..slabs {
+                            let j0 = s * NR;
+                            let nr = NR.min(n - j0);
+                            let slab = &pb_ref[s * kc * NR..(s + 1) * kc * NR];
+                            for micro in 0..micros {
+                                let panel = &pa[micro * kc * MR..(micro + 1) * kc * MR];
+                                let mut acc = [0.0f64; MR * NR];
+                                micro_kernel(kc, panel, slab, &mut acc);
+                                let r0 = b0 + micro * MR;
+                                let mr = MR.min(mb - micro * MR);
+                                for i in 0..mr {
+                                    let row = &mut chunk[(r0 + i) * n + j0..(r0 + i) * n + j0 + nr];
+                                    for (o, &v) in row.iter_mut().zip(&acc[i * NR..i * NR + nr]) {
+                                        *o += v;
+                                    }
+                                }
+                            }
+                        }
+                        b0 += mb;
+                    }
+                });
+            });
+            kp += kc;
+        }
+    });
+}
+
+/// Reference (unblocked, single-threaded) `A·B`, kept as the ground truth for
+/// property tests and as the baseline the criterion benches compare against.
+pub fn reference_matmul(
+    m: usize,
+    k: usize,
+    n: usize,
+    lhs: &[f64],
+    rhs: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(rhs.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    for r in 0..m {
+        let lhs_row = &lhs[r * k..(r + 1) * k];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (p, &a) in lhs_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = &rhs[p * n..(p + 1) * n];
+            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: usize, n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        (0..m * n).map(|i| f(i / n, i % n)).collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 300, 5),
+            (MR, KC, NR),
+            (MR + 1, KC + 1, NR + 1),
+            (65, 17, 9),
+            (2 * MC + 3, 2 * KC + 5, 3 * NR + 7),
+        ] {
+            let a = dense(m, k, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+            let b = dense(k, n, |r, c| ((r * 11 + c * 3) % 17) as f64 - 8.0);
+            let mut blocked = vec![0.0; m * n];
+            let mut reference = vec![0.0; m * n];
+            gemm_into(m, n, k, |i, p| a[i * k + p], |p, j| b[p * n + j], &mut blocked);
+            reference_matmul(m, k, n, &a, &b, &mut reference);
+            for (x, y) in blocked.iter().zip(&reference) {
+                assert!((x - y).abs() < 1e-9, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_produce_zeros() {
+        let mut out = vec![1.0; 6];
+        gemm_into(2, 3, 0, |_, _| unreachable!(), |_, _| unreachable!(), &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let mut empty: Vec<f64> = Vec::new();
+        gemm_into(0, 3, 4, |_, _| 1.0, |_, _| 1.0, &mut empty);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod gemm;
 pub mod ops;
 pub mod parallel;
 pub mod sparse;

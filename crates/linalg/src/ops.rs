@@ -9,6 +9,32 @@
 use crate::dense::DenseMatrix;
 use crate::parallel::parallel_map;
 
+/// Fused in-place AXPY: `y[i] += alpha * x[i]` in a single traversal.
+///
+/// This is the one scaled-accumulate kernel in the workspace: gradient
+/// accumulation in training, `DenseMatrix::add_scaled_inplace` and the
+/// weighted integration of per-orbit alignment matrices all route through it,
+/// so there is exactly one code path to keep fast (the paired-chunk form
+/// below autovectorizes; no separate scale-then-add passes anywhere).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must have equal lengths");
+    // Chunked loop: fixed-width inner blocks give LLVM a clean unroll target.
+    const W: usize = 8;
+    let mut yc = y.chunks_exact_mut(W);
+    let mut xc = x.chunks_exact(W);
+    for (yb, xb) in yc.by_ref().zip(xc.by_ref()) {
+        for (yv, &xv) in yb.iter_mut().zip(xb) {
+            *yv += alpha * xv;
+        }
+    }
+    for (yv, &xv) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yv += alpha * xv;
+    }
+}
+
 /// Mean-centres and ℓ₂-normalises every row of `m` in place.
 ///
 /// After this transformation the dot product of two rows equals their Pearson

@@ -40,6 +40,12 @@ impl CsrMatrix {
     ///
     /// Duplicate entries are summed; explicit zeros and entries that cancel to
     /// zero are dropped.  Returns an error if any index is out of bounds.
+    ///
+    /// The build is a two-pass counting sort — count entries per row, prefix-
+    /// sum into row offsets, scatter into one flat buffer — followed by a
+    /// per-row sort-and-merge.  This performs exactly two allocations however
+    /// large the graph is, instead of the `Vec<Vec<…>>` row buckets (one heap
+    /// allocation per non-empty row) used previously.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
@@ -53,16 +59,30 @@ impl CsrMatrix {
                 });
             }
         }
-        // Bucket triplets by row, then sort and merge duplicates within rows.
-        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
-            per_row[r].push((c, v));
+        // Pass 1: count entries per row, then prefix-sum into offsets.
+        let mut offsets = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            offsets[r + 1] += 1;
         }
+        for r in 0..rows {
+            offsets[r + 1] += offsets[r];
+        }
+        // Pass 2: scatter (col, value) pairs into their row segments, using
+        // the offsets array as a moving write cursor per row.
+        let mut entries: Vec<(usize, f64)> = vec![(0, 0.0); triplets.len()];
+        let mut cursor = offsets.clone();
+        for &(r, c, v) in triplets {
+            entries[cursor[r]] = (c, v);
+            cursor[r] += 1;
+        }
+        // Sort each row segment by column and merge duplicates while emitting
+        // the final CSR arrays.
         let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::with_capacity(triplets.len());
         let mut values = Vec::with_capacity(triplets.len());
         indptr.push(0);
-        for row in &mut per_row {
+        for r in 0..rows {
+            let row = &mut entries[offsets[r]..offsets[r + 1]];
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -219,6 +239,23 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self * rhs`, parallelised over output rows.
     pub fn matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmul_dense_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`CsrMatrix::matmul_dense`], but writes into `out`, reusing its
+    /// allocation (`out` is resized as needed).
+    ///
+    /// The product is traversed in column panels: the sparse rows gather
+    /// arbitrary rows of `rhs`, so restricting each sweep to a panel of
+    /// `rhs` columns narrow enough that the gathered `k × NB` slice fits in
+    /// L2 keeps the dense operand cache-resident instead of streaming the
+    /// full `k × n` matrix once per output row.  Within a panel, every
+    /// output element still accumulates its non-zeros in CSR (ascending
+    /// column) order, so results are bit-identical to the unpanelled kernel
+    /// for every thread count.
+    pub fn matmul_dense_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "csr matmul_dense",
@@ -227,27 +264,47 @@ impl CsrMatrix {
             });
         }
         let n = rhs.cols();
-        let mut out = DenseMatrix::zeros(self.rows, n);
+        out.resize_for_overwrite(self.rows, n);
+        out.data_mut().fill(0.0);
+        if n == 0 || self.rows == 0 {
+            return Ok(());
+        }
+        // Panel width: aim for the touched slice of `rhs` (k rows × NB
+        // columns of f64) to stay within ~256 KiB of L2, but never fragment
+        // narrow matrices (embeddings are 16–200 columns wide and must run
+        // as a single panel — splitting them would re-traverse the CSR
+        // structure for no cache benefit).
+        const L2_BUDGET_DOUBLES: usize = 32 * 1024;
+        let nb = (L2_BUDGET_DOUBLES / rhs.rows().max(1)).max(256).min(n);
         let indptr = &self.indptr;
         let indices = &self.indices;
         let values = &self.values;
-        parallel_rows_mut(out.data_mut(), n.max(1), |start_row, chunk| {
-            for (i, out_row) in chunk.chunks_mut(n.max(1)).enumerate() {
-                let r = start_row + i;
-                if r >= indptr.len() - 1 || n == 0 {
-                    continue;
-                }
-                for idx in indptr[r]..indptr[r + 1] {
-                    let c = indices[idx];
-                    let v = values[idx];
-                    let rhs_row = rhs.row(c);
-                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                        *o += v * b;
+        let rhs_data = rhs.data();
+        let num_rows = self.rows;
+        parallel_rows_mut(out.data_mut(), n, |start_row, chunk| {
+            let rows_here = chunk.len() / n;
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + nb).min(n);
+                for i in 0..rows_here {
+                    let r = start_row + i;
+                    if r >= num_rows {
+                        continue;
+                    }
+                    let out_seg = &mut chunk[i * n + j0..i * n + j1];
+                    for idx in indptr[r]..indptr[r + 1] {
+                        let c = indices[idx];
+                        let v = values[idx];
+                        let rhs_seg = &rhs_data[c * n + j0..c * n + j1];
+                        for (o, &b) in out_seg.iter_mut().zip(rhs_seg) {
+                            *o += v * b;
+                        }
                     }
                 }
+                j0 = j1;
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Sparse × vector product.
@@ -414,6 +471,40 @@ mod tests {
         let sparse_result = m.matmul_dense(&x).unwrap();
         let dense_result = m.to_dense().matmul(&x).unwrap();
         assert!(sparse_result.approx_eq(&dense_result, 1e-12));
+    }
+
+    #[test]
+    fn matmul_dense_into_reuses_buffer() {
+        let m = sample();
+        let x = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut out = DenseMatrix::zeros(9, 9);
+        m.matmul_dense_into(&x, &mut out).unwrap();
+        assert!(out.approx_eq(&m.to_dense().matmul(&x).unwrap(), 1e-12));
+        // Mismatched inner dimension is rejected.
+        assert!(m.matmul_dense_into(&DenseMatrix::zeros(4, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_dense_panelled_matches_reference() {
+        // A tall inner dimension and a wide rhs force the column-panel width
+        // below n, so this exercises the multi-panel path of matmul_dense_into.
+        let k = 1024;
+        let n = 300;
+        let triplets: Vec<(usize, usize, f64)> = (0..64)
+            .map(|i| (i % 4, (i * 131) % k, (i as f64 * 0.37) - 9.0))
+            .collect();
+        let m = CsrMatrix::from_triplets(4, k, &triplets).unwrap();
+        let rhs_data: Vec<f64> = (0..k * n).map(|i| ((i * 23) % 11) as f64 - 5.0).collect();
+        let rhs = DenseMatrix::from_vec(k, n, rhs_data).unwrap();
+        let fast = m.matmul_dense(&rhs).unwrap();
+        // Reference: row-by-row gather without panels.
+        let mut reference = DenseMatrix::zeros(4, n);
+        for (r, c, v) in m.triplets() {
+            for j in 0..n {
+                reference.add_at(r, j, v * rhs.get(c, j));
+            }
+        }
+        assert!(fast.approx_eq(&reference, 1e-12));
     }
 
     #[test]

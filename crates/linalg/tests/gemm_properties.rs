@@ -1,0 +1,239 @@
+//! Property tests pinning the blocked GEMM kernels to naive references.
+//!
+//! The cache-blocked kernels in `htc_linalg::gemm` re-associate nothing: for
+//! any output element the k-contributions are added in ascending order, so
+//! within one `KC` panel they are bit-identical to the naive triple loop and
+//! across panels they differ only by partial-sum grouping.  These tests assert
+//! agreement to 1e-12 (relative) across random shapes and the edge shapes the
+//! blocking logic has to get right: 1×k, k×1, empty dimensions, and sizes
+//! that are not multiples of the MR/NR/MC/KC block parameters.
+
+use htc_linalg::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    DenseMatrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Naive `A·B` triple loop, ascending-k accumulation.
+fn naive_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows());
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Naive `A·Bᵀ`.
+fn naive_matmul_transpose(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, d, n) = (a.rows(), a.cols(), b.rows());
+    assert_eq!(d, b.cols());
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..d {
+                acc += a.get(i, p) * b.get(j, p);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn assert_close(fast: &DenseMatrix, reference: &DenseMatrix, label: &str) {
+    assert_eq!(fast.shape(), reference.shape(), "{label}: shape mismatch");
+    for r in 0..fast.rows() {
+        for c in 0..fast.cols() {
+            let (x, y) = (fast.get(r, c), reference.get(r, c));
+            assert!(
+                (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                "{label} ({r},{c}): {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// Edge shapes: degenerate and non-block-multiple sizes.  (MR=4, NR=8, MC=64,
+/// KC=256 — every shape below straddles at least one of those boundaries.)
+const EDGE_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 300, 1),   // 1×k · k×1, k crosses the KC=256 panel boundary
+    (300, 1, 3),   // k×1 lhs
+    (0, 4, 3),     // empty m
+    (3, 0, 4),     // empty k (pure zero fill)
+    (4, 3, 0),     // empty n
+    (4, 256, 8),   // exact block multiples
+    (5, 257, 9),   // one past every block boundary
+    (63, 31, 7),   // below MC, odd everywhere
+    (65, 300, 17), // crosses MC and KC
+];
+
+#[test]
+fn matmul_matches_naive_on_edge_shapes() {
+    for &(m, k, n) in EDGE_SHAPES {
+        let a = random_matrix(m, k, 1000 + (m * 7 + k * 3 + n) as u64);
+        let b = random_matrix(k, n, 2000 + (m + k * 5 + n * 11) as u64);
+        assert_close(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b), "matmul");
+    }
+}
+
+#[test]
+fn matmul_transpose_matches_naive_on_edge_shapes() {
+    for &(m, d, n) in EDGE_SHAPES {
+        let a = random_matrix(m, d, 3000 + (m * 13 + d + n) as u64);
+        let b = random_matrix(n, d, 4000 + (m + d * 17 + n) as u64);
+        assert_close(
+            &a.matmul_transpose(&b).unwrap(),
+            &naive_matmul_transpose(&a, &b),
+            "matmul_transpose",
+        );
+    }
+}
+
+#[test]
+fn matmul_dense_matches_naive_on_edge_shapes() {
+    for &(m, k, n) in EDGE_SHAPES {
+        if m == 0 {
+            continue; // CSR construction requires at least shape info; zeros(0, k) is fine though
+        }
+        let mut rng = StdRng::seed_from_u64(5000 + (m + k + n) as u64);
+        let mut triplets = Vec::new();
+        for r in 0..m {
+            for c in 0..k {
+                if rng.gen::<f64>() < 0.3 {
+                    triplets.push((r, c, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_triplets(m, k, &triplets).unwrap();
+        let rhs = random_matrix(k, n, 6000 + (m * 3 + k + n * 7) as u64);
+        let fast = sparse.matmul_dense(&rhs).unwrap();
+        let reference = naive_matmul(&sparse.to_dense(), &rhs);
+        assert_close(&fast, &reference, "matmul_dense");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: blocked `A·B` matches the naive reference for random shapes.
+    #[test]
+    fn matmul_matches_naive(seed in 0u64..10_000, m in 1usize..40, k in 1usize..300, n in 1usize..40) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed.wrapping_add(1));
+        let fast = a.matmul(&b).unwrap();
+        let reference = naive_matmul(&a, &b);
+        for r in 0..m {
+            for c in 0..n {
+                let (x, y) = (fast.get(r, c), reference.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "({},{}) {} vs {}", r, c, x, y);
+            }
+        }
+    }
+
+    /// Property: blocked `A·Bᵀ` matches the naive reference.
+    #[test]
+    fn matmul_transpose_matches_naive(seed in 0u64..10_000, m in 1usize..30, d in 1usize..80, n in 1usize..30) {
+        let a = random_matrix(m, d, seed);
+        let b = random_matrix(n, d, seed.wrapping_add(2));
+        let fast = a.matmul_transpose(&b).unwrap();
+        let reference = naive_matmul_transpose(&a, &b);
+        for r in 0..m {
+            for c in 0..n {
+                let (x, y) = (fast.get(r, c), reference.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "({},{}) {} vs {}", r, c, x, y);
+            }
+        }
+    }
+
+    /// Property: `selfᵀ·self` (gram) and `selfᵀ·rhs` match transpose-then-multiply.
+    #[test]
+    fn gram_and_transposed_matmul_match_naive(seed in 0u64..10_000, nrows in 1usize..50, d in 1usize..20) {
+        let a = random_matrix(nrows, d, seed);
+        let gram_ref = naive_matmul(&a.transpose(), &a);
+        let gram = a.gram();
+        for r in 0..d {
+            for c in 0..d {
+                let (x, y) = (gram.get(r, c), gram_ref.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+            }
+        }
+        let b = random_matrix(nrows, 7, seed.wrapping_add(3));
+        let tm_ref = naive_matmul(&a.transpose(), &b);
+        let tm = a.transposed_matmul(&b).unwrap();
+        for r in 0..d {
+            for c in 0..7 {
+                let (x, y) = (tm.get(r, c), tm_ref.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    /// Property: sparse×dense matches densified matmul.
+    #[test]
+    fn matmul_dense_matches_naive(seed in 0u64..10_000, m in 1usize..25, k in 1usize..60, n in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut triplets = Vec::new();
+        for r in 0..m {
+            for c in 0..k {
+                if rng.gen::<f64>() < 0.25 {
+                    triplets.push((r, c, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_triplets(m, k, &triplets).unwrap();
+        let rhs = random_matrix(k, n, seed.wrapping_add(4));
+        let fast = sparse.matmul_dense(&rhs).unwrap();
+        let reference = naive_matmul(&sparse.to_dense(), &rhs);
+        for r in 0..m {
+            for c in 0..n {
+                let (x, y) = (fast.get(r, c), reference.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    /// Property: `from_triplets` (counting-sort build) sums duplicates and
+    /// sorts columns, matching a per-element reference accumulation.
+    #[test]
+    fn from_triplets_matches_dense_accumulation(seed in 0u64..10_000, m in 1usize..12, n in 1usize..12, extra in 0usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triplets: Vec<(usize, usize, f64)> = (0..extra)
+            .map(|_| {
+                (
+                    rng.gen_range(0..m),
+                    rng.gen_range(0..n),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let sparse = CsrMatrix::from_triplets(m, n, &triplets).unwrap();
+        let mut reference = DenseMatrix::zeros(m, n);
+        for &(r, c, v) in &triplets {
+            reference.add_at(r, c, v);
+        }
+        for r in 0..m {
+            let mut prev_col = None;
+            for (c, v) in sparse.row(r) {
+                if let Some(p) = prev_col {
+                    prop_assert!(c > p, "columns must be strictly ascending");
+                }
+                prev_col = Some(c);
+                prop_assert!((v - reference.get(r, c)).abs() <= 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Regression test for caller help-draining in the thread pool.
+//!
+//! `Pool::run_chunks` lets the calling thread help drain the queue.  It must
+//! only execute tasks of its *own* call: a task of a sibling call could
+//! re-enter a kernel whose thread-local scratch the caller currently has
+//! borrowed (the GEMM driver holds its packed-B `RefCell` across an inner
+//! parallel loop), double-borrowing and panicking.  This reproduces that
+//! shape: coarse tasks that each hold a thread-local borrow while running a
+//! nested parallel loop — exactly what pipeline stage 4 (per-orbit
+//! refinement calling blocked GEMM) does.
+//!
+//! This lives in its own integration-test binary because it sets
+//! `HTC_NUM_THREADS` for the whole process: as the only test here, nothing
+//! races the env mutation.
+
+use htc_linalg::parallel::{parallel_chunks, parallel_task_map};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+#[test]
+fn caller_never_drains_sibling_tasks_into_held_scratch() {
+    // Force real pool usage even on single-core CI machines.
+    std::env::set_var("HTC_NUM_THREADS", "4");
+
+    for _round in 0..50 {
+        let total = AtomicUsize::new(0);
+        let results = parallel_task_map(8, |i| {
+            SCRATCH.with(|cell| {
+                // Emulate the GEMM driver: hold the thread-local borrow
+                // across a nested parallel loop.  If the nested loop's
+                // help-drain executed a sibling of *this* outer call on the
+                // same thread, that sibling's `borrow_mut` would panic.
+                let _guard = cell.borrow_mut();
+                let inner = AtomicUsize::new(0);
+                parallel_chunks(100_000, |start, end| {
+                    inner.fetch_add(end - start, Ordering::Relaxed);
+                });
+                total.fetch_add(inner.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+            i * 2
+        });
+        assert_eq!(results, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 100_000);
+    }
+
+    std::env::remove_var("HTC_NUM_THREADS");
+}

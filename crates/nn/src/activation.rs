@@ -61,9 +61,40 @@ impl Activation {
         m.map(|v| self.apply_scalar(v))
     }
 
+    /// Applies the activation element-wise, writing into `out` (resized as
+    /// needed, reusing its allocation).
+    pub fn apply_into(self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.map_from(m, |v| self.apply_scalar(v));
+    }
+
     /// Element-wise derivative evaluated at the pre-activation matrix.
     pub fn derivative(self, pre_activation: &DenseMatrix) -> DenseMatrix {
         pre_activation.map(|v| self.derivative_scalar(v))
+    }
+
+    /// Fused backprop step: `dz[i] = grad_out[i] * f'(pre_activation[i])` in
+    /// one traversal, writing into `dz` (resized as needed).
+    ///
+    /// Replaces the two-pass `derivative` + `hadamard` sequence (which
+    /// materialised the derivative matrix) on the training hot path.
+    ///
+    /// # Panics
+    /// Panics if the two input shapes differ.
+    pub fn backprop_into(
+        self,
+        pre_activation: &DenseMatrix,
+        grad_out: &DenseMatrix,
+        dz: &mut DenseMatrix,
+    ) {
+        assert_eq!(
+            pre_activation.shape(),
+            grad_out.shape(),
+            "pre-activation and output gradient must have the same shape"
+        );
+        dz.copy_from(grad_out);
+        for (d, &z) in dz.data_mut().iter_mut().zip(pre_activation.data()) {
+            *d *= self.derivative_scalar(z);
+        }
     }
 }
 
@@ -107,6 +138,31 @@ mod tests {
         assert_eq!(relu.data(), &[0.0, 0.0, 2.0]);
         let grad = Activation::Relu.derivative(&m);
         assert_eq!(grad.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn fused_backprop_matches_two_pass() {
+        let z = DenseMatrix::from_vec(2, 2, vec![-1.0, 0.5, 2.0, -0.2]).unwrap();
+        let g = DenseMatrix::from_vec(2, 2, vec![0.3, -0.7, 1.1, 0.9]).unwrap();
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let two_pass = g.hadamard(&act.derivative(&z)).unwrap();
+            let mut fused = DenseMatrix::zeros(0, 0);
+            act.backprop_into(&z, &g, &mut fused);
+            assert!(fused.approx_eq(&two_pass, 0.0), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let m = DenseMatrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        let mut out = DenseMatrix::zeros(5, 5);
+        Activation::Sigmoid.apply_into(&m, &mut out);
+        assert!(out.approx_eq(&Activation::Sigmoid.apply(&m), 0.0));
     }
 
     #[test]

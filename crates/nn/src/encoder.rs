@@ -21,7 +21,11 @@ use htc_linalg::{CsrMatrix, DenseMatrix, LinalgError};
 use rand::rngs::StdRng;
 
 /// Intermediate quantities of one forward pass, needed for backpropagation.
-#[derive(Debug, Clone)]
+///
+/// A cache is reusable: passing the same instance to
+/// [`GcnEncoder::forward_cached_into`] across epochs reuses every internal
+/// allocation, so steady-state training performs no per-product allocation.
+#[derive(Debug, Clone, Default)]
 pub struct ForwardCache {
     /// Propagated inputs `P_l = L̃ · H^{l-1}` for every layer.
     propagated: Vec<DenseMatrix>,
@@ -29,12 +33,45 @@ pub struct ForwardCache {
     pre_activations: Vec<DenseMatrix>,
     /// Final output `H^L`.
     output: DenseMatrix,
+    /// Ping buffer for the intermediate hidden states `H^1 … H^{L-1}` (only
+    /// one is live at a time during a forward sweep).
+    hidden: DenseMatrix,
 }
 
 impl ForwardCache {
+    /// Creates an empty cache; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The final embedding of this forward pass.
     pub fn output(&self) -> &DenseMatrix {
         &self.output
+    }
+
+    /// Ensures the per-layer vectors hold exactly `layers` entries.
+    fn ensure_layers(&mut self, layers: usize) {
+        self.propagated.resize(layers, DenseMatrix::zeros(0, 0));
+        self.pre_activations.resize(layers, DenseMatrix::zeros(0, 0));
+    }
+}
+
+/// Scratch buffers for [`GcnEncoder::backward_into`]; reusable across calls
+/// so steady-state backpropagation performs no per-product allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardScratch {
+    /// Current upstream gradient `∂loss/∂H^l`.
+    grad_h: DenseMatrix,
+    /// Pre-activation gradient `dZ_l`.
+    dz: DenseMatrix,
+    /// Intermediate product `dZ_l · W_lᵀ`.
+    dz_w: DenseMatrix,
+}
+
+impl BackwardScratch {
+    /// Creates empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -134,21 +171,42 @@ impl GcnEncoder {
         propagator: &CsrMatrix,
         features: &DenseMatrix,
     ) -> Result<ForwardCache, LinalgError> {
-        let mut propagated = Vec::with_capacity(self.num_layers());
-        let mut pre_activations = Vec::with_capacity(self.num_layers());
-        let mut h = features.clone();
-        for (w, act) in self.weights.iter().zip(&self.activations) {
-            let p = propagator.matmul_dense(&h)?;
-            let z = p.matmul(w)?;
-            h = act.apply(&z);
-            propagated.push(p);
-            pre_activations.push(z);
-        }
-        Ok(ForwardCache {
+        let mut cache = ForwardCache::new();
+        self.forward_cached_into(propagator, features, &mut cache)?;
+        Ok(cache)
+    }
+
+    /// Like [`GcnEncoder::forward_cached`], but writes into a caller-owned
+    /// cache, reusing its buffers.  This is the allocation-free path the
+    /// training loop runs every `(graph, orbit, epoch)` combination.
+    pub fn forward_cached_into(
+        &self,
+        propagator: &CsrMatrix,
+        features: &DenseMatrix,
+        cache: &mut ForwardCache,
+    ) -> Result<(), LinalgError> {
+        let layers = self.num_layers();
+        cache.ensure_layers(layers);
+        let ForwardCache {
             propagated,
             pre_activations,
-            output: h,
-        })
+            output,
+            hidden,
+        } = cache;
+        for l in 0..layers {
+            // P_l = L̃ · H^{l-1} (layer 0 reads the features directly).
+            if l == 0 {
+                propagator.matmul_dense_into(features, &mut propagated[0])?;
+            } else {
+                propagator.matmul_dense_into(hidden, &mut propagated[l])?;
+            }
+            // Z_l = P_l · W^l.
+            propagated[l].matmul_into(&self.weights[l], &mut pre_activations[l])?;
+            // H^l = f_l(Z_l); the last layer writes the output slot.
+            let dst = if l + 1 == layers { &mut *output } else { &mut *hidden };
+            self.activations[l].apply_into(&pre_activations[l], dst);
+        }
+        Ok(())
     }
 
     /// Backpropagates `grad_output = ∂loss/∂H^L` through the cached forward
@@ -162,26 +220,48 @@ impl GcnEncoder {
         cache: &ForwardCache,
         grad_output: &DenseMatrix,
     ) -> Result<Vec<DenseMatrix>, LinalgError> {
-        let layers = self.num_layers();
         let mut grads: Vec<DenseMatrix> = self
             .weights
             .iter()
             .map(|w| DenseMatrix::zeros(w.rows(), w.cols()))
             .collect();
-        let mut grad_h = grad_output.clone();
+        let mut scratch = BackwardScratch::new();
+        self.backward_into(propagator, cache, grad_output, &mut grads, &mut scratch)?;
+        Ok(grads)
+    }
+
+    /// Like [`GcnEncoder::backward`], but overwrites caller-owned gradient
+    /// matrices and reuses caller-owned scratch buffers.
+    ///
+    /// `grads` must hold one matrix per layer (any shape — they are resized).
+    ///
+    /// # Panics
+    /// Panics if `grads.len()` differs from the number of layers.
+    pub fn backward_into(
+        &self,
+        propagator: &CsrMatrix,
+        cache: &ForwardCache,
+        grad_output: &DenseMatrix,
+        grads: &mut [DenseMatrix],
+        scratch: &mut BackwardScratch,
+    ) -> Result<(), LinalgError> {
+        let layers = self.num_layers();
+        assert_eq!(grads.len(), layers, "one gradient slot per layer");
+        let BackwardScratch { grad_h, dz, dz_w } = scratch;
+        grad_h.copy_from(grad_output);
         for l in (0..layers).rev() {
-            // dZ_l = dH_l ∘ f'(Z_l)
-            let dz = grad_h.hadamard(&self.activations[l].derivative(&cache.pre_activations[l]))?;
-            // dW_l = P_lᵀ dZ_l
-            grads[l] = cache.propagated[l].transpose().matmul(&dz)?;
+            // dZ_l = dH_l ∘ f'(Z_l), fused into one traversal.
+            self.activations[l].backprop_into(&cache.pre_activations[l], grad_h, dz);
+            // dW_l = P_lᵀ dZ_l, without materialising the transpose.
+            cache.propagated[l].transposed_matmul_into(dz, &mut grads[l])?;
             if l > 0 {
                 // dH_{l-1} = L̃ᵀ (dZ_l W_lᵀ); the propagator is symmetric so
                 // L̃ᵀ = L̃.
-                let dz_w = dz.matmul_transpose(&self.weights[l])?;
-                grad_h = propagator.matmul_dense(&dz_w)?;
+                dz.matmul_transpose_into(&self.weights[l], dz_w)?;
+                propagator.matmul_dense_into(dz_w, grad_h)?;
             }
         }
-        Ok(grads)
+        Ok(())
     }
 }
 

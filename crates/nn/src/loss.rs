@@ -32,6 +32,24 @@ pub fn reconstruction_loss(target: &CsrMatrix, embedding: &DenseMatrix) -> f64 {
     target.frobenius_norm_sq() - 2.0 * trace_hah + gram.frobenius_norm_sq()
 }
 
+/// Reusable intermediates for [`reconstruction_loss_and_grad_into`]; holding
+/// one instance across training epochs makes the loss evaluation
+/// allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct LossScratch {
+    /// `A·H` (`n × d`).
+    a_h: DenseMatrix,
+    /// `HᵀH` (`d × d`).
+    gram: DenseMatrix,
+}
+
+impl LossScratch {
+    /// Creates empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Returns the loss together with its gradient with respect to the embedding.
 ///
 /// The target matrix must be symmetric (all orbit Laplacians are).
@@ -39,29 +57,43 @@ pub fn reconstruction_loss_and_grad(
     target: &CsrMatrix,
     embedding: &DenseMatrix,
 ) -> (f64, DenseMatrix) {
+    let mut grad = DenseMatrix::zeros(0, 0);
+    let mut scratch = LossScratch::new();
+    let loss = reconstruction_loss_and_grad_into(target, embedding, &mut grad, &mut scratch);
+    (loss, grad)
+}
+
+/// Like [`reconstruction_loss_and_grad`], but writes the gradient into `grad`
+/// (resized as needed) and reuses caller-owned scratch buffers.
+pub fn reconstruction_loss_and_grad_into(
+    target: &CsrMatrix,
+    embedding: &DenseMatrix,
+    grad: &mut DenseMatrix,
+    scratch: &mut LossScratch,
+) -> f64 {
     assert_eq!(
         target.rows(),
         embedding.rows(),
         "target and embedding must describe the same node set"
     );
-    let a_h = target
-        .matmul_dense(embedding)
+    let LossScratch { a_h, gram } = scratch;
+    target
+        .matmul_dense_into(embedding, a_h)
         .expect("shapes checked above");
-    let gram = embedding.gram();
-    let h_gram = embedding
-        .matmul(&gram)
+    embedding.transposed_matmul_into(embedding, gram).expect("self-product shapes agree");
+    embedding
+        .matmul_into(gram, grad)
         .expect("gram has matching dimensions");
 
     let trace_hah = embedding
-        .frobenius_dot(&a_h)
+        .frobenius_dot(a_h)
         .expect("same shape by construction");
     let loss = target.frobenius_norm_sq() - 2.0 * trace_hah + gram.frobenius_norm_sq();
 
-    let mut grad = h_gram;
-    grad.add_scaled_inplace(&a_h, -1.0)
+    grad.add_scaled_inplace(a_h, -1.0)
         .expect("same shape by construction");
     grad.scale_inplace(4.0);
-    (loss, grad)
+    loss
 }
 
 #[cfg(test)]
