@@ -57,10 +57,8 @@ impl Aligner for Cenalp {
         let attr_sim = attribute_similarity(source, target)?;
 
         // Current anchor set (source -> target), initialised with the seeds.
-        let mut anchors: BTreeMap<usize, usize> = seeds
-            .anchors()
-            .filter(|&(s, t)| s < ns && t < nt)
-            .collect();
+        let mut anchors: BTreeMap<usize, usize> =
+            seeds.anchors().filter(|&(s, t)| s < ns && t < nt).collect();
         let mut matched_targets: BTreeSet<usize> = anchors.values().copied().collect();
 
         // The score matrix accumulates attribute similarity plus a structural
@@ -94,9 +92,7 @@ impl Aligner for Cenalp {
             // Promote the highest-confidence candidates (greedy one-to-one).
             let mut ranked: Vec<((usize, usize), f64)> = candidate_scores
                 .into_iter()
-                .map(|((s, t), structural)| {
-                    ((s, t), structural + attr_sim.get(s, t))
-                })
+                .map(|((s, t), structural)| ((s, t), structural + attr_sim.get(s, t)))
                 .collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             let mut promoted = 0usize;
@@ -131,7 +127,9 @@ mod tests {
     fn pair(n: usize) -> (AttributedNetwork, AttributedNetwork, GroundTruth) {
         let mut rng = seeded_rng(11);
         let g = watts_strogatz(n, 4, 0.1, &mut rng);
-        let data: Vec<f64> = (0..n * 5).map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
+        let data: Vec<f64> = (0..n * 5)
+            .map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let x = DenseMatrix::from_vec(n, 5, data).unwrap();
         (
             AttributedNetwork::new(g.clone(), x.clone()).unwrap(),

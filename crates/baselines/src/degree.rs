@@ -40,8 +40,18 @@ impl Aligner for DegreeAttr {
             .max_degree()
             .max(target.graph().max_degree())
             .max(1) as f64;
-        let deg_s: Vec<f64> = source.graph().degrees().iter().map(|&d| d as f64 / max_deg).collect();
-        let deg_t: Vec<f64> = target.graph().degrees().iter().map(|&d| d as f64 / max_deg).collect();
+        let deg_s: Vec<f64> = source
+            .graph()
+            .degrees()
+            .iter()
+            .map(|&d| d as f64 / max_deg)
+            .collect();
+        let deg_t: Vec<f64> = target
+            .graph()
+            .degrees()
+            .iter()
+            .map(|&d| d as f64 / max_deg)
+            .collect();
         let mut scores = attr;
         for (i, &ds) in deg_s.iter().enumerate() {
             for (j, &dt) in deg_t.iter().enumerate() {
@@ -66,7 +76,9 @@ mod tests {
         let x = DenseMatrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]).unwrap();
         let s = AttributedNetwork::new(g.clone(), x.clone()).unwrap();
         let t = AttributedNetwork::new(g, x).unwrap();
-        let m = DegreeAttr::new().align(&s, &t, &GroundTruth::identity(0)).unwrap();
+        let m = DegreeAttr::new()
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
         assert_eq!(row_argmax(&m), vec![0, 1, 2, 3]);
     }
 
@@ -81,7 +93,9 @@ mod tests {
     fn handles_differently_sized_graphs() {
         let s = AttributedNetwork::topology_only(Graph::path(3));
         let t = AttributedNetwork::topology_only(Graph::path(5));
-        let m = DegreeAttr::new().align(&s, &t, &GroundTruth::identity(0)).unwrap();
+        let m = DegreeAttr::new()
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
         assert_eq!(m.shape(), (3, 5));
     }
 }

@@ -133,7 +133,9 @@ mod tests {
         let bad_t = t
             .with_attributes(DenseMatrix::zeros(t.num_nodes(), 7))
             .unwrap();
-        assert!(Final::default().align(&s, &bad_t, &GroundTruth::identity(5)).is_err());
+        assert!(Final::default()
+            .align(&s, &bad_t, &GroundTruth::identity(5))
+            .is_err());
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Aligner for GAlign {
 
         // Shared encoder trained to reconstruct every view.
         let mut dims = vec![source.attr_dim()];
-        dims.extend(std::iter::repeat(self.embedding_dim).take(self.num_layers));
+        dims.extend(std::iter::repeat_n(self.embedding_dim, self.num_layers));
         let mut encoder = GcnEncoder::new(&dims, Activation::Tanh, &mut rng);
         let mut adam = Adam::for_parameters(self.learning_rate, encoder.weights());
         let views: Vec<(&CsrMatrix, &DenseMatrix)> = vec![
@@ -172,9 +172,9 @@ mod tests {
         let mut rng = seeded_rng(21);
         let (g, labels) = planted_partition(n, 4, 0.25, 0.02, &mut rng);
         let mut data = Vec::with_capacity(n * 6);
-        for u in 0..n {
+        for &label in labels.iter().take(n) {
             for b in 0..6 {
-                let base = if labels[u] % 6 == b { 1.0 } else { 0.0 };
+                let base = if label % 6 == b { 1.0 } else { 0.0 };
                 let flip = rng.gen::<f64>() < 0.05;
                 data.push(if flip { 1.0 - base } else { base });
             }
@@ -190,7 +190,9 @@ mod tests {
     #[test]
     fn aligns_identical_graphs_better_than_chance() {
         let (s, t, _) = pair(40);
-        let m = GAlign::new(5).align(&s, &t, &GroundTruth::new(vec![None; 40])).unwrap();
+        let m = GAlign::new(5)
+            .align(&s, &t, &GroundTruth::new(vec![None; 40]))
+            .unwrap();
         let best = row_argmax(&m);
         let correct = best.iter().enumerate().filter(|&(i, &j)| i == j).count();
         assert!(correct >= 8, "only {correct}/40 correct (chance ≈ 1)");
@@ -216,6 +218,8 @@ mod tests {
     fn rejects_mismatched_attribute_spaces() {
         let (s, t, _) = pair(10);
         let bad = t.with_attributes(DenseMatrix::zeros(10, 2)).unwrap();
-        assert!(GAlign::new(0).align(&s, &bad, &GroundTruth::identity(0)).is_err());
+        assert!(GAlign::new(0)
+            .align(&s, &bad, &GroundTruth::identity(0))
+            .is_err());
     }
 }

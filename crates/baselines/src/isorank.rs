@@ -122,14 +122,19 @@ mod tests {
                 diag_better += 1;
             }
         }
-        assert!(diag_better >= 4, "only {diag_better} diagonal entries beat their row mean");
+        assert!(
+            diag_better >= 4,
+            "only {diag_better} diagonal entries beat their row mean"
+        );
         let _ = gt;
     }
 
     #[test]
     fn scores_are_finite_and_nonnegative() {
         let (s, t, _) = ring_pair();
-        let m = IsoRank::default().align(&s, &t, &GroundTruth::identity(0)).unwrap();
+        let m = IsoRank::default()
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
         assert!(m.data().iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 

@@ -166,13 +166,24 @@ mod tests {
         // A small graph with heterogeneous degrees plus distinct attributes.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5), (5, 6), (6, 3)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
         )
         .unwrap();
         let x = DenseMatrix::from_vec(
             7,
             2,
-            vec![1.0, 0.0, 0.9, 0.1, 0.1, 0.9, 0.5, 0.5, 0.0, 1.0, 0.3, 0.7, 0.7, 0.3],
+            vec![
+                1.0, 0.0, 0.9, 0.1, 0.1, 0.9, 0.5, 0.5, 0.0, 1.0, 0.3, 0.7, 0.7, 0.3,
+            ],
         )
         .unwrap();
         (
@@ -184,7 +195,9 @@ mod tests {
     #[test]
     fn identical_graphs_align_mostly_on_diagonal() {
         let (s, t) = pair();
-        let m = Regal::new(3).align(&s, &t, &GroundTruth::identity(0)).unwrap();
+        let m = Regal::new(3)
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
         let best = row_argmax(&m);
         let correct = best.iter().enumerate().filter(|&(i, &j)| i == j).count();
         assert!(correct >= 5, "only {correct}/7 correct");
@@ -212,14 +225,20 @@ mod tests {
     fn mismatched_attributes_error() {
         let (s, t) = pair();
         let bad = t.with_attributes(DenseMatrix::zeros(7, 5)).unwrap();
-        assert!(Regal::new(0).align(&s, &bad, &GroundTruth::identity(0)).is_err());
+        assert!(Regal::new(0)
+            .align(&s, &bad, &GroundTruth::identity(0))
+            .is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (s, t) = pair();
-        let a = Regal::new(9).align(&s, &t, &GroundTruth::identity(0)).unwrap();
-        let b = Regal::new(9).align(&s, &t, &GroundTruth::identity(0)).unwrap();
+        let a = Regal::new(9)
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
+        let b = Regal::new(9)
+            .align(&s, &t, &GroundTruth::identity(0))
+            .unwrap();
         assert!(a.approx_eq(&b, 0.0));
     }
 }

@@ -56,11 +56,7 @@ pub trait Aligner {
 
 /// Builds the prior alignment matrix used by IsoRank/FINAL: seed pairs get
 /// weight 1, everything else a small uniform mass.
-pub fn seed_prior(
-    num_source: usize,
-    num_target: usize,
-    seeds: &GroundTruth,
-) -> DenseMatrix {
+pub fn seed_prior(num_source: usize, num_target: usize, seeds: &GroundTruth) -> DenseMatrix {
     let uniform = 1.0 / (num_source.max(1) * num_target.max(1)) as f64;
     let mut h = DenseMatrix::filled(num_source, num_target, uniform);
     for (s, t) in seeds.anchors() {
@@ -98,9 +94,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BaselineError::IncompatibleInputs("x".into()).to_string().contains("x"));
-        assert!(BaselineError::MissingSupervision("PALE").to_string().contains("PALE"));
-        assert!(BaselineError::Numerical("nan".into()).to_string().contains("nan"));
+        assert!(BaselineError::IncompatibleInputs("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(BaselineError::MissingSupervision("PALE")
+            .to_string()
+            .contains("PALE"));
+        assert!(BaselineError::Numerical("nan".into())
+            .to_string()
+            .contains("nan"));
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! original (pre-blocking) row-parallel kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use htc_linalg::parallel::parallel_rows_mut;
 use htc_core::laplacian::{orbit_laplacian, orbit_laplacians};
 use htc_core::lisi::{lisi_matrix, trusted_pairs};
 use htc_core::training::train_multi_orbit;
 use htc_core::HtcConfig;
 use htc_datasets::{generate_pair, SyntheticPairConfig};
 use htc_graph::generators::{barabasi_albert, seeded_rng};
+use htc_linalg::parallel::parallel_rows_mut;
 use htc_linalg::DenseMatrix;
 use htc_nn::{Activation, GcnEncoder};
 use htc_orbits::{count_edge_orbits, GomSet, GomWeighting};
@@ -139,9 +139,13 @@ fn bench_gemm(c: &mut Criterion) {
     for &n in &[128usize, 512, 1024] {
         let a = random_matrix(n, n, 10 + n as u64);
         let b = random_matrix(n, n, 20 + n as u64);
-        group.bench_with_input(BenchmarkId::new("seed_kernel", n), &(a, b), |bch, (a, b)| {
-            bch.iter(|| seed_matmul(a, b));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("seed_kernel", n),
+            &(a, b),
+            |bch, (a, b)| {
+                bch.iter(|| seed_matmul(a, b));
+            },
+        );
     }
     for &n in &[128usize, 512, 1024] {
         let a = random_matrix(n, 64, 30 + n as u64);
@@ -166,11 +170,20 @@ fn bench_lisi(c: &mut Criterion) {
         let ht_data: Vec<f64> = (0..n * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let hs = DenseMatrix::from_vec(n, 64, hs_data).unwrap();
         let ht = DenseMatrix::from_vec(n, 64, ht_data).unwrap();
-        group.bench_with_input(BenchmarkId::new("lisi_matrix", n), &(hs, ht), |b, (hs, ht)| {
-            b.iter(|| lisi_matrix(hs, ht, 20));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lisi_matrix", n),
+            &(hs, ht),
+            |b, (hs, ht)| {
+                b.iter(|| lisi_matrix(hs, ht, 20));
+            },
+        );
     }
-    let hs = DenseMatrix::from_vec(400, 32, (0..400 * 32).map(|i| (i % 97) as f64 * 0.01).collect()).unwrap();
+    let hs = DenseMatrix::from_vec(
+        400,
+        32,
+        (0..400 * 32).map(|i| (i % 97) as f64 * 0.01).collect(),
+    )
+    .unwrap();
     let lisi = lisi_matrix(&hs, &hs, 20);
     group.bench_function("trusted_pairs_400x400", |b| {
         b.iter(|| trusted_pairs(&lisi));

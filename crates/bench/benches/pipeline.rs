@@ -45,13 +45,17 @@ fn bench_variants(c: &mut Criterion) {
     let pair = bench_pair(150);
     for variant in HtcVariant::all() {
         let config = variant.configure(&htc_config());
-        group.bench_with_input(BenchmarkId::from_parameter(variant.name()), &config, |b, config| {
-            b.iter(|| {
-                HtcAligner::new(config.clone())
-                    .align(&pair.source, &pair.target)
-                    .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    HtcAligner::new(config.clone())
+                        .align(&pair.source, &pair.target)
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -66,17 +70,30 @@ fn bench_baselines(c: &mut Criterion) {
     let mut methods: Vec<Box<dyn Aligner>> = table2_baselines(1);
     methods.push(Box::new(DegreeAttr::new()));
     for method in &methods {
-        let supervision = if method.is_supervised() { &seeds } else { &unsupervised };
+        let supervision = if method.is_supervised() {
+            &seeds
+        } else {
+            &unsupervised
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(method.name()),
             method,
             |b, method| {
-                b.iter(|| method.align(&pair.source, &pair.target, supervision).unwrap());
+                b.iter(|| {
+                    method
+                        .align(&pair.source, &pair.target, supervision)
+                        .unwrap()
+                });
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_htc_end_to_end, bench_variants, bench_baselines);
+criterion_group!(
+    benches,
+    bench_htc_end_to_end,
+    bench_variants,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -10,21 +10,98 @@
 //! Without `--out` the JSON is written to `BENCH_pipeline.json` in the
 //! current directory.  `--runs N` repeats each alignment N times and reports
 //! the minimum per-stage time (the usual criterion-style noise floor).
+//!
+//! Besides the per-dataset pairwise decomposition, the artifact carries a
+//! `one_vs_many` scenario measuring the session API's artifact reuse: one
+//! catalog source served against several targets through
+//! `AlignmentSession::align_many` (orbit counting + training once) versus the
+//! same targets aligned independently (the only option before the session
+//! API).
 
 use htc_bench::{htc_config_for_scale, parse_args};
-use htc_core::HtcAligner;
-use htc_datasets::{generate_pair, DatasetPreset};
-use std::fmt::Write as _;
+use htc_core::pipeline::stages;
+use htc_core::{AlignmentSession, HtcAligner};
+use htc_datasets::{generate_pair, DatasetPreset, Scale};
+use htc_graph::generators::{random_permutation, seeded_rng};
+use htc_graph::perturb::{permute_network, remove_edges};
+use htc_graph::AttributedNetwork;
 use std::time::Instant;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Times the one-vs-many serving scenario and renders its JSON object.
+fn one_vs_many_json(scale: Scale) -> String {
+    const NUM_TARGETS: usize = 3;
+    let config = htc_config_for_scale(scale);
+    let preset = DatasetPreset::Douban;
+    let pair = generate_pair(&preset.config(scale));
+    let source = pair.source;
+    let targets: Vec<AttributedNetwork> = (0..NUM_TARGETS)
+        .map(|i| {
+            let mut rng = seeded_rng(1000 + i as u64);
+            let noisy = AttributedNetwork::new(
+                remove_edges(source.graph(), 0.1, &mut rng),
+                source.attributes().clone(),
+            )
+            .expect("node count unchanged");
+            permute_network(&noisy, &random_permutation(source.num_nodes(), &mut rng))
+        })
+        .collect();
+
+    eprintln!(
+        "[bench_pipeline] one-vs-many scenario: {} vs {NUM_TARGETS} targets (independent runs)",
+        pair.name
+    );
+    let start = Instant::now();
+    for target in &targets {
+        HtcAligner::new(config.clone())
+            .align(&source, target)
+            .expect("generated datasets satisfy the input contract");
+    }
+    let independent = start.elapsed().as_secs_f64();
+
+    eprintln!("[bench_pipeline] one-vs-many scenario: session align_many");
+    let mut session =
+        AlignmentSession::new(config, &source).expect("generated datasets satisfy the contract");
+    let start = Instant::now();
+    let results = session
+        .align_many(&targets)
+        .expect("generated datasets satisfy the input contract");
+    let session_secs = start.elapsed().as_secs_f64();
+    assert_eq!(results.len(), NUM_TARGETS);
+    assert_eq!(session.timer().count(stages::TRAINING), 1);
+
+    let shared_secs = session.timer().total().as_secs_f64();
+    let per_target_secs: Vec<String> = results
+        .iter()
+        .map(|r| format!("{:.6}", r.timer().total().as_secs_f64()))
+        .collect();
+    format!(
+        "  \"one_vs_many\": {{\"dataset\": \"{}\", \"targets\": {}, \
+         \"independent_seconds\": {:.6}, \"session_seconds\": {:.6}, \"speedup\": {:.3}, \
+         \"shared_stage_seconds\": {:.6}, \"per_target_seconds\": [{}], \
+         \"source_counting_runs\": {}, \"training_runs\": {}}}",
+        json_escape(&pair.name),
+        NUM_TARGETS,
+        independent,
+        session_secs,
+        independent / session_secs.max(1e-12),
+        shared_secs,
+        per_target_secs.join(", "),
+        session.timer().count(stages::ORBIT_COUNTING),
+        session.timer().count(stages::TRAINING),
+    )
+}
+
 fn main() {
     let args = parse_args(std::env::args().skip(1));
     let config = htc_config_for_scale(args.scale);
-    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
     // Fail on an unwritable artifact path *before* spending minutes
     // benchmarking, not after.
     if let Err(e) = std::fs::write(&out_path, "{}\n") {
@@ -35,7 +112,10 @@ fn main() {
     let mut datasets_json = Vec::new();
     for preset in DatasetPreset::real_world() {
         let pair = generate_pair(&preset.config(args.scale));
-        eprintln!("[bench_pipeline] timing HTC on {} ({} runs)", pair.name, args.runs);
+        eprintln!(
+            "[bench_pipeline] timing HTC on {} ({} runs)",
+            pair.name, args.runs
+        );
 
         // Per-stage minima across runs, preserving stage order from run 0.
         let mut stage_names: Vec<String> = Vec::new();
@@ -59,17 +139,14 @@ fn main() {
             }
         }
 
-        let mut stages = String::new();
-        for (i, (name, secs)) in stage_names.iter().zip(&stage_best).enumerate() {
-            if i > 0 {
-                stages.push_str(", ");
-            }
-            write!(stages, "{{\"stage\": \"{}\", \"seconds\": {:.6}}}", json_escape(name), secs)
-                .unwrap();
+        let mut best = htc_metrics::StageTimer::new();
+        for (name, &secs) in stage_names.iter().zip(&stage_best) {
+            best.record(name, std::time::Duration::from_secs_f64(secs));
         }
+        let stages = best.stages_json();
         let accounted: f64 = stage_best.iter().sum();
         datasets_json.push(format!(
-            "    {{\"dataset\": \"{}\", \"nodes\": [{}, {}], \"wall_seconds\": {:.6}, \"other_seconds\": {:.6}, \"stages\": [{}]}}",
+            "    {{\"dataset\": \"{}\", \"nodes\": [{}, {}], \"wall_seconds\": {:.6}, \"other_seconds\": {:.6}, \"stages\": {}}}",
             json_escape(&pair.name),
             pair.source.num_nodes(),
             pair.target.num_nodes(),
@@ -79,12 +156,15 @@ fn main() {
         ));
     }
 
+    let one_vs_many = one_vs_many_json(args.scale);
+
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v1\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v2\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"datasets\": [\n{}\n  ],\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),
-        datasets_json.join(",\n")
+        datasets_json.join(",\n"),
+        one_vs_many
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark artifact");
     eprintln!("[bench_pipeline] wrote {out_path}");

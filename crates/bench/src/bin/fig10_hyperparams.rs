@@ -36,34 +36,57 @@ fn main() {
             for k in [1usize, 3, 5, 7, 9, 11, 13] {
                 eprintln!("[fig10a] {} with K={k}", pair.name);
                 let p1 = evaluate(pair, base.clone().with_num_orbits(k));
-                table.add_row(vec!["K (orbits)".into(), pair.name.clone(), k.to_string(), format!("{p1:.4}")]);
+                table.add_row(vec![
+                    "K (orbits)".into(),
+                    pair.name.clone(),
+                    k.to_string(),
+                    format!("{p1:.4}"),
+                ]);
             }
         }
         if which == "d" || which == "all" {
             for d in [8usize, 16, 32, 64, 128, 200] {
                 eprintln!("[fig10b] {} with d={d}", pair.name);
                 let p1 = evaluate(pair, base.clone().with_embedding_dim(d));
-                table.add_row(vec!["d (dimension)".into(), pair.name.clone(), d.to_string(), format!("{p1:.4}")]);
+                table.add_row(vec![
+                    "d (dimension)".into(),
+                    pair.name.clone(),
+                    d.to_string(),
+                    format!("{p1:.4}"),
+                ]);
             }
         }
         if which == "m" || which == "all" {
             for m in [5usize, 10, 20, 50, 100] {
                 eprintln!("[fig10c] {} with m={m}", pair.name);
                 let p1 = evaluate(pair, base.clone().with_nearest_neighbors(m));
-                table.add_row(vec!["m (neighbours)".into(), pair.name.clone(), m.to_string(), format!("{p1:.4}")]);
+                table.add_row(vec![
+                    "m (neighbours)".into(),
+                    pair.name.clone(),
+                    m.to_string(),
+                    format!("{p1:.4}"),
+                ]);
             }
         }
         if which == "beta" || which == "all" {
             for beta in [1.1, 1.3, 1.5, 1.7, 2.0] {
                 eprintln!("[fig10d] {} with beta={beta}", pair.name);
                 let p1 = evaluate(pair, base.clone().with_reinforcement_rate(beta));
-                table.add_row(vec!["beta (reinforcement)".into(), pair.name.clone(), format!("{beta:.1}"), format!("{p1:.4}")]);
+                table.add_row(vec![
+                    "beta (reinforcement)".into(),
+                    pair.name.clone(),
+                    format!("{beta:.1}"),
+                    format!("{p1:.4}"),
+                ]);
             }
         }
     }
 
     print_table(
-        &format!("Fig. 10: hyper-parameter sensitivity ({:?} scale, sweep = {which})", args.scale),
+        &format!(
+            "Fig. 10: hyper-parameter sensitivity ({:?} scale, sweep = {which})",
+            args.scale
+        ),
         "fig10",
         &table,
     );

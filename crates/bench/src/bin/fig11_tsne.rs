@@ -45,7 +45,11 @@ fn main() {
     let laps_s = orbit_laplacians(&goms_s);
     let laps_t = orbit_laplacians(&goms_t);
     let mut init_rng = seeded_rng(config.seed);
-    let dims = [pair.source.attr_dim(), config.hidden_dims[0], config.embedding_dim()];
+    let dims = [
+        pair.source.attr_dim(),
+        config.hidden_dims[0],
+        config.embedding_dim(),
+    ];
     let untrained = GcnEncoder::new(&dims, Activation::Tanh, &mut init_rng);
     let before_s = generate_embeddings(&untrained, &laps_s, pair.source.attributes()).unwrap();
     let before_t = generate_embeddings(&untrained, &laps_t, pair.target.attributes()).unwrap();
@@ -62,19 +66,36 @@ fn main() {
         iterations: 300,
         ..TsneConfig::default()
     };
-    println!("{}", tsv_line("fig11", &["phase", "orbit", "side", "node", "x", "y"]).trim_end());
+    println!(
+        "{}",
+        tsv_line("fig11", &["phase", "orbit", "side", "node", "x", "y"]).trim_end()
+    );
     for &orbit in &ORBITS {
         for (phase, hs, ht) in [
-            ("before", &before_s[orbit.min(before_s.len() - 1)], &before_t[orbit.min(before_t.len() - 1)]),
-            ("after", &refined[orbit.min(refined.len() - 1)].0, &refined[orbit.min(refined.len() - 1)].1),
+            (
+                "before",
+                &before_s[orbit.min(before_s.len() - 1)],
+                &before_t[orbit.min(before_t.len() - 1)],
+            ),
+            (
+                "after",
+                &refined[orbit.min(refined.len() - 1)].0,
+                &refined[orbit.min(refined.len() - 1)].1,
+            ),
         ] {
             eprintln!("[fig11] t-SNE for orbit {orbit} ({phase})");
             let sampled_s = hs.select_rows(&source_nodes);
             let sampled_t = ht.select_rows(&target_nodes);
-            let stacked = sampled_s.vstack(&sampled_t).expect("same embedding dimension");
+            let stacked = sampled_s
+                .vstack(&sampled_t)
+                .expect("same embedding dimension");
             let coords = tsne(&stacked, &tsne_config);
             for (i, &node) in source_nodes.iter().chain(&target_nodes).enumerate() {
-                let side = if i < source_nodes.len() { "source" } else { "target" };
+                let side = if i < source_nodes.len() {
+                    "source"
+                } else {
+                    "target"
+                };
                 print!(
                     "{}",
                     tsv_line(

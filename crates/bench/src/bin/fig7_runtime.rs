@@ -10,7 +10,9 @@
 //! ```
 
 use htc_baselines::table2_baselines;
-use htc_bench::{align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table};
+use htc_bench::{
+    align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table,
+};
 use htc_datasets::{generate_pair, DatasetPreset};
 
 fn main() {

@@ -7,7 +7,9 @@
 //! ```
 
 use htc_baselines::table2_baselines;
-use htc_bench::{align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table};
+use htc_bench::{
+    align_with_baseline, align_with_htc, htc_config_for_scale, parse_args, print_table, Table,
+};
 use htc_datasets::{generate_pair, SyntheticPairConfig};
 
 fn main() {
@@ -16,9 +18,16 @@ fn main() {
     let ratios = [0.1, 0.2, 0.3, 0.4, 0.5];
     let mut table = Table::new(&["Dataset", "Removal ratio", "Method", "p@1"]);
 
-    let dataset_configs: Vec<(&str, Box<dyn Fn(f64) -> SyntheticPairConfig>)> = vec![
-        ("Econ", Box::new(move |r| SyntheticPairConfig::econ(args.scale, r))),
-        ("BN", Box::new(move |r| SyntheticPairConfig::bn(args.scale, r))),
+    type ConfigFactory = Box<dyn Fn(f64) -> SyntheticPairConfig>;
+    let dataset_configs: Vec<(&str, ConfigFactory)> = vec![
+        (
+            "Econ",
+            Box::new(move |r| SyntheticPairConfig::econ(args.scale, r)),
+        ),
+        (
+            "BN",
+            Box::new(move |r| SyntheticPairConfig::bn(args.scale, r)),
+        ),
     ];
 
     for (name, make_config) in &dataset_configs {
@@ -45,7 +54,10 @@ fn main() {
     }
 
     print_table(
-        &format!("Fig. 9: robustness to edge removal ({:?} scale)", args.scale),
+        &format!(
+            "Fig. 9: robustness to edge removal ({:?} scale)",
+            args.scale
+        ),
         "fig9",
         &table,
     );

@@ -9,7 +9,9 @@ use htc_datasets::{generate_pair, pair_statistics, DatasetPreset};
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
-    let mut table = Table::new(&["Network", "#Edges", "#Nodes", "#Attrs", "Avg. Deg", "#Anchors"]);
+    let mut table = Table::new(&[
+        "Network", "#Edges", "#Nodes", "#Attrs", "Avg. Deg", "#Anchors",
+    ]);
     for preset in DatasetPreset::all() {
         let pair = generate_pair(&preset.config(args.scale));
         let (source, target, anchors) = pair_statistics(&pair);

@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn parse_defaults_and_flags() {
         assert_eq!(args(&[]), HarnessArgs::default());
-        let a = args(&["--scale", "paper", "--which", "k", "--runs", "3", "--out", "x.json"]);
+        let a = args(&[
+            "--scale", "paper", "--which", "k", "--runs", "3", "--out", "x.json",
+        ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.which.as_deref(), Some("k"));
         assert_eq!(a.runs, 3);

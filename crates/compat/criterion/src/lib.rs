@@ -227,7 +227,9 @@ impl Criterion {
     {
         let id = id.into();
         let name = id.to_string();
-        self.benchmark_group(name).sample_size(10).bench_function(id, f);
+        self.benchmark_group(name)
+            .sample_size(10)
+            .bench_function(id, f);
         self
     }
 }

@@ -351,6 +351,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "property test")]
+    #[allow(unnameable_test_items)]
     fn failing_property_panics_with_inputs() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]

@@ -5,6 +5,11 @@ use crate::Result;
 use htc_nn::Activation;
 use htc_orbits::{GomWeighting, NUM_EDGE_ORBITS};
 
+/// Upper bound on the number of diffusion views a configuration may ask for
+/// (shared with the artifact loader in [`crate::persist`], so every view set
+/// a valid session can build is also reloadable).
+pub const MAX_DIFFUSION_VIEWS: usize = 1024;
+
 /// Which topological views feed the encoder.
 ///
 /// `Orbits` is the paper's method; the other modes exist for the ablation
@@ -14,7 +19,8 @@ pub enum TopologyMode {
     /// The first `K` graphlet-orbit matrices (the HTC method; `K = 13` in the
     /// paper).
     Orbits {
-        /// Number of orbits used (clamped to 1–13).
+        /// Number of orbits used (must be 1–13; [`HtcConfig::validate`]
+        /// rejects values outside that range).
         num_orbits: usize,
         /// Weighted or binary GOM entries.
         weighting: GomWeighting,
@@ -33,6 +39,11 @@ pub enum TopologyMode {
 
 impl TopologyMode {
     /// Number of topological views this mode produces.
+    ///
+    /// Out-of-range settings are clamped here only as a last-resort guard for
+    /// callers that bypass validation; the pipeline itself rejects them with a
+    /// descriptive error in [`HtcConfig::validate`] instead of clamping
+    /// silently.
     pub fn num_views(&self) -> usize {
         match *self {
             TopologyMode::Orbits { num_orbits, .. } => num_orbits.clamp(1, NUM_EDGE_ORBITS),
@@ -144,7 +155,10 @@ impl HtcConfig {
 
     /// Embedding (output) dimension `d`.
     pub fn embedding_dim(&self) -> usize {
-        *self.hidden_dims.last().expect("validated: at least one layer")
+        *self
+            .hidden_dims
+            .last()
+            .expect("validated: at least one layer")
     }
 
     /// Number of topological views the configuration will use.
@@ -159,11 +173,15 @@ impl HtcConfig {
                 "hidden_dims must contain at least the embedding dimension".into(),
             ));
         }
-        if self.hidden_dims.iter().any(|&d| d == 0) {
-            return Err(HtcError::InvalidConfig("layer dimensions must be positive".into()));
+        if self.hidden_dims.contains(&0) {
+            return Err(HtcError::InvalidConfig(
+                "layer dimensions must be positive".into(),
+            ));
         }
         if self.learning_rate <= 0.0 {
-            return Err(HtcError::InvalidConfig("learning_rate must be positive".into()));
+            return Err(HtcError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
         }
         if self.epochs == 0 {
             return Err(HtcError::InvalidConfig("epochs must be positive".into()));
@@ -178,12 +196,29 @@ impl HtcConfig {
                 "reinforcement_rate must be greater than 1".into(),
             ));
         }
-        if let TopologyMode::Diffusion { alpha, .. } = self.topology {
-            if !(0.0..1.0).contains(&alpha) {
-                return Err(HtcError::InvalidConfig(
-                    "diffusion teleport probability must be in (0, 1)".into(),
-                ));
+        match self.topology {
+            TopologyMode::Orbits { num_orbits, .. } => {
+                if num_orbits == 0 || num_orbits > NUM_EDGE_ORBITS {
+                    return Err(HtcError::InvalidConfig(format!(
+                        "num_orbits must be between 1 and {NUM_EDGE_ORBITS} \
+                         (the edge orbits of 2-4-node graphlets), got {num_orbits}"
+                    )));
+                }
             }
+            TopologyMode::Diffusion { num_views, alpha } => {
+                if num_views == 0 || num_views > MAX_DIFFUSION_VIEWS {
+                    return Err(HtcError::InvalidConfig(format!(
+                        "diffusion num_views must be between 1 and \
+                         {MAX_DIFFUSION_VIEWS}, got {num_views}"
+                    )));
+                }
+                if alpha <= 0.0 || alpha >= 1.0 {
+                    return Err(HtcError::InvalidConfig(
+                        "diffusion teleport probability must be in (0, 1)".into(),
+                    ));
+                }
+            }
+            TopologyMode::LowOrderOnly => {}
         }
         Ok(())
     }
@@ -281,19 +316,58 @@ mod tests {
         assert!(cfg.validate().is_err());
 
         let mut cfg = HtcConfig::fast();
-        cfg.topology = TopologyMode::Diffusion { num_views: 3, alpha: 1.5 };
+        cfg.topology = TopologyMode::Diffusion {
+            num_views: 3,
+            alpha: 1.5,
+        };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_view_counts_instead_of_clamping() {
+        // num_orbits = 0 and > 13 used to be silently clamped by num_views();
+        // they are now validation errors with a descriptive message.
+        for bad in [0usize, NUM_EDGE_ORBITS + 1, 50] {
+            let cfg = HtcConfig::fast().with_num_orbits(bad);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(&err, HtcError::InvalidConfig(msg) if msg.contains("num_orbits")),
+                "num_orbits = {bad}: {err}"
+            );
+        }
+        let mut cfg = HtcConfig::fast();
+        cfg.topology = TopologyMode::Diffusion {
+            num_views: 0,
+            alpha: 0.15,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(&err, HtcError::InvalidConfig(msg) if msg.contains("num_views")));
+
+        // The boundaries themselves remain valid.
+        assert!(HtcConfig::fast().with_num_orbits(1).validate().is_ok());
+        assert!(HtcConfig::fast()
+            .with_num_orbits(NUM_EDGE_ORBITS)
+            .validate()
+            .is_ok());
     }
 
     #[test]
     fn topology_mode_view_counts() {
         assert_eq!(TopologyMode::LowOrderOnly.num_views(), 1);
         assert_eq!(
-            TopologyMode::Orbits { num_orbits: 50, weighting: GomWeighting::Weighted }.num_views(),
+            TopologyMode::Orbits {
+                num_orbits: 50,
+                weighting: GomWeighting::Weighted
+            }
+            .num_views(),
             13
         );
         assert_eq!(
-            TopologyMode::Diffusion { num_views: 4, alpha: 0.15 }.num_views(),
+            TopologyMode::Diffusion {
+                num_views: 4,
+                alpha: 0.15
+            }
+            .num_views(),
             4
         );
     }

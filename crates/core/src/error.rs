@@ -21,6 +21,14 @@ pub enum HtcError {
     /// An underlying linear-algebra operation failed (this indicates a bug in
     /// the pipeline rather than bad user input).
     Linalg(LinalgError),
+    /// A [`ProgressObserver`](crate::session::ProgressObserver) asked the
+    /// pipeline to stop; the run was abandoned cooperatively.
+    Cancelled,
+    /// Reading or writing a persisted artifact failed at the I/O level.
+    Io(String),
+    /// A persisted artifact is corrupt, truncated, from an unsupported format
+    /// version, or incompatible with the session it was loaded into.
+    Persistence(String),
 }
 
 impl fmt::Display for HtcError {
@@ -33,6 +41,9 @@ impl fmt::Display for HtcError {
             HtcError::EmptyNetwork => write!(f, "input network has no nodes"),
             HtcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HtcError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            HtcError::Cancelled => write!(f, "alignment cancelled by the progress observer"),
+            HtcError::Io(msg) => write!(f, "artifact i/o failure: {msg}"),
+            HtcError::Persistence(msg) => write!(f, "invalid artifact: {msg}"),
         }
     }
 }
@@ -51,11 +62,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = HtcError::AttributeDimensionMismatch { source: 3, target: 5 };
+        let e = HtcError::AttributeDimensionMismatch {
+            source: 3,
+            target: 5,
+        };
         assert!(e.to_string().contains("3"));
         assert!(HtcError::EmptyNetwork.to_string().contains("no nodes"));
-        assert!(HtcError::InvalidConfig("bad".into()).to_string().contains("bad"));
-        let lin: HtcError = LinalgError::DataLength { expected: 1, actual: 2 }.into();
+        assert!(HtcError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        let lin: HtcError = LinalgError::DataLength {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(lin.to_string().contains("linear algebra"));
+        assert!(HtcError::Cancelled.to_string().contains("cancelled"));
+        assert!(HtcError::Io("disk".into()).to_string().contains("disk"));
+        assert!(HtcError::Persistence("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 }

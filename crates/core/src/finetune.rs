@@ -171,7 +171,10 @@ mod tests {
             refinement.trusted_count
         );
         assert!(refinement.iterations >= 1);
-        assert_eq!(refinement.source_embedding.shape(), refinement.target_embedding.shape());
+        assert_eq!(
+            refinement.source_embedding.shape(),
+            refinement.target_embedding.shape()
+        );
     }
 
     #[test]

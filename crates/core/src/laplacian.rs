@@ -118,7 +118,10 @@ mod tests {
         // (not drowned out by) the strongest off-diagonal entry of its row.
         let diag = l.get(1, 1);
         let strongest = l.get(1, 2).max(l.get(1, 0));
-        assert!(diag >= 0.5 * strongest, "diag {diag} vs strongest {strongest}");
+        assert!(
+            diag >= 0.5 * strongest,
+            "diag {diag} vs strongest {strongest}"
+        );
     }
 
     #[test]

@@ -6,23 +6,22 @@
 //!
 //! Given two attributed networks `G_s = (V_s, A_s, X_s)` and
 //! `G_t = (V_t, A_t, X_t)`, HTC produces an alignment matrix
-//! `M ∈ R^{n_s × n_t}` without any labelled anchor links:
+//! `M ∈ R^{n_s × n_t}` without any labelled anchor links.  The pipeline is
+//! exposed as a **staged session** whose stage artifacts are first-class,
+//! inspectable and reusable:
 //!
-//! 1. **GOM construction** ([`htc_orbits`]) — count the 13 edge orbits of
-//!    2–4-node graphlets for both graphs;
-//! 2. **Orbit Laplacians** ([`laplacian`]) — add the frequency-aware
-//!    self-connection of Eq. 3 and normalise symmetrically;
-//! 3. **Multi-orbit-aware training** ([`training`], Alg. 1) — train one
-//!    shared GCN encoder to reconstruct every orbit Laplacian of both graphs;
-//! 4. **Trusted-pair fine-tuning** ([`finetune`], Alg. 2) — refine per-orbit
-//!    embeddings by boosting the aggregation coefficients of mutually
-//!    nearest (LISI) node pairs;
-//! 5. **Posterior importance assignment** ([`integrate`], Eq. 15) — combine
-//!    the per-orbit alignment matrices weighted by how many trusted pairs
-//!    each orbit identified.
+//! | Stage | Artifact | Paper |
+//! |---|---|---|
+//! | 1. GOM construction | [`TopologyViews`] | 13 edge orbits, Eq. 1 |
+//! | 2. Orbit Laplacians | [`Propagators`] | Eq. 3–5 |
+//! | 3. Multi-orbit-aware training | [`TrainedEncoder`] | Alg. 1 |
+//! | 4. Trusted-pair fine-tuning | [`OrbitRefinements`] | Alg. 2 |
+//! | 5. Weighted integration | [`HtcResult`] | Eq. 15 |
 //!
-//! The entry point is [`HtcAligner`]; ablation variants (HTC-L, HTC-H,
-//! HTC-LT, HTC-DT) live in [`variants`].
+//! ## One-off alignment
+//!
+//! [`HtcAligner::align`] runs all five stages in one blocking call (it is a
+//! thin wrapper over a one-shot session and bit-identical to the staged run):
 //!
 //! ```
 //! use htc_core::{HtcAligner, HtcConfig};
@@ -34,6 +33,40 @@
 //!     .unwrap();
 //! assert_eq!(result.alignment().shape(), (8, 8));
 //! ```
+//!
+//! ## Serving: one source vs. many targets
+//!
+//! A serving workload aligns one catalog graph against a stream of incoming
+//! graphs.  [`AlignmentSession`] pays the source-dominated stages — orbit
+//! counting and encoder training, the two heaviest bars of the paper's
+//! Fig. 8 — **once**, then fans per-target fine-tuning and integration out on
+//! the shared thread pool:
+//!
+//! ```
+//! use htc_core::{AlignmentSession, HtcConfig};
+//! use htc_core::pipeline::stages;
+//! use htc_datasets::{generate_pair, SyntheticPairConfig};
+//!
+//! let mut config = HtcConfig::fast();
+//! config.epochs = 5;
+//! let a = generate_pair(&SyntheticPairConfig::tiny(10));
+//! let b = generate_pair(&SyntheticPairConfig::tiny(10));
+//!
+//! let mut session = AlignmentSession::new(config, &a.source).unwrap();
+//! let results = session.align_many(&[a.target, b.target]).unwrap();
+//! assert_eq!(results.len(), 2);
+//! // Counting and training ran exactly once, no matter how many targets:
+//! assert_eq!(session.timer().count(stages::TRAINING), 1);
+//! assert_eq!(session.timer().count(stages::ORBIT_COUNTING), 1);
+//! ```
+//!
+//! Sessions can also advance **stage by stage** ([`AlignmentSession::begin`])
+//! for checkpointing and inspection, report progress / honour cancellation
+//! through [`ProgressObserver`], and persist their trained encoder and GOMs
+//! ([`TrainedEncoder::save`], [`TopologyViews::save`]) for bit-exact warm
+//! starts across processes.
+//!
+//! Ablation variants (HTC-L, HTC-H, HTC-LT, HTC-DT) live in [`variants`].
 
 pub mod config;
 pub mod diffusion;
@@ -43,13 +76,19 @@ pub mod integrate;
 pub mod laplacian;
 pub mod lisi;
 pub mod matching;
+pub mod persist;
 pub mod pipeline;
+pub mod session;
 pub mod training;
 pub mod variants;
 
 pub use config::{HtcConfig, TopologyMode};
 pub use error::HtcError;
 pub use pipeline::{HtcAligner, HtcResult};
+pub use session::{
+    AlignmentSession, OrbitRefinements, PairAlignment, ProgressObserver, Propagators,
+    TopologyViews, TrainedEncoder,
+};
 pub use variants::HtcVariant;
 
 /// Crate-wide result alias.

@@ -14,7 +14,9 @@
 //!
 //! A *trusted pair* is a pair that are mutually each other's LISI arg-max.
 
-use htc_linalg::ops::{col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means};
+use htc_linalg::ops::{
+    col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means,
+};
 use htc_linalg::DenseMatrix;
 
 /// Reusable buffers for the LISI computation.
@@ -112,8 +114,7 @@ pub fn lisi_from_correlation_into(corr: &DenseMatrix, m: usize, out: &mut DenseM
     // D_s(h_t): mean similarity of each target node to its m nearest sources.
     let hub_target = col_top_k_means(corr, m);
     out.copy_from(corr);
-    for r in 0..out.rows() {
-        let penalty_r = hub_source[r];
+    for (r, &penalty_r) in hub_source.iter().enumerate() {
         let row = out.row_mut(r);
         for (c, v) in row.iter_mut().enumerate() {
             *v = 2.0 * *v - (penalty_r + hub_target[c]);
@@ -166,15 +167,11 @@ mod tests {
     fn lisi_penalises_hubs() {
         // Build a target set where one embedding (the "hub") is close to every
         // source embedding while individual matches are slightly better.
-        let source = DenseMatrix::from_rows(&[
-            vec![1.0, 0.05, 0.0],
-            vec![0.05, 1.0, 0.0],
-        ])
-        .unwrap();
+        let source = DenseMatrix::from_rows(&[vec![1.0, 0.05, 0.0], vec![0.05, 1.0, 0.0]]).unwrap();
         let hubby_target = DenseMatrix::from_rows(&[
-            vec![1.0, 0.1, 0.0],  // good match for source 0
-            vec![0.1, 1.0, 0.0],  // good match for source 1
-            vec![0.6, 0.6, 0.1],  // hub: decently close to both
+            vec![1.0, 0.1, 0.0], // good match for source 0
+            vec![0.1, 1.0, 0.0], // good match for source 1
+            vec![0.6, 0.6, 0.1], // hub: decently close to both
         ])
         .unwrap();
         let corr = correlation_matrix(&source, &hubby_target);

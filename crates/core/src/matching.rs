@@ -251,7 +251,10 @@ mod tests {
         let matching = greedy_matching(&m);
         let gt = GroundTruth::new(vec![Some(0), Some(0)]);
         assert_eq!(matching.accuracy_against(&gt), 0.5);
-        assert_eq!(matching.accuracy_against(&GroundTruth::new(vec![None, None])), 0.0);
+        assert_eq!(
+            matching.accuracy_against(&GroundTruth::new(vec![None, None])),
+            0.0
+        );
     }
 
     #[test]

@@ -1,19 +1,15 @@
 //! The end-to-end HTC alignment pipeline (Fig. 3 of the paper).
+//!
+//! [`HtcAligner::align`] is the monolithic entry point; it delegates to a
+//! one-shot [`AlignmentSession`](crate::session::AlignmentSession) and is
+//! bit-identical to running the session stage-by-stage (test-enforced).
 
-use crate::config::{HtcConfig, TopologyMode};
-use crate::diffusion::diffusion_propagators;
-use crate::error::HtcError;
-use crate::finetune::{refine_orbit, OrbitRefinement};
-use crate::integrate::{orbit_importance, AlignmentAccumulator};
-use crate::laplacian::{normalized_adjacency, orbit_laplacians};
-use crate::lisi::lisi_matrix;
-use crate::training::train_multi_orbit;
+use crate::config::HtcConfig;
+use crate::session::AlignmentSession;
 use crate::Result;
 use htc_graph::AttributedNetwork;
-use htc_linalg::parallel::parallel_task_map;
-use htc_linalg::{CsrMatrix, DenseMatrix};
+use htc_linalg::DenseMatrix;
 use htc_metrics::StageTimer;
-use htc_orbits::GomSet;
 
 /// Stage names used in the runtime decomposition (Fig. 8 of the paper).
 pub mod stages {
@@ -41,6 +37,26 @@ pub struct HtcResult {
 }
 
 impl HtcResult {
+    /// Assembles a result from the outputs of the final pipeline stages (the
+    /// session API is the only producer).
+    pub(crate) fn from_parts(
+        alignment: DenseMatrix,
+        orbit_importance: Vec<f64>,
+        trusted_counts: Vec<usize>,
+        loss_history: Vec<f64>,
+        timer: StageTimer,
+        embeddings: Option<Vec<(DenseMatrix, DenseMatrix)>>,
+    ) -> Self {
+        Self {
+            alignment,
+            orbit_importance,
+            trusted_counts,
+            loss_history,
+            timer,
+            embeddings,
+        }
+    }
+
     /// The final alignment matrix `M ∈ R^{n_s × n_t}`.
     pub fn alignment(&self) -> &DenseMatrix {
         &self.alignment
@@ -97,155 +113,32 @@ impl HtcAligner {
 
     /// Aligns `source` against `target`, returning the alignment matrix and
     /// per-stage diagnostics.
-    pub fn align(&self, source: &AttributedNetwork, target: &AttributedNetwork) -> Result<HtcResult> {
-        self.config.validate()?;
-        if source.num_nodes() == 0 || target.num_nodes() == 0 {
-            return Err(HtcError::EmptyNetwork);
-        }
-        if source.attr_dim() != target.attr_dim() {
-            return Err(HtcError::AttributeDimensionMismatch {
-                source: source.attr_dim(),
-                target: target.attr_dim(),
-            });
-        }
-
-        let mut timer = StageTimer::new();
-        let (source, target) = if self.config.append_degree_feature {
-            (source.with_degree_feature(), target.with_degree_feature())
-        } else {
-            (source.clone(), target.clone())
-        };
-
-        // Stage 1 + 2: topology views and their normalised propagators.
-        let (source_laps, target_laps) = self.build_propagators(&source, &target, &mut timer);
-
-        // Stage 3: multi-orbit-aware training of the shared encoder.
-        let model = timer.time(stages::TRAINING, || {
-            train_multi_orbit(
-                &source_laps,
-                &target_laps,
-                source.attributes(),
-                target.attributes(),
-                &self.config,
-            )
-        })?;
-
-        // Stage 4: per-orbit trusted-pair fine-tuning.  Orbits are refined
-        // independently, so they run as coarse tasks on the shared worker
-        // pool (the dense kernels each orbit calls internally then run inline
-        // on their worker — no nested oversubscription).  Results are
-        // collected in orbit order, so the outcome is identical to the
-        // sequential loop for every thread count.
-        let refinements: Vec<OrbitRefinement> = timer.time(stages::FINE_TUNING, || {
-            parallel_task_map(source_laps.len(), |k| {
-                refine_orbit(
-                    &model.encoder,
-                    &source_laps[k],
-                    &target_laps[k],
-                    source.attributes(),
-                    target.attributes(),
-                    &self.config,
-                )
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>>>()
-        })?;
-
-        // Stage 5: posterior importance assignment and weighted integration.
-        // The per-orbit LISI matrices are computed across the pool; the
-        // weighted accumulation itself stays sequential in orbit order so the
-        // final matrix is bit-identical regardless of thread count.  This
-        // holds up to `num_views` n_s × n_t matrices in flight (instead of
-        // one), a deliberate memory-for-latency trade at K ≤ ~5 orbits.
-        let trusted_counts: Vec<usize> = refinements.iter().map(|r| r.trusted_count).collect();
-        let gamma = orbit_importance(&trusted_counts);
-        let alignment = timer.time(stages::INTEGRATION, || {
-            let per_orbit: Vec<Option<DenseMatrix>> =
-                parallel_task_map(refinements.len(), |k| {
-                    if gamma[k] == 0.0 {
-                        return None;
-                    }
-                    Some(lisi_matrix(
-                        &refinements[k].source_embedding,
-                        &refinements[k].target_embedding,
-                        self.config.nearest_neighbors,
-                    ))
-                });
-            let mut accum = AlignmentAccumulator::new(source.num_nodes(), target.num_nodes());
-            for (m_k, &weight) in per_orbit.iter().zip(&gamma) {
-                if let Some(m_k) = m_k {
-                    accum.add_weighted(m_k, weight);
-                }
-            }
-            accum.finish()
-        });
-
-        let embeddings = if self.config.keep_embeddings {
-            Some(
-                refinements
-                    .into_iter()
-                    .map(|r| (r.source_embedding, r.target_embedding))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-
-        Ok(HtcResult {
-            alignment,
-            orbit_importance: gamma,
-            trusted_counts,
-            loss_history: model.loss_history,
-            timer,
-            embeddings,
-        })
-    }
-
-    /// Builds the per-view propagators for both graphs according to the
-    /// configured topology mode, recording the orbit-counting and Laplacian
-    /// construction stages in `timer`.
-    fn build_propagators(
+    ///
+    /// This is a thin wrapper over a one-shot
+    /// [`AlignmentSession`](crate::session::AlignmentSession): it opens a
+    /// session on `source` and runs the pairwise (jointly trained) pipeline
+    /// against `target`.  Callers aligning the same source repeatedly should
+    /// hold a session instead and let it reuse the source-side artifacts.
+    pub fn align(
         &self,
         source: &AttributedNetwork,
         target: &AttributedNetwork,
-        timer: &mut StageTimer,
-    ) -> (Vec<CsrMatrix>, Vec<CsrMatrix>) {
-        match self.config.topology {
-            TopologyMode::Orbits {
-                num_orbits,
-                weighting,
-            } => {
-                let (goms_s, goms_t) = timer.time(stages::ORBIT_COUNTING, || {
-                    (
-                        GomSet::build(source.graph(), num_orbits, weighting),
-                        GomSet::build(target.graph(), num_orbits, weighting),
-                    )
-                });
-                timer.time(stages::LAPLACIAN, || {
-                    (orbit_laplacians(&goms_s), orbit_laplacians(&goms_t))
-                })
-            }
-            TopologyMode::LowOrderOnly => timer.time(stages::LAPLACIAN, || {
-                (
-                    vec![normalized_adjacency(&source.graph().adjacency())],
-                    vec![normalized_adjacency(&target.graph().adjacency())],
-                )
-            }),
-            TopologyMode::Diffusion { num_views, alpha } => {
-                timer.time(stages::LAPLACIAN, || {
-                    (
-                        diffusion_propagators(&source.graph().adjacency(), num_views, alpha, 1e-4),
-                        diffusion_propagators(&target.graph().adjacency(), num_views, alpha, 1e-4),
-                    )
-                })
-            }
-        }
+    ) -> Result<HtcResult> {
+        self.session(source)?.align(target)
+    }
+
+    /// Opens a reusable [`AlignmentSession`] anchored on `source` with this
+    /// aligner's configuration.
+    pub fn session(&self, source: &AttributedNetwork) -> Result<AlignmentSession> {
+        AlignmentSession::new(self.config.clone(), source)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TopologyMode;
+    use crate::error::HtcError;
     use htc_datasets::{generate_pair, SyntheticPairConfig};
     use htc_metrics::AlignmentReport;
 
@@ -262,7 +155,9 @@ mod tests {
         let pair = tiny_pair();
         let mut config = HtcConfig::fast();
         config.epochs = 40;
-        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        let result = HtcAligner::new(config)
+            .align(&pair.source, &pair.target)
+            .unwrap();
         assert_eq!(result.alignment().shape(), (14, 14));
         let report = AlignmentReport::evaluate(result.alignment(), &pair.ground_truth, &[1, 5]);
         // A permuted copy with no noise should be essentially solvable.
@@ -350,7 +245,9 @@ mod tests {
         let pair = tiny_pair();
         let mut config = HtcConfig::fast();
         config.topology = TopologyMode::LowOrderOnly;
-        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        let result = HtcAligner::new(config)
+            .align(&pair.source, &pair.target)
+            .unwrap();
         assert_eq!(result.trusted_counts().len(), 1);
     }
 
@@ -359,7 +256,9 @@ mod tests {
         let pair = tiny_pair();
         let mut config = HtcConfig::fast();
         config.append_degree_feature = true;
-        let result = HtcAligner::new(config).align(&pair.source, &pair.target).unwrap();
+        let result = HtcAligner::new(config)
+            .align(&pair.source, &pair.target)
+            .unwrap();
         assert_eq!(result.alignment().rows(), 14);
     }
 }

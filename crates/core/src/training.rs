@@ -9,11 +9,12 @@
 //! (and, as the robustness experiment shows, tolerant to missing edges).
 
 use crate::config::HtcConfig;
+use crate::error::HtcError;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use htc_nn::{
-    loss::reconstruction_loss_and_grad_into, BackwardScratch, ForwardCache, GcnEncoder,
-    LossScratch, Adam,
+    loss::reconstruction_loss_and_grad_into, Adam, BackwardScratch, ForwardCache, GcnEncoder,
+    LossScratch,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +41,27 @@ pub fn train_multi_orbit(
     target_attrs: &DenseMatrix,
     config: &HtcConfig,
 ) -> Result<TrainedModel> {
+    train_multi_orbit_observed(
+        source_laplacians,
+        target_laplacians,
+        source_attrs,
+        target_attrs,
+        config,
+        &mut |_, _| true,
+    )
+}
+
+/// Like [`train_multi_orbit`], but invokes `on_epoch(epoch, total_loss)`
+/// after every epoch.  Returning `false` from the callback cancels the run
+/// cooperatively with [`HtcError::Cancelled`].
+pub fn train_multi_orbit_observed(
+    source_laplacians: &[CsrMatrix],
+    target_laplacians: &[CsrMatrix],
+    source_attrs: &DenseMatrix,
+    target_attrs: &DenseMatrix,
+    config: &HtcConfig,
+    on_epoch: &mut dyn FnMut(usize, f64) -> bool,
+) -> Result<TrainedModel> {
     assert_eq!(
         source_laplacians.len(),
         target_laplacians.len(),
@@ -50,10 +72,46 @@ pub fn train_multi_orbit(
         target_attrs.cols(),
         "the shared encoder requires a common attribute dimensionality"
     );
+    // Orbit-major interleaving — (source, k), (target, k), (source, k+1), … —
+    // fixes the floating-point accumulation order of the losses and gradient
+    // sums; the session API's bit-identity guarantee depends on it.
+    let passes: Vec<(&CsrMatrix, &DenseMatrix)> = source_laplacians
+        .iter()
+        .zip(target_laplacians)
+        .flat_map(|(lap_s, lap_t)| [(lap_s, source_attrs), (lap_t, target_attrs)])
+        .collect();
+    train_over_passes(&passes, source_attrs.cols(), config, on_epoch)
+}
 
+/// Trains the shared encoder over the views of a *single* graph — the serving
+/// path of `AlignmentSession::align_many`, where one catalog graph is trained
+/// once and its encoder is reused against many incoming graphs.
+///
+/// Each epoch makes one pass per view (not the doubled source/target sweep of
+/// [`train_multi_orbit`]), so an epoch costs half as much as the pairwise
+/// equivalent.
+pub fn train_single_graph_observed(
+    laplacians: &[CsrMatrix],
+    attrs: &DenseMatrix,
+    config: &HtcConfig,
+    on_epoch: &mut dyn FnMut(usize, f64) -> bool,
+) -> Result<TrainedModel> {
+    let passes: Vec<(&CsrMatrix, &DenseMatrix)> =
+        laplacians.iter().map(|lap| (lap, attrs)).collect();
+    train_over_passes(&passes, attrs.cols(), config, on_epoch)
+}
+
+/// The shared epoch loop: one Adam step per epoch over the gradient summed
+/// across `passes`, in the exact order given.
+fn train_over_passes(
+    passes: &[(&CsrMatrix, &DenseMatrix)],
+    input_dim: usize,
+    config: &HtcConfig,
+    on_epoch: &mut dyn FnMut(usize, f64) -> bool,
+) -> Result<TrainedModel> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut dims = Vec::with_capacity(config.hidden_dims.len() + 1);
-    dims.push(source_attrs.cols());
+    dims.push(input_dim);
     dims.extend_from_slice(&config.hidden_dims);
     let mut encoder = GcnEncoder::new(&dims, config.activation, &mut rng);
     let mut optimizer = Adam::for_parameters(config.learning_rate, encoder.weights());
@@ -74,28 +132,29 @@ pub fn train_multi_orbit(
     let mut backward_scratch = BackwardScratch::new();
 
     let mut loss_history = Vec::with_capacity(config.epochs);
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         for accum in &mut grad_accum {
             accum.data_mut().fill(0.0);
         }
         let mut total_loss = 0.0;
-        for (lap_s, lap_t) in source_laplacians.iter().zip(target_laplacians) {
-            for (lap, attrs) in [(lap_s, source_attrs), (lap_t, target_attrs)] {
-                encoder.forward_cached_into(lap, attrs, &mut cache)?;
-                total_loss += reconstruction_loss_and_grad_into(
-                    lap,
-                    cache.output(),
-                    &mut grad_h,
-                    &mut loss_scratch,
-                );
-                encoder.backward_into(lap, &cache, &grad_h, &mut grads, &mut backward_scratch)?;
-                for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
-                    accum.add_scaled_inplace(grad, 1.0)?;
-                }
+        for &(lap, attrs) in passes {
+            encoder.forward_cached_into(lap, attrs, &mut cache)?;
+            total_loss += reconstruction_loss_and_grad_into(
+                lap,
+                cache.output(),
+                &mut grad_h,
+                &mut loss_scratch,
+            );
+            encoder.backward_into(lap, &cache, &grad_h, &mut grads, &mut backward_scratch)?;
+            for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
+                accum.add_scaled_inplace(grad, 1.0)?;
             }
         }
         optimizer.step(encoder.weights_mut(), &grad_accum);
         loss_history.push(total_loss);
+        if !on_epoch(epoch, total_loss) {
+            return Err(HtcError::Cancelled);
+        }
     }
 
     Ok(TrainedModel {
@@ -136,12 +195,7 @@ mod tests {
         )
         .unwrap();
         let xt = xs.clone();
-        (
-            orbit_laplacians(&goms_s),
-            orbit_laplacians(&goms_t),
-            xs,
-            xt,
-        )
+        (orbit_laplacians(&goms_s), orbit_laplacians(&goms_t), xs, xt)
     }
 
     #[test]
@@ -202,5 +256,36 @@ mod tests {
         let (ls, lt, xs, xt) = toy_setup();
         let config = HtcConfig::fast();
         let _ = train_multi_orbit(&ls[..2], &lt, &xs, &xt, &config);
+    }
+
+    #[test]
+    fn epoch_callback_sees_every_epoch_and_can_cancel() {
+        let (ls, lt, xs, xt) = toy_setup();
+        let config = HtcConfig::fast();
+
+        let mut seen = Vec::new();
+        let model = train_multi_orbit_observed(&ls, &lt, &xs, &xt, &config, &mut |epoch, loss| {
+            seen.push((epoch, loss));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen.len(), config.epochs);
+        assert_eq!(seen.last().unwrap().1, *model.loss_history.last().unwrap());
+
+        let err =
+            train_multi_orbit_observed(&ls, &lt, &xs, &xt, &config, &mut |epoch, _| epoch < 2)
+                .unwrap_err();
+        assert_eq!(err, HtcError::Cancelled);
+    }
+
+    #[test]
+    fn single_graph_training_converges() {
+        let (ls, _, xs, _) = toy_setup();
+        let mut config = HtcConfig::fast();
+        config.epochs = 30;
+        let model = train_single_graph_observed(&ls, &xs, &config, &mut |_, _| true).unwrap();
+        assert_eq!(model.loss_history.len(), 30);
+        assert!(model.loss_history.last().unwrap() < &model.loss_history[0]);
+        assert_eq!(model.encoder.input_dim(), xs.cols());
     }
 }

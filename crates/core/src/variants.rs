@@ -9,6 +9,10 @@
 //! | `HTC` (a.k.a. HTC-HT) | all orbit views | yes |
 
 use crate::config::{HtcConfig, TopologyMode};
+use crate::pipeline::HtcAligner;
+use crate::session::AlignmentSession;
+use crate::Result;
+use htc_graph::AttributedNetwork;
 use htc_orbits::{GomWeighting, NUM_EDGE_ORBITS};
 
 /// The ablation variants evaluated in Table III.
@@ -82,6 +86,18 @@ impl HtcVariant {
             }
         }
         config
+    }
+
+    /// An aligner running this variant's configuration derived from `base`.
+    pub fn aligner(self, base: &HtcConfig) -> HtcAligner {
+        HtcAligner::new(self.configure(base))
+    }
+
+    /// Opens a reusable [`AlignmentSession`] on `source` with this variant's
+    /// configuration derived from `base` — the staged entry point the
+    /// ablation harnesses and tests run through.
+    pub fn session(self, base: &HtcConfig, source: &AttributedNetwork) -> Result<AlignmentSession> {
+        AlignmentSession::new(self.configure(base), source)
     }
 }
 

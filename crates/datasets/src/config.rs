@@ -310,10 +310,16 @@ mod tests {
 
     #[test]
     fn paper_scale_matches_table1_sizes() {
-        assert_eq!(SyntheticPairConfig::allmovie_imdb(Scale::Paper).num_nodes, 6011);
+        assert_eq!(
+            SyntheticPairConfig::allmovie_imdb(Scale::Paper).num_nodes,
+            6011
+        );
         assert_eq!(SyntheticPairConfig::douban(Scale::Paper).num_nodes, 3906);
         assert_eq!(SyntheticPairConfig::douban(Scale::Paper).attr_dim, 538);
-        assert_eq!(SyntheticPairConfig::flickr_myspace(Scale::Paper).num_nodes, 6714);
+        assert_eq!(
+            SyntheticPairConfig::flickr_myspace(Scale::Paper).num_nodes,
+            6714
+        );
         assert_eq!(SyntheticPairConfig::econ(Scale::Paper, 0.1).num_nodes, 1258);
         assert_eq!(SyntheticPairConfig::bn(Scale::Paper, 0.1).num_nodes, 1781);
     }

@@ -12,9 +12,7 @@ use htc_graph::generators::{
     barabasi_albert, erdos_renyi_gnm, planted_partition, random_permutation, seeded_rng,
     watts_strogatz,
 };
-use htc_graph::perturb::{
-    perturb_attributes_flip, permute_network, remove_edges, GroundTruth,
-};
+use htc_graph::perturb::{permute_network, perturb_attributes_flip, remove_edges, GroundTruth};
 use htc_graph::{AttributedNetwork, Graph, GraphBuilder};
 use htc_linalg::DenseMatrix;
 use rand::rngs::StdRng;
@@ -102,11 +100,7 @@ fn build_source_graph(config: &SyntheticPairConfig, rng: &mut StdRng) -> (Graph,
         GraphModel::BarabasiAlbert { attach } => {
             let g = barabasi_albert(n, attach, rng);
             // Use degree buckets as pseudo-communities for attribute prototypes.
-            let labels = g
-                .degrees()
-                .iter()
-                .map(|&d| (d.min(15)) / 4)
-                .collect();
+            let labels = g.degrees().iter().map(|&d| (d.min(15)) / 4).collect();
             (g, labels)
         }
         GraphModel::WattsStrogatz { k, beta } => {
@@ -133,7 +127,11 @@ fn community_attributes(
     let num_communities = communities.iter().copied().max().unwrap_or(0) + 1;
     // One random binary prototype per community.
     let prototypes: Vec<Vec<f64>> = (0..num_communities)
-        .map(|_| (0..dim).map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
     let mut data = Vec::with_capacity(n * dim);
     for u in 0..n {
@@ -148,7 +146,11 @@ fn community_attributes(
 
 /// Appends `extra` target-only nodes, wired to random existing nodes with one
 /// or two edges each and given random attributes.
-fn append_extra_nodes(network: &AttributedNetwork, extra: usize, rng: &mut StdRng) -> AttributedNetwork {
+fn append_extra_nodes(
+    network: &AttributedNetwork,
+    extra: usize,
+    rng: &mut StdRng,
+) -> AttributedNetwork {
     let old_n = network.num_nodes();
     let new_n = old_n + extra;
     let dim = network.attr_dim();

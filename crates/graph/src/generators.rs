@@ -68,7 +68,9 @@ pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut StdRng) -> Graph {
     let mut endpoints: Vec<usize> = Vec::new();
     for u in 0..m0 {
         for v in (u + 1)..m0 {
-            builder.add_edge(u, v).expect("seed clique indices are valid");
+            builder
+                .add_edge(u, v)
+                .expect("seed clique indices are valid");
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -191,7 +193,10 @@ mod tests {
         let g = erdos_renyi_gnp(120, 0.1, &mut rng);
         let expected = 0.1 * (120.0 * 119.0 / 2.0);
         let actual = g.num_edges() as f64;
-        assert!((actual - expected).abs() < 0.35 * expected, "actual={actual}");
+        assert!(
+            (actual - expected).abs() < 0.35 * expected,
+            "actual={actual}"
+        );
     }
 
     #[test]

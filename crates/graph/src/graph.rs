@@ -127,7 +127,10 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2e / n` (0 when there are no nodes).
@@ -151,7 +154,11 @@ impl Graph {
         if u >= self.num_nodes || v >= self.num_nodes {
             return false;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -237,7 +244,11 @@ impl Graph {
 
     /// Number of connected components.
     pub fn num_components(&self) -> usize {
-        self.connected_components().iter().copied().max().map_or(0, |m| m + 1)
+        self.connected_components()
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// True if the graph is connected (the empty graph counts as connected).

@@ -21,7 +21,12 @@ use std::path::Path;
 /// Serialises a graph to the edge-list text format.
 pub fn graph_to_string(graph: &Graph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# htc edge list: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    let _ = writeln!(
+        out,
+        "# htc edge list: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     let _ = writeln!(out, "{}", graph.num_nodes());
     for &(u, v) in graph.edges() {
         let _ = writeln!(out, "{u} {v}");
@@ -61,7 +66,12 @@ pub fn graph_from_string(text: &str) -> Result<Graph> {
 /// Serialises an attribute matrix, one whitespace-separated row per node.
 pub fn attributes_to_string(attributes: &DenseMatrix) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# htc attributes: {} x {}", attributes.rows(), attributes.cols());
+    let _ = writeln!(
+        out,
+        "# htc attributes: {} x {}",
+        attributes.rows(),
+        attributes.cols()
+    );
     for r in 0..attributes.rows() {
         let row: Vec<String> = attributes.row(r).iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(out, "{}", row.join(" "));

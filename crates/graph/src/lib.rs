@@ -57,7 +57,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
             GraphError::AttributeShape { nodes, rows } => write!(
@@ -81,9 +84,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(GraphError::SelfLoop(3).to_string().contains("3"));
-        assert!(GraphError::NodeOutOfRange { node: 9, num_nodes: 5 }
-            .to_string()
-            .contains("9"));
+        assert!(GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 5
+        }
+        .to_string()
+        .contains("9"));
         assert!(GraphError::AttributeShape { nodes: 4, rows: 2 }
             .to_string()
             .contains("2"));

@@ -79,8 +79,7 @@ pub fn permute_network(network: &AttributedNetwork, perm: &[usize]) -> Attribute
     let n = network.num_nodes();
     let d = network.attr_dim();
     let mut data = vec![0.0; n * d];
-    for u in 0..n {
-        let new = perm[u];
+    for (u, &new) in perm.iter().enumerate() {
         data[new * d..(new + 1) * d].copy_from_slice(network.node_attributes(u));
     }
     let attributes = DenseMatrix::from_vec(n, d, data).expect("shape preserved");
@@ -284,8 +283,8 @@ mod tests {
         let mut rng = seeded_rng(16);
         let samples: Vec<f64> = (0..20000).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -87,7 +87,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { rows: r, cols: c, data })
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -846,8 +850,8 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = DenseMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
         let x_true = DenseMatrix::from_vec(3, 2, vec![1.0, -1.0, 2.0, 0.5, -0.5, 3.0]).unwrap();
         let b = a.matmul(&x_true).unwrap();
         let x = a.solve(&b).unwrap();

@@ -203,14 +203,7 @@ where
 
 /// Reference (unblocked, single-threaded) `A·B`, kept as the ground truth for
 /// property tests and as the baseline the criterion benches compare against.
-pub fn reference_matmul(
-    m: usize,
-    k: usize,
-    n: usize,
-    lhs: &[f64],
-    rhs: &[f64],
-    out: &mut [f64],
-) {
+pub fn reference_matmul(m: usize, k: usize, n: usize, lhs: &[f64], rhs: &[f64], out: &mut [f64]) {
     debug_assert_eq!(lhs.len(), m * k);
     debug_assert_eq!(rhs.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -256,7 +249,14 @@ mod tests {
             let b = dense(k, n, |r, c| ((r * 11 + c * 3) % 17) as f64 - 8.0);
             let mut blocked = vec![0.0; m * n];
             let mut reference = vec![0.0; m * n];
-            gemm_into(m, n, k, |i, p| a[i * k + p], |p, j| b[p * n + j], &mut blocked);
+            gemm_into(
+                m,
+                n,
+                k,
+                |i, p| a[i * k + p],
+                |p, j| b[p * n + j],
+                &mut blocked,
+            );
             reference_matmul(m, k, n, &a, &b, &mut reference);
             for (x, y) in blocked.iter().zip(&reference) {
                 assert!((x - y).abs() < 1e-9, "({m},{k},{n}): {x} vs {y}");
@@ -267,7 +267,14 @@ mod tests {
     #[test]
     fn empty_dimensions_produce_zeros() {
         let mut out = vec![1.0; 6];
-        gemm_into(2, 3, 0, |_, _| unreachable!(), |_, _| unreachable!(), &mut out);
+        gemm_into(
+            2,
+            3,
+            0,
+            |_, _| unreachable!(),
+            |_, _| unreachable!(),
+            &mut out,
+        );
         assert!(out.iter().all(|&v| v == 0.0));
         let mut empty: Vec<f64> = Vec::new();
         gemm_into(0, 3, 4, |_, _| 1.0, |_, _| 1.0, &mut empty);

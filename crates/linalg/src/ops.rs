@@ -192,8 +192,8 @@ mod tests {
 
     #[test]
     fn pearson_rows_have_zero_mean_unit_norm() {
-        let mut m = DenseMatrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 5.0])
-            .unwrap();
+        let mut m =
+            DenseMatrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 5.0]).unwrap();
         pearson_normalize_rows(&mut m);
         let row0 = m.row(0);
         let mean: f64 = row0.iter().sum::<f64>() / 4.0;
@@ -214,7 +214,11 @@ mod tests {
         // Manual Pearson correlation.
         let mean_a = 2.5;
         let mean_b = 5.25;
-        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - mean_a) * (y - mean_b)).sum();
+        let cov: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - mean_a) * (y - mean_b))
+            .sum();
         let var_a: f64 = a.iter().map(|x| (x - mean_a) * (x - mean_a)).sum();
         let var_b: f64 = b.iter().map(|y| (y - mean_b) * (y - mean_b)).sum();
         let corr = cov / (var_a * var_b).sqrt();

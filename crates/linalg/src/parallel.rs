@@ -28,17 +28,23 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// actual work.
 const MIN_ELEMENTS_PER_THREAD: usize = 8192;
 
+/// Hard ceiling on the worker-thread count, including `HTC_NUM_THREADS`
+/// overrides.  The pool spawns `num_threads() - 1` persistent OS threads on
+/// first use, so an unbounded override would turn a typo'd env value into a
+/// spawn storm.
+pub const MAX_THREADS: usize = 256;
+
 /// Returns the number of worker threads to use for parallel kernels.
 ///
 /// Defaults to the machine parallelism, capped at 16 (beyond that the kernels
 /// in this workspace are memory-bandwidth bound), and can be overridden with
 /// the `HTC_NUM_THREADS` environment variable (useful for reproducible timing
-/// experiments).
+/// experiments; clamped to [`MAX_THREADS`]).
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var("HTC_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             if n >= 1 {
-                return n;
+                return n.min(MAX_THREADS);
             }
         }
     }
@@ -137,9 +143,8 @@ impl Task {
     fn run(self) {
         // SAFETY: see the `Send` justification above.
         let body = unsafe { &*self.body };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            body(self.start, self.end)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(self.start, self.end)));
         if let Err(payload) = result {
             self.latch.record_panic(payload);
         }
@@ -302,7 +307,11 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(row_len > 0, "row_len must be positive");
-    assert_eq!(buf.len() % row_len, 0, "buffer is not a whole number of rows");
+    assert_eq!(
+        buf.len() % row_len,
+        0,
+        "buffer is not a whole number of rows"
+    );
     let rows = buf.len() / row_len;
     if rows == 0 {
         return;

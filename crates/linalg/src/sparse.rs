@@ -338,11 +338,11 @@ impl CsrMatrix {
             });
         }
         let mut out = self.clone();
-        for r in 0..out.rows {
+        for (r, &scale_r) in left.iter().enumerate() {
             let (start, end) = (out.indptr[r], out.indptr[r + 1]);
             for idx in start..end {
                 let c = out.indices[idx];
-                out.values[idx] *= left[r] * right[c];
+                out.values[idx] *= scale_r * right[c];
             }
         }
         Ok(out)
@@ -481,7 +481,9 @@ mod tests {
         m.matmul_dense_into(&x, &mut out).unwrap();
         assert!(out.approx_eq(&m.to_dense().matmul(&x).unwrap(), 1e-12));
         // Mismatched inner dimension is rejected.
-        assert!(m.matmul_dense_into(&DenseMatrix::zeros(4, 2), &mut out).is_err());
+        assert!(m
+            .matmul_dense_into(&DenseMatrix::zeros(4, 2), &mut out)
+            .is_err());
     }
 
     #[test]

@@ -9,10 +9,18 @@
 
 use std::time::{Duration, Instant};
 
+/// One named stage: accumulated duration plus how many times it was recorded.
+#[derive(Debug, Clone)]
+struct StageEntry {
+    name: String,
+    duration: Duration,
+    count: usize,
+}
+
 /// Accumulates named stage durations in insertion order.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimer {
-    stages: Vec<(String, Duration)>,
+    stages: Vec<StageEntry>,
 }
 
 impl StageTimer {
@@ -30,12 +38,17 @@ impl StageTimer {
     }
 
     /// Adds `duration` to the accumulated time of `stage` (creating it if
-    /// needed).
+    /// needed) and increments the stage's occurrence count.
     pub fn record(&mut self, stage: &str, duration: Duration) {
-        if let Some(entry) = self.stages.iter_mut().find(|(name, _)| name == stage) {
-            entry.1 += duration;
+        if let Some(entry) = self.stages.iter_mut().find(|e| e.name == stage) {
+            entry.duration += duration;
+            entry.count += 1;
         } else {
-            self.stages.push((stage.to_string(), duration));
+            self.stages.push(StageEntry {
+                name: stage.to_string(),
+                duration,
+                count: 1,
+            });
         }
     }
 
@@ -43,26 +56,65 @@ impl StageTimer {
     pub fn duration(&self, stage: &str) -> Duration {
         self.stages
             .iter()
-            .find(|(name, _)| name == stage)
-            .map(|(_, d)| *d)
+            .find(|e| e.name == stage)
+            .map(|e| e.duration)
             .unwrap_or_default()
+    }
+
+    /// How many times `stage` was recorded (zero if never).
+    ///
+    /// Reuse-sensitive callers — the session API's "train once, serve many"
+    /// guarantee — assert on this: a stage that was served from a cached
+    /// artifact is never re-recorded, so its count stays put.
+    pub fn count(&self, stage: &str) -> usize {
+        self.stages
+            .iter()
+            .find(|e| e.name == stage)
+            .map(|e| e.count)
+            .unwrap_or(0)
     }
 
     /// Total accumulated duration across all stages.
     pub fn total(&self) -> Duration {
-        self.stages.iter().map(|(_, d)| *d).sum()
+        self.stages.iter().map(|e| e.duration).sum()
     }
 
     /// Stages in insertion order with their durations.
     pub fn stages(&self) -> impl Iterator<Item = (&str, Duration)> {
-        self.stages.iter().map(|(name, d)| (name.as_str(), *d))
+        self.stages.iter().map(|e| (e.name.as_str(), e.duration))
     }
 
-    /// Merges another timer into this one (summing shared stages).
+    /// Merges another timer into this one (summing shared stages' durations
+    /// and occurrence counts).
     pub fn merge(&mut self, other: &StageTimer) {
-        for (name, d) in other.stages() {
-            self.record(name, d);
+        for entry in &other.stages {
+            if let Some(mine) = self.stages.iter_mut().find(|e| e.name == entry.name) {
+                mine.duration += entry.duration;
+                mine.count += entry.count;
+            } else {
+                self.stages.push(entry.clone());
+            }
         }
+    }
+
+    /// Renders the stages as a JSON array of `{"stage", "seconds"}` objects,
+    /// in insertion order — the one emitter shared by every binary that
+    /// writes machine-readable stage timings (`htc-align --json`,
+    /// `bench_pipeline`).
+    pub fn stages_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, entry) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"stage\": \"{}\", \"seconds\": {:.6}}}",
+                entry.name.replace('\\', "\\\\").replace('"', "\\\""),
+                entry.duration.as_secs_f64()
+            ));
+        }
+        out.push(']');
+        out
     }
 
     /// Renders a simple per-stage breakdown in seconds.
@@ -90,6 +142,9 @@ mod tests {
         assert_eq!(t.duration("missing"), Duration::ZERO);
         assert_eq!(t.total(), Duration::from_millis(180));
         assert_eq!(t.stages().count(), 2);
+        assert_eq!(t.count("training"), 2);
+        assert_eq!(t.count("fine-tuning"), 1);
+        assert_eq!(t.count("missing"), 0);
     }
 
     #[test]
@@ -123,6 +178,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.duration("x"), Duration::from_millis(15));
         assert_eq!(a.duration("y"), Duration::from_millis(2));
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.count("y"), 1);
     }
 
     #[test]
@@ -132,5 +189,18 @@ mod tests {
         let text = t.render();
         assert!(text.contains("stage one: 1.500s"));
         assert!(text.contains("total: 1.500s"));
+    }
+
+    #[test]
+    fn stages_json_renders_in_order_and_escapes() {
+        let mut t = StageTimer::new();
+        t.record("b", Duration::from_millis(1500));
+        t.record("a \"quoted\"", Duration::from_millis(250));
+        assert_eq!(
+            t.stages_json(),
+            "[{\"stage\": \"b\", \"seconds\": 1.500000}, \
+             {\"stage\": \"a \\\"quoted\\\"\", \"seconds\": 0.250000}]"
+        );
+        assert_eq!(StageTimer::new().stages_json(), "[]");
     }
 }

@@ -25,8 +25,14 @@ impl Adam {
             beta2: 0.999,
             epsilon: 1e-8,
             step: 0,
-            first_moment: shapes.iter().map(|&(r, c)| DenseMatrix::zeros(r, c)).collect(),
-            second_moment: shapes.iter().map(|&(r, c)| DenseMatrix::zeros(r, c)).collect(),
+            first_moment: shapes
+                .iter()
+                .map(|&(r, c)| DenseMatrix::zeros(r, c))
+                .collect(),
+            second_moment: shapes
+                .iter()
+                .map(|&(r, c)| DenseMatrix::zeros(r, c))
+                .collect(),
         }
     }
 
@@ -62,12 +68,16 @@ impl Adam {
         let t = self.step as f64;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        for ((param, grad), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.first_moment.iter_mut().zip(self.second_moment.iter_mut()))
-        {
-            assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
+        for ((param, grad), (m, v)) in params.iter_mut().zip(grads).zip(
+            self.first_moment
+                .iter_mut()
+                .zip(self.second_moment.iter_mut()),
+        ) {
+            assert_eq!(
+                param.shape(),
+                grad.shape(),
+                "parameter/gradient shape mismatch"
+            );
             assert_eq!(param.shape(), m.shape(), "optimiser state shape mismatch");
             let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.epsilon, self.learning_rate);
             for ((p, &g), (m_e, v_e)) in param

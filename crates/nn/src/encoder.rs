@@ -52,7 +52,8 @@ impl ForwardCache {
     /// Ensures the per-layer vectors hold exactly `layers` entries.
     fn ensure_layers(&mut self, layers: usize) {
         self.propagated.resize(layers, DenseMatrix::zeros(0, 0));
-        self.pre_activations.resize(layers, DenseMatrix::zeros(0, 0));
+        self.pre_activations
+            .resize(layers, DenseMatrix::zeros(0, 0));
     }
 }
 
@@ -203,7 +204,11 @@ impl GcnEncoder {
             // Z_l = P_l · W^l.
             propagated[l].matmul_into(&self.weights[l], &mut pre_activations[l])?;
             // H^l = f_l(Z_l); the last layer writes the output slot.
-            let dst = if l + 1 == layers { &mut *output } else { &mut *hidden };
+            let dst = if l + 1 == layers {
+                &mut *output
+            } else {
+                &mut *hidden
+            };
             self.activations[l].apply_into(&pre_activations[l], dst);
         }
         Ok(())
@@ -367,6 +372,7 @@ mod tests {
 
         // Finite differences on a handful of weight entries.
         let eps = 1e-5;
+        #[allow(clippy::needless_range_loop)]
         for layer in 0..enc.num_layers() {
             for &(r, c) in &[(0usize, 0usize), (1, 2), (2, 1)] {
                 if r >= enc.weights()[layer].rows() || c >= enc.weights()[layer].cols() {
@@ -394,7 +400,8 @@ mod tests {
     fn from_weights_validates_shapes() {
         let w0 = DenseMatrix::zeros(3, 4);
         let w1 = DenseMatrix::zeros(4, 2);
-        let enc = GcnEncoder::from_weights(vec![w0, w1], vec![Activation::Relu, Activation::Identity]);
+        let enc =
+            GcnEncoder::from_weights(vec![w0, w1], vec![Activation::Relu, Activation::Identity]);
         assert_eq!(enc.output_dim(), 2);
     }
 

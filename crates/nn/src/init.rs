@@ -64,7 +64,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = gaussian(100, 100, 0.5, &mut rng);
         let mean = w.sum() / 10_000.0;
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 10_000.0;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

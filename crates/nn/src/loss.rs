@@ -80,7 +80,9 @@ pub fn reconstruction_loss_and_grad_into(
     target
         .matmul_dense_into(embedding, a_h)
         .expect("shapes checked above");
-    embedding.transposed_matmul_into(embedding, gram).expect("self-product shapes agree");
+    embedding
+        .transposed_matmul_into(embedding, gram)
+        .expect("self-product shapes agree");
     embedding
         .matmul_into(gram, grad)
         .expect("gram has matching dimensions");
@@ -135,7 +137,10 @@ mod tests {
             .unwrap()
             .frobenius_norm_sq();
         let implicit = reconstruction_loss(&a, &h);
-        assert!((explicit - implicit).abs() < 1e-9, "{explicit} vs {implicit}");
+        assert!(
+            (explicit - implicit).abs() < 1e-9,
+            "{explicit} vs {implicit}"
+        );
     }
 
     #[test]
@@ -158,7 +163,8 @@ mod tests {
             hp.set(r, c, h.get(r, c) + eps);
             let mut hm = h.clone();
             hm.set(r, c, h.get(r, c) - eps);
-            let numeric = (reconstruction_loss(&a, &hp) - reconstruction_loss(&a, &hm)) / (2.0 * eps);
+            let numeric =
+                (reconstruction_loss(&a, &hp) - reconstruction_loss(&a, &hm)) / (2.0 * eps);
             let analytic = grad.get(r, c);
             assert!(
                 (numeric - analytic).abs() < 1e-4 * (1.0 + analytic.abs()),

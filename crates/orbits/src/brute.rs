@@ -133,7 +133,9 @@ mod tests {
         assert_counters_agree(&Graph::cycle(6));
         assert_counters_agree(&Graph::star(5));
         assert_counters_agree(&Graph::complete(5));
-        assert_counters_agree(&Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]).unwrap());
+        assert_counters_agree(
+            &Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]).unwrap(),
+        );
     }
 
     #[test]

@@ -74,6 +74,35 @@ impl GomSet {
         }
     }
 
+    /// Reassembles a `GomSet` from pre-built orbit matrices — the
+    /// deserialisation path of persisted topology artifacts.
+    ///
+    /// # Panics
+    /// Panics if any matrix is not `num_nodes × num_nodes` or if more than
+    /// [`NUM_EDGE_ORBITS`] matrices are supplied.
+    pub fn from_matrices(
+        num_nodes: usize,
+        weighting: GomWeighting,
+        matrices: Vec<CsrMatrix>,
+    ) -> Self {
+        assert!(
+            matrices.len() <= NUM_EDGE_ORBITS,
+            "at most {NUM_EDGE_ORBITS} edge orbits exist"
+        );
+        for m in &matrices {
+            assert_eq!(
+                m.shape(),
+                (num_nodes, num_nodes),
+                "orbit matrices must be square over the graph's nodes"
+            );
+        }
+        Self {
+            num_nodes,
+            weighting,
+            matrices,
+        }
+    }
+
     /// Number of nodes of the underlying graph.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -157,7 +186,10 @@ mod tests {
     fn num_orbits_is_clamped() {
         let g = Graph::path(4);
         assert_eq!(GomSet::build(&g, 0, GomWeighting::Weighted).num_orbits(), 1);
-        assert_eq!(GomSet::build(&g, 50, GomWeighting::Weighted).num_orbits(), 13);
+        assert_eq!(
+            GomSet::build(&g, 50, GomWeighting::Weighted).num_orbits(),
+            13
+        );
         assert_eq!(GomSet::build(&g, 5, GomWeighting::Weighted).num_orbits(), 5);
     }
 

@@ -386,7 +386,10 @@ mod tests {
         // would be 6 edges; instead build diamond with chord (1,2).
         let adj = adj_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
         assert_eq!(classify_edge_in_four(&adj), Some(EdgeOrbit::DiamondOuter));
-        assert_eq!(classify_four_graphlet(&adj), Some(Graphlet::DiagonalQuadrangle));
+        assert_eq!(
+            classify_four_graphlet(&adj),
+            Some(Graphlet::DiagonalQuadrangle)
+        );
     }
 
     #[test]

@@ -55,9 +55,9 @@ fn dominant_eigenvector(matrix: &DenseMatrix, iterations: usize) -> Vec<f64> {
     normalize(&mut v);
     for _ in 0..iterations {
         let mut next = vec![0.0; d];
-        for i in 0..d {
+        for (i, slot) in next.iter_mut().enumerate() {
             let row = matrix.row(i);
-            next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(&v).map(|(a, b)| a * b).sum();
         }
         if normalize(&mut next) < 1e-14 {
             return v;
@@ -70,8 +70,8 @@ fn dominant_eigenvector(matrix: &DenseMatrix, iterations: usize) -> Vec<f64> {
 fn rayleigh_quotient(matrix: &DenseMatrix, v: &[f64]) -> f64 {
     let d = matrix.rows();
     let mut mv = vec![0.0; d];
-    for i in 0..d {
-        mv[i] = matrix.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+    for (i, slot) in mv.iter_mut().enumerate() {
+        *slot = matrix.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
     }
     v.iter().zip(&mv).map(|(a, b)| a * b).sum()
 }

@@ -75,7 +75,8 @@ pub fn tsne(data: &DenseMatrix, config: &TsneConfig) -> DenseMatrix {
         }
         for i in 0..n {
             for d in 0..2 {
-                let v = config.momentum * velocity.get(i, d) - config.learning_rate * grad.get(i, d);
+                let v =
+                    config.momentum * velocity.get(i, d) - config.learning_rate * grad.get(i, d);
                 velocity.set(i, d, v);
                 y.add_at(i, d, v);
             }
@@ -116,9 +117,13 @@ fn joint_probabilities(data: &DenseMatrix, perplexity: f64) -> DenseMatrix {
         let mut row = vec![0.0; n];
         for _ in 0..50 {
             let mut sum = 0.0;
-            for j in 0..n {
-                row[j] = if i == j { 0.0 } else { (-beta * dist.get(i, j)).exp() };
-                sum += row[j];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = if i == j {
+                    0.0
+                } else {
+                    (-beta * dist.get(i, j)).exp()
+                };
+                sum += *slot;
             }
             if sum < 1e-300 {
                 sum = 1e-300;
@@ -135,15 +140,19 @@ fn joint_probabilities(data: &DenseMatrix, perplexity: f64) -> DenseMatrix {
             }
             if entropy > target_entropy {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
                 beta = (beta + beta_min) / 2.0;
             }
         }
         let sum: f64 = row.iter().sum::<f64>().max(1e-300);
-        for j in 0..n {
-            p.set(i, j, row[j] / sum);
+        for (j, &v) in row.iter().enumerate() {
+            p.set(i, j, v / sum);
         }
     }
     // Symmetrise and normalise.
@@ -260,7 +269,13 @@ mod tests {
             vec![2.0, 3.0],
         ])
         .unwrap();
-        let y = tsne(&data, &TsneConfig { iterations: 50, ..TsneConfig::default() });
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 50,
+                ..TsneConfig::default()
+            },
+        );
         for d in 0..2 {
             let mean: f64 = (0..5).map(|i| y.get(i, d)).sum::<f64>() / 5.0;
             assert!(mean.abs() < 1e-9);
@@ -269,8 +284,14 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert_eq!(tsne(&DenseMatrix::zeros(0, 3), &TsneConfig::default()).shape(), (0, 2));
-        assert_eq!(tsne(&DenseMatrix::zeros(1, 3), &TsneConfig::default()).shape(), (1, 2));
+        assert_eq!(
+            tsne(&DenseMatrix::zeros(0, 3), &TsneConfig::default()).shape(),
+            (0, 2)
+        );
+        assert_eq!(
+            tsne(&DenseMatrix::zeros(1, 3), &TsneConfig::default()).shape(),
+            (1, 2)
+        );
     }
 
     #[test]
@@ -282,7 +303,10 @@ mod tests {
             vec![3.0, 0.5],
         ])
         .unwrap();
-        let cfg = TsneConfig { iterations: 40, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 40,
+            ..TsneConfig::default()
+        };
         let a = tsne(&data, &cfg);
         let b = tsne(&data, &cfg);
         assert!(a.approx_eq(&b, 0.0));

@@ -22,11 +22,25 @@ fn main() {
 
     // --- 1. Build a source network: a small collaboration graph. ---------
     let edges = [
-        (0, 1), (0, 2), (1, 2),            // a triangle of close collaborators
-        (2, 3), (3, 4), (4, 5), (5, 3),    // a second cluster
-        (5, 6), (6, 7), (7, 8), (8, 6),    // a third cluster
-        (1, 9), (9, 10), (10, 11), (11, 9),
-        (4, 12), (12, 13), (13, 14), (14, 12),
+        (0, 1),
+        (0, 2),
+        (1, 2), // a triangle of close collaborators
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 3), // a second cluster
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 6), // a third cluster
+        (1, 9),
+        (9, 10),
+        (10, 11),
+        (11, 9),
+        (4, 12),
+        (12, 13),
+        (13, 14),
+        (14, 12),
     ];
     let graph = Graph::from_edges(15, &edges).expect("valid edge list");
     // Two attributes per node: seniority and field indicator.
@@ -70,7 +84,10 @@ fn main() {
         .expect("valid inputs");
     let predictions = result.predicted_anchors();
 
-    println!("\n{:<12} {:<12} {:<10} {}", "source node", "prediction", "score", "correct?");
+    println!(
+        "\n{:<12} {:<12} {:<10} correct?",
+        "source node", "prediction", "score"
+    );
     let mut correct = 0;
     for (s, &t) in predictions.iter().enumerate() {
         let truth = perm[s];
@@ -90,7 +107,10 @@ fn main() {
             verdict
         );
     }
-    println!("\nrecovered {correct}/{} hidden correspondences", source.num_nodes());
+    println!(
+        "\nrecovered {correct}/{} hidden correspondences",
+        source.num_nodes()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -6,10 +6,11 @@
 //!
 //! The example generates a source network, derives a target network by
 //! removing a few edges and hiding the node identities behind a random
-//! permutation, runs the full HTC pipeline and evaluates the recovered
-//! alignment against the known ground truth.
+//! permutation, runs the full HTC pipeline stage by stage through an
+//! [`AlignmentSession`] and evaluates the recovered alignment against the
+//! known ground truth.
 
-use htc::core::{HtcAligner, HtcConfig};
+use htc::core::{AlignmentSession, HtcConfig};
 use htc::datasets::{generate_pair, SyntheticPairConfig};
 use htc::metrics::AlignmentReport;
 
@@ -29,13 +30,32 @@ fn main() {
         pair.target.num_edges()
     );
 
-    // 2. Align with HTC.  `HtcConfig::fast()` keeps the run to a couple of
-    //    seconds; use `HtcConfig::paper()` for the full-strength settings.
+    // 2. Align with HTC, advancing the pipeline stage by stage so each
+    //    artifact can be inspected (`session.align(..)` or
+    //    `HtcAligner::align` collapse the same stages into one call).
+    //    `HtcConfig::fast()` keeps the run to a couple of seconds; use
+    //    `HtcConfig::paper()` for the full-strength settings.
     let mut htc_config = HtcConfig::fast();
     htc_config.epochs = 40;
-    let result = HtcAligner::new(htc_config)
-        .align(&pair.source, &pair.target)
+    let mut session = AlignmentSession::new(htc_config, &pair.source)
         .expect("the generated pair satisfies HTC's input contract");
+    let mut staged = session
+        .begin(&pair.target)
+        .expect("target matches the source contract");
+    let (source_views, _) = staged.topology_views().expect("orbit counting succeeds");
+    println!(
+        "stage 1: counted {} orbit views per graph",
+        source_views.num_views()
+    );
+    let trained = staged.train().expect("training succeeds");
+    println!(
+        "stage 3: trained the shared encoder, loss {:.4} -> {:.4}",
+        trained.loss_history()[0],
+        trained.loss_history().last().unwrap()
+    );
+    let result = staged
+        .finish()
+        .expect("fine-tuning and integration succeed");
 
     // 3. Inspect the result.
     let report = AlignmentReport::evaluate(result.alignment(), &pair.ground_truth, &[1, 5, 10]);
@@ -55,5 +75,8 @@ fn main() {
 
     // 4. The predicted anchor of any source node is one argmax away.
     let predictions = result.predicted_anchors();
-    println!("source node 0 is predicted to align with target node {}", predictions[0]);
+    println!(
+        "source node 0 is predicted to align with target node {}",
+        predictions[0]
+    );
 }

@@ -11,8 +11,8 @@
 //! encoder degrades more gracefully because missing edges remove some orbit
 //! views of an edge but rarely all of them.
 
-use htc::core::{HtcAligner, HtcConfig, HtcVariant};
-use htc::datasets::{generate_pair, SyntheticPairConfig, Scale};
+use htc::core::{HtcConfig, HtcVariant};
+use htc::datasets::{generate_pair, Scale, SyntheticPairConfig};
 use htc::metrics::precision_at_q;
 
 fn main() {
@@ -35,11 +35,17 @@ fn main() {
         };
         let pair = generate_pair(&config);
 
-        let full = HtcAligner::new(HtcVariant::Full.configure(&base))
-            .align(&pair.source, &pair.target)
+        // Each variant runs through its own session (`HtcVariant::session`
+        // derives the variant configuration and opens it on the source).
+        let full = HtcVariant::Full
+            .session(&base, &pair.source)
+            .expect("valid inputs")
+            .align(&pair.target)
             .expect("valid inputs");
-        let low = HtcAligner::new(HtcVariant::LowOrder.configure(&base))
-            .align(&pair.source, &pair.target)
+        let low = HtcVariant::LowOrder
+            .session(&base, &pair.source)
+            .expect("valid inputs")
+            .align(&pair.target)
             .expect("valid inputs");
 
         let p_full = precision_at_q(full.alignment(), &pair.ground_truth, 1);

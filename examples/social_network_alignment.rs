@@ -11,7 +11,7 @@
 //! FINAL with 10 % seed anchors) and prints a small comparison table.
 
 use htc::baselines::{Aligner, Final, GAlign};
-use htc::core::{HtcAligner, HtcConfig};
+use htc::core::{AlignmentSession, HtcConfig};
 use htc::datasets::{generate_pair, DatasetPreset, Scale};
 use htc::graph::generators::seeded_rng;
 use htc::graph::perturb::GroundTruth;
@@ -29,12 +29,13 @@ fn main() {
     );
 
     // --- HTC (fully unsupervised) ---------------------------------------
+    // A session keeps the source-side artifacts around: aligning a second
+    // platform against the same user base would skip orbit counting.
     let mut config = HtcConfig::small();
     config.epochs = 40;
+    let mut session = AlignmentSession::new(config, &pair.source).expect("valid configuration");
     let start = Instant::now();
-    let htc_result = HtcAligner::new(config)
-        .align(&pair.source, &pair.target)
-        .expect("valid inputs");
+    let htc_result = session.align(&pair.target).expect("valid inputs");
     let htc_time = start.elapsed();
     let htc_report =
         AlignmentReport::evaluate(htc_result.alignment(), &pair.ground_truth, &[1, 10]);
@@ -60,7 +61,10 @@ fn main() {
     let final_time = start.elapsed();
     let final_report = AlignmentReport::evaluate(&final_alignment, &pair.ground_truth, &[1, 10]);
 
-    println!("\n{:<10} {:>8} {:>8} {:>8} {:>10}", "method", "p@1", "p@10", "MRR", "time(s)");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>10}",
+        "method", "p@1", "p@10", "MRR", "time(s)"
+    );
     for (name, report, time) in [
         ("HTC", &htc_report, htc_time),
         ("GAlign", &galign_report, galign_time),

@@ -22,7 +22,11 @@ fn all_baselines_run_on_generated_pairs() {
     let seeds = pair.ground_truth.sample_fraction(0.1, &mut rng);
     let none = GroundTruth::new(vec![None; pair.source.num_nodes()]);
     for baseline in table2_baselines(7) {
-        let supervision = if baseline.is_supervised() { &seeds } else { &none };
+        let supervision = if baseline.is_supervised() {
+            &seeds
+        } else {
+            &none
+        };
         let m = baseline
             .align(&pair.source, &pair.target, supervision)
             .unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
@@ -54,7 +58,11 @@ fn baselines_beat_chance_on_clean_pairs() {
     let seeds = clean.ground_truth.sample_fraction(0.1, &mut rng);
     let none = GroundTruth::new(vec![None; 50]);
     for baseline in table2_baselines(3) {
-        let supervision = if baseline.is_supervised() { &seeds } else { &none };
+        let supervision = if baseline.is_supervised() {
+            &seeds
+        } else {
+            &none
+        };
         let m = baseline
             .align(&clean.source, &clean.target, supervision)
             .unwrap();

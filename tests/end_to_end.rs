@@ -82,7 +82,14 @@ fn diagnostics_are_consistent() {
     assert_eq!(result.orbit_importance().len(), views);
     assert!((result.orbit_importance().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     assert_eq!(result.trusted_counts().len(), views);
-    assert!(result.loss_history().windows(2).filter(|w| w[1] <= w[0]).count() > 0);
+    assert!(
+        result
+            .loss_history()
+            .windows(2)
+            .filter(|w| w[1] <= w[0])
+            .count()
+            > 0
+    );
     assert_eq!(result.predicted_anchors().len(), pair.source.num_nodes());
 }
 

@@ -55,8 +55,8 @@ fn shared_encoder_is_equivariant_under_relabelling() {
     )
     .unwrap();
     let mut permuted_attrs = DenseMatrix::zeros(30, 2);
-    for u in 0..30 {
-        permuted_attrs.row_mut(perm[u]).copy_from_slice(attrs.row(u));
+    for (u, &pu) in perm.iter().enumerate() {
+        permuted_attrs.row_mut(pu).copy_from_slice(attrs.row(u));
     }
 
     let goms = GomSet::build(&graph, 6, GomWeighting::Weighted);
@@ -69,9 +69,9 @@ fn shared_encoder_is_equivariant_under_relabelling() {
     for (lap, lap_p) in laps.iter().zip(&laps_p) {
         let h = encoder.forward(lap, &attrs).unwrap();
         let h_p = encoder.forward(lap_p, &permuted_attrs).unwrap();
-        for u in 0..30 {
+        for (u, &pu) in perm.iter().enumerate() {
             let original = h.row(u);
-            let relabelled = h_p.row(perm[u]);
+            let relabelled = h_p.row(pu);
             for (a, b) in original.iter().zip(relabelled) {
                 assert!((a - b).abs() < 1e-9, "node {u}: {a} vs {b}");
             }
@@ -98,7 +98,10 @@ fn clique_orbit_laplacians_are_node_symmetric() {
     // Clique-specific sanity: every edge of K6 lies on C(4,2)=6 four-cliques...
     // more precisely on C(6-2, 2) = 6 of them.
     let counts = count_edge_orbits(&graph);
-    assert_eq!(counts.counts_for(0, 1).unwrap()[EdgeOrbit::CliqueEdge.index()], 6);
+    assert_eq!(
+        counts.counts_for(0, 1).unwrap()[EdgeOrbit::CliqueEdge.index()],
+        6
+    );
 }
 
 /// Ground-truth bookkeeping composes with the facade's metric functions.
