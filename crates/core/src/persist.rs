@@ -174,18 +174,29 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    /// A `u64` counting elements that *follow* in the payload (guards against
-    /// allocating pathological lengths from corrupt files before the
-    /// truncation check would catch them).
-    fn len(&mut self) -> Result<usize> {
+    /// A `u64` counting elements that *follow* in the payload, where each
+    /// element occupies at least `elem_bytes` encoded bytes.
+    ///
+    /// The count is attacker-controlled (artifact files may be truncated,
+    /// corrupt or malicious), so it is bounded against the remaining buffer
+    /// **before** any allocation sized by it: a valid count can never exceed
+    /// `remaining / elem_bytes`, hence `Vec::with_capacity(count)` downstream
+    /// is capped by the file size instead of by a 64-bit integer the file
+    /// made up.  Decoding therefore fails with a [`HtcError::Persistence`]
+    /// error rather than aborting on an out-of-memory allocation.  The
+    /// conversion uses `try_from`, so a count that would not fit a 32-bit
+    /// `usize` is an error, never a silent truncation.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize> {
+        debug_assert!(elem_bytes > 0, "elements must occupy encoded bytes");
         let v = self.u64()?;
-        // Every persisted element occupies ≥ 8 bytes, so a valid count can
-        // never exceed the remaining payload.
         let remaining = (self.buf.len() - self.pos) as u64;
-        if v > remaining {
+        let implied = v
+            .checked_mul(elem_bytes as u64)
+            .ok_or_else(|| HtcError::Persistence("artifact length overflows".into()))?;
+        if implied > remaining {
             return Err(HtcError::Persistence("artifact is truncated".into()));
         }
-        Ok(v as usize)
+        usize::try_from(v).map_err(|_| HtcError::Persistence("artifact length overflows".into()))
     }
 
     /// A `u64` holding a matrix dimension or index — bounded only by a sanity
@@ -197,7 +208,8 @@ impl<'a> Reader<'a> {
                 "implausible dimension/index {v}"
             )));
         }
-        Ok(v as usize)
+        usize::try_from(v)
+            .map_err(|_| HtcError::Persistence(format!("implausible dimension/index {v}")))
     }
 
     fn f64(&mut self) -> Result<f64> {
@@ -215,10 +227,15 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
+    /// Encoded size of one CSR triplet (`u64` row, `u64` column, `f64`
+    /// value) and, by extension, the minimum size of one CSR matrix (its
+    /// rows/cols/nnz header).
+    const CSR_TRIPLET_BYTES: usize = 24;
+
     fn csr(&mut self) -> Result<CsrMatrix> {
         let rows = self.idx()?;
         let cols = self.idx()?;
-        let nnz = self.len()?;
+        let nnz = self.len(Self::CSR_TRIPLET_BYTES)?;
         let mut triplets = Vec::with_capacity(nnz);
         for _ in 0..nnz {
             let r = self.idx()?;
@@ -286,7 +303,9 @@ pub(crate) fn load_encoder(path: &Path) -> Result<TrainedEncoder> {
     let bytes = read_file(path)?;
     let mut r = Reader::new(&bytes);
     r.header(KIND_ENCODER)?;
-    let layers = r.len()?;
+    // Each persisted layer is at least a 1-byte activation tag, two u64
+    // dimensions and one f64 weight.
+    let layers = r.len(1 + 8 + 8 + 8)?;
     if layers == 0 {
         return Err(HtcError::Persistence("encoder has no layers".into()));
     }
@@ -318,7 +337,7 @@ pub(crate) fn load_encoder(path: &Path) -> Result<TrainedEncoder> {
         );
         activations.push(activation);
     }
-    let loss_len = r.len()?;
+    let loss_len = r.len(8)?;
     let loss_history = r.f64_vec(loss_len)?;
     r.finish()?;
     Ok(TrainedEncoder::from_parts(
@@ -378,7 +397,8 @@ pub(crate) fn load_views(path: &Path) -> Result<TopologyViews> {
     let kind = match kind_tag {
         VIEWS_ORBITS => {
             let weighting = weighting_from_tag(r.u8()?)?;
-            let num_orbits = r.len()?;
+            // Each orbit matrix carries at least its CSR header.
+            let num_orbits = r.len(Reader::CSR_TRIPLET_BYTES)?;
             if num_orbits == 0 || num_orbits > htc_orbits::NUM_EDGE_ORBITS {
                 return Err(HtcError::Persistence(format!(
                     "artifact declares {num_orbits} orbits (valid: 1–{})",
@@ -553,5 +573,114 @@ mod tests {
 
         let err = TrainedEncoder::load(artifact_path("does-not-exist.bin")).unwrap_err();
         assert!(matches!(err, HtcError::Io(_)), "{err}");
+    }
+
+    /// Every prefix of a valid artifact must decode to an error — never a
+    /// panic, and never a multi-gigabyte allocation attempt.
+    #[test]
+    fn every_truncation_point_is_a_decode_error() {
+        let network = toy_network();
+        let config = HtcConfig::fast();
+        let views = TopologyViews::build(&network, &config);
+        let views_path = artifact_path("trunc-views.bin");
+        views.save(&views_path).unwrap();
+        let views_bytes = std::fs::read(&views_path).unwrap();
+
+        let props = Propagators::build(&views);
+        let model = train_single_graph_observed(
+            props.laplacians(),
+            network.attributes(),
+            &config,
+            &mut |_, _| true,
+        )
+        .unwrap();
+        let encoder = TrainedEncoder::from_parts(model.encoder, model.loss_history);
+        let encoder_path = artifact_path("trunc-encoder.bin");
+        encoder.save(&encoder_path).unwrap();
+        let encoder_bytes = std::fs::read(&encoder_path).unwrap();
+
+        let path = artifact_path("trunc-probe.bin");
+        for cut in 0..views_bytes.len() {
+            std::fs::write(&path, &views_bytes[..cut]).unwrap();
+            let err = TopologyViews::load(&path).unwrap_err();
+            assert!(
+                matches!(err, HtcError::Persistence(_)),
+                "views cut at {cut}: {err}"
+            );
+        }
+        for cut in 0..encoder_bytes.len() {
+            std::fs::write(&path, &encoder_bytes[..cut]).unwrap();
+            let err = TrainedEncoder::load(&path).unwrap_err();
+            assert!(
+                matches!(err, HtcError::Persistence(_)),
+                "encoder cut at {cut}: {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&views_path).ok();
+        std::fs::remove_file(&encoder_path).ok();
+    }
+
+    /// A small file that *declares* an enormous element count must be
+    /// rejected by the length check before any allocation is sized by it —
+    /// a regression guard for the "attacker-controlled u64 length → huge
+    /// `Vec::with_capacity` → OOM abort" bug.
+    #[test]
+    fn pathological_declared_lengths_are_rejected_without_allocating() {
+        let path = artifact_path("hostile.bin");
+        let header = |kind: u8| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MAGIC);
+            buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            buf.push(kind);
+            buf
+        };
+
+        // Encoder claiming u64::MAX layers in a 23-byte file.
+        let mut bytes = header(KIND_ENCODER);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TrainedEncoder::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        // Views whose adjacency declares ~2^61 nonzeros: the *count* check
+        // must fail, not a 2^61 × 24-byte capacity reservation.
+        let mut bytes = header(KIND_VIEWS);
+        bytes.extend_from_slice(&6u64.to_le_bytes()); // num_nodes
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // fingerprint
+        bytes.push(VIEWS_LOW_ORDER);
+        bytes.extend_from_slice(&6u64.to_le_bytes()); // rows
+        bytes.extend_from_slice(&6u64.to_le_bytes()); // cols
+        bytes.extend_from_slice(&(1u64 << 61).to_le_bytes()); // nnz
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TopologyViews::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        // Same file, but the nnz is crafted so that count*24 overflows u64
+        // back into a small number — the checked multiply must catch it.
+        let overflowing = u64::MAX / 24 + 2;
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&overflowing.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TopologyViews::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        // A count that fits the remaining bytes but whose payload then runs
+        // past the buffer is caught by the per-element reads.
+        let mut bytes = header(KIND_ENCODER);
+        bytes.extend_from_slice(&2u64.to_le_bytes()); // 2 layers declared
+        bytes.push(1); // relu
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // rows
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // cols
+        bytes.extend_from_slice(&1.0f64.to_le_bytes()); // one weight
+        bytes.push(1); // relu
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // rows
+        bytes.extend_from_slice(&4u64.to_le_bytes()); // cols: 32 data bytes owed
+        bytes.extend_from_slice(&1.0f64.to_le_bytes()); // ...only 8 present
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TrainedEncoder::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        std::fs::remove_file(&path).ok();
     }
 }

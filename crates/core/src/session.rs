@@ -121,7 +121,14 @@ pub struct TopologyViews {
 /// set (even with an unchanged node count) changes the fingerprint, so a
 /// persisted [`TopologyViews`] artifact from an outdated catalog is rejected
 /// instead of silently producing wrong alignments.
-fn graph_fingerprint(graph: &htc_graph::Graph) -> u64 {
+///
+/// The fingerprint is also the artifact-cache key of a serving process (see
+/// the `htc-serve` daemon): repeat requests for a structurally identical
+/// source graph resolve to the same cached session artifacts.  Note that the
+/// fingerprint covers **topology only** — callers whose cache identity must
+/// also distinguish node attributes or configurations have to extend the key
+/// themselves.
+pub fn graph_fingerprint(graph: &htc_graph::Graph) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut combined = FNV_OFFSET ^ (graph.num_nodes() as u64).wrapping_mul(FNV_PRIME);
@@ -182,6 +189,12 @@ impl TopologyViews {
     /// Number of nodes of the underlying graph.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// Structural fingerprint of the graph these views were built from (see
+    /// [`graph_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of propagators these views will expand to.
@@ -449,6 +462,8 @@ pub struct AlignmentSession {
     source: AttributedNetwork,
     /// Attribute dimensionality before augmentation (what targets must match).
     raw_attr_dim: usize,
+    /// Structural fingerprint of the source graph (see [`graph_fingerprint`]).
+    source_fingerprint: u64,
     observer: Option<Arc<dyn ProgressObserver>>,
     /// Source-side shared-artifact stage times; per-alignment stage times live
     /// in each [`HtcResult::timer`].
@@ -480,11 +495,13 @@ impl AlignmentSession {
             return Err(HtcError::EmptyNetwork);
         }
         let raw_attr_dim = source.attr_dim();
+        let source_fingerprint = graph_fingerprint(source.graph());
         let prepared = prepare(source, &config);
         Ok(Self {
             config,
             source: prepared,
             raw_attr_dim,
+            source_fingerprint,
             observer: None,
             timer: StageTimer::new(),
             source_views: None,
@@ -497,6 +514,39 @@ impl AlignmentSession {
     pub fn with_observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Attaches or replaces the progress observer on an existing session
+    /// (`None` detaches).  Long-running processes swap observers per request
+    /// batch without rebuilding the session's cached artifacts.
+    pub fn set_observer(&mut self, observer: Option<Arc<dyn ProgressObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Structural fingerprint of the session's source graph (see
+    /// [`graph_fingerprint`]).  Serving processes use this as the artifact
+    /// cache key: a request whose source graph hashes to the same fingerprint
+    /// can reuse this session's counted orbits, propagators and trained
+    /// encoder.
+    pub fn source_fingerprint(&self) -> u64 {
+        self.source_fingerprint
+    }
+
+    /// Discards every cached source-side artifact (topology views,
+    /// propagators, shared encoder), returning the session to its
+    /// freshly-opened state; the next alignment rebuilds them from scratch.
+    ///
+    /// A long-running server calls this after a request handler caught a
+    /// panic that unwound through an alignment on this session: the cached
+    /// artifacts themselves are only ever published *after* their stage
+    /// completed, but dropping them guarantees the session cannot serve state
+    /// derived from whatever the panicking stage left behind (e.g. a poisoned
+    /// downstream computation).  Stage timings already accumulated are kept —
+    /// rebuilt stages simply record additional occurrences.
+    pub fn reset(&mut self) {
+        self.source_views = None;
+        self.source_propagators = None;
+        self.shared_encoder = None;
     }
 
     /// The session's configuration.
@@ -923,6 +973,24 @@ impl<'s> PairAlignment<'s> {
     /// Stage times incurred by this alignment so far.
     pub fn timer(&self) -> &StageTimer {
         &self.timer
+    }
+
+    /// Discards every pair-specific stage artifact (target views, target
+    /// propagators, the jointly trained encoder, refinements), forcing the
+    /// next stage call to recompute them; the session's shared source-side
+    /// artifacts are kept.
+    ///
+    /// Stage methods only publish an artifact after its stage completed, so a
+    /// failed or cancelled call leaves no partially-populated artifact behind
+    /// and a plain retry recomputes exactly the missing stages.  `reset`
+    /// exists for callers that want a *stronger* guarantee after an error —
+    /// e.g. a serving loop that caught a panic mid-stage — by dropping even
+    /// the completed pair-side artifacts before retrying.
+    pub fn reset(&mut self) {
+        self.target_views = None;
+        self.target_propagators = None;
+        self.trained = None;
+        self.refinements = None;
     }
 
     /// The prepared target network.

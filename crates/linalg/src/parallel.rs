@@ -34,17 +34,46 @@ const MIN_ELEMENTS_PER_THREAD: usize = 8192;
 /// spawn storm.
 pub const MAX_THREADS: usize = 256;
 
+/// Parses an `HTC_NUM_THREADS` override value.
+///
+/// Valid values are integers ≥ 1; anything larger than [`MAX_THREADS`] is
+/// clamped to it (a typo'd `HTC_NUM_THREADS=9999` must not spawn a thread
+/// storm).  Unparsable values and `0` are errors — `0` is rejected rather
+/// than meaning "auto" so that a shell mishap like `HTC_NUM_THREADS=$UNSET`
+/// cannot silently change semantics between releases.
+fn parse_thread_override(value: &str) -> std::result::Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "HTC_NUM_THREADS={value:?} is invalid: must be at least 1"
+        )),
+        Ok(n) => Ok(n.min(MAX_THREADS)),
+        Err(e) => Err(format!(
+            "HTC_NUM_THREADS={value:?} is not a thread count ({e})"
+        )),
+    }
+}
+
 /// Returns the number of worker threads to use for parallel kernels.
 ///
 /// Defaults to the machine parallelism, capped at 16 (beyond that the kernels
 /// in this workspace are memory-bandwidth bound), and can be overridden with
 /// the `HTC_NUM_THREADS` environment variable (useful for reproducible timing
 /// experiments; clamped to [`MAX_THREADS`]).
+///
+/// An **invalid** override — unparsable (`"8x"`) or zero — does *not*
+/// silently fall back: the first time one is seen, a warning naming the bad
+/// value is printed to stderr, and the machine default is used from then on.
+/// Silent fallback previously meant a typo'd pin produced timing numbers at
+/// the wrong thread count with no trace of why.
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var("HTC_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_THREADS);
+        match parse_thread_override(&v) {
+            Ok(n) => return n,
+            Err(msg) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!("warning: {msg}; using the machine default instead");
+                });
             }
         }
     }
@@ -400,6 +429,24 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parsing_accepts_clamps_and_rejects() {
+        // Plain values pass through; whitespace is tolerated.
+        assert_eq!(parse_thread_override("4"), Ok(4));
+        assert_eq!(parse_thread_override(" 16 "), Ok(16));
+        assert_eq!(parse_thread_override("1"), Ok(1));
+        // The cap path: anything above MAX_THREADS clamps to it.
+        assert_eq!(parse_thread_override("256"), Ok(MAX_THREADS));
+        assert_eq!(parse_thread_override("257"), Ok(MAX_THREADS));
+        assert_eq!(parse_thread_override("999999"), Ok(MAX_THREADS));
+        // Invalid values are surfaced as errors naming the bad input, not
+        // silently swallowed.
+        for bad in ["8x", "0", "", "-3", "two", "1.5"] {
+            let err = parse_thread_override(bad).unwrap_err();
+            assert!(err.contains("HTC_NUM_THREADS"), "{err}");
+        }
     }
 
     #[test]

@@ -117,6 +117,31 @@ impl StageTimer {
         out
     }
 
+    /// Renders the stages as a JSON array of
+    /// `{"stage", "seconds", "count", "mean_seconds"}` objects, in insertion
+    /// order — the occurrence-count-aware variant of
+    /// [`stages_json`](Self::stages_json), used by serving processes whose
+    /// `/stats` endpoints report how often each stage ran (e.g. to verify a
+    /// cached artifact skipped its stage).
+    pub fn stages_json_detailed(&self) -> String {
+        let mut out = String::from("[");
+        for (i, entry) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let seconds = entry.duration.as_secs_f64();
+            out.push_str(&format!(
+                "{{\"stage\": \"{}\", \"seconds\": {seconds:.6}, \"count\": {}, \
+                 \"mean_seconds\": {:.6}}}",
+                entry.name.replace('\\', "\\\\").replace('"', "\\\""),
+                entry.count,
+                seconds / entry.count.max(1) as f64
+            ));
+        }
+        out.push(']');
+        out
+    }
+
     /// Renders a simple per-stage breakdown in seconds.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -202,5 +227,18 @@ mod tests {
              {\"stage\": \"a \\\"quoted\\\"\", \"seconds\": 0.250000}]"
         );
         assert_eq!(StageTimer::new().stages_json(), "[]");
+    }
+
+    #[test]
+    fn detailed_json_reports_counts_and_means() {
+        let mut t = StageTimer::new();
+        t.record("training", Duration::from_millis(100));
+        t.record("training", Duration::from_millis(300));
+        assert_eq!(
+            t.stages_json_detailed(),
+            "[{\"stage\": \"training\", \"seconds\": 0.400000, \"count\": 2, \
+             \"mean_seconds\": 0.200000}]"
+        );
+        assert_eq!(StageTimer::new().stages_json_detailed(), "[]");
     }
 }

@@ -1,0 +1,164 @@
+//! Just enough HTTP/1.1 to serve JSON over a `TcpStream`.
+//!
+//! The daemon hand-rolls its transport for the same reason the workspace
+//! hand-rolls its compat crates: the build environment is offline, so no
+//! hyper/axum.  The subset implemented here is deliberately small — request
+//! line, headers, `Content-Length` bodies, `Connection: close` responses —
+//! and deliberately defensive: header and body sizes are capped so a
+//! malicious peer cannot make the server buffer unbounded bytes, and every
+//! parse failure maps to a `400` instead of a panic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.  Inline edge lists and attribute matrices
+/// for graphs in this workspace's serving range fit comfortably; anything
+/// larger should ship as a persisted artifact path instead.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection socket timeout; a stalled peer frees its thread.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// A request-level failure that should turn into an HTTP error response.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `limit` bytes —
+/// `BufRead::read_line` has no cap of its own, so a peer streaming endless
+/// bytes with no newline would otherwise grow the line String unboundedly.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    what: &str,
+) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| HttpError::bad_request(format!("reading {what}: {e}")))?;
+        if buf.is_empty() {
+            return Err(HttpError::bad_request(format!(
+                "connection closed mid-{what}"
+            )));
+        }
+        let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&buf[..=pos], true),
+            None => (buf, false),
+        };
+        if line.len() + chunk.len() > limit {
+            return Err(HttpError {
+                status: 431,
+                message: "request head too large".into(),
+            });
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if found_newline {
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::bad_request(format!("{what} is not UTF-8")));
+        }
+    }
+}
+
+/// Reads one request from `stream` (which is also configured with the
+/// connection timeout here).
+pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT)).ok();
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_line_limited(&mut reader, MAX_HEAD_BYTES, "request line")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("request line has no path"))?
+        .to_string();
+
+    // Headers until the blank line; only Content-Length matters to us.  The
+    // whole head shares the MAX_HEAD_BYTES budget, checked before buffering.
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line_limited(&mut reader, head_budget, "headers")?;
+        head_budget = head_budget.saturating_sub(line.len());
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad_request(format!("reading body: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes a JSON response and flushes; the server closes each connection
+/// after one exchange (`Connection: close`), which keeps the threading model
+/// trivially correct.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(status),
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

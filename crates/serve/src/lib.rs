@@ -1,0 +1,39 @@
+//! # htc-serve
+//!
+//! A long-running HTTP/JSON alignment server over the staged
+//! [`AlignmentSession`](htc_core::AlignmentSession) API — the "heavy traffic
+//! from one catalog source" deployment shape the session API was built for.
+//!
+//! The daemon is hand-rolled over [`std::net::TcpListener`] (the workspace is
+//! offline — no hyper, no serde): [`http`] implements the HTTP/1.1 subset,
+//! [`json`] the JSON subset, [`cache`] the fingerprint-keyed LRU artifact
+//! cache, and [`server`] the routing, request batching and panic recovery.
+//!
+//! ```no_run
+//! use htc_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.join();
+//! ```
+//!
+//! ## Endpoints
+//!
+//! * `POST /align` — align a source/target pair.  Networks are inline
+//!   (`{"num_nodes", "edges", "attributes"?}`) or on disk (`{"stem": ...}`);
+//!   the source may name persisted `views_path` / `encoder_path` artifacts
+//!   for a warm start.  Repeat sources hit the artifact cache; concurrent
+//!   same-source requests are batched onto one
+//!   [`align_many`](htc_core::AlignmentSession::align_many) fan-out.
+//! * `GET /healthz` — liveness.
+//! * `GET /stats` — cache hit rates, request counters, batching figures and
+//!   per-stage [`StageTimer`](htc_metrics::StageTimer) aggregates.
+//! * `POST /shutdown` — clean stop.
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats};
+pub use server::{ServeError, Server, ServerConfig};

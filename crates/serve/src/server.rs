@@ -1,0 +1,838 @@
+//! The `htc-serve` daemon: request routing, the artifact cache, and
+//! same-source request batching.
+//!
+//! ## Life of an align request
+//!
+//! 1. The JSON body is parsed and the **source** network resolved (inline
+//!    payload or persisted files).
+//! 2. The source is keyed by [`CacheKey`] — structural graph fingerprint,
+//!    attribute fingerprint, configuration tag — and looked up in the LRU
+//!    [`ArtifactCache`].  A hit reuses the cached
+//!    [`AlignmentSession`] with its counted orbits, propagators and trained
+//!    encoder; a miss opens a fresh session (optionally warm-started from
+//!    persisted `TopologyViews` / `TrainedEncoder` artifacts).
+//! 3. In the default `"shared"` mode the request joins the entry's **pending
+//!    batch**: the first arrival becomes the batch leader, waits one batch
+//!    window for concurrent same-source requests, then drives every collected
+//!    target through [`AlignmentSession::align_many`] in one fan-out.
+//!    Followers block on a channel and receive their own result.  The
+//!    `"pairwise"` mode (joint training, bit-identical to `HtcAligner`)
+//!    bypasses batching.
+//! 4. A handler panic is caught at the connection boundary; the cached
+//!    session is [`reset`](AlignmentSession::reset) and dropped from the
+//!    cache so the daemon keeps serving.
+//!
+//! Every response is JSON; `/healthz` and `/stats` expose liveness and the
+//! cache / stage-timer counters.
+
+use crate::cache::{attribute_fingerprint, ArtifactCache, CacheKey};
+use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::json::{self, Json};
+use htc_core::{
+    graph_fingerprint, AlignmentSession, HtcConfig, HtcError, HtcResult, TopologyViews,
+    TrainedEncoder,
+};
+use htc_graph::io::read_network;
+use htc_graph::{AttributedNetwork, Graph};
+use htc_linalg::DenseMatrix;
+use htc_metrics::StageTimer;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Maximum number of cached source sessions (LRU beyond this).
+    pub cache_capacity: usize,
+    /// How long a batch leader waits for concurrent same-source requests
+    /// before driving the batch.  Zero serves every request individually.
+    pub batch_window: Duration,
+    /// Preset used when a request does not name one.
+    pub default_preset: String,
+    /// When set, every filesystem path in a request (`stem`, `views_path`,
+    /// `encoder_path`) must be relative, free of `..`, and resolves under
+    /// this root.  Unset means the operator trusts request paths (local
+    /// tooling).
+    pub artifact_root: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            cache_capacity: 8,
+            batch_window: Duration::from_millis(2),
+            default_preset: "fast".into(),
+            artifact_root: None,
+        }
+    }
+}
+
+/// A request-level failure: HTTP status, machine-readable kind, message.
+#[derive(Debug, Clone)]
+pub struct ServeError {
+    pub status: u16,
+    pub kind: &'static str,
+    pub message: String,
+}
+
+impl ServeError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            kind: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            kind: "internal",
+            message: message.into(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        json::obj(vec![
+            ("error", json::str(self.message.clone())),
+            ("kind", json::str(self.kind)),
+        ])
+        .render()
+    }
+}
+
+impl From<HtcError> for ServeError {
+    fn from(e: HtcError) -> Self {
+        let (status, kind) = match &e {
+            // Untrusted persisted bytes and incompatible artifacts are the
+            // client's problem, reported as unprocessable — never a panic.
+            HtcError::Persistence(_) => (422, "invalid_artifact"),
+            HtcError::Io(_) => (422, "artifact_io"),
+            HtcError::InvalidConfig(_) => (422, "invalid_config"),
+            HtcError::AttributeDimensionMismatch { .. } => (422, "dimension_mismatch"),
+            HtcError::EmptyNetwork => (422, "empty_network"),
+            HtcError::Cancelled => (503, "cancelled"),
+            HtcError::Linalg(_) => (500, "internal"),
+        };
+        Self {
+            status,
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One cached source: the session plus the pending batch of the serving mode.
+struct SourceEntry {
+    session: Mutex<AlignmentSession>,
+    pending: Mutex<Vec<PendingAlign>>,
+}
+
+struct PendingAlign {
+    target: AttributedNetwork,
+    tx: mpsc::Sender<Result<BatchOutcome, ServeError>>,
+}
+
+#[derive(Clone)]
+struct BatchOutcome {
+    result: Arc<HtcResult>,
+    batched_with: usize,
+}
+
+/// Aggregate request/batch counters for `/stats`.
+#[derive(Debug, Default)]
+struct RequestStats {
+    total: u64,
+    align_ok: u64,
+    align_err: u64,
+    batches: u64,
+    batched_requests: u64,
+    max_batch: u64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    /// The actually-bound address (resolves a configured port 0).
+    bound_addr: std::net::SocketAddr,
+    cache: Mutex<ArtifactCache<SourceEntry>>,
+    requests: Mutex<RequestStats>,
+    /// Per-request stage times (target-side work), accumulated over the
+    /// daemon's lifetime.
+    request_timer: Mutex<StageTimer>,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A running `htc-serve` instance.
+///
+/// Binds eagerly in [`Server::start`] (so the caller knows the port), then
+/// accepts connections on a background thread until `/shutdown` is posted or
+/// [`Server::shutdown`] is called.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving; returns once the listener is live.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            bound_addr: addr,
+            cache: Mutex::new(ArtifactCache::new(config.cache_capacity)),
+            requests: Mutex::new(RequestStats::default()),
+            request_timer: Mutex::new(StageTimer::new()),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("htc-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to stop and waits for it.  In-flight connection
+    /// threads finish their current response.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops (via `/shutdown`).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("htc-serve-conn".into())
+            .spawn(move || handle_connection(stream, conn_shared));
+        if spawned.is_err() {
+            // Out of threads: shed load rather than dying.
+            continue;
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(HttpError { status, message }) => {
+            let body = json::obj(vec![
+                ("error", json::str(message)),
+                ("kind", json::str("http")),
+            ])
+            .render();
+            let _ = write_json_response(&mut stream, status, &body);
+            return;
+        }
+    };
+    // The route handler runs under catch_unwind: a panic anywhere in the
+    // pipeline (e.g. a worker panic propagated by the thread pool) must take
+    // down one response, not the daemon.
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, &shared)));
+    let (status, body) = match outcome {
+        Ok((status, body)) => (status, body),
+        Err(_) => {
+            let err = ServeError::internal("request handler panicked; session state was reset");
+            (err.status, err.to_json())
+        }
+    };
+    let _ = write_json_response(&mut stream, status, &body);
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
+    {
+        let mut stats = shared.requests.lock().unwrap();
+        stats.total += 1;
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            json::obj(vec![
+                ("status", json::str("ok")),
+                (
+                    "uptime_seconds",
+                    json::num(shared.started.elapsed().as_secs_f64()),
+                ),
+            ])
+            .render(),
+        ),
+        ("GET", "/stats") => (200, stats_json(shared)),
+        ("POST", "/align") => match handle_align(request, shared) {
+            Ok(body) => {
+                shared.requests.lock().unwrap().align_ok += 1;
+                (200, body)
+            }
+            Err(err) => {
+                shared.requests.lock().unwrap().align_err += 1;
+                (err.status, err.to_json())
+            }
+        },
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop with a throwaway connection to the bound
+            // address (from a helper thread so this response flushes first).
+            let addr = shared.bound_addr;
+            std::thread::spawn(move || {
+                let _ = TcpStream::connect(addr);
+            });
+            (
+                200,
+                json::obj(vec![("status", json::str("stopping"))]).render(),
+            )
+        }
+        ("POST", _) | ("GET", _) => (
+            404,
+            json::obj(vec![
+                ("error", json::str(format!("no route {}", request.path))),
+                ("kind", json::str("not_found")),
+            ])
+            .render(),
+        ),
+        (method, _) => (
+            405,
+            json::obj(vec![
+                ("error", json::str(format!("method {method} not allowed"))),
+                ("kind", json::str("method_not_allowed")),
+            ])
+            .render(),
+        ),
+    }
+}
+
+/// Renders `/stats`: request counters, cache counters + hit rate, batching
+/// figures, and two stage-timer views — the shared source-side stages of
+/// every cached session, and the accumulated per-request (target-side)
+/// stages.
+fn stats_json(shared: &Arc<Shared>) -> String {
+    let cache = shared.cache.lock().unwrap();
+    let cache_stats = cache.stats();
+    let mut shared_stages = StageTimer::new();
+    let mut busy_sessions = 0usize;
+    for entry in cache.values() {
+        // try_lock: a session mid-alignment should not stall /stats.
+        match entry.session.try_lock() {
+            Ok(session) => shared_stages.merge(session.timer()),
+            Err(_) => busy_sessions += 1,
+        }
+    }
+    let entries = cache.len();
+    let capacity = cache.capacity();
+    drop(cache);
+    let requests = shared.requests.lock().unwrap();
+    let request_timer = shared.request_timer.lock().unwrap();
+    json::obj(vec![
+        (
+            "uptime_seconds",
+            json::num(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "requests",
+            json::obj(vec![
+                ("total", json::num(requests.total as f64)),
+                ("align_ok", json::num(requests.align_ok as f64)),
+                ("align_err", json::num(requests.align_err as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            json::obj(vec![
+                ("entries", json::num(entries as f64)),
+                ("capacity", json::num(capacity as f64)),
+                ("hits", json::num(cache_stats.hits as f64)),
+                ("misses", json::num(cache_stats.misses as f64)),
+                ("evictions", json::num(cache_stats.evictions as f64)),
+                ("hit_rate", json::num(cache_stats.hit_rate())),
+            ]),
+        ),
+        (
+            "batching",
+            json::obj(vec![
+                ("batches", json::num(requests.batches as f64)),
+                (
+                    "batched_requests",
+                    json::num(requests.batched_requests as f64),
+                ),
+                ("max_batch", json::num(requests.max_batch as f64)),
+            ]),
+        ),
+        ("busy_sessions", json::num(busy_sessions as f64)),
+        (
+            "shared_stages",
+            json_raw(shared_stages.stages_json_detailed()),
+        ),
+        (
+            "request_stages",
+            json_raw(request_timer.stages_json_detailed()),
+        ),
+    ])
+    .render()
+}
+
+/// Wraps an already-rendered JSON fragment (the StageTimer emitters produce
+/// their own JSON) so it can be embedded without re-parsing.
+fn json_raw(fragment: String) -> Json {
+    Json::Raw(fragment)
+}
+
+/// The parsed, validated body of a `POST /align`.
+struct AlignRequest {
+    source: AttributedNetwork,
+    target: AttributedNetwork,
+    views_path: Option<PathBuf>,
+    encoder_path: Option<PathBuf>,
+    config: HtcConfig,
+    config_tag: String,
+    pairwise: bool,
+}
+
+fn preset_config(name: &str) -> Result<HtcConfig, ServeError> {
+    match name {
+        "fast" => Ok(HtcConfig::fast()),
+        "small" => Ok(HtcConfig::small()),
+        "paper" => Ok(HtcConfig::paper()),
+        other => Err(ServeError::bad_request(format!(
+            "unknown preset {other:?} (expected fast|small|paper)"
+        ))),
+    }
+}
+
+/// Validates a request-supplied filesystem path against the configured
+/// artifact root: with a root, paths must be relative, `..`-free and resolve
+/// inside it; without one, they pass through (trusted operator).
+fn resolve_path(shared: &Shared, raw: &str) -> Result<PathBuf, ServeError> {
+    let path = Path::new(raw);
+    match &shared.config.artifact_root {
+        None => Ok(path.to_path_buf()),
+        Some(root) => {
+            let traversal = path.components().any(|c| {
+                matches!(
+                    c,
+                    Component::ParentDir | Component::RootDir | Component::Prefix(_)
+                )
+            });
+            if traversal || path.is_absolute() {
+                return Err(ServeError {
+                    status: 400,
+                    kind: "forbidden_path",
+                    message: format!(
+                        "path {raw:?} must be relative to the artifact root and free of '..'"
+                    ),
+                });
+            }
+            Ok(root.join(path))
+        }
+    }
+}
+
+/// Parses a network spec: inline `{"num_nodes", "edges", "attributes"?}` or
+/// `{"stem": "<path>"}` referencing `<stem>.edges` / `<stem>.attrs` files.
+fn parse_network(
+    shared: &Shared,
+    spec: &Json,
+    what: &str,
+) -> Result<AttributedNetwork, ServeError> {
+    if let Some(stem) = spec.get("stem") {
+        let stem = stem
+            .as_str()
+            .ok_or_else(|| ServeError::bad_request(format!("{what}.stem must be a string")))?;
+        let stem = resolve_path(shared, stem)?;
+        return read_network(&stem).map_err(|e| ServeError {
+            status: 422,
+            kind: "network_io",
+            message: format!("reading {what} network {stem:?}: {e}"),
+        });
+    }
+    let num_nodes = spec
+        .get("num_nodes")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| {
+            ServeError::bad_request(format!("{what}.num_nodes must be a non-negative integer"))
+        })?;
+    let edges_json = spec
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::bad_request(format!("{what}.edges must be an array")))?;
+    let mut edges = Vec::with_capacity(edges_json.len());
+    for (i, edge) in edges_json.iter().enumerate() {
+        let pair = edge
+            .as_arr()
+            .filter(|pair| pair.len() == 2)
+            .ok_or_else(|| {
+                ServeError::bad_request(format!("{what}.edges[{i}] must be a [u, v] pair"))
+            })?;
+        let u = pair[0].as_usize().ok_or_else(|| {
+            ServeError::bad_request(format!("{what}.edges[{i}][0] must be a node index"))
+        })?;
+        let v = pair[1].as_usize().ok_or_else(|| {
+            ServeError::bad_request(format!("{what}.edges[{i}][1] must be a node index"))
+        })?;
+        edges.push((u, v));
+    }
+    let graph = Graph::from_edges(num_nodes, &edges).map_err(|e| ServeError {
+        status: 422,
+        kind: "invalid_graph",
+        message: format!("{what} graph: {e}"),
+    })?;
+    match spec.get("attributes") {
+        None | Some(Json::Null) => Ok(AttributedNetwork::topology_only(graph)),
+        Some(attrs) => {
+            let rows_json = attrs.as_arr().ok_or_else(|| {
+                ServeError::bad_request(format!("{what}.attributes must be an array of rows"))
+            })?;
+            let mut rows = Vec::with_capacity(rows_json.len());
+            for (i, row) in rows_json.iter().enumerate() {
+                let row = row.as_arr().ok_or_else(|| {
+                    ServeError::bad_request(format!("{what}.attributes[{i}] must be an array"))
+                })?;
+                let mut values = Vec::with_capacity(row.len());
+                for v in row {
+                    values.push(v.as_f64().ok_or_else(|| {
+                        ServeError::bad_request(format!(
+                            "{what}.attributes[{i}] must contain numbers"
+                        ))
+                    })?);
+                }
+                rows.push(values);
+            }
+            let attributes = DenseMatrix::from_rows(&rows).map_err(|e| {
+                ServeError::bad_request(format!("{what}.attributes is ragged: {e}"))
+            })?;
+            AttributedNetwork::new(graph, attributes).map_err(|e| ServeError {
+                status: 422,
+                kind: "invalid_graph",
+                message: format!("{what} network: {e}"),
+            })
+        }
+    }
+}
+
+fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("request body is not UTF-8"))?;
+    let root = json::parse(text)
+        .map_err(|e| ServeError::bad_request(format!("invalid JSON body: {e}")))?;
+    let preset_name = match root.get("preset") {
+        None => shared.config.default_preset.clone(),
+        Some(p) => p
+            .as_str()
+            .ok_or_else(|| ServeError::bad_request("preset must be a string"))?
+            .to_string(),
+    };
+    let mut config = preset_config(&preset_name)?;
+    let mut config_tag = preset_name.clone();
+    if let Some(epochs) = root.get("epochs") {
+        let epochs = epochs
+            .as_usize()
+            .filter(|&e| e >= 1)
+            .ok_or_else(|| ServeError::bad_request("epochs must be a positive integer"))?;
+        config.epochs = epochs;
+        config_tag = format!("{preset_name}#e{epochs}");
+    }
+    let pairwise = match root.get("mode") {
+        None => false,
+        Some(mode) => match mode.as_str() {
+            Some("shared") => false,
+            Some("pairwise") => true,
+            _ => {
+                return Err(ServeError::bad_request(
+                    "mode must be \"shared\" or \"pairwise\"",
+                ))
+            }
+        },
+    };
+    let source_spec = root
+        .get("source")
+        .ok_or_else(|| ServeError::bad_request("request needs a source network"))?;
+    let target_spec = root
+        .get("target")
+        .ok_or_else(|| ServeError::bad_request("request needs a target network"))?;
+    let source = parse_network(shared, source_spec, "source")?;
+    let target = parse_network(shared, target_spec, "target")?;
+    let path_field = |key: &str| -> Result<Option<PathBuf>, ServeError> {
+        match source_spec.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| {
+                    ServeError::bad_request(format!("source.{key} must be a string"))
+                })?;
+                resolve_path(shared, raw).map(Some)
+            }
+        }
+    };
+    Ok(AlignRequest {
+        views_path: path_field("views_path")?,
+        encoder_path: path_field("encoder_path")?,
+        source,
+        target,
+        config,
+        config_tag,
+        pairwise,
+    })
+}
+
+fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<String, ServeError> {
+    let align = parse_align_request(shared, &request.body)?;
+    // Warm-start artifact paths are part of the cache identity: persisted
+    // views are fingerprint-checked against the source graph, but a persisted
+    // *encoder* carries no graph identity — only its dimensions are
+    // validated.  Folding the paths into the key means a request that names
+    // artifacts can never place a session where plain requests for the same
+    // source would silently inherit a foreign encoder.
+    let mut config_tag = align.config_tag.clone();
+    if let Some(path) = &align.views_path {
+        config_tag.push_str(&format!("|views={}", path.display()));
+    }
+    if let Some(path) = &align.encoder_path {
+        config_tag.push_str(&format!("|encoder={}", path.display()));
+    }
+    let key = CacheKey {
+        fingerprint: graph_fingerprint(align.source.graph()),
+        attr_fingerprint: attribute_fingerprint(align.source.attributes()),
+        preset: config_tag,
+    };
+    // Load persisted artifacts *before* taking the cache lock — decoding a
+    // large artifact file must stall this request, not the whole daemon.
+    // The loads only run when the key is absent (double-checked below), so
+    // repeat warm-started sources do not re-read their files.
+    let mut warm_views = None;
+    let mut warm_encoder = None;
+    if shared.cache.lock().unwrap().peek(&key).is_none() {
+        if let Some(path) = &align.views_path {
+            warm_views = Some(TopologyViews::load(path)?);
+        }
+        if let Some(path) = &align.encoder_path {
+            warm_encoder = Some(TrainedEncoder::load(path)?);
+        }
+    }
+    let (entry, cache_hit) = {
+        let mut cache = shared.cache.lock().unwrap();
+        cache.get_or_insert(&key, || -> Result<SourceEntry, ServeError> {
+            let mut session = AlignmentSession::new(align.config.clone(), &align.source)?;
+            // Views are validated against the session (fingerprint, mode,
+            // parameters); the encoder against its dimensions.  A stale or
+            // corrupt artifact is a 422, never a wrong answer.
+            if let Some(views) = warm_views {
+                session.set_source_views(views)?;
+            } else if let Some(path) = &align.views_path {
+                // Another thread inserted and was evicted between the peek
+                // and this lock — rare enough to just load inline.
+                session.set_source_views(TopologyViews::load(path)?)?;
+            }
+            if let Some(encoder) = warm_encoder {
+                session.set_encoder(encoder)?;
+            } else if let Some(path) = &align.encoder_path {
+                session.set_encoder(TrainedEncoder::load(path)?)?;
+            }
+            Ok(SourceEntry {
+                session: Mutex::new(session),
+                pending: Mutex::new(Vec::new()),
+            })
+        })?
+    };
+
+    let pairwise = align.pairwise;
+    let outcome = if pairwise {
+        serve_pairwise(shared, &entry, &align)
+    } else {
+        serve_batched(shared, &entry, align.target)
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            // A panic-derived failure may have interrupted a stage mid-way;
+            // drop the entry so no future request sees that session.
+            if err.kind == "internal" {
+                shared.cache.lock().unwrap().remove_value(&entry);
+            }
+            return Err(err);
+        }
+    };
+
+    shared
+        .request_timer
+        .lock()
+        .unwrap()
+        .merge(outcome.result.timer());
+    Ok(render_align_response(&outcome, cache_hit, pairwise))
+}
+
+/// Pairwise mode: joint training on (source, target), no batching.
+fn serve_pairwise(
+    _shared: &Arc<Shared>,
+    entry: &Arc<SourceEntry>,
+    align: &AlignRequest,
+) -> Result<BatchOutcome, ServeError> {
+    let mut session = entry.session.lock().unwrap();
+    let result = catch_session_panic(&mut session, |session| session.align(&align.target))?;
+    Ok(BatchOutcome {
+        result: Arc::new(result),
+        batched_with: 1,
+    })
+}
+
+/// Shared mode: join the entry's pending batch; lead it if first in.
+fn serve_batched(
+    shared: &Arc<Shared>,
+    entry: &Arc<SourceEntry>,
+    target: AttributedNetwork,
+) -> Result<BatchOutcome, ServeError> {
+    let (tx, rx) = mpsc::channel();
+    let is_leader = {
+        let mut pending = entry.pending.lock().unwrap();
+        pending.push(PendingAlign { target, tx });
+        pending.len() == 1
+    };
+    if is_leader {
+        if !shared.config.batch_window.is_zero() {
+            std::thread::sleep(shared.config.batch_window);
+        }
+        // Serialise batches per source; concurrent requests for the same
+        // source that arrive while we hold the session form the next batch.
+        let mut session = entry.session.lock().unwrap();
+        let batch: Vec<PendingAlign> = std::mem::take(&mut *entry.pending.lock().unwrap());
+        debug_assert!(!batch.is_empty(), "leader's own request is in the batch");
+        // Split by value: targets move into align_many's slice, senders stay
+        // for result distribution — no per-request network deep copies.
+        let (targets, senders): (Vec<AttributedNetwork>, Vec<_>) =
+            batch.into_iter().map(|p| (p.target, p.tx)).unzip();
+        {
+            let mut stats = shared.requests.lock().unwrap();
+            stats.batches += 1;
+            stats.batched_requests += senders.len() as u64;
+            stats.max_batch = stats.max_batch.max(senders.len() as u64);
+        }
+        let outcome = catch_session_panic(&mut session, |session| session.align_many(&targets));
+        drop(session);
+        match outcome {
+            Ok(results) => {
+                debug_assert_eq!(results.len(), senders.len());
+                let batched_with = senders.len();
+                for (result, tx) in results.into_iter().zip(&senders) {
+                    let _ = tx.send(Ok(BatchOutcome {
+                        result: Arc::new(result),
+                        batched_with,
+                    }));
+                }
+            }
+            Err(err) => {
+                for tx in &senders {
+                    let _ = tx.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+    rx.recv().map_err(|_| {
+        ServeError::internal("batch leader dropped this request (leader thread failed)")
+    })?
+}
+
+/// Runs `body` on the locked session, converting a panic that unwound out of
+/// an alignment stage into an internal error — after resetting the session's
+/// cached artifacts so it can never serve state influenced by the aborted
+/// stage.
+fn catch_session_panic<R>(
+    session: &mut AlignmentSession,
+    body: impl FnOnce(&mut AlignmentSession) -> htc_core::Result<R>,
+) -> Result<R, ServeError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(session))) {
+        Ok(result) => result.map_err(ServeError::from),
+        Err(payload) => {
+            session.reset();
+            let detail = panic_message(&payload);
+            Err(ServeError::internal(format!(
+                "alignment panicked ({detail}); session artifacts were reset"
+            )))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn render_align_response(outcome: &BatchOutcome, cache_hit: bool, pairwise: bool) -> String {
+    let result = &outcome.result;
+    let anchors = result.predicted_anchors();
+    let anchor_rows: Vec<Json> = anchors
+        .iter()
+        .enumerate()
+        .map(|(s, &t)| {
+            json::arr([
+                json::num(s as f64),
+                json::num(t as f64),
+                json::num(result.alignment().get(s, t)),
+            ])
+        })
+        .collect();
+    json::obj(vec![
+        (
+            "mode",
+            json::str(if pairwise { "pairwise" } else { "shared" }),
+        ),
+        ("cache_hit", Json::Bool(cache_hit)),
+        ("batched_with", json::num(outcome.batched_with as f64)),
+        ("anchors", Json::Arr(anchor_rows)),
+        (
+            "orbit_importance",
+            json::arr(result.orbit_importance().iter().map(|&g| json::num(g))),
+        ),
+        (
+            "trusted_counts",
+            json::arr(result.trusted_counts().iter().map(|&c| json::num(c as f64))),
+        ),
+        (
+            "loss_final",
+            result
+                .loss_history()
+                .last()
+                .map(|&l| json::num(l))
+                .unwrap_or(Json::Null),
+        ),
+        ("stages", json_raw(result.timer().stages_json_detailed())),
+    ])
+    .render()
+}

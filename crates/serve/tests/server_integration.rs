@@ -1,0 +1,315 @@
+//! Drives `htc-serve` over a real TCP socket: artifact-cache hits between
+//! requests sharing a source, same-source batching onto `align_many`,
+//! persisted-artifact warm starts, rejection of truncated/corrupt artifacts
+//! (decode error, never a panic), and clean shutdown.
+
+use htc_core::{AlignmentSession, HtcConfig};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+use htc_graph::AttributedNetwork;
+use htc_serve::json;
+use htc_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP/1.1 exchange against the server (it closes each connection).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, json::Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let parsed =
+        json::parse(payload).unwrap_or_else(|e| panic!("unparsable body ({e}): {payload:?}"));
+    (status, parsed)
+}
+
+fn network_json(network: &AttributedNetwork) -> String {
+    let edges: Vec<String> = network
+        .graph()
+        .edges()
+        .iter()
+        .map(|&(u, v)| format!("[{u},{v}]"))
+        .collect();
+    let rows: Vec<String> = (0..network.num_nodes())
+        .map(|u| {
+            let row: Vec<String> = network
+                .node_attributes(u)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"num_nodes\":{},\"edges\":[{}],\"attributes\":[{}]}}",
+        network.num_nodes(),
+        edges.join(","),
+        rows.join(",")
+    )
+}
+
+fn align_body(source: &str, target: &AttributedNetwork) -> String {
+    format!(
+        "{{\"preset\":\"fast\",\"epochs\":6,\"source\":{source},\"target\":{}}}",
+        network_json(target)
+    )
+}
+
+fn get_num(v: &json::Json, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {}", v.render()));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("{path:?} not a number"))
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("htc-serve-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn server_round_trip_cache_batching_and_hostile_artifacts() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_capacity: 4,
+        batch_window: Duration::from_millis(400),
+        default_preset: "fast".into(),
+        artifact_root: None,
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Liveness.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    // --- Two sequential requests sharing a source: second is a cache hit. ---
+    let pair = generate_pair(&SyntheticPairConfig::tiny(14).with_seed(3));
+    let other = generate_pair(
+        &SyntheticPairConfig::tiny(14)
+            .with_seed(3)
+            .with_edge_removal(0.08),
+    );
+    let source = network_json(&pair.source);
+
+    let (status, first) = request(addr, "POST", "/align", &align_body(&source, &pair.target));
+    assert_eq!(status, 200, "{}", first.render());
+    assert_eq!(first.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        first.get("anchors").unwrap().as_arr().unwrap().len(),
+        pair.source.num_nodes()
+    );
+
+    let (status, second) = request(addr, "POST", "/align", &align_body(&source, &other.target));
+    assert_eq!(status, 200, "{}", second.render());
+    assert_eq!(
+        second.get("cache_hit").unwrap().as_bool(),
+        Some(true),
+        "same source + config must hit the artifact cache"
+    );
+
+    // Determinism through the cache: repeating the first request bit-matches.
+    let (_, replay) = request(addr, "POST", "/align", &align_body(&source, &pair.target));
+    assert_eq!(
+        replay.get("anchors").unwrap(),
+        first.get("anchors").unwrap(),
+        "cached artifacts serve bit-identical results"
+    );
+
+    // The hit count is visible in /stats, and the shared training stage ran
+    // exactly once for the cached source.
+    let (status, stats) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(
+        get_num(&stats, &["cache", "hits"]) >= 2.0,
+        "{}",
+        stats.render()
+    );
+    assert_eq!(get_num(&stats, &["cache", "misses"]), 1.0);
+    assert!(get_num(&stats, &["cache", "hit_rate"]) > 0.5);
+    let shared_stages = stats.get("shared_stages").unwrap().as_arr().unwrap();
+    let training = shared_stages
+        .iter()
+        .find(|s| s.get("stage").and_then(json::Json::as_str) == Some("multi-orbit-aware training"))
+        .expect("training stage present in shared stages");
+    assert_eq!(
+        training.get("count").unwrap().as_usize(),
+        Some(1),
+        "three served requests, one training run"
+    );
+
+    // --- Concurrent same-source requests coalesce onto one align_many. ---
+    let targets: Vec<AttributedNetwork> = (0..3)
+        .map(|i| {
+            generate_pair(
+                &SyntheticPairConfig::tiny(14)
+                    .with_seed(3)
+                    .with_edge_removal(0.02 + 0.02 * i as f64),
+            )
+            .target
+        })
+        .collect();
+    let mut workers = Vec::new();
+    for target in targets {
+        let source = source.clone();
+        workers.push(std::thread::spawn(move || {
+            request(addr, "POST", "/align", &align_body(&source, &target))
+        }));
+    }
+    let responses: Vec<(u16, json::Json)> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for (status, response) in &responses {
+        assert_eq!(*status, 200, "{}", response.render());
+        assert_eq!(response.get("cache_hit").unwrap().as_bool(), Some(true));
+    }
+    let max_batch = responses
+        .iter()
+        .map(|(_, r)| r.get("batched_with").unwrap().as_usize().unwrap())
+        .max()
+        .unwrap();
+    assert!(
+        max_batch >= 2,
+        "concurrent same-source requests should share a batch (got {max_batch})"
+    );
+
+    // --- Persisted artifacts: a warm start works end to end... ---
+    let warm = generate_pair(&SyntheticPairConfig::tiny(12).with_seed(11));
+    let mut config = HtcConfig::fast();
+    config.epochs = 6;
+    let mut producer = AlignmentSession::new(config, &warm.source).unwrap();
+    let views_path = tmp_path("views.bin");
+    let encoder_path = tmp_path("encoder.bin");
+    producer.source_views().unwrap().save(&views_path).unwrap();
+    producer.train().unwrap().save(&encoder_path).unwrap();
+
+    let warm_source = format!(
+        "{},\"views_path\":{:?},\"encoder_path\":{:?}}}",
+        network_json(&warm.source).trim_end_matches('}'),
+        views_path.display().to_string(),
+        encoder_path.display().to_string(),
+    );
+    let body = format!(
+        "{{\"preset\":\"fast\",\"epochs\":6,\"source\":{warm_source},\"target\":{}}}",
+        network_json(&warm.target)
+    );
+    let (status, warm_response) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 200, "{}", warm_response.render());
+
+    // ...and a truncated artifact is rejected with a decode error — the
+    // daemon answers 422 and stays up, it does not panic or abort.
+    let bytes = std::fs::read(&views_path).unwrap();
+    let truncated_path = tmp_path("views-truncated.bin");
+    std::fs::write(&truncated_path, &bytes[..bytes.len() / 2]).unwrap();
+    // A fresh source (different seed) so the lookup misses and actually loads
+    // the artifact.
+    let fresh = generate_pair(&SyntheticPairConfig::tiny(12).with_seed(13));
+    let hostile_source = format!(
+        "{},\"views_path\":{:?}}}",
+        network_json(&fresh.source).trim_end_matches('}'),
+        truncated_path.display().to_string()
+    );
+    let body = format!(
+        "{{\"preset\":\"fast\",\"epochs\":6,\"source\":{hostile_source},\"target\":{}}}",
+        network_json(&fresh.target)
+    );
+    let (status, rejected) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 422, "{}", rejected.render());
+    assert_eq!(
+        rejected.get("kind").unwrap().as_str(),
+        Some("invalid_artifact"),
+        "{}",
+        rejected.render()
+    );
+
+    // A fuzzed artifact (bit flips in the payload) is also a clean 422/400,
+    // never a crash.
+    let mut fuzzed = bytes.clone();
+    for i in (8..fuzzed.len()).step_by(7) {
+        fuzzed[i] ^= 0x5a;
+    }
+    std::fs::write(&truncated_path, &fuzzed).unwrap();
+    let body = format!(
+        "{{\"preset\":\"fast\",\"epochs\":6,\"source\":{hostile_source},\"target\":{}}}",
+        network_json(&fresh.target)
+    );
+    let (status, _) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 422);
+
+    // The daemon survived the hostile artifacts.
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // --- Malformed requests are 4xx, not connection drops. ---
+    let (status, err) = request(addr, "POST", "/align", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("bad_request"));
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // --- Clean shutdown over the wire. ---
+    let (status, stopping) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(stopping.get("status").unwrap().as_str(), Some("stopping"));
+    server.join();
+
+    std::fs::remove_file(&views_path).ok();
+    std::fs::remove_file(&encoder_path).ok();
+    std::fs::remove_file(&truncated_path).ok();
+}
+
+/// The artifact-root jail rejects absolute and traversal paths outright.
+#[test]
+fn artifact_root_rejects_traversal() {
+    let root = tmp_path("artifact-root");
+    std::fs::create_dir_all(&root).unwrap();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        artifact_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let pair = generate_pair(&SyntheticPairConfig::tiny(10).with_seed(5));
+    for bad in ["../secrets.bin", "/etc/passwd"] {
+        let jailed_source = format!(
+            "{},\"views_path\":{bad:?}}}",
+            network_json(&pair.source).trim_end_matches('}')
+        );
+        let body = format!(
+            "{{\"source\":{jailed_source},\"target\":{}}}",
+            network_json(&pair.target)
+        );
+        let (status, response) = request(addr, "POST", "/align", &body);
+        assert_eq!(status, 400, "{}", response.render());
+        assert_eq!(
+            response.get("kind").unwrap().as_str(),
+            Some("forbidden_path"),
+            "{}",
+            response.render()
+        );
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,124 @@
+//! `htc-serve` — the long-running HTTP/JSON alignment daemon.
+//!
+//! Serves align requests over a fingerprint-keyed artifact cache: the first
+//! request for a source graph pays orbit counting + training, every repeat
+//! source skips straight to per-target fine-tuning, and concurrent
+//! same-source requests are batched onto one `align_many` fan-out.
+//!
+//! ```text
+//! htc-serve [--addr 127.0.0.1:8700] [--preset fast|small|paper]
+//!           [--cache-capacity N] [--batch-window-ms N]
+//!           [--artifact-root DIR] [--threads N]
+//! ```
+//!
+//! The daemon prints `listening on <addr>` to stdout once the socket is
+//! bound (scripts scrape this line for the resolved port) and runs until
+//! `POST /shutdown`.  See README.md for the request format and a curl
+//! quickstart.
+
+use htc::serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct ServeArgs {
+    config: ServerConfig,
+    threads: Option<usize>,
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper] \
+         [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
+         [--threads N]"
+    );
+}
+
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8700".into(),
+        ..ServerConfig::default()
+    };
+    let mut threads = None;
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--preset" => {
+                let name = value("--preset")?;
+                if !matches!(name.as_str(), "fast" | "small" | "paper") {
+                    return Err(format!(
+                        "unknown preset {name:?} (expected fast|small|paper)"
+                    ));
+                }
+                config.default_preset = name;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity value: {e}"))?;
+            }
+            "--batch-window-ms" => {
+                let ms: u64 = value("--batch-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-window-ms value: {e}"))?;
+                config.batch_window = Duration::from_millis(ms);
+            }
+            "--artifact-root" => {
+                config.artifact_root = Some(PathBuf::from(value("--artifact-root")?));
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+                if n == 0 || n > htc::linalg::parallel::MAX_THREADS {
+                    return Err(format!(
+                        "--threads must be between 1 and {}",
+                        htc::linalg::parallel::MAX_THREADS
+                    ));
+                }
+                threads = Some(n);
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(ServeArgs { config, threads })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_cli(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        // Must happen before the first parallel kernel runs: the worker pool
+        // reads HTC_NUM_THREADS once, lazily, on first use.
+        std::env::set_var("HTC_NUM_THREADS", n.to_string());
+    }
+    let preset = args.config.default_preset.clone();
+    let capacity = args.config.cache_capacity;
+    let server = match Server::start(args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-scrapable; CI and scripts wait for this line.
+    println!("listening on {}", server.addr());
+    eprintln!(
+        "htc-serve up: preset {preset}, cache capacity {capacity}, {} worker threads \
+         (POST /shutdown to stop)",
+        htc::linalg::parallel::num_threads()
+    );
+    server.join();
+    eprintln!("htc-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

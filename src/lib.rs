@@ -15,6 +15,7 @@
 //! * [`baselines`] — comparison methods ([`htc_baselines`])
 //! * [`datasets`] — synthetic evaluation datasets ([`htc_datasets`])
 //! * [`metrics`] — precision@q / MRR and timers ([`htc_metrics`])
+//! * [`serve`] — the `htc-serve` HTTP/JSON alignment daemon ([`htc_serve`])
 //! * [`viz`] — t-SNE / PCA for embedding figures ([`htc_viz`])
 //!
 //! ## Quickstart
@@ -41,4 +42,5 @@ pub use htc_linalg as linalg;
 pub use htc_metrics as metrics;
 pub use htc_nn as nn;
 pub use htc_orbits as orbits;
+pub use htc_serve as serve;
 pub use htc_viz as viz;

@@ -313,6 +313,132 @@ fn cancellation_at_stage_boundary_returns_cancelled() {
     assert_eq!(session.timer().count(stages::ORBIT_COUNTING), 1);
 }
 
+/// Observer that vetoes every target after index 0 while armed.
+struct TargetCanceller {
+    armed: std::sync::atomic::AtomicBool,
+    vetoed: AtomicUsize,
+}
+
+impl ProgressObserver for TargetCanceller {
+    fn on_target_start(&self, index: usize, _total: usize) -> bool {
+        if index == 0 || !self.armed.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.vetoed.fetch_add(1, Ordering::SeqCst);
+        false
+    }
+}
+
+#[test]
+fn align_many_cancelled_mid_fanout_leaves_the_session_reusable() {
+    let pair = tiny_pair(12);
+    let targets: Vec<_> = (0..3)
+        .map(|i| {
+            generate_pair(&SyntheticPairConfig {
+                edge_removal: 0.02 + 0.02 * i as f64,
+                ..SyntheticPairConfig::tiny(12)
+            })
+            .target
+        })
+        .collect();
+    let observer = Arc::new(TargetCanceller {
+        armed: std::sync::atomic::AtomicBool::new(true),
+        vetoed: AtomicUsize::new(0),
+    });
+    let mut session = AlignmentSession::new(fast_config(), &pair.source)
+        .unwrap()
+        .with_observer(observer.clone());
+
+    // The observer cancels after the first target: the batch returns
+    // `Cancelled` as an error — not a worker panic unwinding into the test.
+    let err = session.align_many(&targets).unwrap_err();
+    assert_eq!(err, HtcError::Cancelled);
+    assert!(observer.vetoed.load(Ordering::SeqCst) >= 1);
+    // The shared source-side artifacts built before the veto stay cached...
+    assert_eq!(session.timer().count(stages::TRAINING), 1);
+    assert_eq!(session.timer().count(stages::ORBIT_COUNTING), 1);
+
+    // ...and the session remains fully reusable: disarm the observer and the
+    // same batch now serves, without re-training, bit-identical to a batch
+    // from a session that was never cancelled.
+    observer.armed.store(false, Ordering::SeqCst);
+    let results = session.align_many(&targets).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(session.timer().count(stages::TRAINING), 1);
+
+    let mut fresh = AlignmentSession::new(fast_config(), &pair.source).unwrap();
+    let expected = fresh.align_many(&targets).unwrap();
+    for (got, want) in results.iter().zip(&expected) {
+        assert_bit_identical(got, want);
+    }
+}
+
+/// Observer that vetoes a named stage until disarmed.
+struct StageCanceller {
+    stage: &'static str,
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl ProgressObserver for StageCanceller {
+    fn on_stage_start(&self, stage: &str) -> bool {
+        !(self.armed.load(Ordering::SeqCst) && stage == self.stage)
+    }
+}
+
+#[test]
+fn cancelled_stage_retried_on_the_same_session_recomputes_cleanly() {
+    let pair = tiny_pair(13);
+    let monolithic = HtcAligner::new(fast_config())
+        .align(&pair.source, &pair.target)
+        .unwrap();
+
+    for stage in [stages::TRAINING, stages::FINE_TUNING, stages::INTEGRATION] {
+        let observer = Arc::new(StageCanceller {
+            stage,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        });
+        let mut session = AlignmentSession::new(fast_config(), &pair.source)
+            .unwrap()
+            .with_observer(observer.clone());
+        let err = session.align(&pair.target).unwrap_err();
+        assert_eq!(err, HtcError::Cancelled, "cancelling {stage}");
+
+        // No stale partially-populated artifact survives the failed run: the
+        // retried alignment neither panics on a broken invariant nor serves
+        // results influenced by the aborted attempt.
+        observer.armed.store(false, Ordering::SeqCst);
+        let retried = session.align(&pair.target).unwrap();
+        assert_bit_identical(&monolithic, &retried);
+    }
+}
+
+#[test]
+fn session_and_pair_reset_recompute_bit_identically() {
+    let pair = tiny_pair(12);
+    let mut session = AlignmentSession::new(fast_config(), &pair.source).unwrap();
+    let baseline = session.align_shared(&pair.target).unwrap();
+    assert_eq!(session.timer().count(stages::TRAINING), 1);
+
+    // reset() drops every cached artifact: the next serve re-counts and
+    // re-trains (counts move) and still produces bit-identical output.
+    session.reset();
+    let rebuilt = session.align_shared(&pair.target).unwrap();
+    assert_bit_identical(&baseline, &rebuilt);
+    assert_eq!(session.timer().count(stages::TRAINING), 2);
+    assert_eq!(session.timer().count(stages::ORBIT_COUNTING), 2);
+
+    // PairAlignment::reset() discards pair-side progress mid-flight; the
+    // finished result still matches the monolithic aligner bit-for-bit.
+    let monolithic = HtcAligner::new(fast_config())
+        .align(&pair.source, &pair.target)
+        .unwrap();
+    let mut staged = session.begin(&pair.target).unwrap();
+    staged.train().unwrap();
+    staged.reset();
+    let result = staged.finish().unwrap();
+    assert_bit_identical(&monolithic, &result);
+}
+
 #[test]
 fn persisted_artifacts_warm_start_a_new_session_bit_exactly() {
     let pair = tiny_pair(13);
