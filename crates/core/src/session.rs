@@ -621,6 +621,28 @@ impl AlignmentSession {
         Ok(self.ensure_source_views()?.0)
     }
 
+    /// The cached source topology views, **without** building them — `None`
+    /// until some alignment (or [`source_views`](Self::source_views) /
+    /// [`set_source_views`](Self::set_source_views)) produced them.
+    ///
+    /// Serving processes use this together with
+    /// [`encoder_if_trained`](Self::encoder_if_trained) to persist whatever
+    /// artifacts a session has accumulated so far (e.g. a durable cache
+    /// spilling after each request) without ever forcing an expensive stage
+    /// just to save it.
+    pub fn views_if_built(&self) -> Option<Arc<TopologyViews>> {
+        self.source_views.clone()
+    }
+
+    /// The cached source-trained shared encoder, **without** training —
+    /// `None` until [`train`](Self::train) /
+    /// [`align_many`](Self::align_many) ran (or
+    /// [`set_encoder`](Self::set_encoder) warm-started it).  See
+    /// [`views_if_built`](Self::views_if_built).
+    pub fn encoder_if_trained(&self) -> Option<Arc<TrainedEncoder>> {
+        self.shared_encoder.clone()
+    }
+
     /// Stage 2 for the source: normalised propagators, computed once and
     /// cached.
     pub fn source_propagators(&mut self) -> Result<Arc<Propagators>> {

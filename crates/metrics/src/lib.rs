@@ -5,10 +5,11 @@
 //! * [`alignment`] — `precision@q` (Eq. 16) and `MRR` (Eq. 17) plus a
 //!   convenience [`AlignmentReport`] bundling both;
 //! * [`timing`] — a stage timer used to produce the runtime decomposition of
-//!   Fig. 8 and the runtime comparison of Fig. 7.
+//!   Fig. 8 and the runtime comparison of Fig. 7, plus the lock-free
+//!   [`Counter`]/[`Gauge`] primitives serving runtimes expose via `/stats`.
 
 pub mod alignment;
 pub mod timing;
 
 pub use alignment::{mrr, precision_at_q, AlignmentReport};
-pub use timing::StageTimer;
+pub use timing::{Counter, Gauge, StageTimer};

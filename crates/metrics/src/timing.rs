@@ -1,4 +1,4 @@
-//! Stage timing instrumentation.
+//! Stage timing and runtime instrumentation.
 //!
 //! The efficiency analysis of the paper (Fig. 7 and Fig. 8) breaks the HTC
 //! runtime into named stages (orbit counting, Laplacian construction,
@@ -6,8 +6,82 @@
 //! other).  [`StageTimer`] accumulates wall-clock durations per named stage
 //! while preserving insertion order so the harness can print the same
 //! decomposition.
+//!
+//! Long-running serving processes additionally need live occupancy figures —
+//! how many connections are active, how deep the worker queue is — that many
+//! threads update concurrently.  [`Counter`] (monotonic) and [`Gauge`]
+//! (up/down with a high-water mark) are the lock-free primitives for those;
+//! the `htc-serve` connection runtime exposes them through `/stats`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter shared across threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one and returns the new value.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that moves up and down (active connections, queue depth) while
+/// remembering the highest point it ever reached.
+///
+/// Decrements saturate at zero rather than wrapping: a stray extra `dec` is a
+/// bookkeeping bug upstream, but it must not turn the gauge into 2^64-1 and
+/// poison every later reading.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments and returns the new value, updating the high-water mark.
+    pub fn inc(&self) -> u64 {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Decrements (saturating at zero) and returns the new value.
+    pub fn dec(&self) -> u64 {
+        self.value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .map(|prev| prev.saturating_sub(1))
+            .unwrap_or(0)
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value the gauge ever held.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
 
 /// One named stage: accumulated duration plus how many times it was recorded.
 #[derive(Debug, Clone)]
@@ -156,6 +230,44 @@ impl StageTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        assert_eq!(c.inc(), 1);
+        c.add(4);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.get(), 405);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        assert_eq!(g.dec(), 1);
+        assert_eq!(g.inc(), 2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 2);
+        g.dec();
+        g.dec();
+        // Saturates at zero instead of wrapping.
+        assert_eq!(g.dec(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.high_water(), 2);
+    }
 
     #[test]
     fn records_and_accumulates() {

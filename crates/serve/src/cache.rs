@@ -23,7 +23,24 @@
 //! Eviction is least-recently-used by completed lookup.  An evicted entry
 //! that is still mid-request stays alive through its `Arc` and is dropped
 //! when the last in-flight request finishes.
+//!
+//! ## Durability
+//!
+//! The in-memory LRU evaporates on restart; [`DurableStore`] is its spill
+//! layer.  With `--cache-dir` set, the server persists each cached source's
+//! `TopologyViews` and `TrainedEncoder` (the two artifacts that dominate a
+//! cold start) as fingerprint-named, version-guarded files via
+//! `htc_core::persist`, and repopulates the LRU **lazily**: a cache miss
+//! first probes the store, so a daemon restart is a warm start — the first
+//! request for a previously-seen source skips counting and training, with
+//! bit-identical results (the artifact round-trip is bit-exact).  Stale or
+//! corrupt spill files are ignored (and removed) rather than trusted: the
+//! session's fingerprint/shape validation decides, exactly as it does for
+//! request-named artifact paths.
 
+use htc_core::{HtcError, TopologyViews, TrainedEncoder};
+use htc_metrics::Counter;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Identity of one cached source: structural fingerprint, attribute
@@ -178,6 +195,144 @@ impl<T> ArtifactCache<T> {
     /// panic left the entry's session in a state not worth keeping).
     pub fn remove_value(&mut self, value: &Arc<T>) {
         self.slots.retain(|s| !Arc::ptr_eq(&s.value, value));
+    }
+}
+
+/// FNV-1a over a byte string (the configuration-tag component of spill file
+/// names; the two `u64` fingerprints are embedded verbatim).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// On-disk spill layer for cached source artifacts (see the module docs).
+///
+/// Files are named `<graph-fp>-<attr-fp>-<tag-hash>.views` / `.encoder`
+/// (hex), so a store can hold many sources and configurations side by side.
+/// Writes go through a temp file + atomic rename: a daemon killed mid-spill
+/// leaves either the previous artifact or none, never a torn file, and the
+/// version-guarded `HTCB` header rejects files from an incompatible build.
+pub struct DurableStore {
+    dir: PathBuf,
+    /// Artifacts written to disk.
+    pub spills: Counter,
+    /// Artifacts successfully reloaded into the LRU after a restart.
+    pub reloads: Counter,
+    /// Spill files that failed to decode (removed, then rebuilt cold).
+    pub reload_errors: Counter,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the spill directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            spills: Counter::new(),
+            reloads: Counter::new(),
+            reload_errors: Counter::new(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file(&self, key: &CacheKey, extension: &str) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}-{:016x}-{:016x}.{extension}",
+            key.fingerprint,
+            key.attr_fingerprint,
+            fnv1a(key.preset.as_bytes()),
+        ))
+    }
+
+    /// Persists an artifact via `save` under a temp name, then renames it
+    /// into place.  Failures are reported (not fatal — the daemon keeps
+    /// serving from memory; the artifact just will not survive a restart).
+    fn spill_with(
+        &self,
+        path: &Path,
+        save: impl FnOnce(&Path) -> htc_core::Result<()>,
+    ) -> htc_core::Result<()> {
+        // Append (don't replace) the extension: `<key>.views` and
+        // `<key>.encoder` must not share one `<key>.tmp`, or two concurrent
+        // spills for the same key would interleave and rename a torn file
+        // into place.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        save(&tmp)?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            HtcError::Io(format!("renaming {} into place: {e}", tmp.display()))
+        })?;
+        self.spills.inc();
+        Ok(())
+    }
+
+    /// Spills the source topology views for `key` unless already on disk.
+    pub fn spill_views(&self, key: &CacheKey, views: &TopologyViews) -> htc_core::Result<()> {
+        let path = self.file(key, "views");
+        if path.exists() {
+            return Ok(());
+        }
+        self.spill_with(&path, |tmp| views.save(tmp))
+    }
+
+    /// Spills the trained encoder for `key` unless already on disk.
+    pub fn spill_encoder(&self, key: &CacheKey, encoder: &TrainedEncoder) -> htc_core::Result<()> {
+        let path = self.file(key, "encoder");
+        if path.exists() {
+            return Ok(());
+        }
+        self.spill_with(&path, |tmp| encoder.save(tmp))
+    }
+
+    /// Loads the spilled views for `key`, if present and decodable.  A
+    /// corrupt or stale file is deleted and counted, never trusted.
+    pub fn load_views(&self, key: &CacheKey) -> Option<TopologyViews> {
+        self.reload(&self.file(key, "views"), |p: &Path| TopologyViews::load(p))
+    }
+
+    /// Loads the spilled encoder for `key`, if present and decodable.
+    pub fn load_encoder(&self, key: &CacheKey) -> Option<TrainedEncoder> {
+        self.reload(&self.file(key, "encoder"), |p: &Path| {
+            TrainedEncoder::load(p)
+        })
+    }
+
+    fn reload<T>(&self, path: &Path, load: impl FnOnce(&Path) -> htc_core::Result<T>) -> Option<T> {
+        if !path.exists() {
+            return None;
+        }
+        match load(path) {
+            Ok(artifact) => {
+                self.reloads.inc();
+                Some(artifact)
+            }
+            Err(_) => {
+                // Undecodable spill: drop it so the next restart does not
+                // retry a file this build can never read.
+                self.reload_errors.inc();
+                let _ = std::fs::remove_file(path);
+                None
+            }
+        }
+    }
+
+    /// Removes any spilled artifacts for `key` — called when a key's session
+    /// was dropped after a panic, so a restart cannot resurrect suspect
+    /// state.
+    pub fn forget(&self, key: &CacheKey) {
+        let _ = std::fs::remove_file(self.file(key, "views"));
+        let _ = std::fs::remove_file(self.file(key, "encoder"));
     }
 }
 

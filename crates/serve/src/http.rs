@@ -1,16 +1,37 @@
-//! Just enough HTTP/1.1 to serve JSON over a `TcpStream`.
+//! Just enough HTTP/1.1 to serve JSON over a `TcpStream` — now with
+//! persistent connections and streamed responses.
 //!
 //! The daemon hand-rolls its transport for the same reason the workspace
 //! hand-rolls its compat crates: the build environment is offline, so no
-//! hyper/axum.  The subset implemented here is deliberately small — request
-//! line, headers, `Content-Length` bodies, `Connection: close` responses —
-//! and deliberately defensive: header and body sizes are capped so a
-//! malicious peer cannot make the server buffer unbounded bytes, and every
-//! parse failure maps to a `400` instead of a panic.
+//! hyper/axum.  The subset implemented here is deliberately small and
+//! deliberately defensive: header and body sizes are capped so a malicious
+//! peer cannot make the server buffer unbounded bytes, and every parse
+//! failure maps to a `4xx` instead of a panic.
+//!
+//! ## Connection lifecycle
+//!
+//! A worker serves **many requests per socket**: it parks in
+//! [`await_request`] until the peer sends the first byte of the next request
+//! (or the idle timeout / shutdown fires), parses one request with
+//! [`read_request`], writes one response, and loops while
+//! [`Request::keep_alive`] holds.  `HTTP/1.1` defaults to keep-alive,
+//! `HTTP/1.0` to close; a `Connection: close`/`keep-alive` header overrides
+//! either way.  Any parse error closes the connection after the error
+//! response — resynchronising inside a hostile byte stream is not worth the
+//! attack surface.
+//!
+//! ## Responses
+//!
+//! Small bodies go out in one `Content-Length` write
+//! ([`write_json_response`]).  Large bodies (the 100k-anchor alignment case)
+//! stream through a [`ChunkedWriter`] as `Transfer-Encoding: chunked`, so
+//! the response never materialises as one giant `String`; the writer
+//! implements [`std::fmt::Write`], which lets the same rendering code fill
+//! either a `String` or the wire.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -18,8 +39,20 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// for graphs in this workspace's serving range fit comfortably; anything
 /// larger should ship as a persisted artifact path instead.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Per-connection socket timeout; a stalled peer frees its thread.
+/// Socket timeout while actively reading or writing a request/response; a
+/// peer that stalls mid-exchange frees its worker.  (Idle time *between*
+/// requests is governed by the runtime's keep-alive timeout instead.)
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+/// Hard ceiling on parsing **one whole request**.  Per-read timeouts alone
+/// would let a byte-trickling peer (one byte per 25 s) pin a pool worker for
+/// hours and stall the shutdown join behind it; the deadline caps any
+/// request's parse time — and therefore the worst-case drain — at 30 s.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+/// How often [`await_request`] wakes to re-check the shutdown flag while
+/// parked on an idle connection.
+const IDLE_POLL_SLICE: Duration = Duration::from_millis(100);
+/// Chunked responses buffer up to this much before writing a chunk.
+const CHUNK_BYTES: usize = 64 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -27,6 +60,9 @@ pub struct Request {
     pub method: String,
     pub path: String,
     pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response, per the
+    /// request's HTTP version and `Connection` header.
+    pub keep_alive: bool,
 }
 
 /// A request-level failure that should turn into an HTTP error response.
@@ -45,19 +81,115 @@ impl HttpError {
     }
 }
 
+/// Why [`await_request`] returned.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AwaitOutcome {
+    /// The first byte of the next request is buffered; parse it.
+    Ready,
+    /// The peer closed (or broke) the connection while it was idle.
+    Closed,
+    /// No request arrived within the idle timeout.
+    IdleTimeout,
+    /// The cancellation probe fired (server shutting down).
+    Cancelled,
+}
+
+/// Parks on an idle persistent connection until the peer starts the next
+/// request, the idle budget runs out, the peer disconnects, or `cancelled`
+/// returns true.
+///
+/// Waiting happens in short poll slices so a worker parked on an idle
+/// connection notices shutdown within ~[`IDLE_POLL_SLICE`] instead of holding
+/// the pool hostage for the full keep-alive window.  The cancellation probe
+/// fires only *after* a read attempt found nothing: a connection whose
+/// request bytes are already in flight (e.g. one that waited in the hand-off
+/// queue while `/shutdown` was posted) still gets that request served — the
+/// drain guarantee — while a genuinely idle connection closes within one
+/// slice.
+pub fn await_request(
+    reader: &mut BufReader<TcpStream>,
+    idle_timeout: Duration,
+    cancelled: impl Fn() -> bool,
+) -> AwaitOutcome {
+    if !reader.buffer().is_empty() {
+        // A pipelined request is already buffered.
+        return AwaitOutcome::Ready;
+    }
+    let deadline = Instant::now() + idle_timeout;
+    loop {
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            return AwaitOutcome::IdleTimeout;
+        };
+        if remaining.is_zero() {
+            return AwaitOutcome::IdleTimeout;
+        }
+        let slice = remaining.min(IDLE_POLL_SLICE);
+        if reader.get_ref().set_read_timeout(Some(slice)).is_err() {
+            return AwaitOutcome::Closed;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return AwaitOutcome::Closed,
+            Ok(_) => return AwaitOutcome::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return AwaitOutcome::Closed,
+        }
+        if cancelled() {
+            return AwaitOutcome::Cancelled;
+        }
+    }
+}
+
+/// Arms the socket's read timeout with whatever is shorter: the per-read
+/// stall cap or the time left until the whole-request deadline.  A spent
+/// deadline is a `408`.
+fn arm_read_timeout(reader: &BufReader<TcpStream>, deadline: Instant) -> Result<(), HttpError> {
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| HttpError {
+            status: 408,
+            message: "request took too long to arrive".into(),
+        })?;
+    reader
+        .get_ref()
+        .set_read_timeout(Some(remaining.min(SOCKET_TIMEOUT)))
+        .map_err(|e| HttpError::bad_request(format!("socket: {e}")))
+}
+
+fn read_error(e: std::io::Error, what: &str) -> HttpError {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        HttpError {
+            status: 408,
+            message: format!("timed out reading {what}"),
+        }
+    } else {
+        HttpError::bad_request(format!("reading {what}: {e}"))
+    }
+}
+
 /// Reads one `\n`-terminated line, never buffering more than `limit` bytes —
 /// `BufRead::read_line` has no cap of its own, so a peer streaming endless
 /// bytes with no newline would otherwise grow the line String unboundedly.
-fn read_line_limited<R: BufRead>(
-    reader: &mut R,
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
     limit: usize,
+    deadline: Instant,
     what: &str,
 ) -> Result<String, HttpError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
-        let buf = reader
-            .fill_buf()
-            .map_err(|e| HttpError::bad_request(format!("reading {what}: {e}")))?;
+        arm_read_timeout(reader, deadline)?;
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) => return Err(read_error(e, what)),
+        };
         if buf.is_empty() {
             return Err(HttpError::bad_request(format!(
                 "connection closed mid-{what}"
@@ -83,14 +215,18 @@ fn read_line_limited<R: BufRead>(
     }
 }
 
-/// Reads one request from `stream` (which is also configured with the
-/// connection timeout here).
-pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT)).ok();
-    stream.set_write_timeout(Some(SOCKET_TIMEOUT)).ok();
-    let mut reader = BufReader::new(stream);
+/// Reads one request from the connection's buffered reader.  The caller has
+/// already established that request bytes are (about to be) available via
+/// [`await_request`]; every read is bounded by both the per-read stall cap
+/// and the whole-request [`REQUEST_DEADLINE`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    reader
+        .get_ref()
+        .set_write_timeout(Some(SOCKET_TIMEOUT))
+        .ok();
 
-    let request_line = read_line_limited(&mut reader, MAX_HEAD_BYTES, "request line")?;
+    let request_line = read_line_limited(reader, MAX_HEAD_BYTES, deadline, "request line")?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -100,13 +236,18 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
         .next()
         .ok_or_else(|| HttpError::bad_request("request line has no path"))?
         .to_string();
+    // HTTP/1.1 (and anything newer or unstated) defaults to keep-alive;
+    // HTTP/1.0 to close.
+    let http_10 = parts.next() == Some("HTTP/1.0");
 
-    // Headers until the blank line; only Content-Length matters to us.  The
-    // whole head shares the MAX_HEAD_BYTES budget, checked before buffering.
+    // Headers until the blank line; Content-Length and Connection matter to
+    // us.  The whole head shares the MAX_HEAD_BYTES budget, checked before
+    // buffering.
     let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
     let mut content_length: usize = 0;
+    let mut keep_alive = !http_10;
     loop {
-        let line = read_line_limited(&mut reader, head_budget, "headers")?;
+        let line = read_line_limited(reader, head_budget, deadline, "headers")?;
         head_budget = head_budget.saturating_sub(line.len());
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
@@ -118,6 +259,13 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -127,11 +275,25 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
             message: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
         });
     }
+    // The body is read in deadline-checked steps rather than one read_exact:
+    // a peer drip-feeding a large body must exhaust the request deadline,
+    // not hold the worker for content_length × per-read-timeout.
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::bad_request(format!("reading body: {e}")))?;
-    Ok(Request { method, path, body })
+    let mut filled = 0;
+    while filled < content_length {
+        arm_read_timeout(reader, deadline)?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::bad_request("connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e) => return Err(read_error(e, "body")),
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 fn status_text(status: u16) -> &'static str {
@@ -140,6 +302,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -150,15 +313,296 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes a JSON response and flushes; the server closes each connection
-/// after one exchange (`Connection: close`), which keeps the threading model
-/// trivially correct.
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Writes a complete `Content-Length` JSON response and flushes.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         status_text(status),
+        body.len(),
+        connection_header(keep_alive),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a `503 Service Unavailable` with a `Retry-After` hint — the
+/// load-shedding response the acceptor sends when the worker queue is full.
+/// Kept separate from [`write_json_response`] because it is the one response
+/// written outside the worker pool and must carry the extra header.
+pub fn write_retry_after(
+    stream: &mut TcpStream,
+    retry_after_secs: u32,
+    body: &str,
+) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response body in progress.
+///
+/// Text accumulates in a fixed-size buffer and leaves as a chunk whenever
+/// [`CHUNK_BYTES`] fill up, so the peak memory of a response is one chunk —
+/// not the whole body.  The writer implements [`std::fmt::Write`]; I/O errors
+/// are latched and reported by [`finish`](Self::finish) (mid-render there is
+/// nothing useful a renderer could do with them).
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    error: Option<std::io::Error>,
+}
+
+/// Starts a chunked JSON response: writes the head, returns the body writer.
+pub fn begin_chunked_json(
+    stream: &mut TcpStream,
+    status: u16,
+    keep_alive: bool,
+) -> std::io::Result<ChunkedWriter<'_>> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        status_text(status),
+        connection_header(keep_alive),
+    );
+    stream.write_all(head.as_bytes())?;
+    Ok(ChunkedWriter {
+        stream,
+        buf: Vec::with_capacity(CHUNK_BYTES),
+        error: None,
+    })
+}
+
+impl ChunkedWriter<'_> {
+    fn flush_chunk(&mut self) {
+        if self.error.is_some() || self.buf.is_empty() {
+            self.buf.clear();
+            return;
+        }
+        let header = format!("{:x}\r\n", self.buf.len());
+        let outcome = self
+            .stream
+            .write_all(header.as_bytes())
+            .and_then(|()| self.stream.write_all(&self.buf))
+            .and_then(|()| self.stream.write_all(b"\r\n"));
+        if let Err(e) = outcome {
+            self.error = Some(e);
+        }
+        self.buf.clear();
+    }
+
+    /// Flushes the remaining buffer, writes the terminating zero-length
+    /// chunk, and surfaces any I/O error latched along the way.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.flush_chunk();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+impl std::fmt::Write for ChunkedWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.buf.extend_from_slice(s.as_bytes());
+        if self.buf.len() >= CHUNK_BYTES {
+            self.flush_chunk();
+        }
+        Ok(())
+    }
+}
+
+/// A minimal keep-alive HTTP/1.1 client over one socket — the counterpart
+/// of this module's server half, shared by the examples, the `serve_load`
+/// generator and the integration tests so the request framing (one write
+/// per request, `TCP_NODELAY`, chunked-aware reads) lives in exactly one
+/// place.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with `TCP_NODELAY` (a second segment on a warm connection
+    /// would stall ~40ms behind Nagle + delayed ACK) and a 60 s read
+    /// timeout.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        Client::from_stream(writer)
+    }
+
+    /// Wraps an already-connected stream (e.g. one opened before the server
+    /// had a free worker, to observe queueing).
+    pub fn from_stream(writer: TcpStream) -> std::io::Result<Client> {
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Writes one request (single write; keep-alive unless `close`).
+    pub fn send_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        close: bool,
+    ) -> std::io::Result<()> {
+        let connection = if close { "close" } else { "keep-alive" };
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: client\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(request.as_bytes())
+    }
+
+    /// Writes one keep-alive request.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<()> {
+        self.send_with(method, path, body, false)
+    }
+
+    /// Reads the next response off the persistent connection.
+    pub fn read(&mut self) -> Result<ClientResponse, String> {
+        read_client_response(&mut self.reader)
+    }
+
+    /// One full exchange on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientResponse, String> {
+        self.send(method, path, body)
+            .map_err(|e| format!("send: {e}"))?;
+        self.read()
+    }
+
+    /// Raw access to the socket, for tests that write hostile bytes.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.writer
+    }
+
+    /// True once the server has closed the connection — clean FIN (EOF) or
+    /// RST (the server dropped the socket with unread bytes pending).
+    pub fn closed(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        match self.reader.read(&mut byte) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) => !matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+        }
+    }
+}
+
+/// A client-side response, as read by [`read_client_response`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// Lower-cased header names with their trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Reads one HTTP response from a persistent connection: status line,
+/// headers, then a `Content-Length` or `Transfer-Encoding: chunked` body.
+///
+/// This is the **client** half of the protocol — used by the keep-alive
+/// clients in `examples/serve_client.rs`, the `serve_load` load generator and
+/// the integration tests, which cannot simply `read_to_string` any more now
+/// that the server leaves connections open.
+pub fn read_client_response(reader: &mut BufReader<TcpStream>) -> Result<ClientResponse, String> {
+    let line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => Err("connection closed".into()),
+            Ok(_) => Ok(line),
+            Err(e) => Err(format!("reading response: {e}")),
+        }
+    };
+    let status_line = line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let header = line(reader)?;
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let response = ClientResponse {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let chunked = response
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+            let mut chunk = vec![0u8; size + 2]; // chunk + trailing CRLF
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| format!("reading chunk: {e}"))?;
+            if size == 0 {
+                break;
+            }
+            chunk.truncate(size);
+            body.extend_from_slice(&chunk);
+        }
+    } else {
+        let length: usize = response
+            .header("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or("response has neither Content-Length nor chunked encoding")?;
+        body = vec![0u8; length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("reading body: {e}"))?;
+    }
+    Ok(ClientResponse { body, ..response })
 }

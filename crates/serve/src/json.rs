@@ -84,53 +84,93 @@ impl Json {
     /// Renders the value as compact JSON text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.render_into(&mut out);
+        self.render_to(&mut out)
+            .expect("writing to a String cannot fail");
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Renders the value as compact JSON text into any [`std::fmt::Write`]
+    /// sink — a `String`, or a streaming response body that sends the text
+    /// out in chunks instead of materialising it.
+    pub fn render_to<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // Integral values print without a trailing ".0" so node
-                    // indices look like indices.
-                    if n.fract() == 0.0 && n.abs() < 9e15 {
-                        let _ = write!(out, "{}", *n as i64);
-                    } else {
-                        let _ = write!(out, "{n}");
-                    }
-                } else {
-                    // JSON has no NaN/Infinity; null is the least-bad option.
-                    out.push_str("null");
-                }
-            }
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
             Json::Str(s) => render_string(s, out),
             Json::Arr(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    item.render_into(out);
+                    item.render_to(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Json::Obj(members) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in members.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    render_string(k, out);
-                    out.push(':');
-                    v.render_into(out);
+                    render_string(k, out)?;
+                    out.write_char(':')?;
+                    v.render_to(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
-            Json::Raw(fragment) => out.push_str(fragment),
+            Json::Raw(fragment) => out.write_str(fragment),
         }
+    }
+}
+
+/// Renders a network as the inline spec `POST /align` accepts
+/// (`{"num_nodes", "edges": [[u,v],…], "attributes": [[…],…]}`) — the one
+/// client-side encoder shared by the examples, the load generator and the
+/// integration tests.
+pub fn network_spec(network: &htc_graph::AttributedNetwork) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"num_nodes\":{},\"edges\":[", network.num_nodes());
+    for (i, &(u, v)) in network.graph().edges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{u},{v}]");
+    }
+    out.push_str("],\"attributes\":[");
+    for u in 0..network.num_nodes() {
+        if u > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (i, &v) in network.node_attributes(u).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes a number exactly as [`Json::render`] would — the single source of
+/// truth for number formatting, shared with streaming emitters that write
+/// values without building a [`Json`] tree first.
+pub fn write_num<W: std::fmt::Write>(out: &mut W, n: f64) -> std::fmt::Result {
+    if n.is_finite() {
+        // Integral values print without a trailing ".0" so node indices look
+        // like indices.
+        if n.fract() == 0.0 && n.abs() < 9e15 {
+            write!(out, "{}", n as i64)
+        } else {
+            write!(out, "{n}")
+        }
+    } else {
+        // JSON has no NaN/Infinity; null is the least-bad option.
+        out.write_str("null")
     }
 }
 
@@ -156,22 +196,22 @@ pub fn str(s: impl Into<String>) -> Json {
     Json::Str(s.into())
 }
 
-fn render_string(s: &str, out: &mut String) {
-    out.push('"');
+fn render_string<W: std::fmt::Write>(s: &str, out: &mut W) -> std::fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
             c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 /// Parses `text` as a single JSON value (trailing garbage is an error).

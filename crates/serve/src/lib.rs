@@ -5,9 +5,13 @@
 //! from one catalog source" deployment shape the session API was built for.
 //!
 //! The daemon is hand-rolled over [`std::net::TcpListener`] (the workspace is
-//! offline — no hyper, no serde): [`http`] implements the HTTP/1.1 subset,
-//! [`json`] the JSON subset, [`cache`] the fingerprint-keyed LRU artifact
-//! cache, and [`server`] the routing, request batching and panic recovery.
+//! offline — no hyper, no serde): [`runtime`] implements the bounded
+//! acceptor + worker-pool executor with `503 Retry-After` load shedding,
+//! [`http`] the persistent-connection HTTP/1.1 subset (keep-alive, idle
+//! timeouts, chunked response streaming), [`json`] the JSON subset,
+//! [`cache`] the fingerprint-keyed LRU artifact cache with its durable
+//! `--cache-dir` spill layer, and [`server`] the routing, request batching
+//! and panic recovery.
 //!
 //! ```no_run
 //! use htc_serve::{Server, ServerConfig};
@@ -26,14 +30,19 @@
 //!   same-source requests are batched onto one
 //!   [`align_many`](htc_core::AlignmentSession::align_many) fan-out.
 //! * `GET /healthz` — liveness.
-//! * `GET /stats` — cache hit rates, request counters, batching figures and
-//!   per-stage [`StageTimer`](htc_metrics::StageTimer) aggregates.
-//! * `POST /shutdown` — clean stop.
+//! * `GET /stats` — cache hit rates (memory + durable spill layer), request
+//!   counters, batching figures, connection-runtime gauges (active
+//!   connections, queue depth, keep-alive reuse ratio) and per-stage
+//!   [`StageTimer`](htc_metrics::StageTimer) aggregates.
+//! * `POST /shutdown` — clean stop: the acknowledgement flushes, then the
+//!   worker pool drains and joins deterministically.
 
 pub mod cache;
 pub mod http;
 pub mod json;
+pub mod runtime;
 pub mod server;
 
-pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats};
+pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats, DurableStore};
+pub use runtime::{default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics};
 pub use server::{ServeError, Server, ServerConfig};

@@ -1,0 +1,572 @@
+//! The connection runtime: a bounded acceptor + worker-pool executor.
+//!
+//! The first `htc-serve` iteration spawned one OS thread per connection and
+//! spoke one-shot HTTP.  Under heavy traffic that model has two failure
+//! modes: unbounded thread creation (every accepted socket is a new stack)
+//! and zero backpressure (the kernel accept queue is the only limit, and a
+//! client never learns the server is saturated).  This module replaces it
+//! with:
+//!
+//! * a fixed pool of `workers` threads (default [`default_workers`]:
+//!   `min(2 × cores, 64)`) that each own one connection at a time for its
+//!   whole keep-alive lifetime;
+//! * a bounded hand-off queue between the acceptor and the pool.  When the
+//!   queue is full the acceptor **sheds load**: it answers the new
+//!   connection `503 Service Unavailable` with a `Retry-After` hint and
+//!   closes it, so overload degrades into fast, explicit retries instead of
+//!   unbounded memory growth;
+//! * live occupancy metrics ([`RuntimeMetrics`]) surfaced through `/stats`;
+//! * deterministic shutdown: [`ShutdownSignal::trigger`] stops the acceptor,
+//!   the queue drains (already-accepted connections are still served), and
+//!   every worker is **joined** before [`ConnectionRuntime::join`] returns —
+//!   no fire-and-forget helper threads, no process exit racing a response
+//!   flush.
+//!
+//! The runtime is protocol-agnostic: it hands raw [`TcpStream`]s to the
+//! handler closure, which owns the keep-alive request loop (see
+//! `server::handle_connection`).
+
+use crate::http::write_retry_after;
+use htc_metrics::{Counter, Gauge};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Hard ceiling on the worker pool, mirroring the compute pool's cap.
+pub const MAX_WORKERS: usize = 256;
+
+/// The default worker count: `min(2 × available cores, 64)`.  Workers block
+/// on socket I/O for most of their life (the compute-heavy stages run on the
+/// shared linalg pool), so oversubscribing the cores 2× keeps them busy
+/// without letting a big machine spawn hundreds of idle stacks.
+pub fn default_workers() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (2 * cores).clamp(1, 64)
+}
+
+/// Configuration of a [`ConnectionRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker-pool size; clamped to `1..=MAX_WORKERS`.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker beyond this count are shed
+    /// with `503 Retry-After`.
+    pub queue_capacity: usize,
+    /// `Retry-After` hint (seconds) sent with shed connections.
+    pub retry_after_secs: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: default_workers(),
+            queue_capacity: 128,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Live occupancy counters, updated lock-free by the acceptor and workers.
+///
+/// `total_requests / total_connections` is the keep-alive reuse ratio: 1.0
+/// means every connection carried exactly one request (no reuse); a serving
+/// workload with persistent clients should sit well above it.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    /// Connections currently owned by workers.
+    pub active_connections: Gauge,
+    /// Accepted connections waiting for a worker.
+    pub queue_depth: Gauge,
+    /// Connections ever accepted (including shed ones).
+    pub total_connections: Counter,
+    /// HTTP requests served across all connections (incremented by the
+    /// protocol handler, one per parsed request).
+    pub total_requests: Counter,
+    /// Connections answered `503` because the queue was full.
+    pub shed_connections: Counter,
+    /// Request handlers that panicked (caught at the connection boundary).
+    pub worker_panics: Counter,
+}
+
+impl RuntimeMetrics {
+    /// Requests per connection (0 when nothing connected yet).
+    pub fn reuse_ratio(&self) -> f64 {
+        let connections = self.total_connections.get();
+        if connections == 0 {
+            0.0
+        } else {
+            self.total_requests.get() as f64 / connections as f64
+        }
+    }
+}
+
+/// A shutdown flag shared between the runtime, its workers and the protocol
+/// handler.  [`trigger`](Self::trigger) is idempotent and safe to call from
+/// a worker thread (the `/shutdown` route) or from outside.
+#[derive(Debug, Default)]
+pub struct ShutdownSignal {
+    flag: AtomicBool,
+    /// The listener's bound address; set by the runtime so `trigger` can
+    /// wake the blocking accept with a throwaway connection.
+    addr: Mutex<Option<std::net::SocketAddr>>,
+}
+
+impl ShutdownSignal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the acceptor.  Returns immediately; use
+    /// [`ConnectionRuntime::join`] to wait for the drain.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let addr = *self.addr.lock().unwrap();
+        if let Some(addr) = addr {
+            // Wake the blocking accept; the acceptor re-checks the flag
+            // before handing any connection to the pool.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn bind(&self, addr: std::net::SocketAddr) {
+        *self.addr.lock().unwrap() = Some(addr);
+    }
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    connections: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                connections: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues if below `capacity`; the rejected stream comes back for
+    /// shedding.  The depth gauge is incremented under the queue lock so it
+    /// never counts rejected connections and a worker's decrement (which can
+    /// only follow a successful pop, hence this lock) is always ordered
+    /// after it.
+    fn push(&self, stream: TcpStream, capacity: usize, depth: &Gauge) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.connections.len() >= capacity {
+            return Err(stream);
+        }
+        state.connections.push_back(stream);
+        depth.inc();
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// **and** drained — the worker's signal to exit.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(stream) = state.connections.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running acceptor + worker pool bound to one listener.
+pub struct ConnectionRuntime {
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<RuntimeMetrics>,
+    shutdown: Arc<ShutdownSignal>,
+    workers: usize,
+}
+
+impl ConnectionRuntime {
+    /// Starts the pool and the accept loop.  `handler` owns each connection
+    /// for its lifetime (the keep-alive loop) and runs on a pool worker
+    /// under a panic guard: a panic that unwinds out of it drops the
+    /// connection, increments `worker_panics`, and the worker lives on to
+    /// serve the next connection — the pool never shrinks.
+    ///
+    /// `metrics` is caller-supplied so the protocol layer can hold the same
+    /// handle (it increments `total_requests` and `worker_panics`) and report
+    /// everything through one `/stats` snapshot.
+    pub fn start(
+        listener: TcpListener,
+        config: RuntimeConfig,
+        shutdown: Arc<ShutdownSignal>,
+        metrics: Arc<RuntimeMetrics>,
+        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
+    ) -> std::io::Result<ConnectionRuntime> {
+        let addr = listener.local_addr()?;
+        shutdown.bind(addr);
+        let workers = config.workers.clamp(1, MAX_WORKERS);
+        let queue = Arc::new(Queue::new());
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let handler = Arc::clone(&handler);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("htc-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            metrics.queue_depth.dec();
+                            metrics.active_connections.inc();
+                            // The protocol handler catches panics per
+                            // request; this guard is the backstop for
+                            // anything that escapes it (e.g. a response
+                            // *writer* panic), so a bug costs one connection
+                            // — never a worker, and never a drifting gauge.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handler(stream)
+                                }));
+                            metrics.active_connections.dec();
+                            if outcome.is_err() {
+                                metrics.worker_panics.inc();
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        let accept_metrics = Arc::clone(&metrics);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("htc-serve-accept".into())
+            .spawn(move || {
+                accept_loop(listener, &config, &queue, &accept_metrics, &accept_shutdown);
+                // Drain deterministically: no new connections, already-queued
+                // ones are still served, then every worker is joined.
+                queue.close();
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+            })?;
+
+        Ok(ConnectionRuntime {
+            accept_thread: Some(accept_thread),
+            metrics,
+            shutdown,
+            workers,
+        })
+    }
+
+    pub fn metrics(&self) -> Arc<RuntimeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Waits until the accept loop has exited and every worker is joined.
+    /// Call [`ShutdownSignal::trigger`] (or POST `/shutdown`) to initiate.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ConnectionRuntime {
+    fn drop(&mut self) {
+        // RAII backstop: a runtime dropped without an explicit shutdown still
+        // stops accepting and joins every worker instead of hanging or
+        // leaking detached threads.
+        self.shutdown.trigger();
+        self.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: &RuntimeConfig,
+    queue: &Queue,
+    metrics: &RuntimeMetrics,
+    shutdown: &ShutdownSignal,
+) {
+    let capacity = config.queue_capacity.max(1);
+    for stream in listener.incoming() {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        // Keep-alive exchanges are small request/response turns; Nagle's
+        // algorithm pairing with delayed ACKs would add ~40ms to every turn
+        // on a warm connection.
+        let _ = stream.set_nodelay(true);
+        metrics.total_connections.inc();
+        match queue.push(stream, capacity, &metrics.queue_depth) {
+            Ok(()) => {}
+            Err(rejected) => {
+                metrics.shed_connections.inc();
+                shed(rejected, config.retry_after_secs);
+            }
+        }
+    }
+}
+
+/// Sheds one over-capacity connection: writes the `503 Retry-After`, sends
+/// FIN, then briefly drains whatever request bytes the peer already sent.
+/// Dropping the socket with unread bytes pending would RST and frequently
+/// destroy the in-flight 503 — the client would see "connection reset"
+/// instead of the explicit backoff hint.  All waits are tightly bounded
+/// because this runs on the acceptor thread: a well-behaved peer drains in
+/// one non-blocking read; a hostile one costs at most ~160 ms.
+fn shed(mut rejected: TcpStream, retry_after_secs: u32) {
+    rejected
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .ok();
+    let written = write_retry_after(
+        &mut rejected,
+        retry_after_secs,
+        "{\"error\":\"server is at capacity\",\"kind\":\"overloaded\"}",
+    );
+    if written.is_err() {
+        return;
+    }
+    let _ = rejected.shutdown(std::net::Shutdown::Write);
+    rejected
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .ok();
+    let mut sink = [0u8; 4096];
+    for _ in 0..8 {
+        match rejected.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn default_workers_is_bounded() {
+        let n = default_workers();
+        assert!((1..=64).contains(&n));
+    }
+
+    #[test]
+    fn reuse_ratio_divides_requests_by_connections() {
+        let m = RuntimeMetrics::default();
+        assert_eq!(m.reuse_ratio(), 0.0);
+        m.total_connections.inc();
+        m.total_connections.inc();
+        m.total_requests.add(6);
+        assert!((m.reuse_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    /// Pool mechanics without HTTP: connections are served by exactly
+    /// `workers` threads, excess queues, and shutdown drains deterministically.
+    #[test]
+    fn pool_serves_queues_and_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(ShutdownSignal::new());
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(|mut stream: TcpStream| {
+            let mut byte = [0u8; 1];
+            // Echo one byte, then close: the "request" is the byte itself.
+            if stream.read_exact(&mut byte).is_ok() {
+                let _ = stream.write_all(&byte);
+            }
+        });
+        let mut runtime = ConnectionRuntime::start(
+            listener,
+            RuntimeConfig {
+                workers: 2,
+                queue_capacity: 16,
+                retry_after_secs: 1,
+            },
+            Arc::clone(&shutdown),
+            Arc::new(RuntimeMetrics::default()),
+            handler,
+        )
+        .unwrap();
+        let metrics = runtime.metrics();
+
+        // 6 concurrent connections through 2 workers: all complete.
+        let clients: Vec<_> = (0..6u8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    stream.write_all(&[i]).unwrap();
+                    let mut echoed = [0u8; 1];
+                    stream.read_exact(&mut echoed).unwrap();
+                    echoed[0]
+                })
+            })
+            .collect();
+        let mut echoes: Vec<u8> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        echoes.sort_unstable();
+        assert_eq!(echoes, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(metrics.total_connections.get(), 6);
+
+        shutdown.trigger();
+        runtime.join();
+        // After join, the gauges are settled: nothing active, nothing queued.
+        assert_eq!(metrics.active_connections.get(), 0);
+        assert_eq!(metrics.queue_depth.get(), 0);
+        assert!(metrics.active_connections.high_water() <= 2);
+    }
+
+    /// A handler panic costs one connection, never a worker: the pool keeps
+    /// serving, the gauges settle, and the panic is counted.
+    #[test]
+    fn handler_panic_does_not_kill_the_worker() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(ShutdownSignal::new());
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(|mut stream: TcpStream| {
+            let mut byte = [0u8; 1];
+            stream.read_exact(&mut byte).unwrap();
+            if byte[0] == b'!' {
+                panic!("injected handler failure");
+            }
+            stream.write_all(&byte).unwrap();
+        });
+        let mut runtime = ConnectionRuntime::start(
+            listener,
+            RuntimeConfig {
+                workers: 1,
+                queue_capacity: 4,
+                retry_after_secs: 1,
+            },
+            Arc::clone(&shutdown),
+            Arc::new(RuntimeMetrics::default()),
+            handler,
+        )
+        .unwrap();
+        let metrics = runtime.metrics();
+
+        // First connection makes the (single) worker panic...
+        let mut poison = TcpStream::connect(addr).unwrap();
+        poison.write_all(b"!").unwrap();
+        let mut end = Vec::new();
+        let _ = poison.read_to_end(&mut end); // connection dropped by the guard
+
+        // ...and the same worker still serves the next connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"a").unwrap();
+        let mut echoed = [0u8; 1];
+        stream.read_exact(&mut echoed).unwrap();
+        assert_eq!(&echoed, b"a");
+        assert_eq!(metrics.worker_panics.get(), 1);
+
+        shutdown.trigger();
+        runtime.join();
+        assert_eq!(metrics.active_connections.get(), 0);
+    }
+
+    /// A full queue sheds with 503 + Retry-After written by the acceptor.
+    #[test]
+    fn full_queue_sheds_with_retry_after() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(ShutdownSignal::new());
+        // The handler announces itself, then parks until released — which
+        // lets the test sequence "worker busy" and "queue full"
+        // deterministically instead of racing the accept loop.
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |_stream: TcpStream| {
+            let _ = started_tx.send(());
+            let _ = release_rx.lock().unwrap().recv();
+        });
+        let mut runtime = ConnectionRuntime::start(
+            listener,
+            RuntimeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                retry_after_secs: 7,
+            },
+            Arc::clone(&shutdown),
+            Arc::new(RuntimeMetrics::default()),
+            handler,
+        )
+        .unwrap();
+        // Rebind after the runtime so an assert failure unwinds in the right
+        // order: the sender drops first, releasing any parked handler, and
+        // only then does the runtime's Drop join its workers.
+        let release_tx = release_tx;
+        let metrics = runtime.metrics();
+
+        // First connection occupies the worker (wait for its handler)...
+        let held_a = TcpStream::connect(addr).unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker picked up the first connection");
+        // ...second fills the queue (the worker is parked, so it stays).
+        let held_b = TcpStream::connect(addr).unwrap();
+        for _ in 0..200 {
+            if metrics.queue_depth.get() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(metrics.active_connections.get(), 1);
+        assert_eq!(metrics.queue_depth.get(), 1);
+
+        // Third connection: shed.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut response = String::new();
+        shed.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("Retry-After: 7"), "{response}");
+        assert!(response.contains("overloaded"), "{response}");
+        assert_eq!(metrics.shed_connections.get(), 1);
+
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        shutdown.trigger();
+        runtime.join();
+        drop(held_a);
+        drop(held_b);
+        assert_eq!(metrics.queue_depth.get(), 0);
+    }
+}

@@ -1,16 +1,20 @@
 //! The `htc-serve` daemon: request routing, the artifact cache, and
-//! same-source request batching.
+//! same-source request batching, running on the bounded connection runtime.
 //!
 //! ## Life of an align request
 //!
-//! 1. The JSON body is parsed and the **source** network resolved (inline
+//! 1. The connection is owned by a pool worker (see [`crate::runtime`]) that
+//!    loops requests over the socket while the client keeps it alive.  The
+//!    JSON body is parsed and the **source** network resolved (inline
 //!    payload or persisted files).
 //! 2. The source is keyed by [`CacheKey`] — structural graph fingerprint,
 //!    attribute fingerprint, configuration tag — and looked up in the LRU
 //!    [`ArtifactCache`].  A hit reuses the cached
 //!    [`AlignmentSession`] with its counted orbits, propagators and trained
-//!    encoder; a miss opens a fresh session (optionally warm-started from
-//!    persisted `TopologyViews` / `TrainedEncoder` artifacts).
+//!    encoder; a miss first probes the durable `--cache-dir` spill layer
+//!    (restart warm start), then opens a fresh session (optionally
+//!    warm-started from request-named `TopologyViews` / `TrainedEncoder`
+//!    artifacts).
 //! 3. In the default `"shared"` mode the request joins the entry's **pending
 //!    batch**: the first arrival becomes the batch leader, waits one batch
 //!    window for concurrent same-source requests, then drives every collected
@@ -18,16 +22,25 @@
 //!    Followers block on a channel and receive their own result.  The
 //!    `"pairwise"` mode (joint training, bit-identical to `HtcAligner`)
 //!    bypasses batching.
-//! 4. A handler panic is caught at the connection boundary; the cached
-//!    session is [`reset`](AlignmentSession::reset) and dropped from the
-//!    cache so the daemon keeps serving.
+//! 4. Large alignment responses stream out as `Transfer-Encoding: chunked`
+//!    (anchor count ≥ the configured threshold), so a 100k-anchor result
+//!    never materialises as one giant `String`.
+//! 5. A handler panic is caught at the request boundary; the cached
+//!    session is [`reset`](AlignmentSession::reset), dropped from the cache
+//!    and forgotten on disk so the daemon keeps serving.
 //!
-//! Every response is JSON; `/healthz` and `/stats` expose liveness and the
-//! cache / stage-timer counters.
+//! Every response is JSON; `/healthz` and `/stats` expose liveness, the
+//! cache / stage-timer counters and the runtime occupancy gauges.
 
-use crate::cache::{attribute_fingerprint, ArtifactCache, CacheKey};
-use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::cache::{attribute_fingerprint, ArtifactCache, CacheKey, DurableStore};
+use crate::http::{
+    await_request, begin_chunked_json, read_request, write_json_response, AwaitOutcome, HttpError,
+    Request,
+};
 use crate::json::{self, Json};
+use crate::runtime::{
+    default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics, ShutdownSignal,
+};
 use htc_core::{
     graph_fingerprint, AlignmentSession, HtcConfig, HtcError, HtcResult, TopologyViews,
     TrainedEncoder,
@@ -36,6 +49,7 @@ use htc_graph::io::read_network;
 use htc_graph::{AttributedNetwork, Graph};
 use htc_linalg::DenseMatrix;
 use htc_metrics::StageTimer;
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +73,21 @@ pub struct ServerConfig {
     /// this root.  Unset means the operator trusts request paths (local
     /// tooling).
     pub artifact_root: Option<PathBuf>,
+    /// Worker-pool size; `0` means [`default_workers`] (`min(2×cores, 64)`).
+    pub workers: usize,
+    /// Accepted connections queued beyond this are shed with
+    /// `503 Retry-After`.
+    pub queue_capacity: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the server closes it.
+    pub keep_alive: Duration,
+    /// Durable artifact-cache directory: cached sources spill their views +
+    /// encoder here and restarts repopulate the LRU lazily (warm starts).
+    /// Unset disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Alignment responses with at least this many anchor rows stream out
+    /// chunked instead of materialising the body.
+    pub stream_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +98,11 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(2),
             default_preset: "fast".into(),
             artifact_root: None,
+            workers: 0,
+            queue_capacity: 128,
+            keep_alive: Duration::from_secs(15),
+            cache_dir: None,
+            stream_threshold: 16 * 1024,
         }
     }
 }
@@ -128,10 +162,26 @@ impl From<HtcError> for ServeError {
     }
 }
 
-/// One cached source: the session plus the pending batch of the serving mode.
+/// One cached source: the session plus the pending batch of the serving mode
+/// and the durable-spill bookkeeping.
 struct SourceEntry {
     session: Mutex<AlignmentSession>,
     pending: Mutex<Vec<PendingAlign>>,
+    /// Which artifacts already live in the durable store (set on spill *and*
+    /// on reload, so a reloaded entry is never rewritten).
+    views_spilled: AtomicBool,
+    encoder_spilled: AtomicBool,
+}
+
+impl SourceEntry {
+    fn new(session: AlignmentSession) -> Self {
+        Self {
+            session: Mutex::new(session),
+            pending: Mutex::new(Vec::new()),
+            views_spilled: AtomicBool::new(false),
+            encoder_spilled: AtomicBool::new(false),
+        }
+    }
 }
 
 struct PendingAlign {
@@ -145,10 +195,11 @@ struct BatchOutcome {
     batched_with: usize,
 }
 
-/// Aggregate request/batch counters for `/stats`.
+/// Aggregate align/batch counters for `/stats` (the total request count
+/// lives in [`RuntimeMetrics::total_requests`], incremented at the protocol
+/// layer).
 #[derive(Debug, Default)]
 struct RequestStats {
-    total: u64,
     align_ok: u64,
     align_err: u64,
     batches: u64,
@@ -158,50 +209,73 @@ struct RequestStats {
 
 struct Shared {
     config: ServerConfig,
-    /// The actually-bound address (resolves a configured port 0).
-    bound_addr: std::net::SocketAddr,
     cache: Mutex<ArtifactCache<SourceEntry>>,
+    /// The `--cache-dir` spill layer (None: in-memory only).
+    durable: Option<DurableStore>,
     requests: Mutex<RequestStats>,
     /// Per-request stage times (target-side work), accumulated over the
     /// daemon's lifetime.
     request_timer: Mutex<StageTimer>,
+    metrics: Arc<RuntimeMetrics>,
     started: Instant,
-    shutdown: AtomicBool,
+    shutdown: Arc<ShutdownSignal>,
 }
 
 /// A running `htc-serve` instance.
 ///
 /// Binds eagerly in [`Server::start`] (so the caller knows the port), then
-/// accepts connections on a background thread until `/shutdown` is posted or
-/// [`Server::shutdown`] is called.
+/// serves connections on the bounded worker pool until `/shutdown` is posted
+/// or [`Server::shutdown`] is called.  Both stop paths drain
+/// deterministically: the acceptor stops, queued connections finish, and
+/// every worker is joined before [`Server::join`] / [`Server::shutdown`]
+/// return.
 pub struct Server {
     addr: std::net::SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    runtime: ConnectionRuntime,
 }
 
 impl Server {
     /// Binds and starts serving; returns once the listener is live.
-    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+    pub fn start(mut config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        if config.workers == 0 {
+            config.workers = default_workers();
+        }
+        // Clamp here, not just in the runtime, so `/stats` reports the pool
+        // size that actually exists.
+        config.workers = config.workers.clamp(1, crate::runtime::MAX_WORKERS);
+        let durable = match &config.cache_dir {
+            Some(dir) => Some(DurableStore::open(dir)?),
+            None => None,
+        };
+        let shutdown = Arc::new(ShutdownSignal::new());
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let runtime_config = RuntimeConfig {
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            retry_after_secs: 1,
+        };
         let shared = Arc::new(Shared {
-            bound_addr: addr,
             cache: Mutex::new(ArtifactCache::new(config.cache_capacity)),
+            durable,
             requests: Mutex::new(RequestStats::default()),
             request_timer: Mutex::new(StageTimer::new()),
+            metrics: Arc::clone(&metrics),
             started: Instant::now(),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::clone(&shutdown),
             config,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("htc-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let handler_shared = Arc::clone(&shared);
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> =
+            Arc::new(move |stream| handle_connection(stream, &handler_shared));
+        let runtime =
+            ConnectionRuntime::start(listener, runtime_config, shutdown, metrics, handler)?;
         Ok(Server {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            runtime,
         })
     }
 
@@ -210,80 +284,139 @@ impl Server {
         self.addr
     }
 
-    /// Asks the accept loop to stop and waits for it.  In-flight connection
-    /// threads finish their current response.
-    pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+    /// Live runtime occupancy counters (shared with `/stats`).
+    pub fn metrics(&self) -> Arc<RuntimeMetrics> {
+        self.runtime.metrics()
     }
 
-    /// Blocks until the server stops (via `/shutdown`).
+    /// Stops accepting, serves whatever is queued, and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.trigger();
+        self.runtime.join();
+    }
+
+    /// Blocks until the server stops (via `/shutdown`), with every worker
+    /// joined.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.runtime.join();
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+/// What a routed request produces: either a ready body, a large alignment to
+/// stream, or the shutdown acknowledgement that must flush before the
+/// runtime begins draining.
+enum Reply {
+    Json(u16, String),
+    Align {
+        outcome: BatchOutcome,
+        cache_hit: bool,
+        pairwise: bool,
+    },
+    Shutdown(String),
+}
+
+/// Owns one connection for its lifetime: waits for requests, serves them,
+/// and honours keep-alive until the peer closes, the idle timeout fires, a
+/// parse error poisons the byte stream, or the server shuts down.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    while let AwaitOutcome::Ready = await_request(&mut reader, shared.config.keep_alive, || {
+        shared.shutdown.is_triggered()
+    }) {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError { status, message }) => {
+                let body = json::obj(vec![
+                    ("error", json::str(message)),
+                    ("kind", json::str("http")),
+                ])
+                .render();
+                // A connection whose byte stream failed to parse is not worth
+                // resynchronising: answer and close.  The worker itself moves
+                // on to the next queued connection unharmed.
+                let _ = write_json_response(&mut stream, status, &body, false);
+                break;
+            }
+        };
+        shared.metrics.total_requests.inc();
+        let keep_alive = request.keep_alive && !shared.shutdown.is_triggered();
+        // The route handler runs under catch_unwind: a panic anywhere in the
+        // pipeline (e.g. a worker panic propagated by the thread pool) must
+        // take down one response, not the daemon or its worker.
+        let routed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, shared)));
+        let reply = match routed {
+            Ok(reply) => reply,
+            Err(_) => {
+                shared.metrics.worker_panics.inc();
+                let err = ServeError::internal("request handler panicked; session state was reset");
+                Reply::Json(err.status, err.to_json())
+            }
+        };
+        let io_outcome = match reply {
+            Reply::Json(status, body) => {
+                write_json_response(&mut stream, status, &body, keep_alive)
+            }
+            Reply::Align {
+                outcome,
+                cache_hit,
+                pairwise,
+            } => write_align_response(
+                &mut stream,
+                shared,
+                &outcome,
+                cache_hit,
+                pairwise,
+                keep_alive,
+            ),
+            Reply::Shutdown(body) => {
+                // Deterministic shutdown: the acknowledgement is fully
+                // written and flushed *before* the drain begins — no helper
+                // thread racing the response out of the process.
+                let written = write_json_response(&mut stream, 200, &body, false);
+                shared.shutdown.trigger();
+                let _ = written;
+                break;
+            }
+        };
+        if io_outcome.is_err() || !keep_alive {
             break;
         }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => continue,
-        };
-        let conn_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name("htc-serve-conn".into())
-            .spawn(move || handle_connection(stream, conn_shared));
-        if spawned.is_err() {
-            // Out of threads: shed load rather than dying.
-            continue;
-        }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    let request = match read_request(&stream) {
-        Ok(request) => request,
-        Err(HttpError { status, message }) => {
-            let body = json::obj(vec![
-                ("error", json::str(message)),
-                ("kind", json::str("http")),
-            ])
-            .render();
-            let _ = write_json_response(&mut stream, status, &body);
-            return;
-        }
-    };
-    // The route handler runs under catch_unwind: a panic anywhere in the
-    // pipeline (e.g. a worker panic propagated by the thread pool) must take
-    // down one response, not the daemon.
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, &shared)));
-    let (status, body) = match outcome {
-        Ok((status, body)) => (status, body),
-        Err(_) => {
-            let err = ServeError::internal("request handler panicked; session state was reset");
-            (err.status, err.to_json())
-        }
-    };
-    let _ = write_json_response(&mut stream, status, &body);
+/// Writes an alignment response: chunked streaming once the anchor set
+/// reaches the configured threshold, a plain `Content-Length` body below it.
+/// Both paths emit byte-identical JSON (same renderer, different sink).
+fn write_align_response(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    outcome: &BatchOutcome,
+    cache_hit: bool,
+    pairwise: bool,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let anchors = outcome.result.predicted_anchors().len();
+    if anchors >= shared.config.stream_threshold.max(1) {
+        let mut writer = begin_chunked_json(stream, 200, keep_alive)?;
+        render_align_response_to(&mut writer, outcome, cache_hit, pairwise)
+            .map_err(|_| std::io::Error::other("rendering alignment response"))?;
+        writer.finish()
+    } else {
+        let mut body = String::new();
+        render_align_response_to(&mut body, outcome, cache_hit, pairwise)
+            .expect("writing to a String cannot fail");
+        write_json_response(stream, 200, &body, keep_alive)
+    }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
-    {
-        let mut stats = shared.requests.lock().unwrap();
-        stats.total += 1;
-    }
+fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
+        ("GET", "/healthz") => Reply::Json(
             200,
             json::obj(vec![
                 ("status", json::str("ok")),
@@ -294,31 +427,21 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
             ])
             .render(),
         ),
-        ("GET", "/stats") => (200, stats_json(shared)),
+        ("GET", "/stats") => Reply::Json(200, stats_json(shared)),
         ("POST", "/align") => match handle_align(request, shared) {
-            Ok(body) => {
+            Ok(reply) => {
                 shared.requests.lock().unwrap().align_ok += 1;
-                (200, body)
+                reply
             }
             Err(err) => {
                 shared.requests.lock().unwrap().align_err += 1;
-                (err.status, err.to_json())
+                Reply::Json(err.status, err.to_json())
             }
         },
         ("POST", "/shutdown") => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop with a throwaway connection to the bound
-            // address (from a helper thread so this response flushes first).
-            let addr = shared.bound_addr;
-            std::thread::spawn(move || {
-                let _ = TcpStream::connect(addr);
-            });
-            (
-                200,
-                json::obj(vec![("status", json::str("stopping"))]).render(),
-            )
+            Reply::Shutdown(json::obj(vec![("status", json::str("stopping"))]).render())
         }
-        ("POST", _) | ("GET", _) => (
+        ("POST", _) | ("GET", _) => Reply::Json(
             404,
             json::obj(vec![
                 ("error", json::str(format!("no route {}", request.path))),
@@ -326,7 +449,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
             ])
             .render(),
         ),
-        (method, _) => (
+        (method, _) => Reply::Json(
             405,
             json::obj(vec![
                 ("error", json::str(format!("method {method} not allowed"))),
@@ -337,8 +460,9 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
     }
 }
 
-/// Renders `/stats`: request counters, cache counters + hit rate, batching
-/// figures, and two stage-timer views — the shared source-side stages of
+/// Renders `/stats`: request counters, cache counters + hit rate (including
+/// the durable spill layer), batching figures, the connection-runtime
+/// gauges, and two stage-timer views — the shared source-side stages of
 /// every cached session, and the accumulated per-request (target-side)
 /// stages.
 fn stats_json(shared: &Arc<Shared>) -> String {
@@ -356,8 +480,17 @@ fn stats_json(shared: &Arc<Shared>) -> String {
     let entries = cache.len();
     let capacity = cache.capacity();
     drop(cache);
+    let (spills, reloads, reload_errors) = match &shared.durable {
+        Some(store) => (
+            store.spills.get(),
+            store.reloads.get(),
+            store.reload_errors.get(),
+        ),
+        None => (0, 0, 0),
+    };
     let requests = shared.requests.lock().unwrap();
     let request_timer = shared.request_timer.lock().unwrap();
+    let metrics = &shared.metrics;
     json::obj(vec![
         (
             "uptime_seconds",
@@ -366,9 +499,41 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         (
             "requests",
             json::obj(vec![
-                ("total", json::num(requests.total as f64)),
+                ("total", json::num(metrics.total_requests.get() as f64)),
                 ("align_ok", json::num(requests.align_ok as f64)),
                 ("align_err", json::num(requests.align_err as f64)),
+            ]),
+        ),
+        (
+            "runtime",
+            json::obj(vec![
+                ("workers", json::num(shared.config.workers as f64)),
+                (
+                    "active_connections",
+                    json::num(metrics.active_connections.get() as f64),
+                ),
+                ("queue_depth", json::num(metrics.queue_depth.get() as f64)),
+                (
+                    "queue_high_water",
+                    json::num(metrics.queue_depth.high_water() as f64),
+                ),
+                (
+                    "total_connections",
+                    json::num(metrics.total_connections.get() as f64),
+                ),
+                (
+                    "total_requests",
+                    json::num(metrics.total_requests.get() as f64),
+                ),
+                ("reuse_ratio", json::num(metrics.reuse_ratio())),
+                (
+                    "shed_connections",
+                    json::num(metrics.shed_connections.get() as f64),
+                ),
+                (
+                    "worker_panics",
+                    json::num(metrics.worker_panics.get() as f64),
+                ),
             ]),
         ),
         (
@@ -380,6 +545,9 @@ fn stats_json(shared: &Arc<Shared>) -> String {
                 ("misses", json::num(cache_stats.misses as f64)),
                 ("evictions", json::num(cache_stats.evictions as f64)),
                 ("hit_rate", json::num(cache_stats.hit_rate())),
+                ("spills", json::num(spills as f64)),
+                ("reloads", json::num(reloads as f64)),
+                ("reload_errors", json::num(reload_errors as f64)),
             ]),
         ),
         (
@@ -608,7 +776,7 @@ fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, Ser
     })
 }
 
-fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<String, ServeError> {
+fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
     let align = parse_align_request(shared, &request.body)?;
     // Warm-start artifact paths are part of the cache identity: persisted
     // views are fingerprint-checked against the source graph, but a persisted
@@ -631,24 +799,35 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<String, Serve
     // Load persisted artifacts *before* taking the cache lock — decoding a
     // large artifact file must stall this request, not the whole daemon.
     // The loads only run when the key is absent (double-checked below), so
-    // repeat warm-started sources do not re-read their files.
+    // repeat warm-started sources do not re-read their files.  Request-named
+    // paths win over the durable spill layer; the spill layer turns a
+    // restart into a warm start for plain requests.
     let mut warm_views = None;
     let mut warm_encoder = None;
+    let mut spilled_views = None;
+    let mut spilled_encoder = None;
     if shared.cache.lock().unwrap().peek(&key).is_none() {
         if let Some(path) = &align.views_path {
             warm_views = Some(TopologyViews::load(path)?);
+        } else if let Some(store) = &shared.durable {
+            spilled_views = store.load_views(&key);
         }
         if let Some(path) = &align.encoder_path {
             warm_encoder = Some(TrainedEncoder::load(path)?);
+        } else if let Some(store) = &shared.durable {
+            spilled_encoder = store.load_encoder(&key);
         }
     }
-    let (entry, cache_hit) = {
+    let disk_warm_start = spilled_views.is_some() || spilled_encoder.is_some();
+    let (entry, lru_hit) = {
         let mut cache = shared.cache.lock().unwrap();
         cache.get_or_insert(&key, || -> Result<SourceEntry, ServeError> {
             let mut session = AlignmentSession::new(align.config.clone(), &align.source)?;
             // Views are validated against the session (fingerprint, mode,
             // parameters); the encoder against its dimensions.  A stale or
-            // corrupt artifact is a 422, never a wrong answer.
+            // corrupt request-named artifact is a 422, never a wrong answer;
+            // a stale *spilled* artifact is silently discarded — the cold
+            // path rebuilds it.
             if let Some(views) = warm_views {
                 session.set_source_views(views)?;
             } else if let Some(path) = &align.views_path {
@@ -661,12 +840,25 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<String, Serve
             } else if let Some(path) = &align.encoder_path {
                 session.set_encoder(TrainedEncoder::load(path)?)?;
             }
-            Ok(SourceEntry {
-                session: Mutex::new(session),
-                pending: Mutex::new(Vec::new()),
-            })
+            let entry = SourceEntry::new(session);
+            if let Some(views) = spilled_views {
+                let mut session = entry.session.lock().unwrap();
+                if session.set_source_views(views).is_ok() {
+                    entry.views_spilled.store(true, Ordering::Relaxed);
+                }
+            }
+            if let Some(encoder) = spilled_encoder {
+                let mut session = entry.session.lock().unwrap();
+                if session.set_encoder(encoder).is_ok() {
+                    entry.encoder_spilled.store(true, Ordering::Relaxed);
+                }
+            }
+            Ok(entry)
         })?
     };
+    // A hit from either layer skips the expensive source-side stages; the
+    // response reports both the same way.
+    let cache_hit = lru_hit || disk_warm_start;
 
     let pairwise = align.pairwise;
     let outcome = if pairwise {
@@ -678,20 +870,62 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<String, Serve
         Ok(outcome) => outcome,
         Err(err) => {
             // A panic-derived failure may have interrupted a stage mid-way;
-            // drop the entry so no future request sees that session.
+            // drop the entry (and its spilled artifacts) so no future
+            // request — in this process or after a restart — sees that
+            // session.
             if err.kind == "internal" {
                 shared.cache.lock().unwrap().remove_value(&entry);
+                if let Some(store) = &shared.durable {
+                    store.forget(&key);
+                }
             }
             return Err(err);
         }
     };
 
+    spill_entry_artifacts(shared, &key, &entry);
     shared
         .request_timer
         .lock()
         .unwrap()
         .merge(outcome.result.timer());
-    Ok(render_align_response(&outcome, cache_hit, pairwise))
+    Ok(Reply::Align {
+        outcome,
+        cache_hit,
+        pairwise,
+    })
+}
+
+/// Spills whatever source-side artifacts the entry's session has built and
+/// not yet persisted.  Runs after each served request (cheap once both flags
+/// are set); `try_lock` so a busy session simply spills after a later
+/// request instead of stalling this one.
+fn spill_entry_artifacts(shared: &Arc<Shared>, key: &CacheKey, entry: &Arc<SourceEntry>) {
+    let Some(store) = &shared.durable else {
+        return;
+    };
+    let views_done = entry.views_spilled.load(Ordering::Relaxed);
+    let encoder_done = entry.encoder_spilled.load(Ordering::Relaxed);
+    if views_done && encoder_done {
+        return;
+    }
+    let Ok(session) = entry.session.try_lock() else {
+        return;
+    };
+    if !views_done {
+        if let Some(views) = session.views_if_built() {
+            if store.spill_views(key, &views).is_ok() {
+                entry.views_spilled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    if !encoder_done {
+        if let Some(encoder) = session.encoder_if_trained() {
+            if store.spill_encoder(key, &encoder).is_ok() {
+                entry.encoder_spilled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Pairwise mode: joint training on (source, target), no batching.
@@ -794,45 +1028,46 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn render_align_response(outcome: &BatchOutcome, cache_hit: bool, pairwise: bool) -> String {
+/// Streams the alignment response into any [`std::fmt::Write`] sink: a
+/// `String` for small results, a chunked response body for large ones.  The
+/// anchor rows — the part that scales with the graph — are written row by
+/// row, never collected; the emitted bytes are identical either way.
+fn render_align_response_to<W: std::fmt::Write>(
+    out: &mut W,
+    outcome: &BatchOutcome,
+    cache_hit: bool,
+    pairwise: bool,
+) -> std::fmt::Result {
     let result = &outcome.result;
-    let anchors = result.predicted_anchors();
-    let anchor_rows: Vec<Json> = anchors
-        .iter()
-        .enumerate()
-        .map(|(s, &t)| {
-            json::arr([
-                json::num(s as f64),
-                json::num(t as f64),
-                json::num(result.alignment().get(s, t)),
-            ])
-        })
-        .collect();
-    json::obj(vec![
-        (
-            "mode",
-            json::str(if pairwise { "pairwise" } else { "shared" }),
-        ),
-        ("cache_hit", Json::Bool(cache_hit)),
-        ("batched_with", json::num(outcome.batched_with as f64)),
-        ("anchors", Json::Arr(anchor_rows)),
-        (
-            "orbit_importance",
-            json::arr(result.orbit_importance().iter().map(|&g| json::num(g))),
-        ),
-        (
-            "trusted_counts",
-            json::arr(result.trusted_counts().iter().map(|&c| json::num(c as f64))),
-        ),
-        (
-            "loss_final",
-            result
-                .loss_history()
-                .last()
-                .map(|&l| json::num(l))
-                .unwrap_or(Json::Null),
-        ),
-        ("stages", json_raw(result.timer().stages_json_detailed())),
-    ])
-    .render()
+    out.write_str("{\"mode\":\"")?;
+    out.write_str(if pairwise { "pairwise" } else { "shared" })?;
+    out.write_str("\",\"cache_hit\":")?;
+    out.write_str(if cache_hit { "true" } else { "false" })?;
+    out.write_str(",\"batched_with\":")?;
+    json::write_num(out, outcome.batched_with as f64)?;
+    out.write_str(",\"anchors\":[")?;
+    for (s, &t) in result.predicted_anchors().iter().enumerate() {
+        if s > 0 {
+            out.write_char(',')?;
+        }
+        out.write_char('[')?;
+        json::write_num(out, s as f64)?;
+        out.write_char(',')?;
+        json::write_num(out, t as f64)?;
+        out.write_char(',')?;
+        json::write_num(out, result.alignment().get(s, t))?;
+        out.write_char(']')?;
+    }
+    out.write_str("],\"orbit_importance\":")?;
+    json::arr(result.orbit_importance().iter().map(|&g| json::num(g))).render_to(out)?;
+    out.write_str(",\"trusted_counts\":")?;
+    json::arr(result.trusted_counts().iter().map(|&c| json::num(c as f64))).render_to(out)?;
+    out.write_str(",\"loss_final\":")?;
+    match result.loss_history().last() {
+        Some(&l) => json::write_num(out, l)?,
+        None => out.write_str("null")?,
+    }
+    out.write_str(",\"stages\":")?;
+    out.write_str(&result.timer().stages_json_detailed())?;
+    out.write_char('}')
 }

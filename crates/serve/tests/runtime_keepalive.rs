@@ -1,0 +1,457 @@
+//! Integration tests for the connection runtime over real sockets: bounded
+//! worker pool with queueing (not spawning), `503 Retry-After` load
+//! shedding, keep-alive request loops with idle timeouts and hostile-input
+//! edge cases, chunked response streaming, the durable `--cache-dir`
+//! restart warm start, and deterministic shutdown.
+
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+use htc_graph::AttributedNetwork;
+use htc_serve::http::Client as HttpClient;
+use htc_serve::json;
+use htc_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Thin test wrapper over the shared keep-alive [`HttpClient`]: unwraps
+/// errors and parses response bodies as JSON.
+struct Client(HttpClient);
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client(HttpClient::connect(addr).expect("connect"))
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &str) {
+        self.0.send(method, path, body).expect("send request");
+    }
+
+    fn read(&mut self) -> htc_serve::http::ClientResponse {
+        self.0.read().expect("read response")
+    }
+
+    fn raw(&mut self) -> &mut TcpStream {
+        self.0.stream_mut()
+    }
+
+    fn closed(&mut self) -> bool {
+        self.0.closed()
+    }
+
+    /// One exchange on the persistent connection.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, json::Json) {
+        let response = self.0.request(method, path, body).expect("exchange");
+        let parsed = json::parse(response.body_str())
+            .unwrap_or_else(|e| panic!("unparsable body ({e}): {:?}", response.body_str()));
+        (response.status, parsed)
+    }
+}
+
+fn align_body(source: &AttributedNetwork, target: &AttributedNetwork) -> String {
+    format!(
+        "{{\"preset\":\"fast\",\"epochs\":5,\"source\":{},\"target\":{}}}",
+        json::network_spec(source),
+        json::network_spec(target)
+    )
+}
+
+fn get_num(v: &json::Json, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {}", v.render()));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("{path:?} not a number"))
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("htc-runtime-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// With `--workers 2`, more than two concurrent keep-alive connections all
+/// complete — excess connections queue for a worker instead of spawning new
+/// threads — and sequential requests on one socket drive the reuse ratio
+/// above 1.0.
+#[test]
+fn bounded_pool_queues_and_reuses_connections() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        batch_window: Duration::from_millis(50),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let pair = generate_pair(&SyntheticPairConfig::tiny(12).with_seed(3));
+
+    // 4 concurrent keep-alive connections through 2 workers, 3 requests
+    // each: every request completes even though connections outnumber
+    // workers 2×.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let body = align_body(&pair.source, &pair.target);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let (status, health) = client.request("GET", "/healthz", "");
+                assert_eq!(status, 200, "{}", health.render());
+                let (status, aligned) = client.request("POST", "/align", &body);
+                assert_eq!(status, 200, "{}", aligned.render());
+                let (status, _) = client.request("GET", "/healthz", "");
+                assert_eq!(status, 200);
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("keep-alive client");
+    }
+
+    let metrics = server.metrics();
+    assert!(
+        metrics.active_connections.high_water() <= 2,
+        "at most `workers` connections are ever active (got {})",
+        metrics.active_connections.high_water()
+    );
+
+    let mut stats_client = Client::connect(addr);
+    let (status, stats) = stats_client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(
+        get_num(&stats, &["runtime", "reuse_ratio"]) > 1.0,
+        "keep-alive connections carried several requests each: {}",
+        stats.render()
+    );
+    assert_eq!(get_num(&stats, &["runtime", "worker_panics"]), 0.0);
+    assert_eq!(get_num(&stats, &["runtime", "workers"]), 2.0);
+    assert!(get_num(&stats, &["runtime", "total_connections"]) >= 5.0);
+
+    // Deterministic shutdown over the wire: the acknowledgement arrives in
+    // full, then join() returns with every worker drained.
+    let (status, stopping) = stats_client.request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(stopping.get("status").unwrap().as_str(), Some("stopping"));
+    server.join();
+    assert_eq!(metrics.active_connections.get(), 0);
+    assert_eq!(metrics.queue_depth.get(), 0);
+}
+
+/// When every worker is occupied and the hand-off queue is full, a new
+/// connection is shed with `503` + `Retry-After` instead of growing state.
+#[test]
+fn saturated_queue_sheds_with_503_retry_after() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        keep_alive: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let metrics = server.metrics();
+
+    // Occupier: completes one request, then idles holding the only worker.
+    let mut occupier = Client::connect(addr);
+    let (status, _) = occupier.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    // Queued connection: accepted, waiting for the worker.
+    let queued = TcpStream::connect(addr).unwrap();
+    for _ in 0..200 {
+        if metrics.active_connections.get() == 1 && metrics.queue_depth.get() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(metrics.active_connections.get(), 1);
+    assert_eq!(metrics.queue_depth.get(), 1);
+
+    // Next connection overflows the queue: 503 with a Retry-After hint,
+    // written by the acceptor, then closed.
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    shed.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("Retry-After:"), "{response}");
+    assert!(response.contains("overloaded"), "{response}");
+    assert_eq!(metrics.shed_connections.get(), 1);
+
+    // Releasing the occupier lets the queued connection reach the worker.
+    drop(occupier);
+    queued
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut queued = Client(HttpClient::from_stream(queued).unwrap());
+    let (status, _) = queued.request("GET", "/healthz", "");
+    assert_eq!(
+        status, 200,
+        "queued connection is served once a worker frees"
+    );
+
+    server.shutdown();
+    assert_eq!(metrics.active_connections.get(), 0);
+    assert_eq!(metrics.queue_depth.get(), 0);
+}
+
+/// HTTP edge cases under keep-alive: zero-length bodies, back-to-back
+/// requests, oversized head/body (431/413 then close), a malformed second
+/// request not poisoning the worker, and the idle-timeout disconnect.
+#[test]
+fn http_edge_cases_under_keepalive() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        keep_alive: Duration::from_millis(400),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Content-Length: 0 and back-to-back requests on one socket.
+    let mut client = Client::connect(addr);
+    for _ in 0..3 {
+        let (status, health) = client.request("GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    }
+    // Pipelined: two full requests written before either response is read.
+    client.send("GET", "/healthz", "");
+    client.send("GET", "/stats", "");
+    assert_eq!(client.read().status, 200);
+    assert_eq!(client.read().status, 200);
+    drop(client);
+
+    // A malformed second request gets a 400 and the connection closes —
+    // but the worker survives to serve new connections.
+    let mut client = Client::connect(addr);
+    let (status, _) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    client
+        .raw()
+        .write_all(b"NOT-A-REQUEST-LINE\r\n\r\n")
+        .unwrap();
+    let response = client.read();
+    assert_eq!(response.status, 400, "{:?}", response.body_str());
+    assert!(client.closed(), "connection closes after a parse error");
+    let mut fresh = Client::connect(addr);
+    let (status, _) = fresh.request("GET", "/healthz", "");
+    assert_eq!(status, 200, "worker was not poisoned");
+    drop(fresh);
+
+    // Oversized head: 431, then close.
+    let mut client = Client::connect(addr);
+    let huge_header = format!(
+        "GET /healthz HTTP/1.1\r\nHost: test\r\nX-Padding: {}\r\n\r\n",
+        "x".repeat(32 * 1024)
+    );
+    client.raw().write_all(huge_header.as_bytes()).unwrap();
+    let response = client.read();
+    assert_eq!(response.status, 431);
+    assert!(client.closed());
+
+    // Oversized declared body: 413, then close.
+    let mut client = Client::connect(addr);
+    client
+        .raw()
+        .write_all(b"POST /align HTTP/1.1\r\nHost: test\r\nContent-Length: 268435456\r\n\r\n")
+        .unwrap();
+    let response = client.read();
+    assert_eq!(response.status, 413);
+    assert!(client.closed());
+
+    // Idle timeout: a connection parked past the keep-alive window is
+    // closed by the server.
+    let mut client = Client::connect(addr);
+    let (status, _) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(client.closed(), "idle connection is reclaimed");
+
+    // An explicit Connection: close is honoured.
+    let mut client = Client::connect(addr);
+    client
+        .raw()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let response = client.read();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(client.closed());
+
+    server.shutdown();
+}
+
+/// Large anchor sets stream as `Transfer-Encoding: chunked`; the streamed
+/// bytes are identical to the buffered (`Content-Length`) rendering of the
+/// same deterministic alignment.
+#[test]
+fn chunked_streaming_matches_buffered_rendering() {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(14).with_seed(9));
+    let body = align_body(&pair.source, &pair.target);
+
+    let streaming = Server::start(ServerConfig {
+        stream_threshold: 1, // every align response streams
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(streaming.addr());
+    client.send("POST", "/align", &body);
+    let chunked = client.read();
+    assert_eq!(chunked.status, 200, "{:?}", chunked.body_str());
+    assert_eq!(
+        chunked.header("transfer-encoding"),
+        Some("chunked"),
+        "large anchor sets must stream"
+    );
+    assert!(chunked.header("content-length").is_none());
+    // The connection survives a chunked response (self-delimiting framing).
+    let (status, _) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    drop(client);
+    streaming.shutdown();
+
+    let buffered = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(buffered.addr());
+    client.send("POST", "/align", &body);
+    let plain = client.read();
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.header("transfer-encoding"), None);
+    drop(client);
+    buffered.shutdown();
+
+    // Same pipeline, same determinism guarantees, two transports: the bodies
+    // agree byte for byte (modulo the timing-dependent "stages"/"loss" tail,
+    // which is compared structurally).
+    let chunked_json = json::parse(chunked.body_str()).unwrap();
+    let plain_json = json::parse(plain.body_str()).unwrap();
+    assert_eq!(
+        chunked_json.get("anchors").unwrap(),
+        plain_json.get("anchors").unwrap(),
+        "streamed and buffered renderings must agree bit-for-bit on anchors"
+    );
+    assert_eq!(
+        chunked_json.get("orbit_importance").unwrap(),
+        plain_json.get("orbit_importance").unwrap()
+    );
+    assert_eq!(
+        chunked_json.get("trusted_counts").unwrap(),
+        plain_json.get("trusted_counts").unwrap()
+    );
+    assert_eq!(
+        chunked_json.get("loss_final").unwrap(),
+        plain_json.get("loss_final").unwrap()
+    );
+}
+
+/// The durable cache turns a restart into a warm start: artifacts spill to
+/// `--cache-dir`, a fresh daemon reloads them lazily, the first request for
+/// a previously-seen source is a cache hit that skips training, and the
+/// results are bit-identical to the cold path.
+#[test]
+fn durable_cache_survives_restart_bit_identically() {
+    let dir = tmp_dir("durable");
+    let pair = generate_pair(&SyntheticPairConfig::tiny(13).with_seed(21));
+    let body = align_body(&pair.source, &pair.target);
+    let config = || ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Cold daemon: first request trains and spills.
+    let server = Server::start(config()).unwrap();
+    let mut client = Client::connect(server.addr());
+    let (status, cold) = client.request("POST", "/align", &body);
+    assert_eq!(status, 200, "{}", cold.render());
+    assert_eq!(cold.get("cache_hit").unwrap().as_bool(), Some(false));
+    let (_, stats) = client.request("GET", "/stats", "");
+    assert!(
+        get_num(&stats, &["cache", "spills"]) >= 2.0,
+        "views + encoder spilled: {}",
+        stats.render()
+    );
+    drop(client);
+    server.shutdown();
+    let spill_files = std::fs::read_dir(&dir).unwrap().count();
+    assert!(
+        spill_files >= 2,
+        "expected spill files, found {spill_files}"
+    );
+
+    // Restarted daemon, same cache dir: warm start.  The first request hits
+    // (disk layer), skips training, and answers bit-identically.
+    let server = Server::start(config()).unwrap();
+    let mut client = Client::connect(server.addr());
+    let (status, warm) = client.request("POST", "/align", &body);
+    assert_eq!(status, 200, "{}", warm.render());
+    assert_eq!(
+        warm.get("cache_hit").unwrap().as_bool(),
+        Some(true),
+        "restart with the same --cache-dir warm-starts: {}",
+        warm.render()
+    );
+    assert_eq!(
+        warm.get("anchors").unwrap(),
+        cold.get("anchors").unwrap(),
+        "warm-start results are bit-identical to the cold path"
+    );
+    assert_eq!(
+        warm.get("loss_final").unwrap(),
+        cold.get("loss_final").unwrap()
+    );
+    let (_, stats) = client.request("GET", "/stats", "");
+    assert!(
+        get_num(&stats, &["cache", "reloads"]) >= 2.0,
+        "views + encoder reloaded: {}",
+        stats.render()
+    );
+    // No training happened in this process: the shared stage timer never
+    // recorded the training stage.
+    let shared_stages = stats.get("shared_stages").unwrap().as_arr().unwrap();
+    assert!(
+        !shared_stages
+            .iter()
+            .any(|s| s.get("stage").and_then(json::Json::as_str)
+                == Some("multi-orbit-aware training")),
+        "warm-started source must not retrain: {}",
+        stats.render()
+    );
+    assert!(
+        !shared_stages
+            .iter()
+            .any(|s| s.get("stage").and_then(json::Json::as_str) == Some("orbit counting")),
+        "warm-started source must not recount orbits: {}",
+        stats.render()
+    );
+    drop(client);
+    server.shutdown();
+
+    // A corrupt spill file is discarded, not trusted: the daemon rebuilds
+    // cold and still answers correctly.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "views") {
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        }
+    }
+    let server = Server::start(config()).unwrap();
+    let mut client = Client::connect(server.addr());
+    let (status, rebuilt) = client.request("POST", "/align", &body);
+    assert_eq!(status, 200, "{}", rebuilt.render());
+    assert_eq!(
+        rebuilt.get("anchors").unwrap(),
+        cold.get("anchors").unwrap(),
+        "rebuild after corruption still matches"
+    );
+    let (_, stats) = client.request("GET", "/stats", "");
+    assert!(
+        get_num(&stats, &["cache", "reload_errors"]) >= 1.0,
+        "corrupt spill counted: {}",
+        stats.render()
+    );
+    drop(client);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

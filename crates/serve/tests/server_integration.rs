@@ -6,64 +6,25 @@
 use htc_core::{AlignmentSession, HtcConfig};
 use htc_datasets::{generate_pair, SyntheticPairConfig};
 use htc_graph::AttributedNetwork;
-use htc_serve::json;
+use htc_serve::http::Client;
+use htc_serve::json::{self, network_spec as network_json};
 use htc_serve::{Server, ServerConfig};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::Duration;
 
-/// One HTTP/1.1 exchange against the server (it closes each connection).
+/// One HTTP/1.1 exchange per connection (`Connection: close`, which the
+/// keep-alive server honours by closing after the response — the persistent
+/// path is exercised by `tests/runtime_keepalive.rs`).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, json::Json) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).unwrap();
-    stream.write_all(body.as_bytes()).unwrap();
-    let mut response = String::new();
-    stream.read_to_string(&mut response).unwrap();
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("no status line in {response:?}"));
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b)
-        .unwrap_or_default();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .send_with(method, path, body, true)
+        .expect("send request");
+    let response = client.read().expect("read response");
+    let payload = response.body_str();
     let parsed =
         json::parse(payload).unwrap_or_else(|e| panic!("unparsable body ({e}): {payload:?}"));
-    (status, parsed)
-}
-
-fn network_json(network: &AttributedNetwork) -> String {
-    let edges: Vec<String> = network
-        .graph()
-        .edges()
-        .iter()
-        .map(|&(u, v)| format!("[{u},{v}]"))
-        .collect();
-    let rows: Vec<String> = (0..network.num_nodes())
-        .map(|u| {
-            let row: Vec<String> = network
-                .node_attributes(u)
-                .iter()
-                .map(|v| format!("{v}"))
-                .collect();
-            format!("[{}]", row.join(","))
-        })
-        .collect();
-    format!(
-        "{{\"num_nodes\":{},\"edges\":[{}],\"attributes\":[{}]}}",
-        network.num_nodes(),
-        edges.join(","),
-        rows.join(",")
-    )
+    (response.status, parsed)
 }
 
 fn align_body(source: &str, target: &AttributedNetwork) -> String {
@@ -96,6 +57,7 @@ fn server_round_trip_cache_batching_and_hostile_artifacts() {
         batch_window: Duration::from_millis(400),
         default_preset: "fast".into(),
         artifact_root: None,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = server.addr();

@@ -1,7 +1,8 @@
-//! Drives an in-process `htc-serve` daemon end to end: starts the server,
-//! POSTs two align requests that share a source graph (the second hits the
-//! artifact cache and skips counting + training), prints the responses and
-//! the `/stats` counters, then shuts the server down cleanly.
+//! Drives an in-process `htc-serve` daemon end to end over **one persistent
+//! connection**: starts the server, POSTs two align requests that share a
+//! source graph (the second hits the artifact cache and skips counting +
+//! training), reads `/stats` — all on the same keep-alive socket — then
+//! shuts the server down cleanly.
 //!
 //! ```text
 //! cargo run --release --example serve_client
@@ -11,60 +12,14 @@
 //! --bin htc-serve`) with `curl` — see README.md for the quickstart.
 
 use htc::datasets::{generate_pair, SyntheticPairConfig};
-use htc::graph::AttributedNetwork;
+use htc::serve::http::Client;
+use htc::serve::json::network_spec;
 use htc::serve::{Server, ServerConfig};
-use std::io::{Read, Write};
-use std::net::TcpStream;
 
-/// Minimal HTTP/1.1 exchange: one request, read to EOF (the server closes
-/// each connection), split off the body.
-fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect to htc-serve");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).unwrap();
-    stream.write_all(body.as_bytes()).unwrap();
-    let mut response = String::new();
-    stream.read_to_string(&mut response).unwrap();
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, payload)
-}
-
-/// Renders a network as the inline JSON spec `POST /align` accepts.
-fn network_json(network: &AttributedNetwork) -> String {
-    let edges: Vec<String> = network
-        .graph()
-        .edges()
-        .iter()
-        .map(|&(u, v)| format!("[{u},{v}]"))
-        .collect();
-    let rows: Vec<String> = (0..network.num_nodes())
-        .map(|u| {
-            let row: Vec<String> = network
-                .node_attributes(u)
-                .iter()
-                .map(|v| format!("{v}"))
-                .collect();
-            format!("[{}]", row.join(","))
-        })
-        .collect();
-    format!(
-        "{{\"num_nodes\":{},\"edges\":[{}],\"attributes\":[{}]}}",
-        network.num_nodes(),
-        edges.join(","),
-        rows.join(",")
-    )
+/// One exchange on the persistent connection; returns (status, body).
+fn request(client: &mut Client, method: &str, path: &str, body: &str) -> (u16, String) {
+    let response = client.request(method, path, body).expect("exchange");
+    (response.status, response.body_str().to_string())
 }
 
 fn main() {
@@ -72,21 +27,23 @@ fn main() {
     let addr = server.addr();
     println!("htc-serve listening on {addr}");
 
-    // One source catalog graph, two perturbed incoming graphs.
+    // One source catalog graph, two perturbed incoming graphs — served over
+    // a single keep-alive connection.
     let pair_a = generate_pair(&SyntheticPairConfig::tiny(16).with_seed(7));
     let pair_b = generate_pair(
         &SyntheticPairConfig::tiny(16)
             .with_seed(7)
             .with_edge_removal(0.08),
     );
-    let source = network_json(&pair_a.source);
+    let source = network_spec(&pair_a.source);
+    let mut client = Client::connect(addr).expect("connect to htc-serve");
 
     for (label, target) in [("first", &pair_a.target), ("second", &pair_b.target)] {
         let body = format!(
             "{{\"preset\":\"fast\",\"epochs\":10,\"source\":{source},\"target\":{}}}",
-            network_json(target)
+            network_spec(target)
         );
-        let (status, response) = request(addr, "POST", "/align", &body);
+        let (status, response) = request(&mut client, "POST", "/align", &body);
         assert_eq!(status, 200, "align failed: {response}");
         // Pull a couple of headline fields out of the response JSON.
         let hit = response.contains("\"cache_hit\":true");
@@ -96,12 +53,16 @@ fn main() {
         );
     }
 
-    let (status, stats) = request(addr, "GET", "/stats", "");
+    let (status, stats) = request(&mut client, "GET", "/stats", "");
     assert_eq!(status, 200);
     println!("\n/stats:\n{stats}");
+    assert!(
+        stats.contains("\"reuse_ratio\":3"),
+        "three requests rode one connection: {stats}"
+    );
 
-    let (status, _) = request(addr, "POST", "/shutdown", "");
+    let (status, _) = request(&mut client, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     server.join();
-    println!("\nserver shut down cleanly");
+    println!("\nserver shut down cleanly (all workers joined)");
 }

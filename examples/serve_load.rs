@@ -1,0 +1,254 @@
+//! Load generator for `htc-serve`: N concurrent clients hammer `/align`
+//! with a shared source graph for a fixed duration, then print throughput
+//! and latency percentiles plus the server's runtime counters.
+//!
+//! ```text
+//! cargo run --release --example serve_load -- [--clients N] [--duration-secs S]
+//!     [--nodes N] [--workers N] [--addr HOST:PORT] [--close]
+//! ```
+//!
+//! Without `--addr` an in-process server is started (worker pool sized by
+//! `--workers`, default auto).  `--close` opens a fresh connection per
+//! request instead of reusing keep-alive sockets — the old one-shot
+//! behaviour — which is how the before/after numbers in PERFORMANCE.md were
+//! measured.  The `reuse_ratio` / `worker_panics` output lines are scraped
+//! by the CI concurrency smoke step.
+
+use htc::datasets::{generate_pair, SyntheticPairConfig};
+use htc::serve::http::Client;
+use htc::serve::json::{self, network_spec};
+use htc::serve::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+struct LoadArgs {
+    clients: usize,
+    duration: Duration,
+    nodes: usize,
+    workers: usize,
+    addr: Option<String>,
+    close_per_request: bool,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            duration: Duration::from_secs(5),
+            nodes: 12,
+            workers: 0,
+            addr: None,
+            close_per_request: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<LoadArgs, String> {
+    let mut args = LoadArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--duration-secs" => {
+                let secs: f64 = value("--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-secs: {e}"))?;
+                args.duration = Duration::from_secs_f64(secs);
+            }
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --nodes: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--close" => args.close_per_request = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One exchange on an existing keep-alive connection.
+fn exchange(
+    client: &mut Client,
+    method: &str,
+    path: &str,
+    body: &str,
+    close: bool,
+) -> Result<u16, String> {
+    client
+        .send_with(method, path, body, close)
+        .map_err(|e| format!("send: {e}"))?;
+    Ok(client.read()?.status)
+}
+
+/// Per-client loop: requests until the deadline, collecting latencies (µs).
+fn run_client(
+    addr: SocketAddr,
+    body: String,
+    deadline: Instant,
+    close_per_request: bool,
+) -> (Vec<u64>, u64) {
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut conn = None;
+    while Instant::now() < deadline {
+        if conn.is_none() {
+            match Client::connect(addr) {
+                Ok(c) => conn = Some(c),
+                Err(_) => {
+                    errors += 1;
+                    continue;
+                }
+            }
+        }
+        let client = conn.as_mut().expect("just connected");
+        let start = Instant::now();
+        match exchange(client, "POST", "/align", &body, close_per_request) {
+            Ok(200) => latencies.push(start.elapsed().as_micros() as u64),
+            Ok(503) => {
+                // Shed under load: back off briefly and reconnect.
+                errors += 1;
+                conn = None;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Ok(_) | Err(_) => {
+                errors += 1;
+                conn = None;
+            }
+        }
+        if close_per_request {
+            conn = None;
+        }
+    }
+    (latencies, errors)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // An in-process server unless an external one was named.
+    let server = if args.addr.is_none() {
+        Some(
+            Server::start(ServerConfig {
+                workers: args.workers,
+                ..ServerConfig::default()
+            })
+            .expect("start server"),
+        )
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&args.addr, &server) {
+        (Some(addr), _) => addr.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(server)) => server.addr(),
+        (None, None) => unreachable!(),
+    };
+
+    let pair = generate_pair(&SyntheticPairConfig::tiny(args.nodes).with_seed(41));
+    let body = format!(
+        "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
+        network_spec(&pair.source),
+        network_spec(&pair.target)
+    );
+
+    // Warm the artifact cache so the measurement sees steady-state serving,
+    // not one training run amortised arbitrarily across clients.
+    {
+        let mut client = Client::connect(addr).expect("warmup connect");
+        let status = exchange(&mut client, "POST", "/align", &body, true).expect("warmup align");
+        assert_eq!(status, 200, "warmup request failed");
+    }
+
+    let deadline = Instant::now() + args.duration;
+    let started = Instant::now();
+    let clients: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let body = body.clone();
+            let close = args.close_per_request;
+            std::thread::spawn(move || run_client(addr, body, deadline, close))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for client in clients {
+        let (mut lat, errs) = client.join().expect("client thread");
+        latencies.append(&mut lat);
+        errors += errs;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    println!(
+        "serve_load: {} clients, {:.1}s, {}",
+        args.clients,
+        args.duration.as_secs_f64(),
+        if args.close_per_request {
+            "connection-per-request"
+        } else {
+            "keep-alive"
+        }
+    );
+    println!("requests: {} ok, {errors} errors", latencies.len());
+    println!(
+        "throughput: {:.1} req/s",
+        latencies.len() as f64 / elapsed.max(1e-9)
+    );
+    println!(
+        "latency_ms: p50 {:.2} p95 {:.2} p99 {:.2}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    // Scrape the server's own counters (greppable; CI asserts on these).
+    let mut client = Client::connect(addr).expect("stats connect");
+    let response = client.request("GET", "/stats", "").expect("read stats");
+    let stats = json::parse(response.body_str()).expect("parse stats");
+    // Older daemons have no runtime section; report what exists.
+    if let Some(runtime) = stats.get("runtime") {
+        let num =
+            |v: &json::Json, key: &str| v.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
+        println!("reuse_ratio: {:.2}", num(runtime, "reuse_ratio"));
+        println!("worker_panics: {}", num(runtime, "worker_panics") as i64);
+        println!(
+            "shed_connections: {}",
+            num(runtime, "shed_connections") as i64
+        );
+    } else {
+        println!("reuse_ratio: n/a (server reports no runtime section)");
+    }
+
+    if let Some(server) = server {
+        let mut client = Client::connect(addr).expect("shutdown connect");
+        exchange(&mut client, "POST", "/shutdown", "", true).expect("shutdown");
+        server.join();
+    }
+}

@@ -4,11 +4,16 @@
 //! request for a source graph pays orbit counting + training, every repeat
 //! source skips straight to per-target fine-tuning, and concurrent
 //! same-source requests are batched onto one `align_many` fan-out.
+//! Connections are served by a bounded worker pool with HTTP keep-alive;
+//! when the hand-off queue is full, new connections are shed with
+//! `503 Retry-After`.  With `--cache-dir`, cached artifacts spill to disk
+//! and a restarted daemon warm-starts from them.
 //!
 //! ```text
 //! htc-serve [--addr 127.0.0.1:8700] [--preset fast|small|paper]
 //!           [--cache-capacity N] [--batch-window-ms N]
-//!           [--artifact-root DIR] [--threads N]
+//!           [--artifact-root DIR] [--cache-dir DIR] [--threads N]
+//!           [--workers N] [--queue-capacity N] [--keep-alive-secs N]
 //! ```
 //!
 //! The daemon prints `listening on <addr>` to stdout once the socket is
@@ -16,7 +21,7 @@
 //! `POST /shutdown`.  See README.md for the request format and a curl
 //! quickstart.
 
-use htc::serve::{Server, ServerConfig};
+use htc::serve::{runtime::MAX_WORKERS, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -30,7 +35,8 @@ fn print_usage() {
     eprintln!(
         "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper] \
          [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
-         [--threads N]"
+         [--cache-dir DIR] [--threads N] [--workers N] [--queue-capacity N] \
+         [--keep-alive-secs N]"
     );
 }
 
@@ -66,6 +72,36 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
             }
             "--artifact-root" => {
                 config.artifact_root = Some(PathBuf::from(value("--artifact-root")?));
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(value("--cache-dir")?));
+            }
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers value: {e}"))?;
+                if n == 0 || n > MAX_WORKERS {
+                    return Err(format!("--workers must be between 1 and {MAX_WORKERS}"));
+                }
+                config.workers = n;
+            }
+            "--queue-capacity" => {
+                let n: usize = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity value: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+                config.queue_capacity = n;
+            }
+            "--keep-alive-secs" => {
+                let secs: u64 = value("--keep-alive-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --keep-alive-secs value: {e}"))?;
+                if secs == 0 {
+                    return Err("--keep-alive-secs must be at least 1".into());
+                }
+                config.keep_alive = Duration::from_secs(secs);
             }
             "--threads" => {
                 let n: usize = value("--threads")?
@@ -104,6 +140,7 @@ fn main() -> ExitCode {
     }
     let preset = args.config.default_preset.clone();
     let capacity = args.config.cache_capacity;
+    let cache_dir = args.config.cache_dir.clone();
     let server = match Server::start(args.config) {
         Ok(server) => server,
         Err(e) => {
@@ -114,8 +151,12 @@ fn main() -> ExitCode {
     // Machine-scrapable; CI and scripts wait for this line.
     println!("listening on {}", server.addr());
     eprintln!(
-        "htc-serve up: preset {preset}, cache capacity {capacity}, {} worker threads \
+        "htc-serve up: preset {preset}, cache capacity {capacity}{}, {} compute threads \
          (POST /shutdown to stop)",
+        match &cache_dir {
+            Some(dir) => format!(" (durable at {})", dir.display()),
+            None => String::new(),
+        },
         htc::linalg::parallel::num_threads()
     );
     server.join();
