@@ -161,6 +161,32 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Square matmul at 128/512/1024 under every ISA this host can execute, so
+/// one bench run yields the per-ISA GFLOP/s table recorded in
+/// PERFORMANCE.md.  Benches run sequentially in one process, so forcing the
+/// global dispatch around each measurement is race-free; the default
+/// decision is restored afterwards.
+fn bench_gemm_per_isa(c: &mut Criterion) {
+    use htc_linalg::kernels::{self, Isa};
+    let mut group = c.benchmark_group("gemm_isa");
+    group.sample_size(10);
+    for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+        if !isa.supported() {
+            continue;
+        }
+        for &n in &[128usize, 512, 1024] {
+            let a = random_matrix(n, n, 10 + n as u64);
+            let b = random_matrix(n, n, 20 + n as u64);
+            kernels::force_isa(Some(isa)).expect("supported() checked above");
+            group.bench_with_input(BenchmarkId::new(isa.name(), n), &(a, b), |bch, (a, b)| {
+                bch.iter(|| a.matmul(b).unwrap());
+            });
+            kernels::force_isa(None).unwrap();
+        }
+    }
+    group.finish();
+}
+
 fn bench_lisi(c: &mut Criterion) {
     let mut group = c.benchmark_group("lisi");
     group.sample_size(10);
@@ -198,6 +224,7 @@ criterion_group!(
     bench_propagation,
     bench_training_epoch,
     bench_gemm,
+    bench_gemm_per_isa,
     bench_lisi
 );
 criterion_main!(benches);

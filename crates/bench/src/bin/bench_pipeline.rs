@@ -97,6 +97,20 @@ fn one_vs_many_json(scale: Scale) -> String {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    if let Some(isa) = args.isa {
+        // Forward `--isa` to the HTC_FORCE_ISA dispatch mechanism before the
+        // first kernel runs, so the whole benchmark uses the requested ISA.
+        if let Err(e) = htc_linalg::kernels::force_isa(Some(isa)) {
+            eprintln!("error: --isa {}: {e}", isa.name());
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "[bench_pipeline] kernel dispatch: {} (mr×nr = {}×{})",
+        htc_linalg::active_isa().name(),
+        htc_linalg::kernels::active().mr,
+        htc_linalg::kernels::active().nr,
+    );
     let config = htc_config_for_scale(args.scale);
     let out_path = args
         .out
@@ -159,10 +173,11 @@ fn main() {
     let one_vs_many = one_vs_many_json(args.scale);
 
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v2\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"datasets\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v3\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),
+        htc_linalg::active_isa().name(),
         datasets_json.join(",\n"),
         one_vs_many
     );

@@ -20,6 +20,10 @@ pub struct HarnessArgs {
     /// Output artifact path (`--out PATH`), used by the `bench_pipeline`
     /// harness mode to write `BENCH_pipeline.json`.
     pub out: Option<String>,
+    /// Kernel ISA override (`--isa scalar|avx2|avx512|neon`), forwarded to
+    /// the `HTC_FORCE_ISA` dispatch mechanism so perf runs can compare
+    /// kernels on one machine.
+    pub isa: Option<htc_linalg::Isa>,
 }
 
 impl Default for HarnessArgs {
@@ -29,11 +33,13 @@ impl Default for HarnessArgs {
             which: None,
             runs: 1,
             out: None,
+            isa: None,
         }
     }
 }
 
-/// Parses `--scale`, `--which`, `--runs` and `--out` from an argument iterator.
+/// Parses `--scale`, `--which`, `--runs`, `--out` and `--isa` from an
+/// argument iterator.
 ///
 /// Unknown arguments are ignored so binaries can add their own flags.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
@@ -52,6 +58,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
             }
             "--which" => parsed.which = iter.next(),
             "--out" => parsed.out = iter.next(),
+            "--isa" => {
+                if let Some(value) = iter.next() {
+                    match htc_linalg::Isa::parse(&value) {
+                        Some(isa) => parsed.isa = Some(isa),
+                        None => eprintln!(
+                            "warning: unknown ISA {value:?} (expected scalar|avx2|avx512|neon), \
+                             using runtime detection"
+                        ),
+                    }
+                }
+            }
             "--runs" => {
                 if let Some(value) = iter.next() {
                     parsed.runs = value.parse().unwrap_or(1).max(1);
@@ -145,16 +162,20 @@ mod tests {
     fn parse_defaults_and_flags() {
         assert_eq!(args(&[]), HarnessArgs::default());
         let a = args(&[
-            "--scale", "paper", "--which", "k", "--runs", "3", "--out", "x.json",
+            "--scale", "paper", "--which", "k", "--runs", "3", "--out", "x.json", "--isa", "scalar",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.which.as_deref(), Some("k"));
         assert_eq!(a.runs, 3);
         assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.isa, Some(htc_linalg::Isa::Scalar));
         // Unknown flags and bad values are tolerated.
-        let b = args(&["--scale", "bogus", "--runs", "x", "--other"]);
+        let b = args(&[
+            "--scale", "bogus", "--runs", "x", "--isa", "sse9", "--other",
+        ]);
         assert_eq!(b.scale, Scale::Small);
         assert_eq!(b.runs, 1);
+        assert_eq!(b.isa, None);
     }
 
     #[test]

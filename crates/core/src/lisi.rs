@@ -106,19 +106,22 @@ pub fn lisi_from_correlation(corr: &DenseMatrix, m: usize) -> DenseMatrix {
 /// Like [`lisi_from_correlation`], but writes into `out` (resized as
 /// needed).  The scale-by-2 and hubness-subtraction passes are fused into a
 /// single traversal of the correlation matrix instead of a `scale` allocation
-/// followed by a second full sweep.
+/// followed by a second full sweep; the per-row sweep is the ISA-dispatched
+/// `lisi_combine` kernel from `htc_linalg::kernels` (explicit SIMD where
+/// supported, bit-identical to the scalar loop on every ISA).
 pub fn lisi_from_correlation_into(corr: &DenseMatrix, m: usize, out: &mut DenseMatrix) {
     let m = m.max(1);
     // D_t(h_s): mean similarity of each source node to its m nearest targets.
     let hub_source = row_top_k_means(corr, m);
     // D_s(h_t): mean similarity of each target node to its m nearest sources.
     let hub_target = col_top_k_means(corr, m);
-    out.copy_from(corr);
+    // Shape only — every element of every row is written by the combine
+    // kernel below (one hub_source entry per corr row, full-width sweep).
+    out.resize_for_overwrite(corr.rows(), corr.cols());
+    let combine = htc_linalg::kernels::active().lisi_combine;
     for (r, &penalty_r) in hub_source.iter().enumerate() {
         let row = out.row_mut(r);
-        for (c, v) in row.iter_mut().enumerate() {
-            *v = 2.0 * *v - (penalty_r + hub_target[c]);
-        }
+        combine(corr.row(r), &hub_target, penalty_r, row);
     }
 }
 

@@ -1,0 +1,88 @@
+//! Cross-ISA behaviour of the full pipeline.
+//!
+//! Two contracts from the kernel-dispatch layer, checked end to end:
+//!
+//! 1. for a **fixed** ISA the pipeline is exactly reproducible — a
+//!    scalar-forced run repeated twice is bit-identical;
+//! 2. the default-dispatch run round-trips against the scalar-forced run:
+//!    bit-identically when the default ISA shares the scalar kernel's
+//!    accumulation semantics (no FMA), and within the documented
+//!    fused-multiply-add tolerance otherwise (the SIMD GEMM kernels skip one
+//!    rounding per k-step; see `htc_linalg::kernels`).
+//!
+//! Forcing an ISA mutates process-global dispatch state, so this binary
+//! holds a single test.
+
+use htc_core::{HtcAligner, HtcConfig, HtcResult};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+use htc_linalg::kernels::{self, Isa};
+
+fn run_pipeline() -> HtcResult {
+    let pair = generate_pair(&SyntheticPairConfig {
+        edge_removal: 0.0,
+        attr_flip: 0.0,
+        ..SyntheticPairConfig::tiny(14)
+    });
+    HtcAligner::new(HtcConfig::fast())
+        .align(&pair.source, &pair.target)
+        .unwrap()
+}
+
+#[test]
+fn forced_scalar_round_trips_the_pipeline_against_default_dispatch() {
+    // Default dispatch first, so the decision the process would normally
+    // make is the one being compared against.
+    let default_isa = kernels::active_isa();
+    let default_run = run_pipeline();
+
+    kernels::force_isa(Some(Isa::Scalar)).expect("scalar is always supported");
+    let scalar_run = run_pipeline();
+    let scalar_again = run_pipeline();
+    kernels::force_isa(None).unwrap();
+
+    // Contract 1: a fixed ISA reproduces bit for bit.
+    assert!(
+        scalar_run
+            .alignment()
+            .approx_eq(scalar_again.alignment(), 0.0),
+        "scalar-forced runs must be bit-identical"
+    );
+    assert_eq!(scalar_run.loss_history(), scalar_again.loss_history());
+    assert_eq!(scalar_run.trusted_counts(), scalar_again.trusted_counts());
+
+    // Contract 2: scalar vs default.
+    let default_set =
+        kernels::kernel_set(default_isa).expect("the active ISA is supported by definition");
+    if !default_set.gemm_uses_fma {
+        assert!(
+            default_run
+                .alignment()
+                .approx_eq(scalar_run.alignment(), 0.0),
+            "default ISA {default_isa:?} shares the scalar accumulation \
+             semantics and must round-trip bit-identically"
+        );
+        assert_eq!(default_run.loss_history(), scalar_run.loss_history());
+    } else {
+        // FMA changes per-step rounding, and a correlation within ~1 ulp of
+        // a trusted-pair selection threshold may legitimately flip, after
+        // which the fine-tuned outputs are not directly comparable.  So the
+        // continuous comparison is gated on the discrete decisions having
+        // agreed (which they do on the clean identical-pair instance used
+        // here whenever no threshold tie occurs); a flip downgrades the
+        // check to shape/validity so the test is not flaky on exotic
+        // hardware.
+        assert_eq!(
+            default_run.alignment().shape(),
+            scalar_run.alignment().shape()
+        );
+        assert!(default_run.alignment().data().iter().all(|v| v.is_finite()));
+        if default_run.trusted_counts() == scalar_run.trusted_counts() {
+            assert!(
+                default_run
+                    .alignment()
+                    .approx_eq(scalar_run.alignment(), 1e-6),
+                "default ISA {default_isa:?} diverged beyond the FMA tolerance"
+            );
+        }
+    }
+}

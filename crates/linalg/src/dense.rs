@@ -193,7 +193,10 @@ impl DenseMatrix {
     /// Resizes to `rows x cols` without preserving contents, reusing the
     /// existing allocation where possible.  Every element is considered
     /// uninitialised after the call; callers must overwrite the full buffer.
-    pub(crate) fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+    /// This is the cheap shape-setting step of every `*_into` kernel —
+    /// prefer it over [`DenseMatrix::copy_from`] when the copied values
+    /// would be immediately overwritten anyway.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.data.resize(rows * cols, 0.0);
@@ -833,6 +836,46 @@ mod tests {
         assert_eq!(n.get(0, 0), -1.0);
         n.scale_inplace(-1.0);
         assert_eq!(n.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_dimension_products_are_cheap_noops() {
+        // Every (m, k, n) with at least one zero dimension, through all four
+        // product variants and their `*_into` entry points.  The output must
+        // be correctly shaped and zeroed (never stale), and nothing may
+        // panic or pack out of bounds.  `out` starts dirty and mis-shaped to
+        // prove the resize-and-zero contract.
+        let dirty = || DenseMatrix::filled(3, 3, 7.5);
+
+        for &(m, k, n) in &[(0usize, 4usize, 3usize), (4, 0, 3), (4, 3, 0), (0, 0, 0)] {
+            let a = DenseMatrix::filled(m, k, 1.0);
+            let b = DenseMatrix::filled(k, n, 1.0);
+            let mut out = dirty();
+            a.matmul_into(&b, &mut out).unwrap();
+            assert_eq!(out.shape(), (m, n), "matmul ({m},{k},{n})");
+            assert!(out.data().iter().all(|&v| v == 0.0));
+
+            // A·Bᵀ: contract over k columns, rhs has n rows.
+            let bt = DenseMatrix::filled(n, k, 1.0);
+            let mut out = dirty();
+            a.matmul_transpose_into(&bt, &mut out).unwrap();
+            assert_eq!(out.shape(), (m, n), "matmul_transpose ({m},{k},{n})");
+            assert!(out.data().iter().all(|&v| v == 0.0));
+
+            // Aᵀ·B: contract over the shared row count.
+            let tall = DenseMatrix::filled(k, m, 1.0);
+            let rhs = DenseMatrix::filled(k, n, 1.0);
+            let mut out = dirty();
+            tall.transposed_matmul_into(&rhs, &mut out).unwrap();
+            assert_eq!(out.shape(), (m, n), "transposed_matmul ({m},{k},{n})");
+            assert!(out.data().iter().all(|&v| v == 0.0));
+        }
+
+        // AᵀA of a 0×d matrix is a d×d zero matrix; of an n×0 matrix, 0×0.
+        let gram_empty_rows = DenseMatrix::zeros(0, 5).gram();
+        assert_eq!(gram_empty_rows.shape(), (5, 5));
+        assert!(gram_empty_rows.data().iter().all(|&v| v == 0.0));
+        assert_eq!(DenseMatrix::zeros(5, 0).gram().shape(), (0, 0));
     }
 
     #[test]

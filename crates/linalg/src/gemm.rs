@@ -1,4 +1,4 @@
-//! Cache-blocked, register-tiled dense matrix-multiply kernels.
+//! Cache-blocked, register-tiled dense matrix-multiply driver.
 //!
 //! The three dense products the pipeline spends its time in — `A·B`, `A·Bᵀ`
 //! and `AᵀA` — all route through one blocked GEMM driver:
@@ -9,26 +9,31 @@
 //!   (contiguous `kc × NR` blocks that the micro-kernel streams from L1);
 //! * each worker packs `MR`-row micro-panels of A for its row block into a
 //!   thread-local buffer (so panel packing never allocates after warm-up);
-//! * an `MR×NR` register-tiled micro-kernel accumulates into 32 independent
-//!   scalar accumulators that LLVM autovectorizes.
+//! * an `MR×NR` register-tiled micro-kernel accumulates the tile.
+//!
+//! The micro-kernel — and with it the `MR`/`NR` tile shape the pack routines
+//! emit — is **selected at runtime** from [`crate::kernels`]: explicit
+//! AVX-512 (8×8), AVX2+FMA (4×8) or NEON (8×4) kernels where the host
+//! supports them, a scalar 4×8 fallback everywhere (see the `kernels` module
+//! docs for the dispatch and accuracy contract).  The packing closures and
+//! tail handling below are written against the dispatched tile shape, not
+//! compile-time constants.
 //!
 //! **Determinism.** For any fixed output element the contributions are added
-//! in ascending-`k` order regardless of how rows are distributed over
-//! threads, so results are bit-identical for every thread count (including
-//! `HTC_NUM_THREADS=1`).
+//! in ascending-`k` order — one (possibly fused) multiply-add per step —
+//! regardless of how rows are distributed over threads or where the element
+//! falls in a tile, so results are bit-identical for every thread count
+//! (including `HTC_NUM_THREADS=1`) under a fixed ISA.
 //!
 //! The packing closures (`a_at`, `b_at`) abstract the memory layout of the
 //! operands, which is how the same driver serves `A·B` (row-major B), `A·Bᵀ`
 //! (B indexed transposed) and `AᵀA` (both operands read from the same
 //! buffer) without materialising any transpose.
 
+use crate::kernels::{self, KernelSet, MAX_TILE};
 use crate::parallel::parallel_rows_mut;
 use std::cell::RefCell;
 
-/// Rows per micro-tile.
-pub const MR: usize = 4;
-/// Columns per micro-tile.
-pub const NR: usize = 8;
 /// Inner-dimension panel size (packed operand panels span `KC` k-steps).
 pub const KC: usize = 256;
 /// Row-block size each worker packs at a time (`MC × KC` doubles ≈ 128 KiB,
@@ -36,35 +41,19 @@ pub const KC: usize = 256;
 pub const MC: usize = 64;
 
 thread_local! {
-    /// Per-thread packed-A buffer (`≤ MC×KC` doubles).  Thread-locals on the
-    /// persistent pool workers make repeated products allocation-free.
+    /// Per-thread packed-A buffer (`≤ (MC rounded up to MR)×KC` doubles).
+    /// Thread-locals on the persistent pool workers make repeated products
+    /// allocation-free.
     static PACK_A: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
     /// Per-thread packed-B buffer; only the thread driving a product uses it.
     static PACK_B: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
-/// `MR × NR` register-tiled micro-kernel: `acc += Aᵖ·Bᵖ` over `kc` k-steps.
+/// Packs the B panel `k ∈ [kp, kp+kc), j ∈ [0, n)` into `nr`-wide slabs for
+/// the selected kernel (`nr = kernels::active().nr`).
 ///
-/// `pa` holds `MR`-interleaved A values (`pa[p*MR + i]`), `pb` holds
-/// `NR`-interleaved B values (`pb[p*NR + j]`); both are zero-padded at tile
-/// tails so the kernel never branches on shape.
-#[inline(always)]
-fn micro_kernel(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
-    for p in 0..kc {
-        let a = &pa[p * MR..p * MR + MR];
-        let b = &pb[p * NR..p * NR + NR];
-        for (i, acc_row) in acc.chunks_exact_mut(NR).enumerate() {
-            let av = a[i];
-            for (c, &bv) in acc_row.iter_mut().zip(b) {
-                *c += av * bv;
-            }
-        }
-    }
-}
-
-/// Packs the B panel `k ∈ [kp, kp+kc), j ∈ [0, n)` into `NR`-wide slabs.
-///
-/// Slab `s` occupies `pb[s*kc*NR ..][p*NR + j]`; tail columns are zero-padded.
+/// Slab `s` occupies `pb[s*kc*nr ..][p*nr + j]`; tail columns are zero-padded
+/// so the micro-kernel never branches on shape.
 #[inline]
 fn pack_b<FB: Fn(usize, usize) -> f64>(
     pb: &mut Vec<f64>,
@@ -72,17 +61,18 @@ fn pack_b<FB: Fn(usize, usize) -> f64>(
     kp: usize,
     kc: usize,
     n: usize,
+    nr: usize,
 ) {
-    let slabs = n.div_ceil(NR);
+    let slabs = n.div_ceil(nr);
     pb.clear();
-    pb.resize(slabs * kc * NR, 0.0);
+    pb.resize(slabs * kc * nr, 0.0);
     for s in 0..slabs {
-        let j0 = s * NR;
-        let nr = NR.min(n - j0);
-        let slab = &mut pb[s * kc * NR..(s + 1) * kc * NR];
+        let j0 = s * nr;
+        let cols = nr.min(n - j0);
+        let slab = &mut pb[s * kc * nr..(s + 1) * kc * nr];
         for p in 0..kc {
-            let row = &mut slab[p * NR..p * NR + NR];
-            for (j, slot) in row[..nr].iter_mut().enumerate() {
+            let row = &mut slab[p * nr..p * nr + nr];
+            for (j, slot) in row[..cols].iter_mut().enumerate() {
                 *slot = b_at(kp + p, j0 + j);
             }
             // Tail lanes stay zero from the resize above.
@@ -90,8 +80,9 @@ fn pack_b<FB: Fn(usize, usize) -> f64>(
     }
 }
 
-/// Packs the A block `i ∈ [i0, i0+mb), k ∈ [kp, kp+kc)` into `MR`-row
-/// micro-panels (`pa[micro*kc*MR ..][p*MR + i]`), zero-padding tail rows.
+/// Packs the A block `i ∈ [i0, i0+mb), k ∈ [kp, kp+kc)` into `mr`-row
+/// micro-panels (`pa[micro*kc*mr ..][p*mr + i]`) for the selected kernel,
+/// zero-padding tail rows.
 #[inline]
 fn pack_a<FA: Fn(usize, usize) -> f64>(
     pa: &mut Vec<f64>,
@@ -100,17 +91,18 @@ fn pack_a<FA: Fn(usize, usize) -> f64>(
     mb: usize,
     kp: usize,
     kc: usize,
+    mr: usize,
 ) {
-    let micros = mb.div_ceil(MR);
+    let micros = mb.div_ceil(mr);
     pa.clear();
-    pa.resize(micros * kc * MR, 0.0);
+    pa.resize(micros * kc * mr, 0.0);
     for micro in 0..micros {
-        let r0 = i0 + micro * MR;
-        let mr = MR.min(i0 + mb - r0);
-        let panel = &mut pa[micro * kc * MR..(micro + 1) * kc * MR];
+        let r0 = i0 + micro * mr;
+        let rows = mr.min(i0 + mb - r0);
+        let panel = &mut pa[micro * kc * mr..(micro + 1) * kc * mr];
         for p in 0..kc {
-            let col = &mut panel[p * MR..p * MR + MR];
-            for (i, slot) in col[..mr].iter_mut().enumerate() {
+            let col = &mut panel[p * mr..p * mr + mr];
+            for (i, slot) in col[..rows].iter_mut().enumerate() {
                 *slot = a_at(r0 + i, kp + p);
             }
         }
@@ -130,6 +122,9 @@ where
     debug_assert_eq!(out.len(), m * n);
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
+        // Zero-dimension products are a cheap no-op: the output is already
+        // correctly zeroed above, and the packing machinery (which would
+        // compute zero-sized slabs) is never entered.
         return;
     }
     // Small products skip the packing machinery entirely: below ~64k
@@ -155,14 +150,19 @@ where
         }
         return;
     }
+    // Resolve the dispatch once per product; tile geometry and the kernel
+    // stay consistent for the whole call even if a test re-forces the ISA
+    // concurrently.
+    let ks: &'static KernelSet = kernels::active();
+    let (mr, nr) = (ks.mr, ks.nr);
     PACK_B.with(|pb_cell| {
         let mut pb = pb_cell.borrow_mut();
         let mut kp = 0;
         while kp < k {
             let kc = KC.min(k - kp);
-            pack_b(&mut pb, &b_at, kp, kc, n);
+            pack_b(&mut pb, &b_at, kp, kc, n, nr);
             let pb_ref: &[f64] = &pb;
-            let slabs = n.div_ceil(NR);
+            let slabs = n.div_ceil(nr);
             parallel_rows_mut(out, n, |start_row, chunk| {
                 let rows = chunk.len() / n;
                 PACK_A.with(|pa_cell| {
@@ -172,21 +172,22 @@ where
                     let mut b0 = 0;
                     while b0 < rows {
                         let mb = MC.min(rows - b0);
-                        pack_a(&mut pa, &a_at, start_row + b0, mb, kp, kc);
-                        let micros = mb.div_ceil(MR);
+                        pack_a(&mut pa, &a_at, start_row + b0, mb, kp, kc, mr);
+                        let micros = mb.div_ceil(mr);
                         for s in 0..slabs {
-                            let j0 = s * NR;
-                            let nr = NR.min(n - j0);
-                            let slab = &pb_ref[s * kc * NR..(s + 1) * kc * NR];
+                            let j0 = s * nr;
+                            let cols = nr.min(n - j0);
+                            let slab = &pb_ref[s * kc * nr..(s + 1) * kc * nr];
                             for micro in 0..micros {
-                                let panel = &pa[micro * kc * MR..(micro + 1) * kc * MR];
-                                let mut acc = [0.0f64; MR * NR];
-                                micro_kernel(kc, panel, slab, &mut acc);
-                                let r0 = b0 + micro * MR;
-                                let mr = MR.min(mb - micro * MR);
-                                for i in 0..mr {
-                                    let row = &mut chunk[(r0 + i) * n + j0..(r0 + i) * n + j0 + nr];
-                                    for (o, &v) in row.iter_mut().zip(&acc[i * NR..i * NR + nr]) {
+                                let panel = &pa[micro * kc * mr..(micro + 1) * kc * mr];
+                                let mut acc = [0.0f64; MAX_TILE];
+                                (ks.gemm)(kc, panel, slab, &mut acc);
+                                let r0 = b0 + micro * mr;
+                                let tile_rows = mr.min(mb - micro * mr);
+                                for i in 0..tile_rows {
+                                    let row =
+                                        &mut chunk[(r0 + i) * n + j0..(r0 + i) * n + j0 + cols];
+                                    for (o, &v) in row.iter_mut().zip(&acc[i * nr..i * nr + cols]) {
                                         *o += v;
                                     }
                                 }
@@ -236,14 +237,16 @@ mod tests {
 
     #[test]
     fn blocked_matches_reference_on_odd_shapes() {
+        // Shapes straddle every block boundary for every ISA's tile shape
+        // (mr ≤ 8, nr ≤ 8, MC = 64, KC = 256).
         for &(m, k, n) in &[
             (1, 1, 1),
             (1, 7, 1),
             (3, 300, 5),
-            (MR, KC, NR),
-            (MR + 1, KC + 1, NR + 1),
+            (8, KC, 8),
+            (9, KC + 1, 9),
             (65, 17, 9),
-            (2 * MC + 3, 2 * KC + 5, 3 * NR + 7),
+            (2 * MC + 3, 2 * KC + 5, 31),
         ] {
             let a = dense(m, k, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
             let b = dense(k, n, |r, c| ((r * 11 + c * 3) % 17) as f64 - 8.0);
@@ -278,5 +281,6 @@ mod tests {
         assert!(out.iter().all(|&v| v == 0.0));
         let mut empty: Vec<f64> = Vec::new();
         gemm_into(0, 3, 4, |_, _| 1.0, |_, _| 1.0, &mut empty);
+        gemm_into(3, 0, 4, |_, _| 1.0, |_, _| 1.0, &mut empty);
     }
 }

@@ -13,6 +13,9 @@
 //!   graphlet-orbit and Laplacian matrices, with sparse×dense products;
 //! * [`ops`] — alignment-specific helpers (Pearson row normalisation, top-k
 //!   selection, row arg-max, mutual arg-max pairs);
+//! * [`kernels`] — explicit SIMD micro-kernels (AVX-512 / AVX2+FMA / NEON)
+//!   behind runtime ISA dispatch, with a scalar fallback and an
+//!   `HTC_FORCE_ISA` override ([`active_isa`] reports the decision);
 //! * [`parallel`] — a tiny chunked parallel-for used by the heavier kernels.
 //!
 //! All matrices are `f64`: the problem sizes in the paper (≤ ~10⁴ nodes) fit
@@ -22,12 +25,14 @@
 pub mod dense;
 pub mod error;
 pub mod gemm;
+pub mod kernels;
 pub mod ops;
 pub mod parallel;
 pub mod sparse;
 
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
+pub use kernels::{active_isa, Isa};
 pub use sparse::CsrMatrix;
 
 /// Crate-wide result alias.

@@ -1,0 +1,43 @@
+//! `HTC_FORCE_ISA` environment-variable handling.
+//!
+//! This lives in its own integration-test binary because the env override is
+//! read exactly once, lazily, on the first dispatch of the process: as the
+//! only test here, nothing races the env mutation or observes a dispatch
+//! made before the variable was set.
+
+use htc_linalg::kernels::{active_isa, Isa};
+use htc_linalg::DenseMatrix;
+
+#[test]
+fn env_override_pins_the_dispatch_to_scalar() {
+    std::env::set_var("HTC_FORCE_ISA", "scalar");
+    // First dispatch of the process happens here and must honour the env var.
+    assert_eq!(active_isa(), Isa::Scalar);
+    // A product large enough for the packed path runs on the scalar kernel
+    // and matches the naive reference exactly (same mul+add order).
+    let n = 60;
+    let a = DenseMatrix::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i * 31 % 17) as f64 - 8.0) * 0.25)
+            .collect(),
+    )
+    .unwrap();
+    let b = DenseMatrix::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i * 13 % 23) as f64 - 11.0) * 0.125)
+            .collect(),
+    )
+    .unwrap();
+    let fast = a.matmul(&b).unwrap();
+    let mut reference = vec![0.0; n * n];
+    htc_linalg::gemm::reference_matmul(n, n, n, a.data(), b.data(), &mut reference);
+    assert_eq!(fast.data(), &reference[..]);
+    std::env::remove_var("HTC_FORCE_ISA");
+    // The decision is cached for the process lifetime, mirroring how the
+    // thread pool fixes its worker count at first use.
+    assert_eq!(active_isa(), Isa::Scalar);
+}

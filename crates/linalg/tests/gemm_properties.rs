@@ -1,12 +1,15 @@
 //! Property tests pinning the blocked GEMM kernels to naive references.
 //!
 //! The cache-blocked kernels in `htc_linalg::gemm` re-associate nothing: for
-//! any output element the k-contributions are added in ascending order, so
-//! within one `KC` panel they are bit-identical to the naive triple loop and
-//! across panels they differ only by partial-sum grouping.  These tests assert
-//! agreement to 1e-12 (relative) across random shapes and the edge shapes the
-//! blocking logic has to get right: 1×k, k×1, empty dimensions, and sizes
-//! that are not multiples of the MR/NR/MC/KC block parameters.
+//! any output element the k-contributions are applied in ascending order,
+//! one multiply-add per step.  A dispatched SIMD kernel may fuse each
+//! multiply-add (skipping one rounding per step versus the naive loop), so
+//! these tests assert agreement to 1e-12 (relative) — orders of magnitude
+//! above the FMA bound for the shapes involved — across random shapes and
+//! the edge shapes the blocking logic has to get right: 1×k, k×1, empty
+//! dimensions, and sizes that are not multiples of any ISA's MR/NR tile
+//! shape or the MC/KC block parameters.  (`tests/isa_dispatch.rs` pins the
+//! SIMD-vs-scalar difference to the exact per-element FMA bound.)
 
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
@@ -66,8 +69,9 @@ fn assert_close(fast: &DenseMatrix, reference: &DenseMatrix, label: &str) {
     }
 }
 
-/// Edge shapes: degenerate and non-block-multiple sizes.  (MR=4, NR=8, MC=64,
-/// KC=256 — every shape below straddles at least one of those boundaries.)
+/// Edge shapes: degenerate and non-block-multiple sizes.  (MR ∈ {4, 8},
+/// NR ∈ {4, 8} depending on the dispatched ISA, MC=64, KC=256 — every shape
+/// below straddles at least one of those boundaries.)
 const EDGE_SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (1, 300, 1),   // 1×k · k×1, k crosses the KC=256 panel boundary

@@ -77,6 +77,12 @@ impl Activation {
     ///
     /// Replaces the two-pass `derivative` + `hadamard` sequence (which
     /// materialised the derivative matrix) on the training hot path.
+    /// `Identity` and `Relu` route through the ISA-dispatched kernels in
+    /// `htc_linalg::kernels` (a copy and a masked select — bit-identical to
+    /// the scalar loop on every ISA); `Tanh` and `Sigmoid` stay on the scalar
+    /// path because their derivatives are transcendental (`tanh`/`exp` have
+    /// no vector form in core Rust) and a polynomial approximation would
+    /// break the cross-ISA determinism contract.
     ///
     /// # Panics
     /// Panics if the two input shapes differ.
@@ -91,9 +97,24 @@ impl Activation {
             grad_out.shape(),
             "pre-activation and output gradient must have the same shape"
         );
-        dz.copy_from(grad_out);
-        for (d, &z) in dz.data_mut().iter_mut().zip(pre_activation.data()) {
-            *d *= self.derivative_scalar(z);
+        match self {
+            Activation::Identity => dz.copy_from(grad_out),
+            Activation::Relu => {
+                // Shape only — the kernel writes every element of dz.
+                let (rows, cols) = grad_out.shape();
+                dz.resize_for_overwrite(rows, cols);
+                (htc_linalg::kernels::active().relu_backprop)(
+                    pre_activation.data(),
+                    grad_out.data(),
+                    dz.data_mut(),
+                );
+            }
+            Activation::Tanh | Activation::Sigmoid => {
+                dz.copy_from(grad_out);
+                for (d, &z) in dz.data_mut().iter_mut().zip(pre_activation.data()) {
+                    *d *= self.derivative_scalar(z);
+                }
+            }
         }
     }
 }

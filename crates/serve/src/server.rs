@@ -507,6 +507,10 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         (
             "runtime",
             json::obj(vec![
+                // The kernel ISA the dispatcher selected (or was forced to
+                // via HTC_FORCE_ISA) — the /stats view of the same decision
+                // `linalg::active_isa()` reports.
+                ("active_isa", json::str(htc_linalg::active_isa().name())),
                 ("workers", json::num(shared.config.workers as f64)),
                 (
                     "active_connections",

@@ -111,6 +111,16 @@ fn server_round_trip_cache_batching_and_hostile_artifacts() {
     );
     assert_eq!(get_num(&stats, &["cache", "misses"]), 1.0);
     assert!(get_num(&stats, &["cache", "hit_rate"]) > 0.5);
+    // The kernel dispatch decision is reported alongside the runtime gauges.
+    assert_eq!(
+        stats
+            .get("runtime")
+            .and_then(|r| r.get("active_isa"))
+            .and_then(json::Json::as_str),
+        Some(htc_linalg::active_isa().name()),
+        "{}",
+        stats.render()
+    );
     let shared_stages = stats.get("shared_stages").unwrap().as_arr().unwrap();
     let training = shared_stages
         .iter()
