@@ -86,8 +86,8 @@ pub use config::{HtcConfig, TopologyMode};
 pub use error::HtcError;
 pub use pipeline::{HtcAligner, HtcResult};
 pub use session::{
-    graph_fingerprint, AlignmentSession, OrbitRefinements, PairAlignment, ProgressObserver,
-    Propagators, TopologyViews, TrainedEncoder,
+    graph_fingerprint, AlignmentSession, DeadlineObserver, OrbitRefinements, PairAlignment,
+    ProgressObserver, Propagators, TopologyViews, TrainedEncoder,
 };
 pub use variants::HtcVariant;
 

@@ -99,6 +99,64 @@ pub trait ProgressObserver: Send + Sync {
     fn on_target_end(&self, _index: usize, _total: usize) {}
 }
 
+/// A [`ProgressObserver`] that cancels the run once a wall-clock deadline
+/// passes — the cooperative time-budget primitive behind `htc-serve`'s
+/// per-request deadlines, usable by any caller that needs a bounded
+/// alignment.
+///
+/// Every cancellation point (stage start, epoch end, target start) compares
+/// `Instant::now()` against the deadline; the first check past it vetoes the
+/// run, which surfaces as [`HtcError::Cancelled`].  Whether the veto actually
+/// fired is latched in [`expired`](Self::expired), so a caller sharing the
+/// session with other cancellation sources can tell a deadline expiry apart
+/// from an external cancel and report it differently (a `504` rather than a
+/// `503`, say).  Cancellation never corrupts the session: artifacts publish
+/// only on stage completion, so a timed-out session re-serves bit-identically.
+#[derive(Debug)]
+pub struct DeadlineObserver {
+    deadline: Instant,
+    expired: std::sync::atomic::AtomicBool,
+}
+
+impl DeadlineObserver {
+    pub fn new(deadline: Instant) -> Self {
+        Self {
+            deadline,
+            expired: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// True once any cancellation point observed the deadline in the past
+    /// (set even if the run finished before the veto could take effect).
+    pub fn expired(&self) -> bool {
+        self.expired.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn check(&self) -> bool {
+        if Instant::now() >= self.deadline {
+            self.expired
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+impl ProgressObserver for DeadlineObserver {
+    fn on_stage_start(&self, _stage: &str) -> bool {
+        self.check()
+    }
+
+    fn on_epoch(&self, _epoch: usize, _total_epochs: usize, _loss: f64) -> bool {
+        self.check()
+    }
+
+    fn on_target_start(&self, _index: usize, _total: usize) -> bool {
+        self.check()
+    }
+}
+
 /// Stage-1 artifact: the topological views of **one** graph.
 ///
 /// For the paper's method this is the set of graphlet orbit matrices (the

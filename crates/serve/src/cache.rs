@@ -38,6 +38,7 @@
 //! session's fingerprint/shape validation decides, exactly as it does for
 //! request-named artifact paths.
 
+use crate::fault::{FaultPlan, WriteFault};
 use htc_core::{HtcError, TopologyViews, TrainedEncoder};
 use htc_metrics::Counter;
 use std::path::{Path, PathBuf};
@@ -219,6 +220,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// version-guarded `HTCB` header rejects files from an incompatible build.
 pub struct DurableStore {
     dir: PathBuf,
+    /// Deterministic fault schedule for chaos testing (see [`FaultPlan`]);
+    /// `None` in normal operation.
+    fault: Option<Arc<FaultPlan>>,
     /// Artifacts written to disk.
     pub spills: Counter,
     /// Artifacts successfully reloaded into the LRU after a restart.
@@ -234,10 +238,18 @@ impl DurableStore {
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
+            fault: None,
             spills: Counter::new(),
             reloads: Counter::new(),
             reload_errors: Counter::new(),
         })
+    }
+
+    /// Attaches a fault-injection plan: spills and reloads consult the plan's
+    /// store sites before touching disk.
+    pub fn with_faults(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = plan;
+        self
     }
 
     pub fn dir(&self) -> &Path {
@@ -261,6 +273,16 @@ impl DurableStore {
         path: &Path,
         save: impl FnOnce(&Path) -> htc_core::Result<()>,
     ) -> htc_core::Result<()> {
+        let write_fault = self
+            .fault
+            .as_ref()
+            .map_or(WriteFault::None, |plan| plan.store_write_fault());
+        if write_fault == WriteFault::Fail {
+            return Err(HtcError::Io(format!(
+                "injected fault: spill of {} failed",
+                path.display()
+            )));
+        }
         // Append (don't replace) the extension: `<key>.views` and
         // `<key>.encoder` must not share one `<key>.tmp`, or two concurrent
         // spills for the same key would interleave and rename a torn file
@@ -273,6 +295,15 @@ impl DurableStore {
             let _ = std::fs::remove_file(&tmp);
             HtcError::Io(format!("renaming {} into place: {e}", tmp.display()))
         })?;
+        if let WriteFault::Torn(at) = write_fault {
+            // Truncate the *landed* file: the torn artifact the atomic
+            // temp+rename protocol normally makes impossible, so the chaos
+            // suite can prove the reload path discards it and self-heals.
+            let file = std::fs::OpenOptions::new().write(true).open(path);
+            if let Ok(file) = file {
+                let _ = file.set_len(at as u64);
+            }
+        }
         self.spills.inc();
         Ok(())
     }
@@ -310,6 +341,12 @@ impl DurableStore {
 
     fn reload<T>(&self, path: &Path, load: impl FnOnce(&Path) -> htc_core::Result<T>) -> Option<T> {
         if !path.exists() {
+            return None;
+        }
+        if self.fault.as_ref().is_some_and(|p| p.store_read_fault()) {
+            // A *transient* read failure: the file is fine, this read is not.
+            // Keep the file so the next probe (or a restart) can succeed —
+            // unlike the decode-failure branch below, which deletes.
             return None;
         }
         match load(path) {

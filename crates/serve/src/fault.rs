@@ -1,0 +1,297 @@
+//! Deterministic fault injection for chaos testing the daemon's I/O edges.
+//!
+//! A [`FaultPlan`] schedules failures at the boundaries where a real
+//! deployment actually breaks — durable-store reads and writes, torn spill
+//! files, slow sockets, worker panics — without any randomness at run time:
+//! each injection site counts its operations and fires on a fixed residue of
+//! that count, with the residue (the *phase*) derived from the plan's seed.
+//! Two runs with the same plan and the same per-site operation counts inject
+//! exactly the same faults, which is what lets the chaos suite
+//! (`crates/serve/tests/chaos.rs`) assert bit-identical recovery instead of
+//! "usually recovers".
+//!
+//! Plans come from `--fault-plan` on the daemon CLI or the `HTC_FAULT`
+//! environment variable (flag wins).  An invalid spec warns **once** on
+//! stderr and is then ignored — the same contract as `HTC_NUM_THREADS` — so
+//! a typo'd plan cannot silently run a production daemon with faults half
+//! configured.
+//!
+//! ## Spec grammar
+//!
+//! Comma-separated `key=value` items:
+//!
+//! ```text
+//! seed=7,store_write_err=5,store_read_err=4,torn_write=3@64,slow_socket=2@50,panic=9
+//! ```
+//!
+//! * `seed=N` — phase seed (default 0).
+//! * `store_read_err=N` — every Nth durable-store artifact read fails.
+//! * `store_write_err=N` — every Nth durable-store spill fails outright.
+//! * `torn_write=N@B` — every Nth spill is truncated at byte `B` **after**
+//!   landing (simulating a torn file the atomic rename normally prevents);
+//!   `@B` defaults to 16.
+//! * `slow_socket=N@MS` — every Nth request stalls `MS` milliseconds before
+//!   being served; `@MS` defaults to 50.
+//! * `panic=N` — every Nth align request panics inside the handler.
+
+use htc_metrics::Counter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What an injected durable-store write should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Fail the spill with an I/O error.
+    Fail,
+    /// Let the spill land, then truncate the file at this byte offset.
+    Torn(usize),
+}
+
+/// One injection site: a period, a seed-derived phase, and an op counter.
+#[derive(Debug, Default)]
+struct Site {
+    /// Fire every `period`th operation; 0 disables the site.
+    period: u64,
+    phase: u64,
+    ops: AtomicU64,
+}
+
+impl Site {
+    fn new(period: u64, seed: u64, tag: &str) -> Self {
+        let phase = if period == 0 {
+            0
+        } else {
+            // FNV-1a over the seed bytes and the site tag: different sites
+            // fire on different residues of the same seed, and changing the
+            // seed shifts every site's schedule deterministically.
+            const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = FNV_OFFSET;
+            for b in seed.to_le_bytes().iter().chain(tag.as_bytes()) {
+                h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+            }
+            h % period
+        };
+        Self {
+            period,
+            phase,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one operation; true when this one is scheduled to fail.  The
+    /// fetch-and-add makes the *number* of injections over N operations exact
+    /// under concurrency (which operation fails may vary with interleaving,
+    /// but tests that drive the site sequentially get full determinism).
+    fn fire(&self) -> bool {
+        if self.period == 0 {
+            return false;
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        n % self.period == self.phase
+    }
+}
+
+/// A parsed, seeded fault-injection schedule.  Shared (`Arc`) between the
+/// server, its durable store, and `/stats`.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    store_read: Site,
+    store_write: Site,
+    torn_write: Site,
+    torn_write_at: usize,
+    slow_socket: Site,
+    slow_socket_ms: u64,
+    panic: Site,
+    /// Total faults injected so far (surfaced as `faults_injected` in
+    /// `/stats`).
+    pub injected: Counter,
+}
+
+impl FaultPlan {
+    /// Parses a plan spec (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut store_read = 0u64;
+        let mut store_write = 0u64;
+        let mut torn = (0u64, 16usize);
+        let mut slow = (0u64, 50u64);
+        let mut panic_every = 0u64;
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault item {item:?} is not key=value"))?;
+            let parse_u64 = |what: &str, v: &str| -> Result<u64, String> {
+                v.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {what} value {v:?}: {e}"))
+            };
+            // `N@X` splits a period from its site parameter.
+            let (period_str, param) = match value.split_once('@') {
+                Some((n, p)) => (n, Some(p)),
+                None => (value, None),
+            };
+            match key.trim() {
+                "seed" => seed = parse_u64("seed", value)?,
+                "store_read_err" => store_read = parse_u64("store_read_err", value)?,
+                "store_write_err" => store_write = parse_u64("store_write_err", value)?,
+                "torn_write" => {
+                    torn.0 = parse_u64("torn_write", period_str)?;
+                    if let Some(p) = param {
+                        torn.1 = parse_u64("torn_write offset", p)? as usize;
+                    }
+                }
+                "slow_socket" => {
+                    slow.0 = parse_u64("slow_socket", period_str)?;
+                    if let Some(p) = param {
+                        slow.1 = parse_u64("slow_socket ms", p)?;
+                    }
+                }
+                "panic" => panic_every = parse_u64("panic", value)?,
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(FaultPlan {
+            seed,
+            store_read: Site::new(store_read, seed, "store_read"),
+            store_write: Site::new(store_write, seed, "store_write"),
+            torn_write: Site::new(torn.0, seed, "torn_write"),
+            torn_write_at: torn.1,
+            slow_socket: Site::new(slow.0, seed, "slow_socket"),
+            slow_socket_ms: slow.1,
+            panic: Site::new(panic_every, seed, "panic"),
+            injected: Counter::new(),
+        })
+    }
+
+    /// Reads `HTC_FAULT` from the environment.  An invalid spec warns once on
+    /// stderr and returns `None` — the daemon runs fault-free rather than
+    /// with a half-parsed plan.
+    pub fn from_env() -> Option<Arc<FaultPlan>> {
+        let value = std::env::var("HTC_FAULT").ok()?;
+        match FaultPlan::parse(&value) {
+            Ok(plan) => Some(Arc::new(plan)),
+            Err(msg) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!("warning: HTC_FAULT={value:?} ignored: {msg}");
+                });
+                None
+            }
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consult before a durable-store artifact read.
+    pub fn store_read_fault(&self) -> bool {
+        let fire = self.store_read.fire();
+        if fire {
+            self.injected.inc();
+        }
+        fire
+    }
+
+    /// Consult before a durable-store spill.
+    pub fn store_write_fault(&self) -> WriteFault {
+        // The torn-write site is consulted first so plans that set both see
+        // torn files *and* hard failures on disjoint schedules.
+        if self.torn_write.fire() {
+            self.injected.inc();
+            return WriteFault::Torn(self.torn_write_at);
+        }
+        if self.store_write.fire() {
+            self.injected.inc();
+            return WriteFault::Fail;
+        }
+        WriteFault::None
+    }
+
+    /// Consult once per request; `Some(d)` means stall the socket for `d`.
+    pub fn socket_delay(&self) -> Option<Duration> {
+        if self.slow_socket.fire() {
+            self.injected.inc();
+            Some(Duration::from_millis(self.slow_socket_ms))
+        } else {
+            None
+        }
+    }
+
+    /// Consult once per align request; true means the handler should panic
+    /// (exercising the worker-pool panic recovery path).
+    pub fn should_panic(&self) -> bool {
+        let fire = self.panic.fire();
+        if fire {
+            self.injected.inc();
+        }
+        fire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let plan = FaultPlan::parse(
+            "seed=7, store_write_err=5,store_read_err=4,torn_write=3@64,slow_socket=2@25,panic=9",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.store_write.period, 5);
+        assert_eq!(plan.store_read.period, 4);
+        assert_eq!(plan.torn_write.period, 3);
+        assert_eq!(plan.torn_write_at, 64);
+        assert_eq!(plan.slow_socket.period, 2);
+        assert_eq!(plan.slow_socket_ms, 25);
+        assert_eq!(plan.panic.period, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["store_write_err", "nope=3", "panic=x", "torn_write=2@zz"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // An empty spec is a valid no-op plan.
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan.store_write_fault(), WriteFault::None);
+        assert!(!plan.should_panic());
+    }
+
+    #[test]
+    fn injection_counts_are_exact_and_seed_shifts_the_phase() {
+        let plan = FaultPlan::parse("seed=1,panic=3").unwrap();
+        let fired: Vec<bool> = (0..9).map(|_| plan.should_panic()).collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 3, "{fired:?}");
+        assert_eq!(plan.injected.get(), 3);
+
+        // Same period, different seed: same count, (very likely) shifted
+        // schedule.  Replays of the same seed match exactly.
+        let replay = FaultPlan::parse("seed=1,panic=3").unwrap();
+        let refired: Vec<bool> = (0..9).map(|_| replay.should_panic()).collect();
+        assert_eq!(fired, refired, "same seed replays identically");
+    }
+
+    #[test]
+    fn torn_and_failed_writes_share_the_write_site_schedule() {
+        let plan = FaultPlan::parse("seed=3,store_write_err=2,torn_write=3@8").unwrap();
+        let outcomes: Vec<WriteFault> = (0..12).map(|_| plan.store_write_fault()).collect();
+        let torn = outcomes
+            .iter()
+            .filter(|f| matches!(f, WriteFault::Torn(8)))
+            .count();
+        let failed = outcomes.iter().filter(|&&f| f == WriteFault::Fail).count();
+        assert_eq!(torn, 4, "{outcomes:?}");
+        // Hard failures fire on their own site's count, minus overlaps where
+        // the torn site already claimed the operation.
+        assert!(failed >= 2, "{outcomes:?}");
+        assert_eq!(plan.injected.get() as usize, torn + failed);
+    }
+}

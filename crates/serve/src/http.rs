@@ -63,6 +63,21 @@ pub struct Request {
     /// Whether the connection should stay open after the response, per the
     /// request's HTTP version and `Connection` header.
     pub keep_alive: bool,
+    /// All request headers — lower-cased names with trimmed values, in
+    /// arrival order.  The server layer reads its extension headers
+    /// (`X-HTC-Deadline-Ms`, `X-HTC-Client`) from here.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A request-level failure that should turn into an HTTP error response.
@@ -246,6 +261,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
     let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
     let mut content_length: usize = 0;
     let mut keep_alive = !http_10;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let line = read_line_limited(reader, head_budget, deadline, "headers")?;
         head_budget = head_budget.saturating_sub(line.len());
@@ -267,6 +283,9 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
                     keep_alive = true;
                 }
             }
+            // Retained generically (bounded by the head budget above) so the
+            // server layer can read its extension headers.
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -293,6 +312,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
         path,
         body,
         keep_alive,
+        headers,
     })
 }
 
@@ -306,9 +326,11 @@ fn status_text(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Response",
     }
 }
@@ -328,8 +350,25 @@ pub fn write_json_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_json_response_with(stream, status, body, keep_alive, None)
+}
+
+/// [`write_json_response`] with an optional `Retry-After` header (seconds) —
+/// the backpressure responses (`429`/`503`/`504`) carry their backoff hint in
+/// both the header and the structured JSON body.
+pub fn write_json_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> std::io::Result<()> {
+    let retry_after = match retry_after_secs {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n{body}",
         status_text(status),
         body.len(),
         connection_header(keep_alive),
@@ -435,15 +474,23 @@ impl std::fmt::Write for ChunkedWriter<'_> {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Overall budget for reading one whole response; see
+    /// [`set_response_deadline`](Self::set_response_deadline).
+    response_deadline: Duration,
 }
+
+/// Default overall budget for reading one response (status line through the
+/// last body byte).  Matches the old per-read socket timeout, but as a cap on
+/// the *whole* response: a server trickling one byte per 59 s can no longer
+/// hang a client indefinitely.
+const CLIENT_RESPONSE_DEADLINE: Duration = Duration::from_secs(60);
 
 impl Client {
     /// Connects with `TCP_NODELAY` (a second segment on a warm connection
-    /// would stall ~40ms behind Nagle + delayed ACK) and a 60 s read
-    /// timeout.
+    /// would stall ~40ms behind Nagle + delayed ACK); reads are bounded by
+    /// the response deadline (default 60 s per response).
     pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
-        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
         Client::from_stream(writer)
     }
 
@@ -451,8 +498,21 @@ impl Client {
     /// had a free worker, to observe queueing).
     pub fn from_stream(writer: TcpStream) -> std::io::Result<Client> {
         writer.set_nodelay(true).ok();
+        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Ok(Client {
+            writer,
+            reader,
+            response_deadline: CLIENT_RESPONSE_DEADLINE,
+        })
+    }
+
+    /// Caps how long [`read`](Self::read) may spend on one whole response.
+    /// Every read along the way is bounded by the remaining budget, so a
+    /// stalled — or byte-trickling — server fails the exchange within the
+    /// deadline instead of hanging the client forever.
+    pub fn set_response_deadline(&mut self, deadline: Duration) {
+        self.response_deadline = deadline;
     }
 
     /// Writes one request (single write; keep-alive unless `close`).
@@ -463,10 +523,27 @@ impl Client {
         body: &str,
         close: bool,
     ) -> std::io::Result<()> {
+        self.send_with_headers(method, path, body, close, &[])
+    }
+
+    /// [`send_with`](Self::send_with) plus extra request headers (e.g. the
+    /// `X-HTC-Deadline-Ms` budget or the `X-HTC-Client` identity).
+    pub fn send_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        close: bool,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<()> {
         let connection = if close { "close" } else { "keep-alive" };
+        let mut extra = String::new();
+        for (name, value) in headers {
+            extra.push_str(&format!("{name}: {value}\r\n"));
+        }
         let request = format!(
             "{method} {path} HTTP/1.1\r\nHost: client\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+             Content-Length: {}\r\n{extra}Connection: {connection}\r\n\r\n{body}",
             body.len()
         );
         self.writer.write_all(request.as_bytes())
@@ -477,9 +554,10 @@ impl Client {
         self.send_with(method, path, body, false)
     }
 
-    /// Reads the next response off the persistent connection.
+    /// Reads the next response off the persistent connection, bounded by the
+    /// response deadline.
     pub fn read(&mut self) -> Result<ClientResponse, String> {
-        read_client_response(&mut self.reader)
+        read_client_response_deadline(&mut self.reader, Instant::now() + self.response_deadline)
     }
 
     /// One full exchange on the persistent connection.
@@ -539,18 +617,105 @@ impl ClientResponse {
 
 /// Reads one HTTP response from a persistent connection: status line,
 /// headers, then a `Content-Length` or `Transfer-Encoding: chunked` body.
-///
-/// This is the **client** half of the protocol — used by the keep-alive
-/// clients in `examples/serve_client.rs`, the `serve_load` load generator and
-/// the integration tests, which cannot simply `read_to_string` any more now
-/// that the server leaves connections open.
+/// Bounded by the default response deadline; see
+/// [`read_client_response_deadline`] for an explicit budget.
 pub fn read_client_response(reader: &mut BufReader<TcpStream>) -> Result<ClientResponse, String> {
+    read_client_response_deadline(reader, Instant::now() + CLIENT_RESPONSE_DEADLINE)
+}
+
+/// Arms the socket read timeout with the time left until `deadline` (capped
+/// at 1 s so each wait re-checks the budget promptly); a spent budget is the
+/// deadline error.
+fn arm_client_timeout(reader: &BufReader<TcpStream>, deadline: Instant) -> Result<(), String> {
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or("response deadline exceeded")?;
+    reader
+        .get_ref()
+        .set_read_timeout(Some(remaining.min(Duration::from_secs(1))))
+        .map_err(|e| format!("socket: {e}"))
+}
+
+fn client_read_error(e: std::io::Error, deadline: Instant) -> String {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) && Instant::now() >= deadline
+    {
+        "response deadline exceeded".into()
+    } else {
+        format!("reading response: {e}")
+    }
+}
+
+/// Fills `buf` completely in deadline-checked steps — the client-side twin of
+/// the server's drip-feed defence: a peer trickling body bytes exhausts the
+/// response deadline instead of resetting a per-read timeout forever.
+fn read_exact_deadline(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), String> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        arm_client_timeout(reader, deadline)?;
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err("connection closed mid-response".into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(client_read_error(e, deadline)),
+        }
+    }
+    Ok(())
+}
+
+/// [`read_client_response`] with an explicit overall deadline covering the
+/// whole response — status line, headers and body.  This is the client half
+/// of the protocol, used by the keep-alive clients in
+/// `examples/serve_client.rs`, the `serve_load` generator and the
+/// integration tests.
+pub fn read_client_response_deadline(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<ClientResponse, String> {
+    // Collected via fill_buf/consume, not read_line: read_line discards the
+    // bytes it already appended when a read times out, so a line arriving in
+    // trickles would silently lose its prefix between attempts.
     let line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => Err("connection closed".into()),
-            Ok(_) => Ok(line),
-            Err(e) => Err(format!("reading response: {e}")),
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            arm_client_timeout(reader, deadline)?;
+            let buf = match reader.fill_buf() {
+                Ok([]) => return Err("connection closed".into()),
+                Ok(buf) => buf,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(client_read_error(e, deadline)),
+            };
+            let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => (&buf[..=pos], true),
+                None => (buf, false),
+            };
+            if line.len() + chunk.len() > MAX_HEAD_BYTES {
+                return Err("response line exceeds the head budget".into());
+            }
+            line.extend_from_slice(chunk);
+            let consumed = chunk.len();
+            reader.consume(consumed);
+            if done {
+                return String::from_utf8(line).map_err(|_| "response is not UTF-8".into());
+            }
         }
     };
     let status_line = line(reader)?;
@@ -585,9 +750,7 @@ pub fn read_client_response(reader: &mut BufReader<TcpStream>) -> Result<ClientR
             let size = usize::from_str_radix(size_line.trim(), 16)
                 .map_err(|_| format!("bad chunk size {size_line:?}"))?;
             let mut chunk = vec![0u8; size + 2]; // chunk + trailing CRLF
-            reader
-                .read_exact(&mut chunk)
-                .map_err(|e| format!("reading chunk: {e}"))?;
+            read_exact_deadline(reader, &mut chunk, deadline)?;
             if size == 0 {
                 break;
             }
@@ -600,9 +763,7 @@ pub fn read_client_response(reader: &mut BufReader<TcpStream>) -> Result<ClientR
             .and_then(|v| v.parse().ok())
             .ok_or("response has neither Content-Length nor chunked encoding")?;
         body = vec![0u8; length];
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| format!("reading body: {e}"))?;
+        read_exact_deadline(reader, &mut body, deadline)?;
     }
     Ok(ClientResponse { body, ..response })
 }

@@ -36,13 +36,29 @@
 //!   [`StageTimer`](htc_metrics::StageTimer) aggregates.
 //! * `POST /shutdown` — clean stop: the acknowledgement flushes, then the
 //!   worker pool drains and joins deterministically.
+//!
+//! ## Request-lifecycle hardening
+//!
+//! Every request can carry a time budget (`--request-deadline-secs` default,
+//! `X-HTC-Deadline-Ms` header override) that covers queue wait *and*
+//! compute; an over-budget request gets a structured `504` through the
+//! cooperative-cancellation path and the session stays reusable.  [`fair`]
+//! adds per-client token buckets (`429 Retry-After`) and per-source
+//! weighted fair scheduling; a pressure ladder over queue occupancy shrinks
+//! the batch window and sheds cold starts before the queue overflows.
+//! [`fault`] provides seeded deterministic fault injection (`--fault-plan`
+//! / `HTC_FAULT`) for the chaos suite.
 
 pub mod cache;
+pub mod fair;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod runtime;
 pub mod server;
 
 pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats, DurableStore};
+pub use fair::{FairnessConfig, PeerLimiter, SourceGate};
+pub use fault::{FaultPlan, WriteFault};
 pub use runtime::{default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics};
 pub use server::{ServeError, Server, ServerConfig};

@@ -33,7 +33,7 @@ use std::io::Read;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on the worker pool, mirroring the compute pool's cap.
 pub const MAX_WORKERS: usize = 256;
@@ -91,6 +91,15 @@ pub struct RuntimeMetrics {
     pub shed_connections: Counter,
     /// Request handlers that panicked (caught at the connection boundary).
     pub worker_panics: Counter,
+    /// Requests answered `504` because their deadline (which covers queue
+    /// wait, not just compute) expired.
+    pub deadline_expired: Counter,
+    /// Requests answered `429` by the per-peer token bucket or the per-source
+    /// fair-share gate.
+    pub rate_limited: Counter,
+    /// Requests answered degraded (`503`) by the pressure ladder instead of
+    /// paying a cold start.
+    pub degraded_responses: Counter,
 }
 
 impl RuntimeMetrics {
@@ -148,7 +157,9 @@ struct Queue {
 }
 
 struct QueueState {
-    connections: VecDeque<TcpStream>,
+    /// Each queued connection carries its accept timestamp, so the protocol
+    /// layer can charge queue wait against the request deadline.
+    connections: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -173,20 +184,21 @@ impl Queue {
         if state.closed || state.connections.len() >= capacity {
             return Err(stream);
         }
-        state.connections.push_back(stream);
+        state.connections.push_back((stream, Instant::now()));
         depth.inc();
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once the queue is closed
-    /// **and** drained — the worker's signal to exit.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Blocks for the next connection (with its accept timestamp); `None`
+    /// once the queue is closed **and** drained — the worker's signal to
+    /// exit.
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(stream) = state.connections.pop_front() {
-                return Some(stream);
+            if let Some(entry) = state.connections.pop_front() {
+                return Some(entry);
             }
             if state.closed {
                 return None;
@@ -224,7 +236,7 @@ impl ConnectionRuntime {
         config: RuntimeConfig,
         shutdown: Arc<ShutdownSignal>,
         metrics: Arc<RuntimeMetrics>,
-        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
+        handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync>,
     ) -> std::io::Result<ConnectionRuntime> {
         let addr = listener.local_addr()?;
         shutdown.bind(addr);
@@ -240,7 +252,7 @@ impl ConnectionRuntime {
                 std::thread::Builder::new()
                     .name(format!("htc-serve-worker-{i}"))
                     .spawn(move || {
-                        while let Some(stream) = queue.pop() {
+                        while let Some((stream, accepted_at)) = queue.pop() {
                             metrics.queue_depth.dec();
                             metrics.active_connections.inc();
                             // The protocol handler catches panics per
@@ -250,7 +262,7 @@ impl ConnectionRuntime {
                             // — never a worker, and never a drifting gauge.
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    handler(stream)
+                                    handler(stream, accepted_at)
                                 }));
                             metrics.active_connections.dec();
                             if outcome.is_err() {
@@ -335,7 +347,7 @@ fn accept_loop(
             Ok(()) => {}
             Err(rejected) => {
                 metrics.shed_connections.inc();
-                shed(rejected, config.retry_after_secs);
+                shed(rejected, config.retry_after_secs, metrics.queue_depth.get());
             }
         }
     }
@@ -348,15 +360,16 @@ fn accept_loop(
 /// instead of the explicit backoff hint.  All waits are tightly bounded
 /// because this runs on the acceptor thread: a well-behaved peer drains in
 /// one non-blocking read; a hostile one costs at most ~160 ms.
-fn shed(mut rejected: TcpStream, retry_after_secs: u32) {
+fn shed(mut rejected: TcpStream, retry_after_secs: u32, queue_depth: u64) {
     rejected
         .set_write_timeout(Some(Duration::from_secs(1)))
         .ok();
-    let written = write_retry_after(
-        &mut rejected,
-        retry_after_secs,
-        "{\"error\":\"server is at capacity\",\"kind\":\"overloaded\"}",
+    let body = format!(
+        "{{\"error\":\"server is at capacity\",\"kind\":\"overloaded\",\
+         \"retry_after_ms\":{},\"queue_depth\":{queue_depth}}}",
+        u64::from(retry_after_secs) * 1000,
     );
+    let written = write_retry_after(&mut rejected, retry_after_secs, &body);
     if written.is_err() {
         return;
     }
@@ -401,13 +414,14 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(ShutdownSignal::new());
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(|mut stream: TcpStream| {
-            let mut byte = [0u8; 1];
-            // Echo one byte, then close: the "request" is the byte itself.
-            if stream.read_exact(&mut byte).is_ok() {
-                let _ = stream.write_all(&byte);
-            }
-        });
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
+            Arc::new(|mut stream: TcpStream, _accepted: Instant| {
+                let mut byte = [0u8; 1];
+                // Echo one byte, then close: the "request" is the byte itself.
+                if stream.read_exact(&mut byte).is_ok() {
+                    let _ = stream.write_all(&byte);
+                }
+            });
         let mut runtime = ConnectionRuntime::start(
             listener,
             RuntimeConfig {
@@ -457,14 +471,15 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(ShutdownSignal::new());
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(|mut stream: TcpStream| {
-            let mut byte = [0u8; 1];
-            stream.read_exact(&mut byte).unwrap();
-            if byte[0] == b'!' {
-                panic!("injected handler failure");
-            }
-            stream.write_all(&byte).unwrap();
-        });
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
+            Arc::new(|mut stream: TcpStream, _accepted: Instant| {
+                let mut byte = [0u8; 1];
+                stream.read_exact(&mut byte).unwrap();
+                if byte[0] == b'!' {
+                    panic!("injected handler failure");
+                }
+                stream.write_all(&byte).unwrap();
+            });
         let mut runtime = ConnectionRuntime::start(
             listener,
             RuntimeConfig {
@@ -513,10 +528,11 @@ mod tests {
         let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
         let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
         let release_rx = Arc::new(Mutex::new(release_rx));
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |_stream: TcpStream| {
-            let _ = started_tx.send(());
-            let _ = release_rx.lock().unwrap().recv();
-        });
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
+            Arc::new(move |_stream: TcpStream, _accepted: Instant| {
+                let _ = started_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+            });
         let mut runtime = ConnectionRuntime::start(
             listener,
             RuntimeConfig {

@@ -33,17 +33,19 @@
 //! cache / stage-timer counters and the runtime occupancy gauges.
 
 use crate::cache::{attribute_fingerprint, ArtifactCache, CacheKey, DurableStore};
+use crate::fair::{FairnessConfig, PeerLimiter, SourceGate};
+use crate::fault::FaultPlan;
 use crate::http::{
-    await_request, begin_chunked_json, read_request, write_json_response, AwaitOutcome, HttpError,
-    Request,
+    await_request, begin_chunked_json, read_request, write_json_response, write_json_response_with,
+    AwaitOutcome, HttpError, Request,
 };
 use crate::json::{self, Json};
 use crate::runtime::{
     default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics, ShutdownSignal,
 };
 use htc_core::{
-    graph_fingerprint, AlignmentSession, HtcConfig, HtcError, HtcResult, TopologyViews,
-    TrainedEncoder,
+    graph_fingerprint, AlignmentSession, DeadlineObserver, HtcConfig, HtcError, HtcResult,
+    ProgressObserver, TopologyViews, TrainedEncoder,
 };
 use htc_graph::io::read_network;
 use htc_graph::{AttributedNetwork, Graph};
@@ -88,6 +90,17 @@ pub struct ServerConfig {
     /// Alignment responses with at least this many anchor rows stream out
     /// chunked instead of materialising the body.
     pub stream_threshold: usize,
+    /// Default per-request time budget, measured from the instant the
+    /// connection was accepted (so queue wait counts against it, not just
+    /// compute).  An `X-HTC-Deadline-Ms` request header overrides it
+    /// per-request; over-budget requests get a structured `504` and the
+    /// session stays reusable.  Zero disables the default.
+    pub request_deadline: Duration,
+    /// Per-client rate limiting and per-source fair-scheduling knobs.
+    pub fairness: FairnessConfig,
+    /// Deterministic fault-injection schedule for chaos testing; `None` in
+    /// normal operation.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -103,41 +116,67 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(15),
             cache_dir: None,
             stream_threshold: 16 * 1024,
+            request_deadline: Duration::ZERO,
+            fairness: FairnessConfig::default(),
+            fault: None,
         }
     }
 }
 
-/// A request-level failure: HTTP status, machine-readable kind, message.
+/// A request-level failure: HTTP status, machine-readable kind, message, and
+/// — for the back-pressure statuses — an optional retry hint that also
+/// becomes the `Retry-After` response header.
 #[derive(Debug, Clone)]
 pub struct ServeError {
     pub status: u16,
     pub kind: &'static str,
     pub message: String,
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServeError {
-    fn bad_request(message: impl Into<String>) -> Self {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
         Self {
-            status: 400,
-            kind: "bad_request",
+            status,
+            kind,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
     }
 
     fn internal(message: impl Into<String>) -> Self {
-        Self {
-            status: 500,
-            kind: "internal",
-            message: message.into(),
-        }
+        Self::new(500, "internal", message)
     }
 
-    fn to_json(&self) -> String {
-        json::obj(vec![
+    fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self::new(504, "deadline_exceeded", message)
+    }
+
+    fn retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// Renders the structured error body.  Every back-pressure response
+    /// (429/503/504) carries `retry_after_ms` and the live `queue_depth` so
+    /// clients can back off proportionally instead of guessing.
+    fn to_json(&self, queue_depth: u64) -> String {
+        let mut fields = vec![
             ("error", json::str(self.message.clone())),
             ("kind", json::str(self.kind)),
-        ])
-        .render()
+        ];
+        if matches!(self.status, 429 | 503 | 504) {
+            fields.push((
+                "retry_after_ms",
+                json::num(self.retry_after_ms.unwrap_or(0) as f64),
+            ));
+            fields.push(("queue_depth", json::num(queue_depth as f64)));
+        }
+        json::obj(fields).render()
     }
 }
 
@@ -154,11 +193,7 @@ impl From<HtcError> for ServeError {
             HtcError::Cancelled => (503, "cancelled"),
             HtcError::Linalg(_) => (500, "internal"),
         };
-        Self {
-            status,
-            kind,
-            message: e.to_string(),
-        }
+        Self::new(status, kind, e.to_string())
     }
 }
 
@@ -217,6 +252,12 @@ struct Shared {
     /// daemon's lifetime.
     request_timer: Mutex<StageTimer>,
     metrics: Arc<RuntimeMetrics>,
+    /// Per-client token buckets (no-op unless `fairness.peer_tokens_per_sec`
+    /// is set).
+    limiter: PeerLimiter,
+    /// Per-source in-flight slots for weighted fair scheduling under
+    /// pressure.
+    gate: Arc<SourceGate>,
     started: Instant,
     shutdown: Arc<ShutdownSignal>,
 }
@@ -247,7 +288,7 @@ impl Server {
         // size that actually exists.
         config.workers = config.workers.clamp(1, crate::runtime::MAX_WORKERS);
         let durable = match &config.cache_dir {
-            Some(dir) => Some(DurableStore::open(dir)?),
+            Some(dir) => Some(DurableStore::open(dir)?.with_faults(config.fault.clone())),
             None => None,
         };
         let shutdown = Arc::new(ShutdownSignal::new());
@@ -263,13 +304,17 @@ impl Server {
             requests: Mutex::new(RequestStats::default()),
             request_timer: Mutex::new(StageTimer::new()),
             metrics: Arc::clone(&metrics),
+            limiter: PeerLimiter::new(&config.fairness),
+            gate: Arc::new(SourceGate::new()),
             started: Instant::now(),
             shutdown: Arc::clone(&shutdown),
             config,
         });
         let handler_shared = Arc::clone(&shared);
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> =
-            Arc::new(move |stream| handle_connection(stream, &handler_shared));
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
+            Arc::new(move |stream, accepted_at| {
+                handle_connection(stream, accepted_at, &handler_shared)
+            });
         let runtime =
             ConnectionRuntime::start(listener, runtime_config, shutdown, metrics, handler)?;
         Ok(Server {
@@ -302,11 +347,13 @@ impl Server {
     }
 }
 
-/// What a routed request produces: either a ready body, a large alignment to
-/// stream, or the shutdown acknowledgement that must flush before the
-/// runtime begins draining.
+/// What a routed request produces: a ready body, a structured error (which
+/// may carry a `Retry-After` header), a large alignment to stream, or the
+/// shutdown acknowledgement that must flush before the runtime begins
+/// draining.
 enum Reply {
     Json(u16, String),
+    Error(ServeError),
     Align {
         outcome: BatchOutcome,
         cache_hit: bool,
@@ -315,18 +362,64 @@ enum Reply {
     Shutdown(String),
 }
 
+/// Per-request lifecycle context threaded from the connection loop into the
+/// align path.
+struct RequestCtx {
+    /// Absolute deadline for this request, if one applies.  For the first
+    /// request on a connection it is anchored at the *accept* instant, so
+    /// time spent waiting in the hand-off queue counts against the budget.
+    deadline: Option<Instant>,
+}
+
+/// Resolves the deadline for one request: the `X-HTC-Deadline-Ms` header
+/// wins, the server-wide default applies otherwise, zero/absent disables.
+fn request_deadline(
+    request: &Request,
+    shared: &Shared,
+    anchor: Instant,
+) -> Result<Option<Instant>, ServeError> {
+    match request.header("x-htc-deadline-ms") {
+        Some(raw) => {
+            let ms = raw.trim().parse::<u64>().map_err(|_| {
+                ServeError::bad_request(format!(
+                    "x-htc-deadline-ms value {raw:?} must be a non-negative integer (milliseconds)"
+                ))
+            })?;
+            Ok(Some(anchor + Duration::from_millis(ms)))
+        }
+        None => Ok((!shared.config.request_deadline.is_zero())
+            .then(|| anchor + shared.config.request_deadline)),
+    }
+}
+
 /// Owns one connection for its lifetime: waits for requests, serves them,
 /// and honours keep-alive until the peer closes, the idle timeout fires, a
 /// parse error poisons the byte stream, or the server shuts down.
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+/// `accepted_at` is the instant the acceptor queued the connection — the
+/// deadline anchor for the first request.
+fn handle_connection(stream: TcpStream, accepted_at: Instant, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let peer_ip = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
+    let mut first_request = true;
     while let AwaitOutcome::Ready = await_request(&mut reader, shared.config.keep_alive, || {
         shared.shutdown.is_triggered()
     }) {
+        // First request: the budget covers queue wait (anchor = accept).
+        // Keep-alive successors: idle time between requests is the client's
+        // own, so the anchor resets to now.
+        let anchor = if first_request {
+            accepted_at
+        } else {
+            Instant::now()
+        };
+        first_request = false;
         let request = match read_request(&mut reader) {
             Ok(request) => request,
             Err(HttpError { status, message }) => {
@@ -344,22 +437,46 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         };
         shared.metrics.total_requests.inc();
         let keep_alive = request.keep_alive && !shared.shutdown.is_triggered();
-        // The route handler runs under catch_unwind: a panic anywhere in the
-        // pipeline (e.g. a worker panic propagated by the thread pool) must
-        // take down one response, not the daemon or its worker.
-        let routed =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, shared)));
-        let reply = match routed {
-            Ok(reply) => reply,
-            Err(_) => {
-                shared.metrics.worker_panics.inc();
-                let err = ServeError::internal("request handler panicked; session state was reset");
-                Reply::Json(err.status, err.to_json())
+        if let Some(fault) = &shared.config.fault {
+            // Injected slow socket: the request stalls before being served,
+            // which is how the chaos suite exercises client-side response
+            // deadlines and server-side queue-inclusive budgets.
+            if let Some(delay) = fault.socket_delay() {
+                std::thread::sleep(delay);
             }
-        };
+        }
+        let reply = pre_route(&request, shared, anchor, &peer_ip).unwrap_or_else(|| {
+            // The route handler runs under catch_unwind: a panic anywhere in
+            // the pipeline (e.g. a worker panic propagated by the thread
+            // pool) must take down one response, not the daemon or its
+            // worker.
+            let ctx = RequestCtx {
+                deadline: request_deadline(&request, shared, anchor)
+                    .expect("pre_route rejected invalid deadline headers"),
+            };
+            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&request, shared, &ctx)
+            }));
+            routed.unwrap_or_else(|_| {
+                shared.metrics.worker_panics.inc();
+                Reply::Error(ServeError::internal(
+                    "request handler panicked; session state was reset",
+                ))
+            })
+        });
         let io_outcome = match reply {
             Reply::Json(status, body) => {
                 write_json_response(&mut stream, status, &body, keep_alive)
+            }
+            Reply::Error(err) => {
+                let retry_secs = err.retry_after_ms.map(|ms| ms.div_ceil(1000).max(1));
+                write_json_response_with(
+                    &mut stream,
+                    err.status,
+                    &err.to_json(shared.metrics.queue_depth.get()),
+                    keep_alive,
+                    retry_secs,
+                )
             }
             Reply::Align {
                 outcome,
@@ -389,6 +506,37 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Request-lifecycle checks that run before routing: deadline-header
+/// validation and per-client rate limiting (align requests only — health and
+/// stats probes must keep answering while a client is throttled).  `Some` is
+/// an early reply; `None` proceeds to `route`.
+fn pre_route(
+    request: &Request,
+    shared: &Arc<Shared>,
+    anchor: Instant,
+    peer_ip: &str,
+) -> Option<Reply> {
+    if let Err(err) = request_deadline(request, shared, anchor) {
+        return Some(Reply::Error(err));
+    }
+    if request.method == "POST" && request.path == "/align" && shared.limiter.enabled() {
+        let identity = request.header("x-htc-client").unwrap_or(peer_ip);
+        if let Err(wait) = shared.limiter.admit(identity, Instant::now()) {
+            shared.metrics.rate_limited.inc();
+            let hint_ms = (wait.as_millis() as u64).max(1);
+            return Some(Reply::Error(
+                ServeError::new(
+                    429,
+                    "rate_limited",
+                    format!("client {identity:?} exceeded its request budget"),
+                )
+                .retry_after(hint_ms),
+            ));
+        }
+    }
+    None
+}
+
 /// Writes an alignment response: chunked streaming once the anchor set
 /// reaches the configured threshold, a plain `Content-Length` body below it.
 /// Both paths emit byte-identical JSON (same renderer, different sink).
@@ -414,7 +562,7 @@ fn write_align_response(
     }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
+fn route(request: &Request, shared: &Arc<Shared>, ctx: &RequestCtx) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Reply::Json(
             200,
@@ -428,14 +576,14 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
             .render(),
         ),
         ("GET", "/stats") => Reply::Json(200, stats_json(shared)),
-        ("POST", "/align") => match handle_align(request, shared) {
+        ("POST", "/align") => match handle_align(request, shared, ctx) {
             Ok(reply) => {
                 shared.requests.lock().unwrap().align_ok += 1;
                 reply
             }
             Err(err) => {
                 shared.requests.lock().unwrap().align_err += 1;
-                Reply::Json(err.status, err.to_json())
+                Reply::Error(err)
             }
         },
         ("POST", "/shutdown") => {
@@ -565,6 +713,37 @@ fn stats_json(shared: &Arc<Shared>) -> String {
                 ("max_batch", json::num(requests.max_batch as f64)),
             ]),
         ),
+        (
+            "robustness",
+            json::obj(vec![
+                (
+                    "pressure_level",
+                    json::num(pressure_level(
+                        metrics.queue_depth.get(),
+                        shared.config.queue_capacity,
+                    ) as f64),
+                ),
+                (
+                    "deadline_expired",
+                    json::num(metrics.deadline_expired.get() as f64),
+                ),
+                ("rate_limited", json::num(metrics.rate_limited.get() as f64)),
+                (
+                    "degraded_responses",
+                    json::num(metrics.degraded_responses.get() as f64),
+                ),
+                (
+                    "faults_injected",
+                    json::num(
+                        shared
+                            .config
+                            .fault
+                            .as_ref()
+                            .map_or(0, |plan| plan.injected.get()) as f64,
+                    ),
+                ),
+            ]),
+        ),
         ("busy_sessions", json::num(busy_sessions as f64)),
         (
             "shared_stages",
@@ -621,13 +800,11 @@ fn resolve_path(shared: &Shared, raw: &str) -> Result<PathBuf, ServeError> {
                 )
             });
             if traversal || path.is_absolute() {
-                return Err(ServeError {
-                    status: 400,
-                    kind: "forbidden_path",
-                    message: format!(
-                        "path {raw:?} must be relative to the artifact root and free of '..'"
-                    ),
-                });
+                return Err(ServeError::new(
+                    400,
+                    "forbidden_path",
+                    format!("path {raw:?} must be relative to the artifact root and free of '..'"),
+                ));
             }
             Ok(root.join(path))
         }
@@ -646,10 +823,12 @@ fn parse_network(
             .as_str()
             .ok_or_else(|| ServeError::bad_request(format!("{what}.stem must be a string")))?;
         let stem = resolve_path(shared, stem)?;
-        return read_network(&stem).map_err(|e| ServeError {
-            status: 422,
-            kind: "network_io",
-            message: format!("reading {what} network {stem:?}: {e}"),
+        return read_network(&stem).map_err(|e| {
+            ServeError::new(
+                422,
+                "network_io",
+                format!("reading {what} network {stem:?}: {e}"),
+            )
         });
     }
     let num_nodes = spec
@@ -678,11 +857,8 @@ fn parse_network(
         })?;
         edges.push((u, v));
     }
-    let graph = Graph::from_edges(num_nodes, &edges).map_err(|e| ServeError {
-        status: 422,
-        kind: "invalid_graph",
-        message: format!("{what} graph: {e}"),
-    })?;
+    let graph = Graph::from_edges(num_nodes, &edges)
+        .map_err(|e| ServeError::new(422, "invalid_graph", format!("{what} graph: {e}")))?;
     match spec.get("attributes") {
         None | Some(Json::Null) => Ok(AttributedNetwork::topology_only(graph)),
         Some(attrs) => {
@@ -707,11 +883,8 @@ fn parse_network(
             let attributes = DenseMatrix::from_rows(&rows).map_err(|e| {
                 ServeError::bad_request(format!("{what}.attributes is ragged: {e}"))
             })?;
-            AttributedNetwork::new(graph, attributes).map_err(|e| ServeError {
-                status: 422,
-                kind: "invalid_graph",
-                message: format!("{what} network: {e}"),
-            })
+            AttributedNetwork::new(graph, attributes)
+                .map_err(|e| ServeError::new(422, "invalid_graph", format!("{what} network: {e}")))
         }
     }
 }
@@ -780,7 +953,60 @@ fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, Ser
     })
 }
 
-fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
+/// Queue-occupancy pressure ladder: 0 below half the queue capacity, 1 from
+/// 50%, 2 from 85%.  Drives the degradation responses — batch-window
+/// shrinking and cold-start shedding.
+fn pressure_level(queue_depth: u64, queue_capacity: usize) -> u8 {
+    let cap = queue_capacity.max(1) as u64;
+    if queue_depth * 100 >= cap * 85 {
+        2
+    } else if queue_depth * 100 >= cap * 50 {
+        1
+    } else {
+        0
+    }
+}
+
+/// The batch window actually waited at a given pressure level: full when
+/// calm, halved under moderate pressure, skipped entirely when the queue is
+/// nearly full (latency beats batching efficiency once requests are already
+/// queueing behind each other).
+fn effective_batch_window(base: Duration, pressure: u8) -> Duration {
+    match pressure {
+        0 => base,
+        1 => base / 2,
+        _ => Duration::ZERO,
+    }
+}
+
+fn handle_align(
+    request: &Request,
+    shared: &Arc<Shared>,
+    ctx: &RequestCtx,
+) -> Result<Reply, ServeError> {
+    if let Some(fault) = &shared.config.fault {
+        if fault.should_panic() {
+            // Deliberately unwinds through the handler: the chaos suite
+            // proves the catch_unwind boundary turns this into one 500, a
+            // worker_panics tick, and nothing else.
+            panic!("injected fault: scheduled handler panic");
+        }
+    }
+    if let Some(deadline) = ctx.deadline {
+        // The budget started at the accept instant; a request that burned it
+        // all waiting in the hand-off queue is answered without touching the
+        // session at all.
+        if Instant::now() >= deadline {
+            shared.metrics.deadline_expired.inc();
+            return Err(ServeError::deadline_exceeded(
+                "request deadline exhausted while queued",
+            ));
+        }
+    }
+    let pressure = pressure_level(
+        shared.metrics.queue_depth.get(),
+        shared.config.queue_capacity,
+    );
     let align = parse_align_request(shared, &request.body)?;
     // Warm-start artifact paths are part of the cache identity: persisted
     // views are fingerprint-checked against the source graph, but a persisted
@@ -800,6 +1026,26 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeE
         attr_fingerprint: attribute_fingerprint(align.source.attributes()),
         preset: config_tag,
     };
+    // Weighted fair scheduling: under pressure, one source fingerprint may
+    // hold at most its share of the worker pool; below it the gate only
+    // tracks occupancy (an idle server never rejects).  The slot is RAII —
+    // held until this request finishes.
+    let source_cap = (pressure >= 1 && shared.config.fairness.source_share > 0.0).then(|| {
+        ((shared.config.workers as f64 * shared.config.fairness.source_share).floor() as usize)
+            .max(1)
+    });
+    let _slot = shared
+        .gate
+        .acquire(key.fingerprint, source_cap)
+        .ok_or_else(|| {
+            shared.metrics.rate_limited.inc();
+            ServeError::new(
+                429,
+                "source_saturated",
+                "this source already occupies its fair share of the worker pool",
+            )
+            .retry_after(100)
+        })?;
     // Load persisted artifacts *before* taking the cache lock — decoding a
     // large artifact file must stall this request, not the whole daemon.
     // The loads only run when the key is absent (double-checked below), so
@@ -810,7 +1056,8 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeE
     let mut warm_encoder = None;
     let mut spilled_views = None;
     let mut spilled_encoder = None;
-    if shared.cache.lock().unwrap().peek(&key).is_none() {
+    let lru_present = shared.cache.lock().unwrap().peek(&key).is_some();
+    if !lru_present {
         if let Some(path) = &align.views_path {
             warm_views = Some(TopologyViews::load(path)?);
         } else if let Some(store) = &shared.durable {
@@ -823,6 +1070,19 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeE
         }
     }
     let disk_warm_start = spilled_views.is_some() || spilled_encoder.is_some();
+    // Top rung of the degradation ladder: when the queue is nearly full,
+    // warm work (cached or spilled artifacts) is still served but cold
+    // encoder training — the most expensive thing a request can ask for — is
+    // shed with a structured 503 instead of parking a worker on it.
+    if pressure >= 2 && !lru_present && warm_encoder.is_none() && spilled_encoder.is_none() {
+        shared.metrics.degraded_responses.inc();
+        return Err(ServeError::new(
+            503,
+            "degraded",
+            "server is under queue pressure and this source has no warm artifacts",
+        )
+        .retry_after(1000));
+    }
     let (entry, lru_hit) = {
         let mut cache = shared.cache.lock().unwrap();
         cache.get_or_insert(&key, || -> Result<SourceEntry, ServeError> {
@@ -865,10 +1125,11 @@ fn handle_align(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeE
     let cache_hit = lru_hit || disk_warm_start;
 
     let pairwise = align.pairwise;
+    let window = effective_batch_window(shared.config.batch_window, pressure);
     let outcome = if pairwise {
-        serve_pairwise(shared, &entry, &align)
+        serve_pairwise(shared, &entry, &align, ctx)
     } else {
-        serve_batched(shared, &entry, align.target)
+        serve_batched(shared, &entry, align.target, ctx, window)
     };
     let outcome = match outcome {
         Ok(outcome) => outcome,
@@ -932,14 +1193,48 @@ fn spill_entry_artifacts(shared: &Arc<Shared>, key: &CacheKey, entry: &Arc<Sourc
     }
 }
 
+/// Arms the session with a [`DeadlineObserver`] for this request's budget
+/// (if any).  The observer vetoes the next progress hook once the deadline
+/// passes, which surfaces as [`HtcError::Cancelled`]; the latch it sets is
+/// what lets [`map_deadline`] distinguish a deadline 504 from an external
+/// cancellation 503.
+fn arm_deadline(session: &mut AlignmentSession, ctx: &RequestCtx) -> Option<Arc<DeadlineObserver>> {
+    let observer = ctx.deadline.map(|d| Arc::new(DeadlineObserver::new(d)));
+    if let Some(obs) = &observer {
+        session.set_observer(Some(Arc::clone(obs) as Arc<dyn ProgressObserver>));
+    }
+    observer
+}
+
+/// Converts a cancellation that was actually a deadline expiry into the
+/// structured 504.  The session itself stays reusable — cooperative
+/// cancellation leaves its cached artifacts either complete or absent, never
+/// torn — so the entry is kept (504 is not an "internal" failure).
+fn map_deadline(
+    err: ServeError,
+    observer: Option<&Arc<DeadlineObserver>>,
+    shared: &Arc<Shared>,
+) -> ServeError {
+    if err.kind == "cancelled" && observer.is_some_and(|o| o.expired()) {
+        shared.metrics.deadline_expired.inc();
+        ServeError::deadline_exceeded("request deadline exceeded during alignment")
+    } else {
+        err
+    }
+}
+
 /// Pairwise mode: joint training on (source, target), no batching.
 fn serve_pairwise(
-    _shared: &Arc<Shared>,
+    shared: &Arc<Shared>,
     entry: &Arc<SourceEntry>,
     align: &AlignRequest,
+    ctx: &RequestCtx,
 ) -> Result<BatchOutcome, ServeError> {
     let mut session = entry.session.lock().unwrap();
-    let result = catch_session_panic(&mut session, |session| session.align(&align.target))?;
+    let observer = arm_deadline(&mut session, ctx);
+    let result = catch_session_panic(&mut session, |session| session.align(&align.target));
+    session.set_observer(None);
+    let result = result.map_err(|e| map_deadline(e, observer.as_ref(), shared))?;
     Ok(BatchOutcome {
         result: Arc::new(result),
         batched_with: 1,
@@ -947,10 +1242,15 @@ fn serve_pairwise(
 }
 
 /// Shared mode: join the entry's pending batch; lead it if first in.
+/// Followers inherit the leader's budget: the leader's deadline observer
+/// governs the whole `align_many` fan-out, and a deadline expiry is
+/// distributed to every batch member as the same 504.
 fn serve_batched(
     shared: &Arc<Shared>,
     entry: &Arc<SourceEntry>,
     target: AttributedNetwork,
+    ctx: &RequestCtx,
+    window: Duration,
 ) -> Result<BatchOutcome, ServeError> {
     let (tx, rx) = mpsc::channel();
     let is_leader = {
@@ -959,8 +1259,8 @@ fn serve_batched(
         pending.len() == 1
     };
     if is_leader {
-        if !shared.config.batch_window.is_zero() {
-            std::thread::sleep(shared.config.batch_window);
+        if !window.is_zero() {
+            std::thread::sleep(window);
         }
         // Serialise batches per source; concurrent requests for the same
         // source that arrive while we hold the session form the next batch.
@@ -977,8 +1277,11 @@ fn serve_batched(
             stats.batched_requests += senders.len() as u64;
             stats.max_batch = stats.max_batch.max(senders.len() as u64);
         }
+        let observer = arm_deadline(&mut session, ctx);
         let outcome = catch_session_panic(&mut session, |session| session.align_many(&targets));
+        session.set_observer(None);
         drop(session);
+        let outcome = outcome.map_err(|e| map_deadline(e, observer.as_ref(), shared));
         match outcome {
             Ok(results) => {
                 debug_assert_eq!(results.len(), senders.len());
@@ -1074,4 +1377,39 @@ fn render_align_response_to<W: std::fmt::Write>(
     out.write_str(",\"stages\":")?;
     out.write_str(&result.timer().stages_json_detailed())?;
     out.write_char('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_ladder_thresholds() {
+        assert_eq!(pressure_level(0, 128), 0);
+        assert_eq!(pressure_level(63, 128), 0);
+        assert_eq!(pressure_level(64, 128), 1, "50% occupancy is level 1");
+        assert_eq!(pressure_level(108, 128), 1);
+        assert_eq!(pressure_level(109, 128), 2, "85% occupancy is level 2");
+        assert_eq!(pressure_level(5, 0), 2, "zero capacity clamps, not panics");
+    }
+
+    #[test]
+    fn batch_window_shrinks_under_pressure() {
+        let base = Duration::from_millis(8);
+        assert_eq!(effective_batch_window(base, 0), base);
+        assert_eq!(effective_batch_window(base, 1), base / 2);
+        assert_eq!(effective_batch_window(base, 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn back_pressure_errors_render_structured_bodies() {
+        let err = ServeError::new(429, "rate_limited", "slow down").retry_after(250);
+        let body = err.to_json(7);
+        assert!(body.contains("\"retry_after_ms\":250"), "{body}");
+        assert!(body.contains("\"queue_depth\":7"), "{body}");
+        // Non-back-pressure statuses keep the lean error shape.
+        let plain = ServeError::bad_request("nope").to_json(7);
+        assert!(!plain.contains("retry_after_ms"), "{plain}");
+        assert!(!plain.contains("queue_depth"), "{plain}");
+    }
 }

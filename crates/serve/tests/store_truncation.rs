@@ -1,0 +1,121 @@
+//! Exhaustive and property-based truncation of [`DurableStore`] spill files.
+//!
+//! The durable spill layer writes artifacts via temp + atomic rename, but a
+//! torn file can still appear on disk (filesystem bugs, fault injection,
+//! manual copies).  This suite proves the load path's contract for *every*
+//! strict prefix of a spill file: the load returns `None` — never a panic,
+//! never a giant allocation — the corrupt file is discarded and counted in
+//! `reload_errors`, and the next spill repairs the store bit-exactly.
+
+use htc_core::{AlignmentSession, HtcConfig};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+use htc_serve::{CacheKey, DurableStore};
+use proptest::prelude::*;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("htc-truncation-{}-{name}", std::process::id()))
+}
+
+fn key() -> CacheKey {
+    CacheKey {
+        fingerprint: 0x1234_5678_9abc_def0,
+        attr_fingerprint: 0x0fed_cba9_8765_4321,
+        preset: "fast#e4".into(),
+    }
+}
+
+/// The one spill file in `dir` with the given extension.
+fn spill_file(dir: &std::path::Path, extension: &str) -> std::path::PathBuf {
+    let mut matches: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == extension))
+        .collect();
+    assert_eq!(matches.len(), 1, "exactly one .{extension} spill expected");
+    matches.pop().unwrap()
+}
+
+/// Every strict prefix of a views spill is rejected, counted, deleted, and
+/// repaired by the next spill — bit-exactly.
+#[test]
+fn views_spill_survives_truncation_at_every_byte() {
+    let dir = tmp_dir("views");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = DurableStore::open(&dir).unwrap();
+    let pair = generate_pair(&SyntheticPairConfig::tiny(8).with_seed(41));
+    let mut config = HtcConfig::fast();
+    config.epochs = 4;
+    let mut session = AlignmentSession::new(config, &pair.source).unwrap();
+    let views = session.source_views().unwrap();
+    let key = key();
+    store.spill_views(&key, &views).unwrap();
+    let path = spill_file(&dir, "views");
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(pristine.len() > 64, "artifact should be non-trivial");
+    assert!(
+        store.load_views(&key).is_some(),
+        "pristine spill loads back"
+    );
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let before = store.reload_errors.get();
+        assert!(
+            store.load_views(&key).is_none(),
+            "strict prefix of {cut} bytes must not decode"
+        );
+        assert_eq!(
+            store.reload_errors.get(),
+            before + 1,
+            "corrupt file at cut {cut} is counted"
+        );
+        assert!(
+            !path.exists(),
+            "corrupt file at cut {cut} is discarded, not retried"
+        );
+        // The next spill repairs the store bit-exactly.
+        store.spill_views(&key, &views).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            pristine,
+            "re-spill after cut {cut} restores identical bytes"
+        );
+    }
+    assert!(store.load_views(&key).is_some(), "repaired spill loads");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random truncation points over the (larger) encoder spill: the load
+    /// never panics, the file is discarded and counted, and the re-spill is
+    /// bit-exact.  The sampled cut is scaled onto the artifact's real length,
+    /// so every run covers header, payload and tail regions.
+    #[test]
+    fn encoder_spill_survives_random_truncation(cut_permille in 0usize..1000) {
+        let dir = tmp_dir(&format!("encoder-{cut_permille}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DurableStore::open(&dir).unwrap();
+        let pair = generate_pair(&SyntheticPairConfig::tiny(8).with_seed(43));
+        let mut config = HtcConfig::fast();
+        config.epochs = 4;
+        let mut session = AlignmentSession::new(config, &pair.source).unwrap();
+        let encoder = session.train().unwrap();
+        let key = key();
+        store.spill_encoder(&key, &encoder).unwrap();
+        let path = spill_file(&dir, "encoder");
+        let pristine = std::fs::read(&path).unwrap();
+
+        let cut = cut_permille * pristine.len() / 1000;
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        prop_assert!(store.load_encoder(&key).is_none(), "cut {cut} must not decode");
+        prop_assert_eq!(store.reload_errors.get(), 1);
+        prop_assert!(!path.exists(), "corrupt encoder spill is discarded");
+        store.spill_encoder(&key, &encoder).unwrap();
+        prop_assert_eq!(std::fs::read(&path).unwrap(), pristine);
+        prop_assert!(store.load_encoder(&key).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,18 +8,84 @@
 //! cargo run --release --example serve_client
 //! ```
 //!
+//! Exchanges go through [`request_with_retry`], which honours the server's
+//! back-pressure contract: on 429/503/504 it sleeps for the structured
+//! `retry_after_ms` hint (falling back to the `Retry-After` header, then to
+//! exponential backoff) with seeded jitter, reconnects if the server closed
+//! the socket, and retries.  Against an unloaded server no retry fires, so
+//! the keep-alive accounting below still sees exactly three requests on one
+//! connection.
+//!
 //! The same exchanges work against a standalone daemon (`cargo run --release
 //! --bin htc-serve`) with `curl` — see README.md for the quickstart.
 
 use htc::datasets::{generate_pair, SyntheticPairConfig};
 use htc::serve::http::Client;
-use htc::serve::json::network_spec;
+use htc::serve::json::{self, network_spec};
 use htc::serve::{Server, ServerConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::Duration;
 
-/// One exchange on the persistent connection; returns (status, body).
-fn request(client: &mut Client, method: &str, path: &str, body: &str) -> (u16, String) {
-    let response = client.request(method, path, body).expect("exchange");
-    (response.status, response.body_str().to_string())
+/// Retry budget: enough to ride out a transient overload, small enough that
+/// a genuinely saturated server still fails fast.
+const MAX_ATTEMPTS: u32 = 4;
+const BACKOFF_BASE_MS: u64 = 25;
+
+/// The server's retry hint in milliseconds: the structured JSON body's
+/// `retry_after_ms` if present, else the `Retry-After` header (seconds).
+fn retry_hint_ms(status: u16, headers: &[(String, String)], body: &str) -> Option<u64> {
+    if !matches!(status, 429 | 503 | 504) {
+        return None;
+    }
+    if let Some(ms) = json::parse(body)
+        .ok()
+        .and_then(|v| v.get("retry_after_ms").and_then(json::Json::as_f64))
+    {
+        return Some(ms.max(0.0) as u64);
+    }
+    headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, v)| v.trim().parse::<u64>().ok())
+        .map(|secs| secs * 1000)
+}
+
+/// One exchange with back-pressure handling; returns (status, body).
+///
+/// Retryable statuses (429/503/504) sleep for the server's hint — jittered
+/// by a seeded RNG so runs stay deterministic — and go again; 503 also
+/// reconnects, since shed connections are closed server-side.
+fn request_with_retry(
+    client: &mut Client,
+    addr: SocketAddr,
+    rng: &mut StdRng,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    let mut backoff_ms = BACKOFF_BASE_MS;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let response = client.request(method, path, body).expect("exchange");
+        let hint = retry_hint_ms(response.status, &response.headers, response.body_str());
+        let Some(hint) = hint else {
+            return (response.status, response.body_str().to_string());
+        };
+        if attempt == MAX_ATTEMPTS {
+            return (response.status, response.body_str().to_string());
+        }
+        let sleep_ms = (hint.max(backoff_ms).max(1) as f64 * rng.gen_range(0.5..1.0)).max(1.0);
+        eprintln!(
+            "{method} {path}: HTTP {} (attempt {attempt}), retrying in {sleep_ms:.0} ms",
+            response.status
+        );
+        std::thread::sleep(Duration::from_millis(sleep_ms as u64));
+        backoff_ms *= 2;
+        if response.status == 503 {
+            *client = Client::connect(addr).expect("reconnect after shed");
+        }
+    }
+    unreachable!("loop returns on success or final attempt")
 }
 
 fn main() {
@@ -37,13 +103,15 @@ fn main() {
     );
     let source = network_spec(&pair_a.source);
     let mut client = Client::connect(addr).expect("connect to htc-serve");
+    let mut rng = StdRng::seed_from_u64(0xc11e_2177);
 
     for (label, target) in [("first", &pair_a.target), ("second", &pair_b.target)] {
         let body = format!(
             "{{\"preset\":\"fast\",\"epochs\":10,\"source\":{source},\"target\":{}}}",
             network_spec(target)
         );
-        let (status, response) = request(&mut client, "POST", "/align", &body);
+        let (status, response) =
+            request_with_retry(&mut client, addr, &mut rng, "POST", "/align", &body);
         assert_eq!(status, 200, "align failed: {response}");
         // Pull a couple of headline fields out of the response JSON.
         let hit = response.contains("\"cache_hit\":true");
@@ -53,7 +121,7 @@ fn main() {
         );
     }
 
-    let (status, stats) = request(&mut client, "GET", "/stats", "");
+    let (status, stats) = request_with_retry(&mut client, addr, &mut rng, "GET", "/stats", "");
     assert_eq!(status, 200);
     println!("\n/stats:\n{stats}");
     assert!(
@@ -61,7 +129,7 @@ fn main() {
         "three requests rode one connection: {stats}"
     );
 
-    let (status, _) = request(&mut client, "POST", "/shutdown", "");
+    let (status, _) = request_with_retry(&mut client, addr, &mut rng, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     server.join();
     println!("\nserver shut down cleanly (all workers joined)");

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release --example serve_load -- [--clients N] [--duration-secs S]
-//!     [--nodes N] [--workers N] [--addr HOST:PORT] [--close]
+//!     [--nodes N] [--workers N] [--addr HOST:PORT] [--close] [--hot-client]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (worker pool sized by
@@ -13,13 +13,38 @@
 //! behaviour — which is how the before/after numbers in PERFORMANCE.md were
 //! measured.  The `reuse_ratio` / `worker_panics` output lines are scraped
 //! by the CI concurrency smoke step.
+//!
+//! Every client honours back-pressure: on 429/503/504 it sleeps for the
+//! server's `retry_after_ms` hint (falling back to the `Retry-After` header,
+//! then to exponential backoff), multiplied by a seeded jitter factor so runs
+//! are deterministic.  Per-status-class counts are printed as a greppable
+//! `status_classes:` line.
+//!
+//! `--hot-client` runs the fairness drill instead: an in-process server with
+//! per-peer token buckets, `--clients` paced "victim" clients measured alone
+//! (baseline phase) and then alongside one unpaced greedy client (loaded
+//! phase).  The `fairness:` line reports the victims' p99 in both phases and
+//! how often the hot client was rate-limited — CI asserts the ratio stays
+//! bounded while the hot client is actually throttled.
 
 use htc::datasets::{generate_pair, SyntheticPairConfig};
 use htc::serve::http::Client;
 use htc::serve::json::{self, network_spec};
 use htc::serve::{Server, ServerConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
+
+/// Victim cadence in the `--hot-client` drill: one request per 40 ms
+/// (25 req/s), comfortably under the per-peer bucket below.
+const VICTIM_PACE_MS: u64 = 40;
+/// Per-peer token bucket for the drill: victims never hit it, the unpaced
+/// hot client exhausts the burst and is throttled to the refill rate.
+const DRILL_PEER_RPS: f64 = 50.0;
+const DRILL_PEER_BURST: f64 = 16.0;
+/// Backoff when the server gives no hint (connect refused, socket errors).
+const BACKOFF_BASE_MS: u64 = 10;
+const BACKOFF_MAX_MS: u64 = 500;
 
 struct LoadArgs {
     clients: usize,
@@ -28,6 +53,7 @@ struct LoadArgs {
     workers: usize,
     addr: Option<String>,
     close_per_request: bool,
+    hot_client: bool,
 }
 
 impl Default for LoadArgs {
@@ -39,6 +65,7 @@ impl Default for LoadArgs {
             workers: 0,
             addr: None,
             close_per_request: false,
+            hot_client: false,
         }
     }
 }
@@ -72,11 +99,15 @@ fn parse_args() -> Result<LoadArgs, String> {
             }
             "--addr" => args.addr = Some(value("--addr")?),
             "--close" => args.close_per_request = true,
+            "--hot-client" => args.hot_client = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if args.clients == 0 {
         return Err("--clients must be at least 1".into());
+    }
+    if args.hot_client && args.addr.is_some() {
+        return Err("--hot-client runs its own in-process server; drop --addr".into());
     }
     Ok(args)
 }
@@ -95,46 +126,157 @@ fn exchange(
     Ok(client.read()?.status)
 }
 
-/// Per-client loop: requests until the deadline, collecting latencies (µs).
-fn run_client(
-    addr: SocketAddr,
-    body: String,
-    deadline: Instant,
+/// What one client saw: latencies of successful requests (µs) and counts
+/// per back-pressure status class.
+#[derive(Default)]
+struct ClientStats {
+    latencies: Vec<u64>,
+    ok: u64,
+    rate_limited: u64, // 429
+    unavailable: u64,  // 503
+    deadline: u64,     // 504
+    other_errors: u64, // connect failures, io errors, unexpected statuses
+}
+
+impl ClientStats {
+    fn merge(&mut self, mut other: ClientStats) {
+        self.latencies.append(&mut other.latencies);
+        self.ok += other.ok;
+        self.rate_limited += other.rate_limited;
+        self.unavailable += other.unavailable;
+        self.deadline += other.deadline;
+        self.other_errors += other.other_errors;
+    }
+
+    fn errors(&self) -> u64 {
+        self.rate_limited + self.unavailable + self.deadline + self.other_errors
+    }
+}
+
+/// How one client behaves: connection style, identity header, pacing, and
+/// the seed for its (deterministic) backoff jitter.
+struct ClientOpts {
     close_per_request: bool,
-) -> (Vec<u64>, u64) {
-    let mut latencies = Vec::new();
-    let mut errors = 0u64;
-    let mut conn = None;
+    identity: Option<String>,
+    pace: Option<Duration>,
+    seed: u64,
+}
+
+impl ClientOpts {
+    fn plain(close_per_request: bool, seed: u64) -> Self {
+        Self {
+            close_per_request,
+            identity: None,
+            pace: None,
+            seed,
+        }
+    }
+}
+
+/// The server's retry hint in milliseconds: the structured JSON body's
+/// `retry_after_ms` if present, else the `Retry-After` header (seconds).
+fn retry_hint_ms(response: &htc::serve::http::ClientResponse) -> Option<u64> {
+    if let Some(ms) = json::parse(response.body_str())
+        .ok()
+        .and_then(|v| v.get("retry_after_ms").and_then(json::Json::as_f64))
+    {
+        return Some(ms.max(0.0) as u64);
+    }
+    response
+        .header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|secs| secs * 1000)
+}
+
+/// Per-client loop: requests until the deadline, honouring server retry
+/// hints with seeded, jittered backoff.
+fn run_client(addr: SocketAddr, body: String, deadline: Instant, opts: ClientOpts) -> ClientStats {
+    let mut stats = ClientStats::default();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut backoff_ms = BACKOFF_BASE_MS;
+    let mut conn: Option<Client> = None;
+    let mut next_slot = Instant::now();
+    let headers: Vec<(String, String)> = opts
+        .identity
+        .iter()
+        .map(|id| ("X-HTC-Client".to_string(), id.clone()))
+        .collect();
+
+    // Jittered sleep, capped so the client never overshoots its deadline.
+    let pause = |ms: u64, rng: &mut StdRng| {
+        let jittered = (ms.max(1) as f64 * rng.gen_range(0.5..1.0)).max(1.0);
+        let until_deadline = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(Duration::from_millis(jittered as u64).min(until_deadline));
+    };
+
     while Instant::now() < deadline {
+        if let Some(pace) = opts.pace {
+            let now = Instant::now();
+            if now < next_slot {
+                std::thread::sleep(next_slot - now);
+            }
+            next_slot = next_slot.max(now) + pace;
+        }
         if conn.is_none() {
             match Client::connect(addr) {
                 Ok(c) => conn = Some(c),
                 Err(_) => {
-                    errors += 1;
+                    stats.other_errors += 1;
+                    pause(backoff_ms, &mut rng);
+                    backoff_ms = (backoff_ms * 2).min(BACKOFF_MAX_MS);
                     continue;
                 }
             }
         }
         let client = conn.as_mut().expect("just connected");
+        let header_refs: Vec<(&str, &str)> = headers
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
         let start = Instant::now();
-        match exchange(client, "POST", "/align", &body, close_per_request) {
-            Ok(200) => latencies.push(start.elapsed().as_micros() as u64),
-            Ok(503) => {
-                // Shed under load: back off briefly and reconnect.
-                errors += 1;
-                conn = None;
-                std::thread::sleep(Duration::from_millis(10));
+        let response = client
+            .send_with_headers(
+                "POST",
+                "/align",
+                &body,
+                opts.close_per_request,
+                &header_refs,
+            )
+            .map_err(|e| format!("send: {e}"))
+            .and_then(|()| client.read());
+        match response {
+            Ok(response) if (200..300).contains(&response.status) => {
+                stats.ok += 1;
+                stats.latencies.push(start.elapsed().as_micros() as u64);
+                backoff_ms = BACKOFF_BASE_MS;
+            }
+            Ok(response) if matches!(response.status, 429 | 503 | 504) => {
+                match response.status {
+                    429 => stats.rate_limited += 1,
+                    503 => stats.unavailable += 1,
+                    _ => stats.deadline += 1,
+                }
+                // Shed connections are closed server-side; 429/504 keep the
+                // socket alive.
+                if response.status == 503 {
+                    conn = None;
+                }
+                let hint = retry_hint_ms(&response).unwrap_or(backoff_ms);
+                pause(hint, &mut rng);
+                backoff_ms = (backoff_ms * 2).min(BACKOFF_MAX_MS);
             }
             Ok(_) | Err(_) => {
-                errors += 1;
+                stats.other_errors += 1;
                 conn = None;
+                pause(backoff_ms, &mut rng);
+                backoff_ms = (backoff_ms * 2).min(BACKOFF_MAX_MS);
             }
         }
-        if close_per_request {
+        if opts.close_per_request {
             conn = None;
         }
     }
-    (latencies, errors)
+    stats
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -145,6 +287,179 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)] as f64 / 1000.0
 }
 
+fn align_body(nodes: usize) -> String {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(nodes).with_seed(41));
+    format!(
+        "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
+        network_spec(&pair.source),
+        network_spec(&pair.target)
+    )
+}
+
+/// Warm the artifact cache so measurements see steady-state serving, not one
+/// training run amortised arbitrarily across clients.
+fn warmup(addr: SocketAddr, body: &str) {
+    let mut client = Client::connect(addr).expect("warmup connect");
+    let status = exchange(&mut client, "POST", "/align", body, true).expect("warmup align");
+    assert_eq!(status, 200, "warmup request failed");
+}
+
+fn print_status_classes(stats: &ClientStats) {
+    println!(
+        "status_classes: 2xx={} 429={} 503={} 504={}",
+        stats.ok, stats.rate_limited, stats.unavailable, stats.deadline
+    );
+}
+
+/// Scrape the server's own counters (greppable; CI asserts on these).
+fn print_runtime_counters(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("stats connect");
+    let response = client.request("GET", "/stats", "").expect("read stats");
+    let stats = json::parse(response.body_str()).expect("parse stats");
+    let num = |v: &json::Json, key: &str| v.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
+    // Older daemons have no runtime section; report what exists.
+    if let Some(runtime) = stats.get("runtime") {
+        println!("reuse_ratio: {:.2}", num(runtime, "reuse_ratio"));
+        println!("worker_panics: {}", num(runtime, "worker_panics") as i64);
+        println!(
+            "shed_connections: {}",
+            num(runtime, "shed_connections") as i64
+        );
+    } else {
+        println!("reuse_ratio: n/a (server reports no runtime section)");
+    }
+    if let Some(robustness) = stats.get("robustness") {
+        println!(
+            "server_rate_limited: {}",
+            num(robustness, "rate_limited") as i64
+        );
+        println!(
+            "server_deadline_expired: {}",
+            num(robustness, "deadline_expired") as i64
+        );
+    }
+}
+
+fn shutdown(server: Server, addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("shutdown connect");
+    exchange(&mut client, "POST", "/shutdown", "", true).expect("shutdown");
+    server.join();
+}
+
+/// One drill phase: paced victims (plus optionally the unpaced hot client)
+/// run until the deadline.  Returns (merged victim stats, hot stats).
+fn drill_phase(
+    addr: SocketAddr,
+    body: &str,
+    duration: Duration,
+    victims: usize,
+    with_hot: bool,
+) -> (ClientStats, ClientStats) {
+    let deadline = Instant::now() + duration;
+    let victim_threads: Vec<_> = (0..victims)
+        .map(|i| {
+            let body = body.to_string();
+            let opts = ClientOpts {
+                close_per_request: false,
+                identity: Some(format!("victim-{i}")),
+                pace: Some(Duration::from_millis(VICTIM_PACE_MS)),
+                seed: 0x5eed_0000 + i as u64,
+            };
+            std::thread::spawn(move || run_client(addr, body, deadline, opts))
+        })
+        .collect();
+    let hot_thread = with_hot.then(|| {
+        let body = body.to_string();
+        let opts = ClientOpts {
+            close_per_request: false,
+            identity: Some("hot".to_string()),
+            pace: None,
+            seed: 0x0b5e_55ed,
+        };
+        std::thread::spawn(move || run_client(addr, body, deadline, opts))
+    });
+    let mut victim_stats = ClientStats::default();
+    for thread in victim_threads {
+        victim_stats.merge(thread.join().expect("victim thread"));
+    }
+    let hot_stats = hot_thread
+        .map(|t| t.join().expect("hot thread"))
+        .unwrap_or_default();
+    (victim_stats, hot_stats)
+}
+
+/// The `--hot-client` fairness drill: baseline victims alone, then victims
+/// next to one greedy client against a rate-limiting server.
+fn hot_client_drill(args: &LoadArgs) {
+    // Every drill client holds a keep-alive connection, and a worker serves
+    // one connection at a time — size the pool so nobody starves in the
+    // accept queue and the measurement isolates the *rate limiter*.
+    let workers = if args.workers == 0 {
+        args.clients + 2
+    } else {
+        args.workers
+    };
+    let mut config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    config.fairness.peer_tokens_per_sec = DRILL_PEER_RPS;
+    config.fairness.peer_burst = DRILL_PEER_BURST;
+    let server = Server::start(config).expect("start server");
+    let addr = server.addr();
+
+    let body = align_body(args.nodes);
+    warmup(addr, &body);
+
+    println!(
+        "serve_load: hot-client drill, {} victims + 1 hot, {:.1}s per phase, \
+         peer bucket {DRILL_PEER_RPS:.0} req/s burst {DRILL_PEER_BURST:.0}",
+        args.clients,
+        args.duration.as_secs_f64()
+    );
+
+    let (baseline, _) = drill_phase(addr, &body, args.duration, args.clients, false);
+    let (loaded, hot) = drill_phase(addr, &body, args.duration, args.clients, true);
+
+    let mut baseline_lat = baseline.latencies.clone();
+    baseline_lat.sort_unstable();
+    let mut loaded_lat = loaded.latencies.clone();
+    loaded_lat.sort_unstable();
+    let baseline_p99 = percentile(&baseline_lat, 0.99);
+    let victim_p99 = percentile(&loaded_lat, 0.99);
+    let ratio = if baseline_p99 > 0.0 {
+        victim_p99 / baseline_p99
+    } else {
+        0.0
+    };
+
+    println!(
+        "baseline: {} ok, {} errors, p50 {:.2} p99 {:.2}",
+        baseline.ok,
+        baseline.errors(),
+        percentile(&baseline_lat, 0.50),
+        baseline_p99
+    );
+    println!(
+        "loaded: victims {} ok, {} errors; hot {} ok, {} rate-limited",
+        loaded.ok,
+        loaded.errors(),
+        hot.ok,
+        hot.rate_limited
+    );
+    println!(
+        "fairness: baseline_p99_ms={baseline_p99:.2} victim_p99_ms={victim_p99:.2} \
+         ratio={ratio:.2} hot_rate_limited={}",
+        hot.rate_limited
+    );
+    let mut combined = ClientStats::default();
+    combined.merge(loaded);
+    combined.merge(hot);
+    print_status_classes(&combined);
+    print_runtime_counters(addr);
+    shutdown(server, addr);
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -153,6 +468,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.hot_client {
+        hot_client_drill(&args);
+        return;
+    }
 
     // An in-process server unless an external one was named.
     let server = if args.addr.is_none() {
@@ -172,39 +491,24 @@ fn main() {
         (None, None) => unreachable!(),
     };
 
-    let pair = generate_pair(&SyntheticPairConfig::tiny(args.nodes).with_seed(41));
-    let body = format!(
-        "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
-        network_spec(&pair.source),
-        network_spec(&pair.target)
-    );
-
-    // Warm the artifact cache so the measurement sees steady-state serving,
-    // not one training run amortised arbitrarily across clients.
-    {
-        let mut client = Client::connect(addr).expect("warmup connect");
-        let status = exchange(&mut client, "POST", "/align", &body, true).expect("warmup align");
-        assert_eq!(status, 200, "warmup request failed");
-    }
+    let body = align_body(args.nodes);
+    warmup(addr, &body);
 
     let deadline = Instant::now() + args.duration;
     let started = Instant::now();
     let clients: Vec<_> = (0..args.clients)
-        .map(|_| {
+        .map(|i| {
             let body = body.clone();
-            let close = args.close_per_request;
-            std::thread::spawn(move || run_client(addr, body, deadline, close))
+            let opts = ClientOpts::plain(args.close_per_request, 0x10ad_0000 + i as u64);
+            std::thread::spawn(move || run_client(addr, body, deadline, opts))
         })
         .collect();
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut errors = 0u64;
+    let mut stats = ClientStats::default();
     for client in clients {
-        let (mut lat, errs) = client.join().expect("client thread");
-        latencies.append(&mut lat);
-        errors += errs;
+        stats.merge(client.join().expect("client thread"));
     }
     let elapsed = started.elapsed().as_secs_f64();
-    latencies.sort_unstable();
+    stats.latencies.sort_unstable();
 
     println!(
         "serve_load: {} clients, {:.1}s, {}",
@@ -216,39 +520,21 @@ fn main() {
             "keep-alive"
         }
     );
-    println!("requests: {} ok, {errors} errors", latencies.len());
+    println!("requests: {} ok, {} errors", stats.ok, stats.errors());
     println!(
         "throughput: {:.1} req/s",
-        latencies.len() as f64 / elapsed.max(1e-9)
+        stats.ok as f64 / elapsed.max(1e-9)
     );
     println!(
         "latency_ms: p50 {:.2} p95 {:.2} p99 {:.2}",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
+        percentile(&stats.latencies, 0.50),
+        percentile(&stats.latencies, 0.95),
+        percentile(&stats.latencies, 0.99),
     );
-
-    // Scrape the server's own counters (greppable; CI asserts on these).
-    let mut client = Client::connect(addr).expect("stats connect");
-    let response = client.request("GET", "/stats", "").expect("read stats");
-    let stats = json::parse(response.body_str()).expect("parse stats");
-    // Older daemons have no runtime section; report what exists.
-    if let Some(runtime) = stats.get("runtime") {
-        let num =
-            |v: &json::Json, key: &str| v.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
-        println!("reuse_ratio: {:.2}", num(runtime, "reuse_ratio"));
-        println!("worker_panics: {}", num(runtime, "worker_panics") as i64);
-        println!(
-            "shed_connections: {}",
-            num(runtime, "shed_connections") as i64
-        );
-    } else {
-        println!("reuse_ratio: n/a (server reports no runtime section)");
-    }
+    print_status_classes(&stats);
+    print_runtime_counters(addr);
 
     if let Some(server) = server {
-        let mut client = Client::connect(addr).expect("shutdown connect");
-        exchange(&mut client, "POST", "/shutdown", "", true).expect("shutdown");
-        server.join();
+        shutdown(server, addr);
     }
 }

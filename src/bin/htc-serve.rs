@@ -14,16 +14,26 @@
 //!           [--cache-capacity N] [--batch-window-ms N]
 //!           [--artifact-root DIR] [--cache-dir DIR] [--threads N]
 //!           [--workers N] [--queue-capacity N] [--keep-alive-secs N]
+//!           [--request-deadline-secs N] [--peer-rps N] [--fault-plan SPEC]
 //! ```
+//!
+//! Request-lifecycle hardening: `--request-deadline-secs` caps each
+//! request's total time (queue wait + compute; `X-HTC-Deadline-Ms`
+//! overrides per request, 0 disables), `--peer-rps` enables per-client
+//! token-bucket rate limiting (identity: `X-HTC-Client` header or peer IP),
+//! and `--fault-plan` / the `HTC_FAULT` environment variable (flag wins;
+//! invalid env specs warn once and are ignored) inject deterministic faults
+//! for chaos drills.
 //!
 //! The daemon prints `listening on <addr>` to stdout once the socket is
 //! bound (scripts scrape this line for the resolved port) and runs until
 //! `POST /shutdown`.  See README.md for the request format and a curl
 //! quickstart.
 
-use htc::serve::{runtime::MAX_WORKERS, Server, ServerConfig};
+use htc::serve::{runtime::MAX_WORKERS, FaultPlan, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct ServeArgs {
@@ -36,13 +46,18 @@ fn print_usage() {
         "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper] \
          [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
          [--cache-dir DIR] [--threads N] [--workers N] [--queue-capacity N] \
-         [--keep-alive-secs N]"
+         [--keep-alive-secs N] [--request-deadline-secs N] [--peer-rps N] \
+         [--fault-plan SPEC]"
     );
 }
 
 fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:8700".into(),
+        // The daemon defaults to a 30 s budget per request (queue wait +
+        // compute); the embedded-server default stays "no deadline" so
+        // library users opt in.  `--request-deadline-secs 0` restores that.
+        request_deadline: Duration::from_secs(30),
         ..ServerConfig::default()
     };
     let mut threads = None;
@@ -103,6 +118,28 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
                 }
                 config.keep_alive = Duration::from_secs(secs);
             }
+            "--request-deadline-secs" => {
+                let secs: u64 = value("--request-deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --request-deadline-secs value: {e}"))?;
+                // 0 disables the default budget (header overrides still work).
+                config.request_deadline = Duration::from_secs(secs);
+            }
+            "--peer-rps" => {
+                let rps: f64 = value("--peer-rps")?
+                    .parse()
+                    .map_err(|e| format!("bad --peer-rps value: {e}"))?;
+                if !rps.is_finite() || rps < 0.0 {
+                    return Err("--peer-rps must be a non-negative number".into());
+                }
+                config.fairness.peer_tokens_per_sec = rps;
+            }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                let plan =
+                    FaultPlan::parse(&spec).map_err(|e| format!("bad --fault-plan value: {e}"))?;
+                config.fault = Some(Arc::new(plan));
+            }
             "--threads" => {
                 let n: usize = value("--threads")?
                     .parse()
@@ -137,6 +174,15 @@ fn main() -> ExitCode {
         // Must happen before the first parallel kernel runs: the worker pool
         // reads HTC_NUM_THREADS once, lazily, on first use.
         std::env::set_var("HTC_NUM_THREADS", n.to_string());
+    }
+    let mut args = args;
+    if args.config.fault.is_none() {
+        // Environment fallback is wired here — not in Server::start — so
+        // embedded servers (tests, examples) are immune to a stray HTC_FAULT.
+        args.config.fault = FaultPlan::from_env();
+    }
+    if let Some(plan) = &args.config.fault {
+        eprintln!("htc-serve: fault injection ACTIVE (seed {})", plan.seed());
     }
     let preset = args.config.default_preset.clone();
     let capacity = args.config.cache_capacity;
