@@ -16,16 +16,23 @@
 //! catalog source served against several targets through
 //! `AlignmentSession::align_many` (orbit counting + training once) versus the
 //! same targets aligned independently (the only option before the session
-//! API).
+//! API), and a `fleet` scenario measuring served throughput behind the
+//! consistent-hash router at 1, 2, and 4 in-process shards (warm artifact
+//! caches, keep-alive clients — the scale-out curve in PERFORMANCE.md).
 
 use htc_bench::{htc_config_for_scale, parse_args};
 use htc_core::pipeline::stages;
 use htc_core::{AlignmentSession, HtcAligner};
-use htc_datasets::{generate_pair, DatasetPreset, Scale};
+use htc_datasets::{generate_pair, DatasetPreset, Scale, SyntheticPairConfig};
+use htc_fleet::{Router, RouterConfig, ShardSet};
 use htc_graph::generators::{random_permutation, seeded_rng};
 use htc_graph::perturb::{permute_network, remove_edges};
 use htc_graph::AttributedNetwork;
-use std::time::Instant;
+use htc_serve::http::Client;
+use htc_serve::json::network_spec;
+use htc_serve::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -92,6 +99,123 @@ fn one_vs_many_json(scale: Scale) -> String {
         per_target_secs.join(", "),
         session.timer().count(stages::ORBIT_COUNTING),
         session.timer().count(stages::TRAINING),
+    )
+}
+
+/// Served RPS through an in-process fleet of `shards` shard servers behind
+/// the consistent-hash router, with warm per-source artifact caches.
+fn measure_fleet_rps(
+    shards: usize,
+    clients: usize,
+    bodies: &[String],
+    duration: Duration,
+) -> (u64, f64) {
+    let cache_dir =
+        std::env::temp_dir().join(format!("htc-bench-fleet-{}-{shards}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("create fleet spill dir");
+    let servers: Vec<Server> = (0..shards)
+        .map(|i| {
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                cache_dir: Some(cache_dir.clone()),
+                shard_id: Some(i),
+                ..ServerConfig::default()
+            })
+            .expect("start shard server")
+        })
+        .collect();
+    let set = Arc::new(ShardSet::new(shards));
+    for (i, server) in servers.iter().enumerate() {
+        set.incarnate(i, server.addr(), None);
+    }
+    let router = Router::start(RouterConfig::default(), set).expect("start router");
+    let addr = router.addr();
+
+    // Warm every source through the router so the measurement sees cache
+    // serving, not one-off training runs.
+    let mut warm = Client::connect(addr).expect("warmup connect");
+    for body in bodies {
+        let response = warm.request("POST", "/align", body).expect("warmup align");
+        assert_eq!(
+            response.status,
+            200,
+            "warmup failed: {}",
+            response.body_str()
+        );
+    }
+
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|client| {
+            let bodies = bodies.to_vec();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut conn: Option<Client> = None;
+                let mut turn = client; // stagger the round-robin start
+                while Instant::now() < deadline {
+                    if conn.is_none() {
+                        conn = Client::connect(addr).ok();
+                    }
+                    let Some(client) = conn.as_mut() else {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    };
+                    let body = &bodies[turn % bodies.len()];
+                    turn += 1;
+                    match client.request("POST", "/align", body) {
+                        Ok(response) if response.status == 200 => ok += 1,
+                        _ => conn = None,
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let total: u64 = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    router.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    (total, total as f64 / elapsed.max(1e-9))
+}
+
+/// Times the fleet scale-out scenario and renders its JSON object.
+fn fleet_json() -> String {
+    const CLIENTS: usize = 4;
+    const SOURCES: usize = 8;
+    const NODES: usize = 12;
+    const DURATION: Duration = Duration::from_secs(2);
+    let bodies: Vec<String> = (0..SOURCES)
+        .map(|i| {
+            let pair = generate_pair(&SyntheticPairConfig::tiny(NODES).with_seed(41 + i as u64));
+            format!(
+                "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
+                network_spec(&pair.source),
+                network_spec(&pair.target)
+            )
+        })
+        .collect();
+    let scaling: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            eprintln!("[bench_pipeline] fleet scenario: {shards} shard(s), {CLIENTS} clients");
+            let (requests, rps) = measure_fleet_rps(shards, CLIENTS, &bodies, DURATION);
+            format!("{{\"shards\": {shards}, \"requests\": {requests}, \"rps\": {rps:.1}}}")
+        })
+        .collect();
+    format!(
+        "  \"fleet\": {{\"clients\": {CLIENTS}, \"sources\": {SOURCES}, \
+         \"duration_seconds\": {:.1}, \"scaling\": [{}]}}",
+        DURATION.as_secs_f64(),
+        scaling.join(", ")
     )
 }
 
@@ -171,15 +295,17 @@ fn main() {
     }
 
     let one_vs_many = one_vs_many_json(args.scale);
+    let fleet = fleet_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v3\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v4\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),
         htc_linalg::active_isa().name(),
         datasets_json.join(",\n"),
-        one_vs_many
+        one_vs_many,
+        fleet
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark artifact");
     eprintln!("[bench_pipeline] wrote {out_path}");

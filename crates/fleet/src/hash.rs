@@ -1,0 +1,119 @@
+//! Rendezvous (highest-random-weight) hashing: the fingerprint→shard
+//! assignment rule.
+//!
+//! Every (fingerprint, shard) pair gets a pseudo-random score from a
+//! stateless mix; a fingerprint is owned by the shard with the highest
+//! score.  The properties that matter for the fleet fall out directly:
+//!
+//! * **Deterministic** — router restarts, or a second router in front of the
+//!   same fleet, compute identical assignments.  No shared state, no
+//!   coordination.
+//! * **Stable under resize** — removing a shard only moves the fingerprints
+//!   it owned (each falls to its second-choice shard); adding shard *n*
+//!   only claims the fingerprints whose new top score it holds (~1/(n+1) of
+//!   the keyspace).  No ring to rebalance, no virtual-node bookkeeping.
+//! * **Built-in failover order** — sorting shards by score yields each
+//!   fingerprint's full preference list, so "owner down" degrades to "next
+//!   preferred live shard" and every router agrees on what that is.
+
+/// The final mixing step of splitmix64: a full-avalanche `u64 → u64`
+/// bijection, so per-shard scores are effectively independent even though
+/// shard ids are tiny consecutive integers.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous score of one (fingerprint, shard) pair.
+pub fn shard_score(fingerprint: u64, shard: usize) -> u64 {
+    mix(fingerprint ^ mix(shard as u64))
+}
+
+/// The shard that owns `fingerprint` in a fleet of `n_shards`.
+pub fn owner(fingerprint: u64, n_shards: usize) -> usize {
+    (0..n_shards.max(1))
+        .max_by_key(|&s| shard_score(fingerprint, s))
+        .unwrap_or(0)
+}
+
+/// Every shard ordered by descending preference for `fingerprint`: the
+/// owner first, then the failover sequence.  Ties (astronomically unlikely)
+/// break toward the lower shard id so the order stays total and shared by
+/// every router.
+pub fn preference_order(fingerprint: u64, n_shards: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_shards.max(1)).collect();
+    order.sort_by_key(|&s| (std::cmp::Reverse(shard_score(fingerprint, s)), s));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_first_preference() {
+        for fp in [0u64, 1, 41, u64::MAX, 0xdead_beef] {
+            for n in 1..=8 {
+                assert_eq!(owner(fp, n), preference_order(fp, n)[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        for fp in 0..512u64 {
+            assert_eq!(owner(fp, 4), owner(fp, 4));
+            assert_eq!(preference_order(fp, 4), preference_order(fp, 4));
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_only_steals_keys_for_itself() {
+        // The rendezvous guarantee: growing 3 → 4 shards never moves a key
+        // between the three existing shards.
+        let mut moved_to_new = 0usize;
+        for fp in 0..4096u64 {
+            let before = owner(fp, 3);
+            let after = owner(fp, 4);
+            if before != after {
+                assert_eq!(after, 3, "key {fp} moved between pre-existing shards");
+                moved_to_new += 1;
+            }
+        }
+        // ~1/4 of the keyspace should land on the new shard.
+        assert!(
+            (700..=1350).contains(&moved_to_new),
+            "new shard claimed {moved_to_new}/4096 keys"
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_reassigns_only_its_keys() {
+        for fp in 0..4096u64 {
+            let with = preference_order(fp, 4);
+            if with[0] != 3 {
+                // Keys not owned by the removed shard must not move.
+                assert_eq!(owner(fp, 3), with[0]);
+            } else {
+                // Keys it owned fall to their second choice.
+                assert_eq!(owner(fp, 3), with[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut counts = [0usize; 4];
+        for fp in 0..8192u64 {
+            counts[owner(mix(fp), 4)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (1650..=2450).contains(&count),
+                "shard {shard} owns {count}/8192 keys"
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # htc-fleet
+//!
+//! Horizontal scale-out for `htc-serve`: a process **supervisor** plus a
+//! consistent-hash **router**, turning N single-process daemons into one
+//! fleet behind one address.
+//!
+//! ```text
+//!                      ┌────────────────────────┐
+//!        clients ───►  │  router  (htc-fleet)   │   GET /stats, /fleet/healthz
+//!                      │  rendezvous hash on    │   POST /align  → owner shard
+//!                      │  source fingerprint    │   POST /shutdown → drain all
+//!                      └───┬────────┬───────┬───┘
+//!                   pooled │        │       │ keep-alive
+//!                      ┌───▼──┐ ┌───▼──┐ ┌──▼───┐
+//!                      │shard0│ │shard1│ │shard2│   htc-serve --shard-id i
+//!                      └───┬──┘ └───┬──┘ └──┬───┘   (supervised, restarted
+//!                          │        │       │         on crash with backoff)
+//!                          └────────▼───────┘
+//!                        shared --cache-dir spill
+//!              (fingerprint-named, bit-identical artifacts:
+//!               any shard warm-starts any other's sources)
+//! ```
+//!
+//! The design leans on two earlier invariants:
+//!
+//! * Alignment artifacts are **deterministic and fingerprint-named**, so the
+//!   shared `--cache-dir` is a replication layer with no protocol: a shard
+//!   that takes over a dead peer's sources warm-starts them bit-identically
+//!   from the peer's own spill files.
+//! * [`htc_serve::routing_fingerprint`] computes a request's source key
+//!   without building a session, so the router stays cheap — parse, hash,
+//!   relay.
+//!
+//! [`hash`] implements rendezvous hashing (deterministic, minimal movement
+//! under shard add/remove), [`shard`] the live shard table, [`pool`] the
+//! generation-tagged upstream connection pool, [`supervisor`] process
+//! spawn/scrape/probe/restart, and [`router`] the proxy front-end with
+//! failover and fleet-wide stats aggregation.
+
+pub mod hash;
+pub mod pool;
+pub mod router;
+pub mod shard;
+pub mod supervisor;
+
+pub use hash::{owner, preference_order, shard_score};
+pub use pool::UpstreamPool;
+pub use router::{Router, RouterConfig, RouterMetrics};
+pub use shard::{ShardSet, ShardState};
+pub use supervisor::{Supervisor, SupervisorConfig};

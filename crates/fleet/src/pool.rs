@@ -1,0 +1,109 @@
+//! Pooled keep-alive connections into the shards.
+//!
+//! Each proxied request would otherwise pay a TCP handshake per hop; with
+//! persistent upstream connections the router's added latency is one
+//! request/response turn on a warm socket.  Connections are tagged with the
+//! shard **generation** they were opened against: after a crash/restart the
+//! supervisor bumps the generation, and checkout silently discards stale
+//! sockets instead of handing the router a connection into a dead process.
+
+use htc_serve::http::Client;
+use std::sync::Mutex;
+
+struct PooledConn {
+    client: Client,
+    generation: u64,
+}
+
+/// Per-shard stacks of idle upstream connections.
+pub struct UpstreamPool {
+    idle: Mutex<Vec<Vec<PooledConn>>>,
+    max_idle_per_shard: usize,
+}
+
+impl UpstreamPool {
+    pub fn new(n_shards: usize, max_idle_per_shard: usize) -> Self {
+        Self {
+            idle: Mutex::new((0..n_shards.max(1)).map(|_| Vec::new()).collect()),
+            max_idle_per_shard: max_idle_per_shard.max(1),
+        }
+    }
+
+    /// Pops an idle connection opened against the shard's *current*
+    /// generation; connections into older incarnations are dropped on the
+    /// way (their sockets are dead or about to be).
+    pub fn checkout(&self, shard: usize, current_generation: u64) -> Option<Client> {
+        let mut idle = self.idle.lock().unwrap();
+        let stack = &mut idle[shard];
+        while let Some(conn) = stack.pop() {
+            if conn.generation == current_generation {
+                return Some(conn.client);
+            }
+        }
+        None
+    }
+
+    /// Returns a still-usable connection.  Stale generations and overflow
+    /// beyond the per-shard cap are dropped (closing the socket).
+    pub fn checkin(&self, shard: usize, client: Client, generation: u64, current_generation: u64) {
+        if generation != current_generation {
+            return;
+        }
+        let mut idle = self.idle.lock().unwrap();
+        let stack = &mut idle[shard];
+        if stack.len() < self.max_idle_per_shard {
+            stack.push(PooledConn { client, generation });
+        }
+    }
+
+    /// Drops every idle connection into one shard (used when it is marked
+    /// down, so no request ever dequeues a socket into a corpse).
+    pub fn clear(&self, shard: usize) {
+        self.idle.lock().unwrap()[shard].clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn idle_count(&self, shard: usize) -> usize {
+        self.idle.lock().unwrap()[shard].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn client(listener: &TcpListener) -> Client {
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let _accepted = listener.accept().unwrap();
+        Client::from_stream(stream).unwrap()
+    }
+
+    #[test]
+    fn generations_gate_checkout_and_checkin() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = UpstreamPool::new(1, 4);
+        pool.checkin(0, client(&listener), 1, 1);
+        pool.checkin(0, client(&listener), 1, 1);
+        assert_eq!(pool.idle_count(0), 2);
+        // The shard restarted (generation 2): both pooled sockets point at
+        // the dead incarnation and must be discarded, not handed out.
+        assert!(pool.checkout(0, 2).is_none());
+        assert_eq!(pool.idle_count(0), 0);
+        // A stale checkin (connection opened against generation 1) is
+        // dropped on arrival.
+        pool.checkin(0, client(&listener), 1, 2);
+        assert_eq!(pool.idle_count(0), 0);
+        pool.checkin(0, client(&listener), 2, 2);
+        assert!(pool.checkout(0, 2).is_some());
+    }
+
+    #[test]
+    fn idle_cap_bounds_the_pool() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = UpstreamPool::new(1, 1);
+        pool.checkin(0, client(&listener), 1, 1);
+        pool.checkin(0, client(&listener), 1, 1);
+        assert_eq!(pool.idle_count(0), 1);
+    }
+}

@@ -1,0 +1,631 @@
+//! The fleet router: one front-end address over N shard processes.
+//!
+//! Runs on the same bounded [`ConnectionRuntime`] as a shard, so the router
+//! inherits the whole serving posture for free — worker pool, queue-full
+//! load shedding, keep-alive, deterministic drain.  Each `POST /align` body
+//! is fingerprinted ([`htc_serve::routing_fingerprint`]) and sent to the
+//! shard rendezvous hashing assigns it, over a pooled keep-alive upstream
+//! connection.  Repeat requests for one source therefore always land on the
+//! shard that has that source's session cached — the whole point of
+//! sharding a fingerprint-keyed cache.
+//!
+//! **Failover** is safe exactly until the upstream response head has been
+//! read: up to that point nothing was written downstream, so the router can
+//! retry the next live shard in the preference order (least-loaded first,
+//! by the `/healthz` load snapshots).  The shared `--cache-dir` makes this
+//! cheap *and* correct: the fallback shard warm-starts the dead owner's
+//! sources from its spilled artifacts, bit-identically.  Once a head has
+//! been relayed the router is committed; an upstream failure mid-body
+//! closes the client connection (a torn response must not look complete).
+//!
+//! `/stats` aggregates every live shard's stats (summed totals + per-shard
+//! raw snapshots + the router's own counters); `/fleet/healthz` reports the
+//! shard table.  `X-HTC-Deadline-Ms` and `X-HTC-Client` are forwarded
+//! upstream; `Retry-After` and chunked/streamed bodies come back through
+//! [`relay_response`] untouched.
+
+use crate::hash::preference_order;
+use crate::pool::UpstreamPool;
+use crate::shard::{ShardSet, ShardState};
+use htc_metrics::Counter;
+use htc_serve::http::{
+    await_request, read_request, read_response_head, relay_response, write_json_response,
+    write_json_response_with, AwaitOutcome, Client, HttpError, RelayError, Request,
+};
+use htc_serve::json::{self, Json};
+use htc_serve::routing_fingerprint;
+use htc_serve::runtime::{
+    default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics, ShutdownSignal,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 for ephemeral (tests).
+    pub addr: String,
+    /// Worker-pool size; `0` means [`default_workers`].
+    pub workers: usize,
+    /// Queue capacity before connections are shed with `503`.
+    pub queue_capacity: usize,
+    /// Idle keep-alive timeout for client connections.
+    pub keep_alive: Duration,
+    /// TCP connect budget per upstream attempt — how fast "shard is dead"
+    /// is discovered on the request path.
+    pub connect_timeout: Duration,
+    /// Budget for one upstream response (head + body relay).
+    pub proxy_deadline: Duration,
+    /// Idle upstream connections kept per shard.
+    pub max_idle_per_shard: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 128,
+            keep_alive: Duration::from_secs(15),
+            connect_timeout: Duration::from_millis(250),
+            proxy_deadline: Duration::from_secs(60),
+            max_idle_per_shard: 8,
+        }
+    }
+}
+
+/// The router's own counters (everything else on `/stats` comes from the
+/// shards or the shared [`RuntimeMetrics`]).
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Requests relayed with an upstream response (any status).
+    pub proxied_ok: Counter,
+    /// Relayed requests that were served by a non-owner shard.
+    pub failovers: Counter,
+    /// Requests answered `502` because no shard could take them.
+    pub bad_gateway: Counter,
+    /// Align bodies with no routable source fingerprint (still forwarded —
+    /// the shard owns the 400).
+    pub unroutable: Counter,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    shards: Arc<ShardSet>,
+    pool: UpstreamPool,
+    metrics: Arc<RouterMetrics>,
+    runtime_metrics: Arc<RuntimeMetrics>,
+    shutdown: Arc<ShutdownSignal>,
+    started: Instant,
+}
+
+/// A running fleet router.
+pub struct Router {
+    addr: SocketAddr,
+    runtime: ConnectionRuntime,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Binds and starts routing over the given shard table (owned by a
+    /// [`crate::Supervisor`], or populated by hand in tests).
+    pub fn start(mut config: RouterConfig, shards: Arc<ShardSet>) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        if config.workers == 0 {
+            config.workers = default_workers();
+        }
+        let shutdown = Arc::new(ShutdownSignal::new());
+        let runtime_metrics = Arc::new(RuntimeMetrics::default());
+        let runtime_config = RuntimeConfig {
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            retry_after_secs: 1,
+        };
+        let pool = UpstreamPool::new(shards.len(), config.max_idle_per_shard);
+        let shared = Arc::new(RouterShared {
+            pool,
+            shards,
+            metrics: Arc::new(RouterMetrics::default()),
+            runtime_metrics: Arc::clone(&runtime_metrics),
+            shutdown: Arc::clone(&shutdown),
+            started: Instant::now(),
+            config,
+        });
+        let handler_shared = Arc::clone(&shared);
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
+            Arc::new(move |stream, _accepted_at| handle_connection(stream, &handler_shared));
+        let runtime =
+            ConnectionRuntime::start(listener, runtime_config, shutdown, runtime_metrics, handler)?;
+        Ok(Router {
+            addr,
+            runtime,
+            shared,
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn metrics(&self) -> Arc<RouterMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// External shutdown trigger (signal handlers).
+    pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.shared.shutdown)
+    }
+
+    /// Stops accepting, drains queued connections, joins every worker.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.trigger();
+        self.runtime.join();
+    }
+
+    /// Blocks until the router stops (`POST /shutdown` or a signal).
+    pub fn join(mut self) {
+        self.runtime.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    while let AwaitOutcome::Ready = await_request(&mut reader, shared.config.keep_alive, || {
+        shared.shutdown.is_triggered()
+    }) {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError { status, message }) => {
+                let body = json::obj(vec![
+                    ("error", json::str(message)),
+                    ("kind", json::str("http")),
+                ])
+                .render();
+                let _ = write_json_response(&mut stream, status, &body, false);
+                break;
+            }
+        };
+        shared.runtime_metrics.total_requests.inc();
+        let keep_alive = request.keep_alive && !shared.shutdown.is_triggered();
+        let connection_usable = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/align") => proxy_align(&mut stream, &request, shared, keep_alive),
+            ("GET", "/healthz") => write_json_response(
+                &mut stream,
+                200,
+                &json::obj(vec![
+                    ("status", json::str("ok")),
+                    ("role", json::str("router")),
+                    (
+                        "uptime_seconds",
+                        json::num(shared.started.elapsed().as_secs_f64()),
+                    ),
+                ])
+                .render(),
+                keep_alive,
+            )
+            .map(|()| true),
+            ("GET", "/fleet/healthz") => {
+                write_json_response(&mut stream, 200, &fleet_healthz(shared), keep_alive)
+                    .map(|()| true)
+            }
+            ("GET", "/stats") => {
+                write_json_response(&mut stream, 200, &fleet_stats(shared), keep_alive)
+                    .map(|()| true)
+            }
+            ("POST", "/shutdown") => {
+                let body = json::obj(vec![("status", json::str("stopping"))]).render();
+                let written = write_json_response(&mut stream, 200, &body, false);
+                shared.shutdown.trigger();
+                let _ = written;
+                break;
+            }
+            ("POST", _) | ("GET", _) => write_json_response(
+                &mut stream,
+                404,
+                &json::obj(vec![
+                    ("error", json::str(format!("no route {}", request.path))),
+                    ("kind", json::str("not_found")),
+                ])
+                .render(),
+                keep_alive,
+            )
+            .map(|()| true),
+            (method, _) => write_json_response(
+                &mut stream,
+                405,
+                &json::obj(vec![
+                    ("error", json::str(format!("method {method} not allowed"))),
+                    ("kind", json::str("method_not_allowed")),
+                ])
+                .render(),
+                keep_alive,
+            )
+            .map(|()| true),
+        };
+        match connection_usable {
+            Ok(true) if keep_alive => {}
+            _ => break,
+        }
+    }
+}
+
+/// One upstream proxy attempt against a specific shard incarnation.
+enum Attempt {
+    /// Response fully relayed downstream (upstream status irrelevant — the
+    /// shard's 4xx/5xx are the client's business).
+    Relayed {
+        client: Client,
+        generation: u64,
+        reusable: bool,
+    },
+    /// Upstream failed before a head was read; nothing was written
+    /// downstream, so the request can fail over.
+    UpstreamFailed(String),
+    /// Upstream died mid-body after the head was relayed: the downstream
+    /// response is torn and the connection must close.
+    TornMidBody,
+    /// The client went away while we were writing to it.
+    DownstreamGone(std::io::Error),
+}
+
+/// Routes and relays one `POST /align`.  Returns whether the downstream
+/// connection is still usable for keep-alive.
+fn proxy_align(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Arc<RouterShared>,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    let fingerprint = routing_fingerprint(&request.body);
+    if fingerprint.is_none() {
+        // Forwarded anyway: the owner of "fingerprint 0" will produce the
+        // same structured 400/422 any shard would.
+        shared.metrics.unroutable.inc();
+    }
+    let order = preference_order(fingerprint.unwrap_or(0), shared.shards.len());
+    let states = shared.shards.snapshot_all();
+    let candidates = candidate_order(&order, &states);
+    let mut forward: Vec<(&str, &str)> = Vec::new();
+    for name in ["x-htc-deadline-ms", "x-htc-client"] {
+        if let Some(value) = request.header(name) {
+            forward.push((name, value));
+        }
+    }
+    for &shard in &candidates {
+        // Fresh snapshot per attempt: the supervisor may have restarted the
+        // shard (new addr + generation) since the pre-sort snapshot.
+        let state = shared.shards.snapshot(shard);
+        let Some(addr) = state.addr else { continue };
+        let deadline = Instant::now() + shared.config.proxy_deadline;
+        match attempt_proxy(
+            shard,
+            addr,
+            state.generation,
+            &request.body,
+            &forward,
+            stream,
+            keep_alive,
+            deadline,
+            shared,
+        ) {
+            Attempt::Relayed {
+                client,
+                generation,
+                reusable,
+            } => {
+                if reusable {
+                    let current = shared.shards.snapshot(shard).generation;
+                    shared.pool.checkin(shard, client, generation, current);
+                }
+                shared.metrics.proxied_ok.inc();
+                // A failover is any request served off its rendezvous owner
+                // — whether the owner failed mid-request (position > 0) or
+                // was already marked down and never entered the candidates.
+                if shard != order[0] {
+                    shared.metrics.failovers.inc();
+                }
+                return Ok(true);
+            }
+            Attempt::UpstreamFailed(why) => {
+                // Passive health: stop routing here until the supervisor's
+                // probe sees the shard answering again.
+                eprintln!(
+                    "htc-fleet: shard {shard} failed before responding ({why}); failing over"
+                );
+                shared.shards.mark_down(shard);
+                shared.pool.clear(shard);
+                continue;
+            }
+            Attempt::TornMidBody => return Ok(false),
+            Attempt::DownstreamGone(e) => return Err(e),
+        }
+    }
+    shared.metrics.bad_gateway.inc();
+    let body = json::obj(vec![
+        ("error", json::str("no live shard could serve this request")),
+        ("kind", json::str("bad_gateway")),
+    ])
+    .render();
+    write_json_response_with(stream, 502, &body, keep_alive, Some(1))?;
+    Ok(true)
+}
+
+/// The shards to try, in order: the rendezvous owner first (when live), then
+/// the remaining live shards least-loaded first (load snapshots from the
+/// supervisor's probes; the stable sort keeps rendezvous order among equals).
+/// With *no* live shard, every addressed shard is tried in rendezvous order
+/// — one may have just come back up between probes.
+fn candidate_order(preference: &[usize], states: &[ShardState]) -> Vec<usize> {
+    let live = |s: usize| states[s].healthy && states[s].addr.is_some();
+    let owner = preference[0];
+    let mut candidates: Vec<usize> = Vec::with_capacity(preference.len());
+    if live(owner) {
+        candidates.push(owner);
+    }
+    let mut fallbacks: Vec<usize> = preference[1..]
+        .iter()
+        .copied()
+        .filter(|&s| live(s))
+        .collect();
+    fallbacks.sort_by_key(|&s| states[s].load_key());
+    candidates.extend(fallbacks);
+    if candidates.is_empty() {
+        candidates.extend(
+            preference
+                .iter()
+                .copied()
+                .filter(|&s| states[s].addr.is_some()),
+        );
+    }
+    candidates
+}
+
+/// One attempt: checkout/connect, forward the request, read the head, relay
+/// the body.  A pooled connection that fails before the head is retried once
+/// on a fresh socket — the shard may simply have idle-closed it — before the
+/// shard itself is declared failed.
+#[allow(clippy::too_many_arguments)]
+fn attempt_proxy(
+    shard: usize,
+    addr: SocketAddr,
+    generation: u64,
+    body: &[u8],
+    forward: &[(&str, &str)],
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    deadline: Instant,
+    shared: &Arc<RouterShared>,
+) -> Attempt {
+    let pooled = shared.pool.checkout(shard, generation);
+    let had_pooled = pooled.is_some();
+    let sources = if had_pooled { 0..2 } else { 1..2 };
+    let mut pooled = pooled;
+    let mut last_error = String::new();
+    for source in sources {
+        let mut client = match pooled.take() {
+            Some(client) => client,
+            None => match Client::connect_timeout(addr, shared.config.connect_timeout) {
+                Ok(client) => client,
+                Err(e) => return Attempt::UpstreamFailed(format!("connect {addr}: {e}")),
+            },
+        };
+        if let Err(e) = client.send_request_bytes("POST", "/align", body, false, forward) {
+            last_error = format!("send: {e}");
+            if source == 0 {
+                continue;
+            }
+            return Attempt::UpstreamFailed(last_error);
+        }
+        let head = match read_response_head(client.reader_mut(), deadline) {
+            Ok(head) => head,
+            Err(e) => {
+                last_error = format!("response head: {e}");
+                if source == 0 {
+                    continue;
+                }
+                return Attempt::UpstreamFailed(last_error);
+            }
+        };
+        // Committed: a head exists, so this response — whatever its status
+        // — is the one the client gets.
+        let shard_tag = [("X-HTC-Shard", shard.to_string())];
+        return match relay_response(
+            client.reader_mut(),
+            &head,
+            stream,
+            keep_alive,
+            &shard_tag,
+            deadline,
+        ) {
+            Ok(()) => {
+                let reusable = head
+                    .header("connection")
+                    .is_none_or(|v| !v.eq_ignore_ascii_case("close"));
+                Attempt::Relayed {
+                    client,
+                    generation,
+                    reusable,
+                }
+            }
+            Err(RelayError::Upstream(_)) => Attempt::TornMidBody,
+            Err(RelayError::Downstream(e)) => Attempt::DownstreamGone(e),
+        };
+    }
+    Attempt::UpstreamFailed(last_error)
+}
+
+/// `GET /fleet/healthz`: the shard table as the router sees it.
+fn fleet_healthz(shared: &Arc<RouterShared>) -> String {
+    let states = shared.shards.snapshot_all();
+    let healthy = states.iter().filter(|s| s.healthy).count();
+    let status = if healthy == states.len() {
+        "ok"
+    } else if healthy > 0 {
+        "degraded"
+    } else {
+        "down"
+    };
+    let members = states.iter().enumerate().map(|(i, s)| {
+        json::obj(vec![
+            ("shard", json::num(i as f64)),
+            ("healthy", Json::Bool(s.healthy)),
+            (
+                "addr",
+                s.addr.map_or(Json::Null, |a| json::str(a.to_string())),
+            ),
+            ("generation", json::num(s.generation as f64)),
+            ("restarts", json::num(s.restarts as f64)),
+            ("pressure_level", json::num(s.pressure_level as f64)),
+            ("active", json::num(s.active as f64)),
+            ("queued", json::num(s.queued as f64)),
+        ])
+    });
+    json::obj(vec![
+        ("status", json::str(status)),
+        ("shards", json::num(states.len() as f64)),
+        ("healthy", json::num(healthy as f64)),
+        ("members", json::arr(members)),
+    ])
+    .render()
+}
+
+/// The per-shard counters summed into the fleet-wide `totals` block; every
+/// path is a `(group, field)` of the shard `/stats` schema.
+const SUMMED_STATS: &[(&str, &str)] = &[
+    ("requests", "total"),
+    ("requests", "align_ok"),
+    ("requests", "align_err"),
+    ("runtime", "total_connections"),
+    ("runtime", "total_requests"),
+    ("runtime", "shed_connections"),
+    ("runtime", "worker_panics"),
+    ("cache", "hits"),
+    ("cache", "misses"),
+    ("cache", "evictions"),
+    ("cache", "spills"),
+    ("cache", "reloads"),
+    ("cache", "reload_errors"),
+    ("batching", "batches"),
+    ("batching", "batched_requests"),
+    ("robustness", "deadline_expired"),
+    ("robustness", "rate_limited"),
+    ("robustness", "degraded_responses"),
+];
+
+/// `GET /stats`: fetches every live shard's `/stats`, sums the curated
+/// counters into `totals`, embeds each shard's raw snapshot, and adds the
+/// router's own counters.
+fn fleet_stats(shared: &Arc<RouterShared>) -> String {
+    let states = shared.shards.snapshot_all();
+    let mut sums = vec![0.0f64; SUMMED_STATS.len()];
+    let mut members: Vec<Json> = Vec::with_capacity(states.len());
+    for (i, state) in states.iter().enumerate() {
+        let mut fields = vec![
+            ("shard", json::num(i as f64)),
+            ("healthy", Json::Bool(state.healthy)),
+            ("generation", json::num(state.generation as f64)),
+            ("restarts", json::num(state.restarts as f64)),
+        ];
+        let fetched = state
+            .addr
+            .filter(|_| state.healthy)
+            .ok_or_else(|| "shard down".to_string())
+            .and_then(|addr| fetch_shard_stats(addr, shared.config.connect_timeout));
+        match fetched {
+            Ok(text) => {
+                if let Ok(parsed) = json::parse(&text) {
+                    for (slot, (group, field)) in SUMMED_STATS.iter().enumerate() {
+                        sums[slot] += parsed
+                            .get(group)
+                            .and_then(|g| g.get(field))
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0);
+                    }
+                }
+                fields.push(("stats", Json::Raw(text)));
+            }
+            Err(e) => fields.push(("error", json::str(e))),
+        }
+        members.push(json::obj(fields));
+    }
+    // Rebuild the nested {group: {field: sum}} shape from the flat sums.
+    let mut totals: Vec<(&str, Json)> = Vec::new();
+    for (slot, (group, field)) in SUMMED_STATS.iter().enumerate() {
+        if totals.last().map(|(g, _)| *g) != Some(*group) {
+            totals.push((group, json::obj(Vec::new())));
+        }
+        if let Some((_, Json::Obj(fields))) = totals.last_mut() {
+            fields.push((field.to_string(), json::num(sums[slot])));
+        }
+    }
+    let metrics = &shared.metrics;
+    let runtime = &shared.runtime_metrics;
+    json::obj(vec![
+        ("role", json::str("router")),
+        (
+            "uptime_seconds",
+            json::num(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "fleet",
+            json::obj(vec![
+                ("shards", json::num(states.len() as f64)),
+                (
+                    "healthy",
+                    json::num(states.iter().filter(|s| s.healthy).count() as f64),
+                ),
+            ]),
+        ),
+        (
+            "router",
+            json::obj(vec![
+                ("proxied_ok", json::num(metrics.proxied_ok.get() as f64)),
+                ("failovers", json::num(metrics.failovers.get() as f64)),
+                ("bad_gateway", json::num(metrics.bad_gateway.get() as f64)),
+                ("unroutable", json::num(metrics.unroutable.get() as f64)),
+                (
+                    "total_connections",
+                    json::num(runtime.total_connections.get() as f64),
+                ),
+                (
+                    "total_requests",
+                    json::num(runtime.total_requests.get() as f64),
+                ),
+                (
+                    "shed_connections",
+                    json::num(runtime.shed_connections.get() as f64),
+                ),
+                ("queue_depth", json::num(runtime.queue_depth.get() as f64)),
+                (
+                    "active_connections",
+                    json::num(runtime.active_connections.get() as f64),
+                ),
+            ]),
+        ),
+        ("totals", json::obj(totals)),
+        ("shards", Json::Arr(members)),
+    ])
+    .render()
+}
+
+/// One `GET /stats` against a shard on a throwaway connection (stats are
+/// rare; pooled sockets stay reserved for the align path).
+fn fetch_shard_stats(addr: SocketAddr, connect_timeout: Duration) -> Result<String, String> {
+    let mut client = Client::connect_timeout(addr, connect_timeout).map_err(|e| e.to_string())?;
+    client.set_response_deadline(Duration::from_secs(5));
+    client
+        .send_with("GET", "/stats", "", true)
+        .map_err(|e| format!("send: {e}"))?;
+    let response = client.read()?;
+    if response.status != 200 {
+        return Err(format!("stats answered {}", response.status));
+    }
+    String::from_utf8(response.body).map_err(|_| "stats body not UTF-8".into())
+}

@@ -1,0 +1,157 @@
+//! The live shard table: the one piece of state the supervisor and the
+//! router share.
+//!
+//! The supervisor writes into it (addresses as children come up, health and
+//! load from `/healthz` probes, generation bumps on restart); the router
+//! reads snapshots to pick proxy targets and marks shards down the moment a
+//! connect fails — passive health feedback that is faster than the next
+//! probe tick.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+/// One shard's routing-relevant state.  `generation` increments on every
+/// (re)spawn; pooled upstream connections are tagged with it so connections
+/// into a dead incarnation are discarded instead of reused.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    pub addr: Option<SocketAddr>,
+    pub healthy: bool,
+    pub generation: u64,
+    /// Load snapshot from the last `/healthz` probe — the failover tiebreak.
+    pub pressure_level: u8,
+    pub active: u64,
+    pub queued: u64,
+    /// Times the supervisor respawned this shard after a crash.
+    pub restarts: u64,
+    /// OS pid of the current incarnation (`None` between incarnations).
+    pub pid: Option<u32>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            addr: None,
+            healthy: false,
+            generation: 0,
+            pressure_level: 0,
+            active: 0,
+            queued: 0,
+            restarts: 0,
+            pid: None,
+        }
+    }
+
+    /// The failover sort key among healthy candidates: pressure rung first,
+    /// then raw occupancy.
+    pub fn load_key(&self) -> (u8, u64) {
+        (self.pressure_level, self.active + self.queued)
+    }
+}
+
+/// A fixed-size table of [`ShardState`]s behind one lock.  Shard *ids* are
+/// stable for the fleet's lifetime (they are what rendezvous hashing maps
+/// onto); only the state behind an id changes.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Mutex<Vec<ShardState>>,
+}
+
+impl ShardSet {
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            shards: Mutex::new((0..n_shards.max(1)).map(|_| ShardState::new()).collect()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn snapshot(&self, shard: usize) -> ShardState {
+        self.shards.lock().unwrap()[shard].clone()
+    }
+
+    pub fn snapshot_all(&self) -> Vec<ShardState> {
+        self.shards.lock().unwrap().clone()
+    }
+
+    /// A new incarnation came up: record its address and pid, bump the
+    /// generation (invalidating pooled connections into the old one), and
+    /// mark it healthy.  Returns the new generation.
+    pub fn incarnate(&self, shard: usize, addr: SocketAddr, pid: Option<u32>) -> u64 {
+        let mut shards = self.shards.lock().unwrap();
+        let s = &mut shards[shard];
+        s.addr = Some(addr);
+        s.pid = pid;
+        s.generation += 1;
+        s.healthy = true;
+        s.pressure_level = 0;
+        s.active = 0;
+        s.queued = 0;
+        s.generation
+    }
+
+    /// Probe result: the shard answered `/healthz` with this load snapshot.
+    pub fn record_health(&self, shard: usize, pressure_level: u8, active: u64, queued: u64) {
+        let mut shards = self.shards.lock().unwrap();
+        let s = &mut shards[shard];
+        s.healthy = true;
+        s.pressure_level = pressure_level;
+        s.active = active;
+        s.queued = queued;
+    }
+
+    /// The shard stopped answering (probe failures, connect refusal, or an
+    /// observed process exit).  Routing skips it until the supervisor sees
+    /// it healthy again.
+    pub fn mark_down(&self, shard: usize) {
+        let mut shards = self.shards.lock().unwrap();
+        shards[shard].healthy = false;
+    }
+
+    /// The process exited: down, pid gone, restart counted.
+    pub fn record_exit(&self, shard: usize) {
+        let mut shards = self.shards.lock().unwrap();
+        let s = &mut shards[shard];
+        s.healthy = false;
+        s.pid = None;
+        s.restarts += 1;
+    }
+
+    pub fn healthy_count(&self) -> usize {
+        self.shards
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.healthy)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incarnation_bumps_generation_and_resets_load() {
+        let set = ShardSet::new(2);
+        let addr: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        assert_eq!(set.incarnate(0, addr, Some(41)), 1);
+        set.record_health(0, 2, 7, 3);
+        assert_eq!(set.snapshot(0).load_key(), (2, 10));
+        set.record_exit(0);
+        let down = set.snapshot(0);
+        assert!(!down.healthy);
+        assert_eq!(down.restarts, 1);
+        assert_eq!(set.incarnate(0, addr, Some(42)), 2);
+        let up = set.snapshot(0);
+        assert!(up.healthy);
+        assert_eq!(up.load_key(), (0, 0));
+        assert_eq!(set.healthy_count(), 1);
+    }
+}

@@ -200,8 +200,11 @@ impl<T> ArtifactCache<T> {
 }
 
 /// FNV-1a over a byte string (the configuration-tag component of spill file
-/// names; the two `u64` fingerprints are embedded verbatim).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// names; the two `u64` fingerprints are embedded verbatim).  Also the
+/// routing fingerprint for `stem`-referenced sources — anything that hashes
+/// the same bytes to the same value serves, since routing only needs
+/// consistency, not equality with the cache key.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;

@@ -329,6 +329,7 @@ fn status_text(status: u16) -> &'static str {
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Response",
@@ -494,6 +495,18 @@ impl Client {
         Client::from_stream(writer)
     }
 
+    /// [`connect`](Self::connect) with a bound on the TCP handshake itself —
+    /// the fleet router and the supervisor's health prober must learn "this
+    /// shard is unreachable" in milliseconds, not after the kernel's minutes-
+    /// long connect timeout.
+    pub fn connect_timeout(
+        addr: std::net::SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let writer = TcpStream::connect_timeout(&addr, timeout)?;
+        Client::from_stream(writer)
+    }
+
     /// Wraps an already-connected stream (e.g. one opened before the server
     /// had a free worker, to observe queueing).
     pub fn from_stream(writer: TcpStream) -> std::io::Result<Client> {
@@ -552,6 +565,38 @@ impl Client {
     /// Writes one keep-alive request.
     pub fn send(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<()> {
         self.send_with(method, path, body, false)
+    }
+
+    /// Writes one request with a raw byte body — the proxy path, where the
+    /// router forwards a request body verbatim without asserting it is UTF-8.
+    pub fn send_request_bytes(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        close: bool,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        let connection = if close { "close" } else { "keep-alive" };
+        let mut extra = String::new();
+        for (name, value) in headers {
+            extra.push_str(&format!("{name}: {value}\r\n"));
+        }
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: client\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n{extra}Connection: {connection}\r\n\r\n",
+            body.len()
+        );
+        let mut request = Vec::with_capacity(head.len() + body.len());
+        request.extend_from_slice(head.as_bytes());
+        request.extend_from_slice(body);
+        self.writer.write_all(&request)
+    }
+
+    /// The buffered read half — the fleet router relays response bytes
+    /// straight off it after [`read_response_head`].
+    pub fn reader_mut(&mut self) -> &mut BufReader<TcpStream> {
+        &mut self.reader
     }
 
     /// Reads the next response off the persistent connection, bounded by the
@@ -683,70 +728,12 @@ pub fn read_client_response_deadline(
     reader: &mut BufReader<TcpStream>,
     deadline: Instant,
 ) -> Result<ClientResponse, String> {
-    // Collected via fill_buf/consume, not read_line: read_line discards the
-    // bytes it already appended when a read times out, so a line arriving in
-    // trickles would silently lose its prefix between attempts.
-    let line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
-        let mut line: Vec<u8> = Vec::new();
-        loop {
-            arm_client_timeout(reader, deadline)?;
-            let buf = match reader.fill_buf() {
-                Ok([]) => return Err("connection closed".into()),
-                Ok(buf) => buf,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    continue;
-                }
-                Err(e) => return Err(client_read_error(e, deadline)),
-            };
-            let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
-                Some(pos) => (&buf[..=pos], true),
-                None => (buf, false),
-            };
-            if line.len() + chunk.len() > MAX_HEAD_BYTES {
-                return Err("response line exceeds the head budget".into());
-            }
-            line.extend_from_slice(chunk);
-            let consumed = chunk.len();
-            reader.consume(consumed);
-            if done {
-                return String::from_utf8(line).map_err(|_| "response is not UTF-8".into());
-            }
-        }
-    };
-    let status_line = line(reader)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
-    let mut headers = Vec::new();
-    loop {
-        let header = line(reader)?;
-        let trimmed = header.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
-            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-        }
-    }
-    let response = ClientResponse {
-        status,
-        headers,
-        body: Vec::new(),
-    };
-    let chunked = response
-        .header("transfer-encoding")
-        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    let head = read_response_head(reader, deadline)?;
+    let chunked = head_is_chunked(&head);
     let mut body = Vec::new();
     if chunked {
         loop {
-            let size_line = line(reader)?;
+            let size_line = read_line_deadline(reader, deadline)?;
             let size = usize::from_str_radix(size_line.trim(), 16)
                 .map_err(|_| format!("bad chunk size {size_line:?}"))?;
             let mut chunk = vec![0u8; size + 2]; // chunk + trailing CRLF
@@ -758,12 +745,224 @@ pub fn read_client_response_deadline(
             body.extend_from_slice(&chunk);
         }
     } else {
-        let length: usize = response
-            .header("content-length")
-            .and_then(|v| v.parse().ok())
-            .ok_or("response has neither Content-Length nor chunked encoding")?;
+        let length = head_content_length(&head)?;
         body = vec![0u8; length];
         read_exact_deadline(reader, &mut body, deadline)?;
     }
-    Ok(ClientResponse { body, ..response })
+    Ok(ClientResponse {
+        status: head.status,
+        headers: head.headers,
+        body,
+    })
+}
+
+/// One `\n`-terminated line off a response stream, collected via
+/// fill_buf/consume rather than `read_line`: `read_line` discards the bytes
+/// it already appended when a read times out, so a line arriving in trickles
+/// would silently lose its prefix between attempts.
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<String, String> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        arm_client_timeout(reader, deadline)?;
+        let buf = match reader.fill_buf() {
+            Ok([]) => return Err("connection closed".into()),
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(client_read_error(e, deadline)),
+        };
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&buf[..=pos], true),
+            None => (buf, false),
+        };
+        if line.len() + chunk.len() > MAX_HEAD_BYTES {
+            return Err("response line exceeds the head budget".into());
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if done {
+            return String::from_utf8(line).map_err(|_| "response is not UTF-8".into());
+        }
+    }
+}
+
+/// The status line and headers of one response, parsed but with the body
+/// still unread on the stream.  This is the decision point for a proxy: a
+/// head that arrived means the upstream is committed to answering, so the
+/// caller can start relaying; a head that failed means the request can still
+/// fail over to another upstream with nothing written downstream.
+#[derive(Debug)]
+pub struct ResponseHead {
+    pub status: u16,
+    /// Lower-cased names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ResponseHead {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn head_is_chunked(head: &ResponseHead) -> bool {
+    head.header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+}
+
+fn head_content_length(head: &ResponseHead) -> Result<usize, String> {
+    head.header("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| "response has neither Content-Length nor chunked encoding".into())
+}
+
+/// Reads one response head (status line + headers) off the stream, leaving
+/// the body unread.
+pub fn read_response_head(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<ResponseHead, String> {
+    let status_line = read_line_deadline(reader, deadline)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let header = read_line_deadline(reader, deadline)?;
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(ResponseHead { status, headers })
+}
+
+/// Why a [`relay_response`] failed — the two sides matter differently to a
+/// proxy: an upstream failure mid-body leaves the downstream response torn
+/// (the connection must close), while a downstream failure just means the
+/// client went away.
+#[derive(Debug)]
+pub enum RelayError {
+    Upstream(String),
+    Downstream(std::io::Error),
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelayError::Upstream(e) => write!(f, "upstream: {e}"),
+            RelayError::Downstream(e) => write!(f, "downstream: {e}"),
+        }
+    }
+}
+
+/// Relays one already-read [`ResponseHead`] plus its still-unread body from
+/// `upstream` to `downstream`, preserving the body framing: a
+/// `Content-Length` body is copied in bounded buffers, a chunked body is
+/// re-framed chunk by chunk — a streamed upstream response stays streamed
+/// through the proxy, with peak memory one copy buffer regardless of body
+/// size.
+///
+/// Every upstream header is forwarded verbatim except `Connection`, which is
+/// rewritten for the *downstream* connection's keep-alive state (the two
+/// hops' lifetimes are independent), plus any `extra_headers` the proxy wants
+/// to inject (e.g. `X-HTC-Shard`).
+pub fn relay_response(
+    upstream: &mut BufReader<TcpStream>,
+    head: &ResponseHead,
+    downstream: &mut TcpStream,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+    deadline: Instant,
+) -> Result<(), RelayError> {
+    let mut out = format!("HTTP/1.1 {} {}\r\n", head.status, status_text(head.status));
+    for (name, value) in &head.headers {
+        if name == "connection" {
+            continue;
+        }
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str(&format!(
+        "Connection: {}\r\n\r\n",
+        connection_header(keep_alive)
+    ));
+    downstream
+        .write_all(out.as_bytes())
+        .map_err(RelayError::Downstream)?;
+
+    if head_is_chunked(head) {
+        loop {
+            let size_line = read_line_deadline(upstream, deadline).map_err(RelayError::Upstream)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| RelayError::Upstream(format!("bad chunk size {size_line:?}")))?;
+            downstream
+                .write_all(format!("{size:x}\r\n").as_bytes())
+                .map_err(RelayError::Downstream)?;
+            // The chunk and its trailing CRLF; the zero-length terminator
+            // carries just the CRLF.
+            copy_exact(upstream, downstream, size + 2, deadline)?;
+            if size == 0 {
+                break;
+            }
+        }
+    } else {
+        let length = head_content_length(head).map_err(RelayError::Upstream)?;
+        copy_exact(upstream, downstream, length, deadline)?;
+    }
+    downstream.flush().map_err(RelayError::Downstream)
+}
+
+/// Copies exactly `count` body bytes upstream → downstream through one
+/// bounded buffer, every read deadline-checked.
+fn copy_exact(
+    upstream: &mut BufReader<TcpStream>,
+    downstream: &mut TcpStream,
+    count: usize,
+    deadline: Instant,
+) -> Result<(), RelayError> {
+    let mut remaining = count;
+    let mut buf = [0u8; 16 * 1024];
+    while remaining > 0 {
+        arm_client_timeout(upstream, deadline).map_err(RelayError::Upstream)?;
+        let want = remaining.min(buf.len());
+        match upstream.read(&mut buf[..want]) {
+            Ok(0) => {
+                return Err(RelayError::Upstream("connection closed mid-body".into()));
+            }
+            Ok(n) => {
+                downstream
+                    .write_all(&buf[..n])
+                    .map_err(RelayError::Downstream)?;
+                remaining -= n;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(RelayError::Upstream(client_read_error(e, deadline))),
+        }
+    }
+    Ok(())
 }

@@ -56,9 +56,11 @@ pub mod http;
 pub mod json;
 pub mod runtime;
 pub mod server;
+pub mod signal;
 
 pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats, DurableStore};
 pub use fair::{FairnessConfig, PeerLimiter, SourceGate};
 pub use fault::{FaultPlan, WriteFault};
 pub use runtime::{default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics};
-pub use server::{ServeError, Server, ServerConfig};
+pub use server::{routing_fingerprint, ServeError, Server, ServerConfig};
+pub use signal::install_shutdown_handler;

@@ -101,6 +101,10 @@ pub struct ServerConfig {
     /// Deterministic fault-injection schedule for chaos testing; `None` in
     /// normal operation.
     pub fault: Option<Arc<FaultPlan>>,
+    /// This process's position in a fleet (`--shard-id`); reported on
+    /// `/healthz` so the supervisor can verify it is probing the shard it
+    /// thinks it is.  `None` for a standalone daemon.
+    pub shard_id: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +123,7 @@ impl Default for ServerConfig {
             request_deadline: Duration::ZERO,
             fairness: FairnessConfig::default(),
             fault: None,
+            shard_id: None,
         }
     }
 }
@@ -332,6 +337,13 @@ impl Server {
     /// Live runtime occupancy counters (shared with `/stats`).
     pub fn metrics(&self) -> Arc<RuntimeMetrics> {
         self.runtime.metrics()
+    }
+
+    /// The server's shutdown signal — an external trigger (a Unix signal
+    /// handler, a supervisor) drains the server exactly like `POST /shutdown`
+    /// does.
+    pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.shared.shutdown)
     }
 
     /// Stops accepting, serves whatever is queued, and joins every worker.
@@ -564,17 +576,34 @@ fn write_align_response(
 
 fn route(request: &Request, shared: &Arc<Shared>, ctx: &RequestCtx) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Reply::Json(
-            200,
-            json::obj(vec![
+        ("GET", "/healthz") => {
+            // Liveness plus the load snapshot a fleet router needs to prefer
+            // less-loaded replicas on failover: the pressure rung and the raw
+            // occupancy gauges behind it.
+            let mut fields = vec![
                 ("status", json::str("ok")),
                 (
                     "uptime_seconds",
                     json::num(shared.started.elapsed().as_secs_f64()),
                 ),
-            ])
-            .render(),
-        ),
+                (
+                    "pressure_level",
+                    json::num(pressure_level(
+                        shared.metrics.queue_depth.get(),
+                        shared.config.queue_capacity,
+                    ) as f64),
+                ),
+                (
+                    "active",
+                    json::num(shared.metrics.active_connections.get() as f64),
+                ),
+                ("queued", json::num(shared.metrics.queue_depth.get() as f64)),
+            ];
+            if let Some(shard_id) = shared.config.shard_id {
+                fields.push(("shard_id", json::num(shard_id as f64)));
+            }
+            Reply::Json(200, json::obj(fields).render())
+        }
         ("GET", "/stats") => Reply::Json(200, stats_json(shared)),
         ("POST", "/align") => match handle_align(request, shared, ctx) {
             Ok(reply) => {
@@ -788,9 +817,9 @@ fn preset_config(name: &str) -> Result<HtcConfig, ServeError> {
 /// Validates a request-supplied filesystem path against the configured
 /// artifact root: with a root, paths must be relative, `..`-free and resolve
 /// inside it; without one, they pass through (trusted operator).
-fn resolve_path(shared: &Shared, raw: &str) -> Result<PathBuf, ServeError> {
+fn resolve_path(artifact_root: Option<&Path>, raw: &str) -> Result<PathBuf, ServeError> {
     let path = Path::new(raw);
-    match &shared.config.artifact_root {
+    match artifact_root {
         None => Ok(path.to_path_buf()),
         Some(root) => {
             let traversal = path.components().any(|c| {
@@ -814,7 +843,7 @@ fn resolve_path(shared: &Shared, raw: &str) -> Result<PathBuf, ServeError> {
 /// Parses a network spec: inline `{"num_nodes", "edges", "attributes"?}` or
 /// `{"stem": "<path>"}` referencing `<stem>.edges` / `<stem>.attrs` files.
 fn parse_network(
-    shared: &Shared,
+    artifact_root: Option<&Path>,
     spec: &Json,
     what: &str,
 ) -> Result<AttributedNetwork, ServeError> {
@@ -822,7 +851,7 @@ fn parse_network(
         let stem = stem
             .as_str()
             .ok_or_else(|| ServeError::bad_request(format!("{what}.stem must be a string")))?;
-        let stem = resolve_path(shared, stem)?;
+        let stem = resolve_path(artifact_root, stem)?;
         return read_network(&stem).map_err(|e| {
             ServeError::new(
                 422,
@@ -889,6 +918,30 @@ fn parse_network(
     }
 }
 
+/// The sharding key of an align request body: a stable hash of its **source**
+/// network, computed without touching the filesystem or building a session.
+///
+/// A fleet router calls this to decide which shard owns the request.  The
+/// value need not equal the shard's own [`CacheKey`] fingerprint — routing
+/// only needs *consistency* (the same source always hashes the same), so a
+/// `stem`-referenced source is hashed by its path bytes while an inline
+/// source is hashed by its parsed graph structure (whitespace- and
+/// key-order-insensitive, matching the shard's `graph_fingerprint`).
+///
+/// `None` means the body is not a routable align request (malformed JSON, no
+/// source, bad graph) — any shard will reject it with the same 400/422, so
+/// the router may send it anywhere.
+pub fn routing_fingerprint(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let root = json::parse(text).ok()?;
+    let source = root.get("source")?;
+    if let Some(stem) = source.get("stem") {
+        return stem.as_str().map(|s| crate::cache::fnv1a(s.as_bytes()));
+    }
+    let network = parse_network(None, source, "source").ok()?;
+    Some(graph_fingerprint(network.graph()))
+}
+
 fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, ServeError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ServeError::bad_request("request body is not UTF-8"))?;
@@ -929,8 +982,9 @@ fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, Ser
     let target_spec = root
         .get("target")
         .ok_or_else(|| ServeError::bad_request("request needs a target network"))?;
-    let source = parse_network(shared, source_spec, "source")?;
-    let target = parse_network(shared, target_spec, "target")?;
+    let artifact_root = shared.config.artifact_root.as_deref();
+    let source = parse_network(artifact_root, source_spec, "source")?;
+    let target = parse_network(artifact_root, target_spec, "target")?;
     let path_field = |key: &str| -> Result<Option<PathBuf>, ServeError> {
         match source_spec.get(key) {
             None | Some(Json::Null) => Ok(None),
@@ -938,7 +992,7 @@ fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, Ser
                 let raw = v.as_str().ok_or_else(|| {
                     ServeError::bad_request(format!("source.{key} must be a string"))
                 })?;
-                resolve_path(shared, raw).map(Some)
+                resolve_path(artifact_root, raw).map(Some)
             }
         }
     };

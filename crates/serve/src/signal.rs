@@ -1,0 +1,83 @@
+//! Unix signal → clean drain, without a signal-handling dependency.
+//!
+//! A fleet supervisor stops its shards with `SIGTERM`; an operator stops a
+//! standalone daemon with Ctrl-C (`SIGINT`).  Both must take the *same*
+//! deterministic drain path as `POST /shutdown`: stop accepting, serve
+//! whatever is queued, join every worker.  Killing the process mid-response
+//! would tear connections and race the durable-cache spill writes.
+//!
+//! The handler itself does the only thing that is async-signal-safe: store
+//! one atomic flag.  A watcher thread polls the flag and forwards it to the
+//! server's [`ShutdownSignal`] — `trigger` takes locks and opens a wake-up
+//! connection, neither of which may run inside a signal handler.
+
+use crate::runtime::ShutdownSignal;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; drained by the watcher thread.
+static SIGNAL_PENDING: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::SIGNAL_PENDING;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`.  Declared with a typed handler (not `usize`)
+        /// because this module only ever installs a real function — never
+        /// `SIG_IGN`/`SIG_DFL`.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a lock-free store and nothing else.
+        SIGNAL_PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install_handlers() {
+        // SAFETY: `signal` is the POSIX libc symbol (linked via std's libc
+        // dependency); `on_signal` is a valid `extern "C" fn(i32)` for the
+        // whole program lifetime and only performs an atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install_handlers() {}
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers and spawns a watcher thread that
+/// converts the first received signal into `shutdown.trigger()` — the exact
+/// shutdown path `POST /shutdown` takes.  On non-Unix targets only the
+/// (never-set) watcher is spawned.
+///
+/// Call once from the binary's `main`, after the server has started.  The
+/// watcher is a daemon thread: it exits with the process and is deliberately
+/// not joined.
+pub fn install_shutdown_handler(shutdown: Arc<ShutdownSignal>) {
+    sys::install_handlers();
+    std::thread::Builder::new()
+        .name("htc-serve-signals".into())
+        .spawn(move || loop {
+            if SIGNAL_PENDING.load(Ordering::SeqCst) {
+                shutdown.trigger();
+                return;
+            }
+            if shutdown.is_triggered() {
+                // The server is already draining via another path; the
+                // watcher has nothing left to forward.
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        })
+        .expect("spawning the signal watcher thread");
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release --example serve_load -- [--clients N] [--duration-secs S]
 //!     [--nodes N] [--workers N] [--addr HOST:PORT] [--close] [--hot-client]
+//!     [--fleet N] [--sources K]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (worker pool sized by
@@ -26,13 +27,25 @@
 //! phase).  The `fairness:` line reports the victims' p99 in both phases and
 //! how often the hot client was rate-limited — CI asserts the ratio stays
 //! bounded while the hot client is actually throttled.
+//!
+//! `--fleet N` runs the scale-out drill: N in-process shard servers sharing
+//! one spill directory behind a consistent-hash [`Router`], hammered with
+//! `--sources K` distinct source graphs so the load spreads across shards.
+//! Responses carry `X-HTC-Shard`; the drill prints the per-shard request
+//! distribution (`shard_distribution:` line) and *asserts* stickiness —
+//! every source graph must be served by exactly the shard its fingerprint
+//! hashes to.  502s are retryable in this mode (the router's mid-failover
+//! signal) and show up in the `status_classes:` line.
 
 use htc::datasets::{generate_pair, SyntheticPairConfig};
+use htc::fleet::{owner, Router, RouterConfig, ShardSet};
 use htc::serve::http::Client;
 use htc::serve::json::{self, network_spec};
-use htc::serve::{Server, ServerConfig};
+use htc::serve::{routing_fingerprint, Server, ServerConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Victim cadence in the `--hot-client` drill: one request per 40 ms
@@ -54,6 +67,8 @@ struct LoadArgs {
     addr: Option<String>,
     close_per_request: bool,
     hot_client: bool,
+    fleet: usize,
+    sources: usize,
 }
 
 impl Default for LoadArgs {
@@ -66,6 +81,8 @@ impl Default for LoadArgs {
             addr: None,
             close_per_request: false,
             hot_client: false,
+            fleet: 0,
+            sources: 1,
         }
     }
 }
@@ -100,14 +117,35 @@ fn parse_args() -> Result<LoadArgs, String> {
             "--addr" => args.addr = Some(value("--addr")?),
             "--close" => args.close_per_request = true,
             "--hot-client" => args.hot_client = true,
+            "--fleet" => {
+                args.fleet = value("--fleet")?
+                    .parse()
+                    .map_err(|e| format!("bad --fleet: {e}"))?;
+            }
+            "--sources" => {
+                args.sources = value("--sources")?
+                    .parse()
+                    .map_err(|e| format!("bad --sources: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if args.clients == 0 {
         return Err("--clients must be at least 1".into());
     }
+    if args.sources == 0 {
+        return Err("--sources must be at least 1".into());
+    }
     if args.hot_client && args.addr.is_some() {
         return Err("--hot-client runs its own in-process server; drop --addr".into());
+    }
+    if args.fleet > 0 && (args.addr.is_some() || args.hot_client) {
+        return Err("--fleet runs its own in-process fleet; drop --addr/--hot-client".into());
+    }
+    if args.fleet > 0 && args.sources == 1 {
+        // One source pins every request to one shard; spread the keyspace so
+        // the scale-out drill actually exercises the hash ring.
+        args.sources = 4 * args.fleet;
     }
     Ok(args)
 }
@@ -135,7 +173,12 @@ struct ClientStats {
     rate_limited: u64, // 429
     unavailable: u64,  // 503
     deadline: u64,     // 504
+    bad_gateway: u64,  // 502 — router-level retryable, fleet mode only
     other_errors: u64, // connect failures, io errors, unexpected statuses
+    /// Requests served per shard id (fleet mode; from `X-HTC-Shard`).
+    shard_requests: Vec<u64>,
+    /// Which shard(s) each source index was observed on (fleet mode).
+    source_shards: Vec<BTreeSet<usize>>,
 }
 
 impl ClientStats {
@@ -145,11 +188,36 @@ impl ClientStats {
         self.rate_limited += other.rate_limited;
         self.unavailable += other.unavailable;
         self.deadline += other.deadline;
+        self.bad_gateway += other.bad_gateway;
         self.other_errors += other.other_errors;
+        if self.shard_requests.len() < other.shard_requests.len() {
+            self.shard_requests.resize(other.shard_requests.len(), 0);
+        }
+        for (i, n) in other.shard_requests.iter().enumerate() {
+            self.shard_requests[i] += n;
+        }
+        if self.source_shards.len() < other.source_shards.len() {
+            self.source_shards
+                .resize(other.source_shards.len(), BTreeSet::new());
+        }
+        for (i, shards) in other.source_shards.iter_mut().enumerate() {
+            self.source_shards[i].append(shards);
+        }
     }
 
     fn errors(&self) -> u64 {
-        self.rate_limited + self.unavailable + self.deadline + self.other_errors
+        self.rate_limited + self.unavailable + self.deadline + self.bad_gateway + self.other_errors
+    }
+
+    fn record_shard(&mut self, shard: usize, source: usize) {
+        if self.shard_requests.len() <= shard {
+            self.shard_requests.resize(shard + 1, 0);
+        }
+        self.shard_requests[shard] += 1;
+        if self.source_shards.len() <= source {
+            self.source_shards.resize(source + 1, BTreeSet::new());
+        }
+        self.source_shards[source].insert(shard);
     }
 }
 
@@ -189,8 +257,15 @@ fn retry_hint_ms(response: &htc::serve::http::ClientResponse) -> Option<u64> {
 }
 
 /// Per-client loop: requests until the deadline, honouring server retry
-/// hints with seeded, jittered backoff.
-fn run_client(addr: SocketAddr, body: String, deadline: Instant, opts: ClientOpts) -> ClientStats {
+/// hints with seeded, jittered backoff.  With several bodies (fleet mode)
+/// each request picks one deterministically at random, and the responding
+/// shard (from `X-HTC-Shard`) is recorded per source.
+fn run_client(
+    addr: SocketAddr,
+    bodies: Arc<Vec<String>>,
+    deadline: Instant,
+    opts: ClientOpts,
+) -> ClientStats {
     let mut stats = ClientStats::default();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut backoff_ms = BACKOFF_BASE_MS;
@@ -233,12 +308,17 @@ fn run_client(addr: SocketAddr, body: String, deadline: Instant, opts: ClientOpt
             .iter()
             .map(|(k, v)| (k.as_str(), v.as_str()))
             .collect();
+        let source = if bodies.len() == 1 {
+            0
+        } else {
+            rng.gen_range(0..bodies.len())
+        };
         let start = Instant::now();
         let response = client
             .send_with_headers(
                 "POST",
                 "/align",
-                &body,
+                &bodies[source],
                 opts.close_per_request,
                 &header_refs,
             )
@@ -248,7 +328,18 @@ fn run_client(addr: SocketAddr, body: String, deadline: Instant, opts: ClientOpt
             Ok(response) if (200..300).contains(&response.status) => {
                 stats.ok += 1;
                 stats.latencies.push(start.elapsed().as_micros() as u64);
+                if let Some(shard) = response.header("x-htc-shard").and_then(|s| s.parse().ok()) {
+                    stats.record_shard(shard, source);
+                }
                 backoff_ms = BACKOFF_BASE_MS;
+            }
+            Ok(response) if response.status == 502 => {
+                // The router answers 502 with Retry-After while a shard is
+                // down and not yet failed over / restarted — retryable.
+                stats.bad_gateway += 1;
+                let hint = retry_hint_ms(&response).unwrap_or(backoff_ms);
+                pause(hint, &mut rng);
+                backoff_ms = (backoff_ms * 2).min(BACKOFF_MAX_MS);
             }
             Ok(response) if matches!(response.status, 429 | 503 | 504) => {
                 match response.status {
@@ -288,7 +379,11 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
 }
 
 fn align_body(nodes: usize) -> String {
-    let pair = generate_pair(&SyntheticPairConfig::tiny(nodes).with_seed(41));
+    align_body_seeded(nodes, 41)
+}
+
+fn align_body_seeded(nodes: usize, seed: u64) -> String {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(nodes).with_seed(seed));
     format!(
         "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
         network_spec(&pair.source),
@@ -296,18 +391,32 @@ fn align_body(nodes: usize) -> String {
     )
 }
 
+/// The `--sources` distinct request bodies (one shared source graph each).
+fn align_bodies(nodes: usize, sources: usize) -> Vec<String> {
+    (0..sources)
+        .map(|i| align_body_seeded(nodes, 41 + i as u64))
+        .collect()
+}
+
 /// Warm the artifact cache so measurements see steady-state serving, not one
 /// training run amortised arbitrarily across clients.
-fn warmup(addr: SocketAddr, body: &str) {
+fn warmup(addr: SocketAddr, bodies: &[String]) {
     let mut client = Client::connect(addr).expect("warmup connect");
-    let status = exchange(&mut client, "POST", "/align", body, true).expect("warmup align");
-    assert_eq!(status, 200, "warmup request failed");
+    for body in bodies {
+        let status = exchange(&mut client, "POST", "/align", body, false).expect("warmup align");
+        assert_eq!(status, 200, "warmup request failed");
+    }
 }
 
 fn print_status_classes(stats: &ClientStats) {
     println!(
-        "status_classes: 2xx={} 429={} 503={} 504={}",
-        stats.ok, stats.rate_limited, stats.unavailable, stats.deadline
+        "status_classes: 2xx={} 429={} 503={} 504={} 502={} other={}",
+        stats.ok,
+        stats.rate_limited,
+        stats.unavailable,
+        stats.deadline,
+        stats.bad_gateway,
+        stats.other_errors
     );
 }
 
@@ -346,6 +455,109 @@ fn shutdown(server: Server, addr: SocketAddr) {
     server.join();
 }
 
+/// An in-process fleet: shard servers sharing one spill directory behind a
+/// consistent-hash router (same wiring as the `htc-fleet` binary, minus the
+/// child processes — this drill measures routing, not supervision).
+struct InProcessFleet {
+    router: Router,
+    shards: Vec<Server>,
+    cache_dir: std::path::PathBuf,
+}
+
+impl InProcessFleet {
+    fn start(shards: usize, workers: usize) -> InProcessFleet {
+        let cache_dir = std::env::temp_dir().join(format!(
+            "htc-serve-load-fleet-{}-{shards}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        std::fs::create_dir_all(&cache_dir).expect("create fleet spill dir");
+        let servers: Vec<Server> = (0..shards)
+            .map(|i| {
+                Server::start(ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    cache_dir: Some(cache_dir.clone()),
+                    shard_id: Some(i),
+                    workers,
+                    ..ServerConfig::default()
+                })
+                .expect("start shard server")
+            })
+            .collect();
+        let set = Arc::new(ShardSet::new(shards));
+        for (i, server) in servers.iter().enumerate() {
+            set.incarnate(i, server.addr(), None);
+        }
+        let router = Router::start(RouterConfig::default(), set).expect("start router");
+        InProcessFleet {
+            router,
+            shards: servers,
+            cache_dir,
+        }
+    }
+
+    fn teardown(self) {
+        self.router.shutdown();
+        for shard in self.shards {
+            shard.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.cache_dir);
+    }
+}
+
+/// Router-side counters (greppable, fleet mode).
+fn print_fleet_counters(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("stats connect");
+    let response = client.request("GET", "/stats", "").expect("read stats");
+    let stats = json::parse(response.body_str()).expect("parse stats");
+    let num = |v: &json::Json, key: &str| v.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
+    if let Some(router) = stats.get("router") {
+        println!(
+            "router_counters: proxied_ok={} failovers={} bad_gateway={} unroutable={}",
+            num(router, "proxied_ok") as i64,
+            num(router, "failovers") as i64,
+            num(router, "bad_gateway") as i64,
+            num(router, "unroutable") as i64,
+        );
+    }
+    if let Some(fleet) = stats.get("fleet") {
+        println!(
+            "fleet_health: shards={} healthy={}",
+            num(fleet, "shards") as i64,
+            num(fleet, "healthy") as i64,
+        );
+    }
+}
+
+/// Fleet-mode epilogue: per-shard distribution and the stickiness assertion
+/// — every source must have been served by exactly the shard its routing
+/// fingerprint hashes to.
+fn report_fleet(stats: &ClientStats, bodies: &[String], shards: usize) {
+    let dist: Vec<String> = stats
+        .shard_requests
+        .iter()
+        .enumerate()
+        .map(|(shard, n)| format!("{shard}={n}"))
+        .collect();
+    println!("shard_distribution: {}", dist.join(" "));
+    let mut sampled = 0usize;
+    for (source, observed) in stats.source_shards.iter().enumerate() {
+        if observed.is_empty() {
+            continue; // never sampled inside the measurement window
+        }
+        sampled += 1;
+        let expected = owner(
+            routing_fingerprint(bodies[source].as_bytes()).expect("bodies carry a source"),
+            shards,
+        );
+        assert!(
+            observed.len() == 1 && observed.contains(&expected),
+            "stickiness violated: source {source} expected shard {expected}, saw {observed:?}"
+        );
+    }
+    println!("stickiness: ok ({sampled} sources, each pinned to its rendezvous shard)");
+}
+
 /// One drill phase: paced victims (plus optionally the unpaced hot client)
 /// run until the deadline.  Returns (merged victim stats, hot stats).
 fn drill_phase(
@@ -356,27 +568,28 @@ fn drill_phase(
     with_hot: bool,
 ) -> (ClientStats, ClientStats) {
     let deadline = Instant::now() + duration;
+    let bodies = Arc::new(vec![body.to_string()]);
     let victim_threads: Vec<_> = (0..victims)
         .map(|i| {
-            let body = body.to_string();
+            let bodies = Arc::clone(&bodies);
             let opts = ClientOpts {
                 close_per_request: false,
                 identity: Some(format!("victim-{i}")),
                 pace: Some(Duration::from_millis(VICTIM_PACE_MS)),
                 seed: 0x5eed_0000 + i as u64,
             };
-            std::thread::spawn(move || run_client(addr, body, deadline, opts))
+            std::thread::spawn(move || run_client(addr, bodies, deadline, opts))
         })
         .collect();
     let hot_thread = with_hot.then(|| {
-        let body = body.to_string();
+        let bodies = Arc::clone(&bodies);
         let opts = ClientOpts {
             close_per_request: false,
             identity: Some("hot".to_string()),
             pace: None,
             seed: 0x0b5e_55ed,
         };
-        std::thread::spawn(move || run_client(addr, body, deadline, opts))
+        std::thread::spawn(move || run_client(addr, bodies, deadline, opts))
     });
     let mut victim_stats = ClientStats::default();
     for thread in victim_threads {
@@ -409,7 +622,7 @@ fn hot_client_drill(args: &LoadArgs) {
     let addr = server.addr();
 
     let body = align_body(args.nodes);
-    warmup(addr, &body);
+    warmup(addr, std::slice::from_ref(&body));
 
     println!(
         "serve_load: hot-client drill, {} victims + 1 hot, {:.1}s per phase, \
@@ -473,8 +686,9 @@ fn main() {
         return;
     }
 
-    // An in-process server unless an external one was named.
-    let server = if args.addr.is_none() {
+    // An in-process fleet or server unless an external one was named.
+    let fleet = (args.fleet > 0).then(|| InProcessFleet::start(args.fleet, args.workers));
+    let server = if args.addr.is_none() && fleet.is_none() {
         Some(
             Server::start(ServerConfig {
                 workers: args.workers,
@@ -485,22 +699,23 @@ fn main() {
     } else {
         None
     };
-    let addr: SocketAddr = match (&args.addr, &server) {
-        (Some(addr), _) => addr.parse().expect("--addr must be HOST:PORT"),
-        (None, Some(server)) => server.addr(),
-        (None, None) => unreachable!(),
+    let addr: SocketAddr = match (&args.addr, &fleet, &server) {
+        (Some(addr), _, _) => addr.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(fleet), _) => fleet.router.addr(),
+        (None, None, Some(server)) => server.addr(),
+        (None, None, None) => unreachable!(),
     };
 
-    let body = align_body(args.nodes);
-    warmup(addr, &body);
+    let bodies = Arc::new(align_bodies(args.nodes, args.sources));
+    warmup(addr, &bodies);
 
     let deadline = Instant::now() + args.duration;
     let started = Instant::now();
     let clients: Vec<_> = (0..args.clients)
         .map(|i| {
-            let body = body.clone();
+            let bodies = Arc::clone(&bodies);
             let opts = ClientOpts::plain(args.close_per_request, 0x10ad_0000 + i as u64);
-            std::thread::spawn(move || run_client(addr, body, deadline, opts))
+            std::thread::spawn(move || run_client(addr, bodies, deadline, opts))
         })
         .collect();
     let mut stats = ClientStats::default();
@@ -511,13 +726,18 @@ fn main() {
     stats.latencies.sort_unstable();
 
     println!(
-        "serve_load: {} clients, {:.1}s, {}",
+        "serve_load: {} clients, {:.1}s, {}{}",
         args.clients,
         args.duration.as_secs_f64(),
         if args.close_per_request {
             "connection-per-request"
         } else {
             "keep-alive"
+        },
+        if args.fleet > 0 {
+            format!(", fleet of {} shards, {} sources", args.fleet, args.sources)
+        } else {
+            String::new()
         }
     );
     println!("requests: {} ok, {} errors", stats.ok, stats.errors());
@@ -532,9 +752,16 @@ fn main() {
         percentile(&stats.latencies, 0.99),
     );
     print_status_classes(&stats);
-    print_runtime_counters(addr);
+    if let Some(fleet) = &fleet {
+        report_fleet(&stats, &bodies, fleet.shards.len());
+        print_fleet_counters(addr);
+    } else {
+        print_runtime_counters(addr);
+    }
 
-    if let Some(server) = server {
+    if let Some(fleet) = fleet {
+        fleet.teardown();
+    } else if let Some(server) = server {
         shutdown(server, addr);
     }
 }

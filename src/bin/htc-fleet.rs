@@ -1,0 +1,182 @@
+//! `htc-fleet` — sharded multi-process serving behind one address.
+//!
+//! Spawns and supervises N `htc-serve` shard processes (restart-on-crash
+//! with backoff, `/healthz`-probed) and fronts them with a consistent-hash
+//! router: every align request's source fingerprint maps to one shard, so
+//! each shard's artifact cache sees a disjoint, sticky slice of the source
+//! population.  All shards share one `--cache-dir`; because artifacts are
+//! fingerprint-named and bit-identical, any shard warm-starts any other
+//! shard's sources after a failover or restart.
+//!
+//! ```text
+//! htc-fleet [--addr 127.0.0.1:8800] [--shards N] [--cache-dir DIR]
+//!           [--serve-bin PATH] [--workers N] [--queue-capacity N]
+//!           [--keep-alive-secs N] [--health-interval-ms N]
+//!           [--shard-arg ARG]...
+//! ```
+//!
+//! `--shard-arg` is repeatable and passed through to every shard verbatim
+//! (e.g. `--shard-arg --preset --shard-arg paper`).  `--serve-bin` defaults
+//! to an `htc-serve` binary next to the `htc-fleet` executable.
+//!
+//! Prints `listening on <addr>` (the router) plus one
+//! `shard <i> pid <p> listening on <addr>` line per shard to stdout; runs
+//! until `POST /shutdown` or `SIGINT`/`SIGTERM`, then drains the whole
+//! fleet: the router stops accepting and joins, each shard gets `SIGTERM`
+//! (its own clean drain), and the supervisor joins every child — no
+//! orphans.
+
+use htc::fleet::{Router, RouterConfig, Supervisor, SupervisorConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct FleetArgs {
+    supervisor: SupervisorConfig,
+    router: RouterConfig,
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: htc-fleet [--addr HOST:PORT] [--shards N] [--cache-dir DIR] \
+         [--serve-bin PATH] [--workers N] [--queue-capacity N] \
+         [--keep-alive-secs N] [--health-interval-ms N] [--shard-arg ARG]..."
+    );
+}
+
+/// The default shard binary: `htc-serve` next to this executable (the two
+/// are built into the same target directory).
+fn sibling_serve_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("htc-serve")))
+        .unwrap_or_else(|| PathBuf::from("htc-serve"))
+}
+
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<FleetArgs, String> {
+    let mut supervisor = SupervisorConfig {
+        serve_bin: sibling_serve_bin(),
+        cache_dir: std::env::temp_dir().join(format!("htc-fleet-cache-{}", std::process::id())),
+        ..SupervisorConfig::default()
+    };
+    let mut router = RouterConfig {
+        addr: "127.0.0.1:8800".into(),
+        ..RouterConfig::default()
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--addr" => router.addr = value("--addr")?,
+            "--shards" => {
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards value: {e}"))?;
+                if !(1..=64).contains(&n) {
+                    return Err("--shards must be between 1 and 64".into());
+                }
+                supervisor.shards = n;
+            }
+            "--cache-dir" => supervisor.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--serve-bin" => supervisor.serve_bin = PathBuf::from(value("--serve-bin")?),
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers value: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                router.workers = n;
+            }
+            "--queue-capacity" => {
+                let n: usize = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity value: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+                router.queue_capacity = n;
+            }
+            "--keep-alive-secs" => {
+                let secs: u64 = value("--keep-alive-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --keep-alive-secs value: {e}"))?;
+                if secs == 0 {
+                    return Err("--keep-alive-secs must be at least 1".into());
+                }
+                router.keep_alive = Duration::from_secs(secs);
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value("--health-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --health-interval-ms value: {e}"))?;
+                if ms == 0 {
+                    return Err("--health-interval-ms must be at least 1".into());
+                }
+                supervisor.health_interval = Duration::from_millis(ms);
+            }
+            "--shard-arg" => supervisor.shard_args.push(value("--shard-arg")?),
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(FleetArgs { supervisor, router })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_cli(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+    if !args.supervisor.serve_bin.exists() {
+        eprintln!(
+            "error: shard binary {:?} not found (set --serve-bin)",
+            args.supervisor.serve_bin
+        );
+        return ExitCode::FAILURE;
+    }
+    let shards = args.supervisor.shards;
+    let cache_dir = args.supervisor.cache_dir.clone();
+    let supervisor = match Supervisor::start(args.supervisor) {
+        Ok(supervisor) => supervisor,
+        Err(e) => {
+            eprintln!("error: failed to start supervisor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !supervisor.wait_all_listening(Duration::from_secs(30)) {
+        eprintln!("error: not every shard came up within 30s");
+        supervisor.shutdown();
+        return ExitCode::FAILURE;
+    }
+    let router = match Router::start(args.router, supervisor.shards()) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: failed to start router: {e}");
+            supervisor.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    // SIGINT/SIGTERM drain the router exactly like POST /shutdown; the
+    // supervisor tears the shards down after the router has finished.
+    htc::serve::install_shutdown_handler(router.shutdown_signal());
+    // Machine-scrapable; CI and scripts wait for this line (same format as
+    // htc-serve so the scrape logic is shared).
+    println!("listening on {}", router.addr());
+    eprintln!(
+        "htc-fleet up: {shards} shards, shared cache at {} (POST /shutdown to stop)",
+        cache_dir.display()
+    );
+    // Fleet drain, in dependency order: the router stops accepting and joins
+    // its workers first (no request can arrive for a stopping shard), then
+    // every shard is SIGTERMed and every monitor joined.
+    router.join();
+    supervisor.shutdown();
+    eprintln!("htc-fleet: shut down cleanly");
+    ExitCode::SUCCESS
+}

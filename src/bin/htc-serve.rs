@@ -15,6 +15,7 @@
 //!           [--artifact-root DIR] [--cache-dir DIR] [--threads N]
 //!           [--workers N] [--queue-capacity N] [--keep-alive-secs N]
 //!           [--request-deadline-secs N] [--peer-rps N] [--fault-plan SPEC]
+//!           [--shard-id N]
 //! ```
 //!
 //! Request-lifecycle hardening: `--request-deadline-secs` caps each
@@ -27,7 +28,10 @@
 //!
 //! The daemon prints `listening on <addr>` to stdout once the socket is
 //! bound (scripts scrape this line for the resolved port) and runs until
-//! `POST /shutdown`.  See README.md for the request format and a curl
+//! `POST /shutdown` or a `SIGINT`/`SIGTERM` — all three take the same
+//! deterministic drain (stop accepting, serve the queue, join workers).
+//! `--shard-id` tags the process as one member of an `htc-fleet` (reported
+//! on `/healthz`).  See README.md for the request format and a curl
 //! quickstart.
 
 use htc::serve::{runtime::MAX_WORKERS, FaultPlan, Server, ServerConfig};
@@ -47,7 +51,7 @@ fn print_usage() {
          [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
          [--cache-dir DIR] [--threads N] [--workers N] [--queue-capacity N] \
          [--keep-alive-secs N] [--request-deadline-secs N] [--peer-rps N] \
-         [--fault-plan SPEC]"
+         [--fault-plan SPEC] [--shard-id N]"
     );
 }
 
@@ -134,6 +138,12 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
                 }
                 config.fairness.peer_tokens_per_sec = rps;
             }
+            "--shard-id" => {
+                let id: usize = value("--shard-id")?
+                    .parse()
+                    .map_err(|e| format!("bad --shard-id value: {e}"))?;
+                config.shard_id = Some(id);
+            }
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
                 let plan =
@@ -194,6 +204,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // SIGINT/SIGTERM drain the server exactly like POST /shutdown — the
+    // supervisor's way of stopping a shard without the HTTP side-channel.
+    htc::serve::install_shutdown_handler(server.shutdown_signal());
     // Machine-scrapable; CI and scripts wait for this line.
     println!("listening on {}", server.addr());
     eprintln!(

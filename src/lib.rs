@@ -16,6 +16,8 @@
 //! * [`datasets`] — synthetic evaluation datasets ([`htc_datasets`])
 //! * [`metrics`] — precision@q / MRR and timers ([`htc_metrics`])
 //! * [`serve`] — the `htc-serve` HTTP/JSON alignment daemon ([`htc_serve`])
+//! * [`fleet`] — sharded multi-process serving: supervisor + consistent-hash
+//!   router ([`htc_fleet`])
 //! * [`viz`] — t-SNE / PCA for embedding figures ([`htc_viz`])
 //!
 //! ## Quickstart
@@ -37,6 +39,7 @@
 pub use htc_baselines as baselines;
 pub use htc_core as core;
 pub use htc_datasets as datasets;
+pub use htc_fleet as fleet;
 pub use htc_graph as graph;
 pub use htc_linalg as linalg;
 pub use htc_metrics as metrics;

@@ -1,0 +1,336 @@
+//! Process-level fleet drills: these tests own the real `htc-fleet` and
+//! `htc-serve` binaries (via `CARGO_BIN_EXE_*`, which only the root package
+//! gets) and exercise what the in-process tests in
+//! `crates/fleet/tests/router_integration.rs` cannot — `SIGKILL`ing a live
+//! shard process, supervisor restart with a fresh ephemeral port, and
+//! signal-driven drains that must leave no orphan processes behind.
+#![cfg(unix)]
+
+use htc::serve::http::Client;
+use htc::serve::json::{self, network_spec, Json};
+use htc_datasets::{generate_pair, SyntheticPairConfig};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGTERM: i32 = 15;
+const SIGKILL: i32 = 9;
+
+fn send_signal(pid: u32, sig: i32) {
+    unsafe {
+        kill(pid as i32, sig);
+    }
+}
+
+/// True while `pid` names a live (or not-yet-reaped) process.
+fn pid_alive(pid: u32) -> bool {
+    unsafe { kill(pid as i32, 0) == 0 }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htc-fleet-proc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn align_body(seed: u64) -> String {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(8).with_seed(seed));
+    format!(
+        "{{\"preset\":\"fast\",\"epochs\":2,\"source\":{},\"target\":{}}}",
+        network_spec(&pair.source),
+        network_spec(&pair.target)
+    )
+}
+
+/// The deterministic slice of an align response (everything except timings
+/// and cache provenance).
+fn result_payload(body: &str) -> Vec<(String, Json)> {
+    let root = json::parse(body).expect("align response parses");
+    [
+        "anchors",
+        "orbit_importance",
+        "trusted_counts",
+        "loss_final",
+    ]
+    .iter()
+    .map(|key| {
+        (
+            key.to_string(),
+            root.get(key).cloned().unwrap_or(Json::Null),
+        )
+    })
+    .collect()
+}
+
+/// A spawned child whose stdout is continuously drained into a shared line
+/// buffer, so tests can scrape `listening on` / `shard i pid p` lines both
+/// at startup and after a supervisor restart.
+struct Scraped {
+    child: Child,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Scraped {
+    fn spawn(mut command: Command) -> Scraped {
+        command.stdout(Stdio::piped()).stderr(Stdio::null());
+        let mut child = command.spawn().expect("spawn binary");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => sink.lock().unwrap().push(line),
+                    Err(_) => break,
+                }
+            }
+        });
+        Scraped { child, lines }
+    }
+
+    /// Block until some stdout line satisfies `pred`, returning it.
+    fn wait_for_line<F: Fn(&str) -> bool>(&self, pred: F, timeout: Duration) -> Option<String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(line) = self.lines.lock().unwrap().iter().find(|l| pred(l)) {
+                return Some(line.clone());
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// All `shard <i> pid <p> listening on <addr>` announcements so far, in
+    /// order — a restarted shard appends a second entry for the same index.
+    fn shard_announcements(&self) -> Vec<(usize, u32)> {
+        self.lines
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|line| {
+                let rest = line.strip_prefix("shard ")?;
+                let mut words = rest.split_whitespace();
+                let shard: usize = words.next()?.parse().ok()?;
+                words.next().filter(|w| *w == "pid")?;
+                let pid: u32 = words.next()?.parse().ok()?;
+                Some((shard, pid))
+            })
+            .collect()
+    }
+
+    fn wait_for_exit(&mut self, timeout: Duration) -> Option<std::process::ExitStatus> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        None
+    }
+}
+
+impl Drop for Scraped {
+    fn drop(&mut self) {
+        // Belt and braces: never leak a fleet past a failed assert.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn parse_listen_addr(line: &str) -> SocketAddr {
+    line.rsplit("listening on ")
+        .next()
+        .and_then(|addr| addr.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable listen line: {line:?}"))
+}
+
+fn start_fleet(cache_dir: &std::path::Path, shards: usize) -> (Scraped, SocketAddr) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_htc-fleet"));
+    command
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--shards")
+        .arg(shards.to_string())
+        .arg("--cache-dir")
+        .arg(cache_dir)
+        .arg("--serve-bin")
+        .arg(env!("CARGO_BIN_EXE_htc-serve"))
+        .arg("--health-interval-ms")
+        .arg("50");
+    let fleet = Scraped::spawn(command);
+    // The router line is printed only after every shard is up, so waiting
+    // for it covers the whole fleet. Shard lines start with "shard", the
+    // router's with "listening".
+    let line = fleet
+        .wait_for_line(|l| l.starts_with("listening on "), Duration::from_secs(30))
+        .expect("fleet must report its router address");
+    let addr = parse_listen_addr(&line);
+    (fleet, addr)
+}
+
+/// POST the body until a 200 lands (502s are the router's retryable signal
+/// while a kill/restart is in flight), returning (shard, cache_hit, payload).
+fn align_until_ok(
+    addr: SocketAddr,
+    body: &str,
+    timeout: Duration,
+) -> (usize, bool, Vec<(String, Json)>) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        // Fresh connection each try: the previous one may have died with
+        // the shard mid-relay.
+        let response = Client::connect(addr)
+            .ok()
+            .and_then(|mut client| client.request("POST", "/align", body).ok());
+        if let Some(response) = response {
+            if response.status == 200 {
+                let shard: usize = response
+                    .header("x-htc-shard")
+                    .expect("routed responses carry X-HTC-Shard")
+                    .parse()
+                    .unwrap();
+                let root = json::parse(response.body_str()).unwrap();
+                let cache_hit = root.get("cache_hit") == Some(&Json::Bool(true));
+                return (shard, cache_hit, result_payload(response.body_str()));
+            }
+            assert_eq!(
+                response.status,
+                502,
+                "only 200 or retryable 502 expected mid-failover, got {}: {}",
+                response.status,
+                response.body_str()
+            );
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no successful align within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkill_of_a_shard_is_survived_restarted_and_bit_identical() {
+    let cache = tmp_dir("sigkill");
+    let (mut fleet, addr) = start_fleet(&cache, 2);
+    let initial = fleet.shard_announcements();
+    assert_eq!(initial.len(), 2, "both shards announce at startup");
+
+    // Baseline request: lands on its rendezvous owner and spills the
+    // artifact into the shared cache dir.
+    let body = align_body(81);
+    let (owner, _, payload) = align_until_ok(addr, &body, Duration::from_secs(20));
+
+    // SIGKILL the owner's process — no drain, no spill flush, the hard way.
+    let owner_pid = initial
+        .iter()
+        .find(|(shard, _)| *shard == owner)
+        .map(|(_, pid)| *pid)
+        .expect("owner announced a pid");
+    send_signal(owner_pid, SIGKILL);
+
+    // The very next successful answer — whether served by the survivor
+    // (failover) or by an already-restarted owner — must be warm from the
+    // shared spill and bit-identical to the pre-kill answer.
+    let (_, cache_hit, after) = align_until_ok(addr, &body, Duration::from_secs(20));
+    assert!(cache_hit, "post-kill answer must warm-start from the spill");
+    assert_eq!(after, payload, "post-kill answer must be bit-identical");
+
+    // The supervisor restarts the dead shard (new pid, new ephemeral port)…
+    let restarted = fleet
+        .wait_for_line(
+            |l| {
+                l.starts_with(&format!("shard {owner} pid "))
+                    && !l.contains(&format!("pid {owner_pid} "))
+            },
+            Duration::from_secs(20),
+        )
+        .is_some();
+    assert!(restarted, "supervisor must respawn the SIGKILLed shard");
+
+    // …and once it is healthy again, the router routes the fingerprint back
+    // to it; the restarted process serves warm from the shared spill.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (shard, cache_hit, after) = align_until_ok(addr, &body, Duration::from_secs(20));
+        if shard == owner {
+            assert!(cache_hit, "restarted owner must warm-start from the spill");
+            assert_eq!(after, payload, "restarted owner must be bit-identical");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never routed back to the restarted owner"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Clean drain over HTTP, then: no orphans.
+    let mut client = Client::connect(addr).unwrap();
+    let ack = client.request("POST", "/shutdown", "").unwrap();
+    assert_eq!(ack.status, 200);
+    let status = fleet
+        .wait_for_exit(Duration::from_secs(15))
+        .expect("fleet exits after /shutdown");
+    assert!(status.success(), "fleet exit status: {status:?}");
+    for (_, pid) in fleet.shard_announcements() {
+        assert!(!pid_alive(pid), "shard pid {pid} left orphaned");
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn sigterm_drains_the_whole_fleet_without_orphans() {
+    let cache = tmp_dir("sigterm-fleet");
+    let (mut fleet, addr) = start_fleet(&cache, 2);
+    // Prove the fleet is actually serving before tearing it down.
+    let body = align_body(82);
+    let _ = align_until_ok(addr, &body, Duration::from_secs(20));
+
+    send_signal(fleet.child.id(), SIGTERM);
+    let status = fleet
+        .wait_for_exit(Duration::from_secs(15))
+        .expect("fleet exits on SIGTERM");
+    assert!(status.success(), "fleet exit status: {status:?}");
+    for (_, pid) in fleet.shard_announcements() {
+        assert!(!pid_alive(pid), "shard pid {pid} left orphaned");
+    }
+    // The router socket is gone too.
+    assert!(Client::connect(addr).is_err(), "router port still open");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn sigterm_drains_a_standalone_htc_serve() {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_htc-serve"));
+    command.arg("--addr").arg("127.0.0.1:0");
+    let mut serve = Scraped::spawn(command);
+    let line = serve
+        .wait_for_line(|l| l.starts_with("listening on "), Duration::from_secs(15))
+        .expect("htc-serve reports its address");
+    let addr = parse_listen_addr(&line);
+
+    // In-flight health check proves it is actually up, not just printed.
+    let mut client = Client::connect(addr).unwrap();
+    let health = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200);
+
+    send_signal(serve.child.id(), SIGTERM);
+    let status = serve
+        .wait_for_exit(Duration::from_secs(15))
+        .expect("htc-serve exits on SIGTERM");
+    assert!(status.success(), "htc-serve exit status: {status:?}");
+    assert!(Client::connect(addr).is_err(), "serve port still open");
+}
