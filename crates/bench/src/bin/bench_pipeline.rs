@@ -19,10 +19,21 @@
 //! API), and a `fleet` scenario measuring served throughput behind the
 //! consistent-hash router at 1, 2, and 4 in-process shards (warm artifact
 //! caches, keep-alive clients — the scale-out curve in PERFORMANCE.md).
+//!
+//! `--scale large` switches to the Large-tier scenario instead of the preset
+//! loops: one seeded power-law pair of `--large-nodes` nodes (default
+//! 100 000) aligned under `HtcConfig::large()` (blocked top-k similarity,
+//! mini-batch training), with the process peak RSS checked against
+//! `--rss-budget-mb` (default 4096) and a dense-vs-blocked top-k recall
+//! cross-check at 5 000 nodes.  The run **exits non-zero** when the budget
+//! is exceeded or the recall drops below 0.99, so CI's `large-smoke` job
+//! fails on memory or retention regressions.  The committed
+//! `BENCH_pipeline.json` is the union of a `--scale small` run and the
+//! `large_scale` block of a `--scale large` run.
 
 use htc_bench::{htc_config_for_scale, parse_args};
 use htc_core::pipeline::stages;
-use htc_core::{AlignmentSession, HtcAligner};
+use htc_core::{AlignmentSession, HtcAligner, ScaleTier};
 use htc_datasets::{generate_pair, DatasetPreset, Scale, SyntheticPairConfig};
 use htc_fleet::{Router, RouterConfig, ShardSet};
 use htc_graph::generators::{random_permutation, seeded_rng};
@@ -219,6 +230,138 @@ fn fleet_json() -> String {
     )
 }
 
+/// Flags specific to the Large-tier scenario; `parse_args` tolerates and
+/// ignores them, so they are re-scanned here.
+struct LargeFlags {
+    nodes: usize,
+    rss_budget_mb: u64,
+}
+
+fn parse_large_flags<I: IntoIterator<Item = String>>(args: I) -> LargeFlags {
+    let mut flags = LargeFlags {
+        nodes: 100_000,
+        rss_budget_mb: 4096,
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--large-nodes" => {
+                if let Some(value) = iter.next() {
+                    flags.nodes = value.parse().unwrap_or(flags.nodes).max(64);
+                }
+            }
+            "--rss-budget-mb" => {
+                if let Some(value) = iter.next() {
+                    flags.rss_budget_mb = value.parse().unwrap_or(flags.rss_budget_mb).max(1);
+                }
+            }
+            _ => {}
+        }
+    }
+    flags
+}
+
+/// Dense-vs-blocked retention cross-check at a size where the dense tier is
+/// still cheap: the blocked run's top-k rows must retain the dense argmax of
+/// at least `RECALL_THRESHOLD` of the source rows.
+const RECALL_CHECK_NODES: usize = 5_000;
+const RECALL_THRESHOLD: f64 = 0.99;
+
+fn recall_check(config: &htc_core::HtcConfig) -> (f64, String) {
+    let pair = generate_pair(&SyntheticPairConfig::large_pair(RECALL_CHECK_NODES, 97));
+    eprintln!(
+        "[bench_pipeline] recall cross-check: dense vs blocked top-{} at {RECALL_CHECK_NODES} nodes",
+        config.top_k
+    );
+    let mut dense_config = config.clone();
+    dense_config.scale = ScaleTier::Dense;
+    let dense = HtcAligner::new(dense_config)
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets satisfy the input contract");
+    let blocked = HtcAligner::new(config.clone())
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets satisfy the input contract");
+    let reference = dense.predicted_anchors();
+    let recall = blocked
+        .top_k()
+        .expect("the Large tier emits a top-k artifact")
+        .recall_of(&reference);
+    let json = format!(
+        "{{\"nodes\": {RECALL_CHECK_NODES}, \"top_k\": {}, \"recall\": {recall:.4}, \
+         \"threshold\": {RECALL_THRESHOLD}}}",
+        config.top_k
+    );
+    (recall, json)
+}
+
+/// Runs the Large-tier scenario and renders its JSON object plus a pass
+/// flag (false on a peak-RSS budget or recall regression — the caller still
+/// writes the artifact, then exits non-zero).
+fn large_scale_json(scale: Scale, flags: &LargeFlags, runs: usize) -> (String, bool) {
+    let config = htc_config_for_scale(scale);
+    let budget_bytes = flags.rss_budget_mb * 1024 * 1024;
+    let pair = generate_pair(&SyntheticPairConfig::large_pair(flags.nodes, 77));
+    eprintln!(
+        "[bench_pipeline] large-tier scenario: {} nodes, {} + {} edges, top-{}, batch {}",
+        flags.nodes,
+        pair.source.num_edges(),
+        pair.target.num_edges(),
+        config.top_k,
+        config.batch_size,
+    );
+
+    let mut best_wall = f64::INFINITY;
+    let mut last_result = None;
+    for run in 0..runs.max(1) {
+        eprintln!(
+            "[bench_pipeline] large-tier run {}/{}",
+            run + 1,
+            runs.max(1)
+        );
+        let wall_start = Instant::now();
+        let result = HtcAligner::new(config.clone())
+            .align(&pair.source, &pair.target)
+            .expect("generated datasets satisfy the input contract");
+        best_wall = best_wall.min(wall_start.elapsed().as_secs_f64());
+        last_result = Some(result);
+    }
+    let result = last_result.expect("at least one run");
+    let peak_rss = htc_metrics::peak_rss_bytes().unwrap_or(0);
+    let within_budget = peak_rss <= budget_bytes;
+    let (recall, recall_json) = recall_check(&config);
+
+    eprintln!(
+        "[bench_pipeline] large-tier: wall {best_wall:.1}s, peak RSS {:.0} MiB \
+         (budget {} MiB), recall {recall:.4}",
+        peak_rss as f64 / (1024.0 * 1024.0),
+        flags.rss_budget_mb,
+    );
+    let json = format!(
+        "  \"large_scale\": {{\"dataset\": \"{}\", \"nodes\": [{}, {}], \"edges\": [{}, {}], \
+         \"top_k\": {}, \"batch_size\": {}, \"wall_seconds\": {best_wall:.6}, \
+         \"peak_rss_bytes\": {peak_rss}, \"rss_budget_bytes\": {budget_bytes}, \
+         \"within_budget\": {within_budget}, \"recall_check\": {recall_json}, \"stages\": {}}}",
+        json_escape(&pair.name),
+        pair.source.num_nodes(),
+        pair.target.num_nodes(),
+        pair.source.num_edges(),
+        pair.target.num_edges(),
+        config.top_k,
+        config.batch_size,
+        result.timer().stages_json_detailed(),
+    );
+    if !within_budget {
+        eprintln!(
+            "error: peak RSS {peak_rss} bytes exceeds the {} MiB budget",
+            flags.rss_budget_mb
+        );
+    }
+    if recall < RECALL_THRESHOLD {
+        eprintln!("error: dense-vs-blocked recall {recall:.4} fell below {RECALL_THRESHOLD}");
+    }
+    (json, within_budget && recall >= RECALL_THRESHOLD)
+}
+
 fn main() {
     let args = parse_args(std::env::args().skip(1));
     if let Some(isa) = args.isa {
@@ -245,6 +388,29 @@ fn main() {
     if let Err(e) = std::fs::write(&out_path, "{}\n") {
         eprintln!("error: cannot write benchmark artifact {out_path:?}: {e}");
         std::process::exit(2);
+    }
+
+    if args.scale == Scale::Large {
+        // The Large tier replaces the preset/one-vs-many/fleet loops: those
+        // measure the dense pipeline and serving stack, which the 100k-node
+        // scenario is not about.
+        let flags = parse_large_flags(std::env::args().skip(1));
+        let (large, ok) = large_scale_json(args.scale, &flags, args.runs);
+        let json = format!(
+            "{{\n  \"schema\": \"htc-bench-pipeline-v5\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n{}\n}}\n",
+            args.scale,
+            args.runs,
+            htc_linalg::parallel::num_threads(),
+            htc_linalg::active_isa().name(),
+            large,
+        );
+        std::fs::write(&out_path, &json).expect("failed to write benchmark artifact");
+        eprintln!("[bench_pipeline] wrote {out_path}");
+        println!("{json}");
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let mut datasets_json = Vec::new();
@@ -298,7 +464,7 @@ fn main() {
     let fleet = fleet_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v4\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v5\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),

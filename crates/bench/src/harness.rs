@@ -85,6 +85,7 @@ pub fn htc_config_for_scale(scale: Scale) -> HtcConfig {
     match scale {
         Scale::Small => HtcConfig::small(),
         Scale::Paper => HtcConfig::paper(),
+        Scale::Large => HtcConfig::large(),
     }
 }
 
@@ -184,6 +185,9 @@ mod tests {
         let paper = htc_config_for_scale(Scale::Paper);
         assert!(small.embedding_dim() < paper.embedding_dim());
         assert_eq!(paper.embedding_dim(), 200);
+        let large = htc_config_for_scale(Scale::Large);
+        assert!(large.scale.is_large());
+        assert!(large.top_k > 0 && large.batch_size > 0);
     }
 
     #[test]

@@ -53,6 +53,39 @@ impl TopologyMode {
     }
 }
 
+/// Memory regime the pipeline runs in.
+///
+/// `Dense` is the paper-faithful path: full n×m per-orbit similarity
+/// matrices, full-batch training.  `Large` is the 100k+-node tier: the
+/// similarity layers stream row-blocks and retain only the
+/// [`top_k`](HtcConfig::top_k) candidates per source row (a
+/// [`TopKRows`](crate::topk::TopKRows) artifact), and training may run
+/// mini-batched via [`batch_size`](HtcConfig::batch_size).  Both tiers keep
+/// the seeded-determinism contract; `Large` trades exactness of the retained
+/// candidate *set* (not of any retained score) for O(n·k) memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// Dense n×m similarity matrices and full-batch training (the default).
+    Dense,
+    /// Blocked top-k similarity and (optionally) mini-batch training.
+    Large,
+}
+
+impl ScaleTier {
+    /// Lower-case wire name used by `/stats` and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleTier::Dense => "dense",
+            ScaleTier::Large => "large",
+        }
+    }
+
+    /// Whether this is the blocked top-k tier.
+    pub fn is_large(&self) -> bool {
+        matches!(self, ScaleTier::Large)
+    }
+}
+
 /// Hyper-parameters of the HTC pipeline.
 ///
 /// Field defaults follow Section V-A of the paper: 2 GCN layers, embedding
@@ -91,6 +124,18 @@ pub struct HtcConfig {
     pub keep_embeddings: bool,
     /// RNG seed for weight initialisation.
     pub seed: u64,
+    /// Memory regime: dense paper-faithful matrices or the blocked top-k
+    /// `Large` tier.  See [`ScaleTier`].
+    pub scale: ScaleTier,
+    /// Candidates retained per source row by the blocked similarity layers
+    /// (only consulted when [`scale`](Self::scale) is [`ScaleTier::Large`];
+    /// must be ≥ 1 there).
+    pub top_k: usize,
+    /// Mini-batch size for encoder training; 0 means full-batch.  Batches are
+    /// processed strictly sequentially in a seeded deterministic order, so
+    /// any value preserves the bit-identity contract across
+    /// `HTC_NUM_THREADS`.
+    pub batch_size: usize,
 }
 
 impl Default for HtcConfig {
@@ -118,6 +163,9 @@ impl HtcConfig {
             append_degree_feature: false,
             keep_embeddings: false,
             seed: 42,
+            scale: ScaleTier::Dense,
+            top_k: 10,
+            batch_size: 0,
         }
     }
 
@@ -150,6 +198,34 @@ impl HtcConfig {
             append_degree_feature: false,
             keep_embeddings: false,
             seed: 42,
+            scale: ScaleTier::Dense,
+            top_k: 10,
+            batch_size: 0,
+        }
+    }
+
+    /// The 100k+-node tier: low-order topology (orbit enumeration at this
+    /// size is ruled out by the O(e·D²) 4-node pass), a compact embedding,
+    /// blocked top-k similarity, and neighbourhood-sampled mini-batch
+    /// training.  The degree feature is appended because large synthetic
+    /// pairs carry few raw attributes.
+    pub fn large() -> Self {
+        Self {
+            topology: TopologyMode::LowOrderOnly,
+            hidden_dims: vec![64, 32],
+            activation: Activation::Tanh,
+            learning_rate: 0.01,
+            epochs: 20,
+            nearest_neighbors: 10,
+            reinforcement_rate: 1.1,
+            fine_tune: true,
+            max_finetune_iters: 2,
+            append_degree_feature: true,
+            keep_embeddings: false,
+            seed: 42,
+            scale: ScaleTier::Large,
+            top_k: 10,
+            batch_size: 4096,
         }
     }
 
@@ -220,6 +296,11 @@ impl HtcConfig {
             }
             TopologyMode::LowOrderOnly => {}
         }
+        if self.scale.is_large() && self.top_k == 0 {
+            return Err(HtcError::InvalidConfig(
+                "top_k must be positive in the Large scale tier".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -263,6 +344,26 @@ impl HtcConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style setter for the memory regime.
+    pub fn with_scale(mut self, scale: ScaleTier) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder-style setter for the per-row candidate retention `k` of the
+    /// blocked similarity layers.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Builder-style setter for the training mini-batch size (0 = full
+    /// batch).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +388,28 @@ mod tests {
         assert!(HtcConfig::fast().validate().is_ok());
         assert!(HtcConfig::small().validate().is_ok());
         assert!(HtcConfig::fast().num_views() <= 5);
+    }
+
+    #[test]
+    fn large_preset_validates_and_is_large() {
+        let cfg = HtcConfig::large();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.scale.is_large());
+        assert_eq!(cfg.scale.name(), "large");
+        assert!(cfg.top_k >= 1);
+        assert!(cfg.batch_size >= 1);
+        assert_eq!(cfg.num_views(), 1);
+    }
+
+    #[test]
+    fn large_tier_requires_positive_top_k() {
+        let cfg = HtcConfig::large().with_top_k(0);
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(&err, HtcError::InvalidConfig(msg) if msg.contains("top_k")));
+        // Dense tier ignores top_k entirely, so 0 stays valid there.
+        assert!(HtcConfig::fast().with_top_k(0).validate().is_ok());
+        // batch_size 0 (full batch) is valid in every tier.
+        assert!(HtcConfig::large().with_batch_size(0).validate().is_ok());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! for a few rounds before saturating.
 
 use crate::config::HtcConfig;
-use crate::lisi::{lisi_matrix_into, trusted_pairs, LisiScratch};
+use crate::lisi::{
+    default_block_rows, lisi_matrix_into, lisi_topk, trusted_pairs, BlockedLisiScratch, LisiScratch,
+};
+use crate::topk::TopKRows;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use htc_nn::GcnEncoder;
@@ -32,6 +35,11 @@ pub struct OrbitRefinement {
     pub trusted_count: usize,
     /// Number of refinement iterations actually executed.
     pub iterations: usize,
+    /// `Large` tier only: the top-k LISI candidates of the best iteration,
+    /// kept so weighted integration can consume them directly instead of
+    /// re-running a blocked similarity sweep per orbit.  `None` in the dense
+    /// tier (integration recomputes the full LISI matrix there, as before).
+    pub topk: Option<TopKRows>,
 }
 
 /// Runs Algorithm 2 for one orbit.
@@ -67,20 +75,36 @@ pub fn refine_orbit(
     };
 
     // LISI buffers reused across refinement iterations (every iteration
-    // recomputes an n_s × n_t matrix over the same shapes).
+    // recomputes an n_s × n_t matrix — or, in the Large tier, a blocked
+    // top-k sweep — over the same shapes).
+    let large = config.scale.is_large();
     let mut lisi_scratch = LisiScratch::new();
     let mut lisi = DenseMatrix::zeros(0, 0);
+    let mut blocked_scratch = BlockedLisiScratch::new();
+    let mut best_topk: Option<TopKRows> = None;
 
     for _ in 0..max_iters {
         iterations += 1;
-        lisi_matrix_into(
-            &current_source,
-            &current_target,
-            config.nearest_neighbors,
-            &mut lisi_scratch,
-            &mut lisi,
-        );
-        let pairs = trusted_pairs(&lisi);
+        let (pairs, iter_topk) = if large {
+            let blocked = lisi_topk(
+                &current_source,
+                &current_target,
+                config.nearest_neighbors,
+                config.top_k,
+                default_block_rows(current_target.rows()),
+                &mut blocked_scratch,
+            );
+            (blocked.trusted_pairs(), Some(blocked.topk))
+        } else {
+            lisi_matrix_into(
+                &current_source,
+                &current_target,
+                config.nearest_neighbors,
+                &mut lisi_scratch,
+                &mut lisi,
+            );
+            (trusted_pairs(&lisi), None)
+        };
         let count = pairs.len();
         if count <= best_count && iterations > 1 {
             break;
@@ -89,6 +113,7 @@ pub fn refine_orbit(
             best_count = count.max(best_count);
             best_source.copy_from(&current_source);
             best_target.copy_from(&current_target);
+            best_topk = iter_topk;
         }
         if !config.fine_tune {
             break;
@@ -110,6 +135,7 @@ pub fn refine_orbit(
         target_embedding: best_target,
         trusted_count: best_count,
         iterations,
+        topk: best_topk,
     })
 }
 
@@ -195,6 +221,31 @@ mod tests {
         no_ft_cfg.fine_tune = false;
         let without_ft = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &no_ft_cfg).unwrap();
         assert!(with_ft.trusted_count >= without_ft.trusted_count);
+    }
+
+    #[test]
+    fn large_tier_refinement_matches_dense_counts_and_keeps_topk() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let dense_cfg = HtcConfig::fast();
+        // Same hyper-parameters, Large tier with k covering every target:
+        // the blocked trusted-pair detection is exact, so counts and
+        // embeddings must match the dense run.
+        let large_cfg = dense_cfg
+            .clone()
+            .with_scale(crate::config::ScaleTier::Large)
+            .with_top_k(8);
+        let dense = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &dense_cfg).unwrap();
+        let large = refine_orbit(&encoder, &ls[0], &lt[0], &xs, &xt, &large_cfg).unwrap();
+        assert_eq!(dense.trusted_count, large.trusted_count);
+        assert_eq!(dense.iterations, large.iterations);
+        assert!(dense
+            .source_embedding
+            .approx_eq(&large.source_embedding, 0.0));
+        assert!(dense.topk.is_none());
+        let topk = large
+            .topk
+            .expect("large tier keeps the best iteration's top-k");
+        assert_eq!(topk.shape(), (8, 8));
     }
 
     #[test]

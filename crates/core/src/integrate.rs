@@ -10,7 +10,9 @@
 //! γ_k = T_k / Σ_i T_i,        M = Σ_k γ_k · M_k
 //! ```
 
+use crate::topk::{TopKRows, TopKRowsBuilder};
 use htc_linalg::DenseMatrix;
+use std::collections::BTreeMap;
 
 /// Computes the orbit importance weights `γ_k` from per-orbit trusted-pair
 /// counts (Eq. 15).  Falls back to uniform weights when no orbit identified
@@ -68,6 +70,61 @@ impl AlignmentAccumulator {
     }
 }
 
+/// `Large`-tier counterpart of [`AlignmentAccumulator`]: accumulates the
+/// weighted sum `M = Σ γ_k M_k` over *retained candidates only*.  Each row of
+/// the result is built over the union of the per-orbit top-k sets; a
+/// candidate an orbit did not retain contributes 0 for that orbit (its true
+/// score is below the orbit's retention floor, so the truncation error per
+/// entry is bounded by `γ_k` times that floor).  Rows are keyed through a
+/// `BTreeMap`, so accumulation order — and therefore the floating-point sum —
+/// is deterministic regardless of insertion order.
+#[derive(Debug, Clone)]
+pub struct TopKAccumulator {
+    cols: usize,
+    k: usize,
+    rows: Vec<BTreeMap<u32, f64>>,
+}
+
+impl TopKAccumulator {
+    /// An empty accumulator producing a `source_nodes × target_nodes` top-k
+    /// artifact retaining `k` candidates per row.
+    pub fn new(source_nodes: usize, target_nodes: usize, k: usize) -> Self {
+        Self {
+            cols: target_nodes,
+            k,
+            rows: vec![BTreeMap::new(); source_nodes],
+        }
+    }
+
+    /// Adds `weight * topk` into the accumulator.
+    ///
+    /// # Panics
+    /// Panics if the artifact shape differs from the accumulator shape.
+    pub fn add_weighted(&mut self, topk: &TopKRows, weight: f64) {
+        assert_eq!(
+            topk.shape(),
+            (self.rows.len(), self.cols),
+            "all per-orbit top-k artifacts share the same shape"
+        );
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            for (c, v) in topk.row(r) {
+                *row.entry(c as u32).or_insert(0.0) += weight * v;
+            }
+        }
+    }
+
+    /// Finalises the accumulation: per row, the top-k of the accumulated
+    /// union (same score-descending / lower-index tie-break as every other
+    /// retention in the tier).
+    pub fn finish(self) -> TopKRows {
+        let mut builder = TopKRowsBuilder::new(self.cols, self.k);
+        for row in &self.rows {
+            builder.push_row_sparse(row.iter().map(|(&c, &v)| (c, v)));
+        }
+        builder.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +162,55 @@ mod tests {
     fn accumulator_rejects_mismatched_shapes() {
         let mut acc = AlignmentAccumulator::new(2, 2);
         acc.add_weighted(&DenseMatrix::zeros(3, 2), 1.0);
+    }
+
+    #[test]
+    fn topk_accumulator_matches_dense_weighted_sum_on_union() {
+        use crate::topk::TopKRowsBuilder;
+        // Two orbits with k large enough to retain everything: the top-k
+        // accumulation must agree with the dense accumulator exactly.
+        let a = DenseMatrix::from_vec(2, 3, vec![0.1, 0.9, 0.4, 0.8, 0.2, 0.3]).unwrap();
+        let b = DenseMatrix::from_vec(2, 3, vec![0.5, 0.1, 0.6, 0.1, 0.7, 0.2]).unwrap();
+        let to_topk = |m: &DenseMatrix| {
+            let mut builder = TopKRowsBuilder::new(3, 3);
+            for r in 0..2 {
+                builder.push_row(m.row(r));
+            }
+            builder.finish()
+        };
+        let mut dense = AlignmentAccumulator::new(2, 3);
+        dense.add_weighted(&a, 0.25);
+        dense.add_weighted(&b, 0.75);
+        let dense = dense.finish();
+        let mut sparse = TopKAccumulator::new(2, 3, 3);
+        sparse.add_weighted(&to_topk(&a), 0.25);
+        sparse.add_weighted(&to_topk(&b), 0.75);
+        let sparse = sparse.finish();
+        for r in 0..2 {
+            for (c, v) in sparse.row(r) {
+                assert!((v - dense.get(r, c)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(sparse.best_per_row(), htc_linalg::ops::row_argmax(&dense));
+    }
+
+    #[test]
+    fn topk_accumulator_truncates_to_k_over_the_union() {
+        use crate::topk::TopKRowsBuilder;
+        // Orbit 1 retains column 0, orbit 2 retains column 2: the union has
+        // two candidates but k = 1 keeps only the better weighted one.
+        let mut one = TopKRowsBuilder::new(3, 1);
+        one.push_row(&[0.9, 0.0, 0.0]);
+        let mut two = TopKRowsBuilder::new(3, 1);
+        two.push_row(&[0.0, 0.0, 0.8]);
+        let mut acc = TopKAccumulator::new(1, 3, 1);
+        acc.add_weighted(&one.finish(), 0.5);
+        acc.add_weighted(&two.finish(), 0.5);
+        let merged = acc.finish();
+        let row: Vec<(usize, f64)> = merged.row(0).collect();
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].0, 0);
+        assert!((row[0].1 - 0.45).abs() < 1e-12);
     }
 
     proptest! {

@@ -79,16 +79,18 @@ pub mod matching;
 pub mod persist;
 pub mod pipeline;
 pub mod session;
+pub mod topk;
 pub mod training;
 pub mod variants;
 
-pub use config::{HtcConfig, TopologyMode};
+pub use config::{HtcConfig, ScaleTier, TopologyMode};
 pub use error::HtcError;
 pub use pipeline::{HtcAligner, HtcResult};
 pub use session::{
     graph_fingerprint, AlignmentSession, DeadlineObserver, OrbitRefinements, PairAlignment,
     ProgressObserver, Propagators, TopologyViews, TrainedEncoder,
 };
+pub use topk::TopKRows;
 pub use variants::HtcVariant;
 
 /// Crate-wide result alias.

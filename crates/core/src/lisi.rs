@@ -14,8 +14,10 @@
 //!
 //! A *trusted pair* is a pair that are mutually each other's LISI arg-max.
 
+use crate::topk::{TopKRows, TopKRowsBuilder};
 use htc_linalg::ops::{
-    col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means,
+    argmax, col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means,
+    top_k_mean, top_k_mean_finish, top_k_push,
 };
 use htc_linalg::DenseMatrix;
 
@@ -130,6 +132,198 @@ pub fn trusted_pairs(lisi: &DenseMatrix) -> Vec<(usize, usize)> {
     mutual_argmax_pairs(lisi)
 }
 
+/// Result of a blocked LISI evaluation: the retained top-k candidates plus
+/// the *exact* full-width row/column arg-maxes (tracked during the streaming
+/// pass, so trusted pairs need no dense matrix).
+#[derive(Debug, Clone)]
+pub struct BlockedLisi {
+    /// Top-k retained LISI candidates per source row.
+    pub topk: TopKRows,
+    /// Exact arg-max of every (conceptual) LISI row.
+    row_best: Vec<usize>,
+    /// Exact arg-max of every (conceptual) LISI column.
+    col_best: Vec<usize>,
+}
+
+impl BlockedLisi {
+    /// Trusted pairs (Eq. 12): mutual arg-maxes, in row order — identical to
+    /// [`trusted_pairs`] on the dense LISI matrix, because the streaming pass
+    /// tracks the exact full-width arg-maxes (not just the retained set).
+    pub fn trusted_pairs(&self) -> Vec<(usize, usize)> {
+        self.row_best
+            .iter()
+            .enumerate()
+            .filter(|&(s, &t)| self.col_best.get(t) == Some(&s))
+            .map(|(s, &t)| (s, t))
+            .collect()
+    }
+
+    /// Exact arg-max per source row.
+    pub fn row_best(&self) -> &[usize] {
+        &self.row_best
+    }
+}
+
+/// Reusable buffers for the blocked LISI path (normalised embedding copies,
+/// one correlation row-block, per-column hubness state).
+#[derive(Debug, Clone, Default)]
+pub struct BlockedLisiScratch {
+    norm_source: DenseMatrix,
+    norm_target: DenseMatrix,
+    /// Rows `r0..r1` of the normalised source, copied out so the row-block
+    /// correlation is a plain GEMM against the full normalised target.
+    source_block: DenseMatrix,
+    /// One `block_rows × n_t` correlation block.
+    corr_block: DenseMatrix,
+    /// One fully materialised LISI row (the combine kernel's output).
+    lisi_row: Vec<f64>,
+    /// Per-column partial-selection buffers for `D_s(h_t)` (Eq. 10).
+    col_top: Vec<Vec<f64>>,
+    /// Per-column running arg-max value / row while streaming pass 2.
+    col_best_val: Vec<f64>,
+}
+
+impl BlockedLisiScratch {
+    /// Creates empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Picks the row-block height for a blocked LISI evaluation: large enough to
+/// keep the GEMM efficient, small enough that one `block × n_t` correlation
+/// block stays around 8 MB.
+pub fn default_block_rows(target_nodes: usize) -> usize {
+    ((1 << 20) / target_nodes.max(1)).clamp(16, 4096)
+}
+
+/// Blocked, top-k-retaining LISI evaluation (Eq. 9–11) — the `Large`-tier
+/// replacement for [`lisi_matrix_into`].  Never materialises the `n_s × n_t`
+/// matrix: peak additional memory is one `block_rows × n_t` correlation
+/// block plus O(n_t · m) of per-column hubness state.
+///
+/// The result is **bit-identical** to the dense path wherever the two
+/// overlap: every retained score equals the corresponding dense LISI entry
+/// bit-for-bit, and the row/column arg-maxes (hence trusted pairs) match
+/// exactly.  This holds because each correlation block is the same GEMM
+/// (identical per-element accumulation order) on the same normalised rows,
+/// the per-column hubness statistic replays the dense `top_k_mean` insertion
+/// sequence via [`top_k_push`], and the per-row combine uses the same
+/// ISA-dispatched `lisi_combine` kernel.
+///
+/// Two passes over the correlation blocks are required — the hubness terms
+/// need global column statistics before any LISI value can be finalised — so
+/// the blocked path trades one extra GEMM sweep for O(n·m) memory.
+pub fn lisi_topk(
+    source: &DenseMatrix,
+    target: &DenseMatrix,
+    m: usize,
+    k: usize,
+    block_rows: usize,
+    scratch: &mut BlockedLisiScratch,
+) -> BlockedLisi {
+    let m = m.max(1);
+    let block_rows = block_rows.max(1);
+    let (n_s, n_t) = (source.rows(), target.rows());
+
+    scratch.norm_source.copy_from(source);
+    scratch.norm_target.copy_from(target);
+    pearson_normalize_rows(&mut scratch.norm_source);
+    pearson_normalize_rows(&mut scratch.norm_target);
+
+    // Pass 1: per-row hubness D_t(h_s) directly; per-column hubness D_s(h_t)
+    // streamed across blocks with the exact dense insertion sequence
+    // (ascending row order, k pre-clamped like `top_k_mean` does).
+    let col_k = m.min(n_s.max(1));
+    scratch.col_top.resize(n_t, Vec::new());
+    for buf in &mut scratch.col_top {
+        buf.clear();
+        buf.reserve(col_k + 1);
+    }
+    let mut hub_source = vec![0.0; n_s];
+    for_each_block(n_s, block_rows, |r0, r1| {
+        corr_block(scratch, r0, r1);
+        for (i, r) in (r0..r1).enumerate() {
+            let row = scratch.corr_block.row(i);
+            hub_source[r] = top_k_mean(row, m);
+            for (c, &v) in row.iter().enumerate() {
+                top_k_push(&mut scratch.col_top[c], col_k, v);
+            }
+        }
+    });
+    let hub_target: Vec<f64> = scratch
+        .col_top
+        .iter()
+        .map(|buf| top_k_mean_finish(buf, col_k))
+        .collect();
+
+    // Pass 2: recompute each correlation block (bit-identical GEMM), combine
+    // into full LISI rows, and stream those rows into top-k retention plus
+    // exact row/column arg-max tracking.
+    let combine = htc_linalg::kernels::active().lisi_combine;
+    let mut builder = TopKRowsBuilder::new(n_t, k);
+    let mut row_best = vec![0usize; n_s];
+    let mut col_best = vec![0usize; n_t];
+    scratch.col_best_val.clear();
+    scratch.col_best_val.resize(n_t, f64::NEG_INFINITY);
+    scratch.lisi_row.resize(n_t, 0.0);
+    for_each_block(n_s, block_rows, |r0, r1| {
+        corr_block(scratch, r0, r1);
+        for (i, r) in (r0..r1).enumerate() {
+            combine(
+                scratch.corr_block.row(i),
+                &hub_target,
+                hub_source[r],
+                &mut scratch.lisi_row,
+            );
+            row_best[r] = argmax(&scratch.lisi_row).unwrap_or(0);
+            for (c, &v) in scratch.lisi_row.iter().enumerate() {
+                // Strict `>` with ascending row order replicates the dense
+                // col_argmax tie-break (lower row index wins).
+                if v > scratch.col_best_val[c] {
+                    scratch.col_best_val[c] = v;
+                    col_best[c] = r;
+                }
+            }
+            builder.push_row(&scratch.lisi_row);
+        }
+    });
+
+    BlockedLisi {
+        topk: builder.finish(),
+        row_best,
+        col_best,
+    }
+}
+
+/// Invokes `body(r0, r1)` for consecutive row ranges of height `block_rows`.
+fn for_each_block(rows: usize, block_rows: usize, mut body: impl FnMut(usize, usize)) {
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + block_rows).min(rows);
+        body(r0, r1);
+        r0 = r1;
+    }
+}
+
+/// Computes rows `r0..r1` of the correlation matrix into
+/// `scratch.corr_block` by copying the normalised source rows out and running
+/// one GEMM against the full normalised target.
+fn corr_block(scratch: &mut BlockedLisiScratch, r0: usize, r1: usize) {
+    let d = scratch.norm_source.cols();
+    scratch.source_block.resize_for_overwrite(r1 - r0, d);
+    for (i, r) in (r0..r1).enumerate() {
+        scratch
+            .source_block
+            .row_mut(i)
+            .copy_from_slice(scratch.norm_source.row(r));
+    }
+    scratch
+        .source_block
+        .matmul_transpose_into(&scratch.norm_target, &mut scratch.corr_block)
+        .expect("embedding dimensions match because the encoder is shared");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,8 +403,82 @@ mod tests {
         assert!(trusted_pairs(&lisi).len() <= 5);
     }
 
+    #[test]
+    fn blocked_lisi_matches_dense_bit_for_bit() {
+        let hs = random_embedding(23, 5, 11);
+        let ht = random_embedding(17, 5, 12);
+        let m = 4;
+        let dense = lisi_matrix(&hs, &ht, m);
+        let mut scratch = BlockedLisiScratch::new();
+        // k >= n_t: every candidate retained, so the blocked artifact must
+        // reproduce the dense matrix exactly — including across an uneven
+        // block split (7 does not divide 23).
+        let blocked = lisi_topk(&hs, &ht, m, 17, 7, &mut scratch);
+        assert_eq!(blocked.topk.shape(), dense.shape());
+        for r in 0..23 {
+            for (c, v) in blocked.topk.row(r) {
+                assert_eq!(
+                    v.to_bits(),
+                    dense.get(r, c).to_bits(),
+                    "LISI({r},{c}) differs between blocked and dense"
+                );
+            }
+        }
+        assert_eq!(
+            blocked.topk.best_per_row(),
+            htc_linalg::ops::row_argmax(&dense)
+        );
+        assert_eq!(blocked.trusted_pairs(), trusted_pairs(&dense));
+    }
+
+    #[test]
+    fn blocked_lisi_small_k_retains_exact_scores_and_argmax() {
+        let hs = random_embedding(15, 4, 21);
+        let ht = random_embedding(40, 4, 22);
+        let dense = lisi_matrix(&hs, &ht, 3);
+        let mut scratch = BlockedLisiScratch::new();
+        let blocked = lisi_topk(&hs, &ht, 3, 5, 4, &mut scratch);
+        // Retention truncates the candidate *set*, never perturbs a score,
+        // and the tracked arg-maxes stay exact (full-width).
+        for r in 0..15 {
+            assert_eq!(blocked.topk.row(r).count(), 5);
+            for (c, v) in blocked.topk.row(r) {
+                assert_eq!(v.to_bits(), dense.get(r, c).to_bits());
+            }
+        }
+        assert_eq!(
+            blocked.topk.best_per_row(),
+            htc_linalg::ops::row_argmax(&dense)
+        );
+        assert_eq!(blocked.trusted_pairs(), trusted_pairs(&dense));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property (the blocked-equals-dense contract): for k ≥ n_t the
+        /// blocked top-k path reproduces the dense LISI matrix bit-for-bit —
+        /// same values, same per-row arg-maxes, same trusted pairs — for any
+        /// block height.
+        #[test]
+        fn blocked_topk_equals_dense_argmax_path(
+            seed in 0u64..500, ns in 1usize..12, nt in 1usize..12,
+            d in 2usize..6, m in 1usize..6, block in 1usize..14
+        ) {
+            let hs = random_embedding(ns, d, seed);
+            let ht = random_embedding(nt, d, seed.wrapping_add(13));
+            let dense = lisi_matrix(&hs, &ht, m);
+            let mut scratch = BlockedLisiScratch::new();
+            let blocked = lisi_topk(&hs, &ht, m, nt, block, &mut scratch);
+            prop_assert_eq!(blocked.topk.num_candidates(), ns * nt);
+            for r in 0..ns {
+                for (c, v) in blocked.topk.row(r) {
+                    prop_assert_eq!(v.to_bits(), dense.get(r, c).to_bits());
+                }
+            }
+            prop_assert_eq!(blocked.topk.best_per_row(), htc_linalg::ops::row_argmax(&dense));
+            prop_assert_eq!(blocked.trusted_pairs(), trusted_pairs(&dense));
+        }
 
         /// Property: the number of trusted pairs never exceeds min(n_s, n_t)
         /// and each node appears in at most one pair.

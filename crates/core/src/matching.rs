@@ -15,6 +15,7 @@
 //! Both return source-indexed assignments compatible with
 //! [`crate::pipeline::HtcResult::alignment`].
 
+use crate::topk::TopKRows;
 use htc_linalg::DenseMatrix;
 
 /// A one-to-one (partial) matching: `target_of[s]` is the target assigned to
@@ -79,6 +80,51 @@ pub fn greedy_matching(alignment: &DenseMatrix) -> Matching {
             pairs.push((s, t, v));
         }
     }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut target_of = vec![None; ns];
+    let mut used_target = vec![false; nt];
+    let mut used_source = vec![false; ns];
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    let max_pairs = ns.min(nt);
+    for (s, t, v) in pairs {
+        if matched == max_pairs {
+            break;
+        }
+        if used_source[s] || used_target[t] {
+            continue;
+        }
+        used_source[s] = true;
+        used_target[t] = true;
+        target_of[s] = Some(t);
+        total += v;
+        matched += 1;
+    }
+    Matching {
+        target_of,
+        total_score: total,
+    }
+}
+
+/// Greedy maximum-weight matching over a [`TopKRows`] candidate artifact —
+/// the `Large`-tier matcher.  Identical policy to [`greedy_matching`]
+/// (accept the highest-scoring remaining pair whose endpoints are free) but
+/// it only ever considers the O(n_s · k) retained candidates instead of
+/// materialising all n_s · n_t pairs.  Sources whose entire candidate list is
+/// taken by better-scoring rows stay unmatched — with dense input (k ≥ n_t)
+/// they would have been pushed onto some leftover target; at scale that
+/// fallback is exactly the kind of noise-floor assignment the retention is
+/// meant to drop.
+pub fn greedy_matching_topk(candidates: &TopKRows) -> Matching {
+    let (ns, nt) = candidates.shape();
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(candidates.num_candidates());
+    for s in 0..ns {
+        for (t, v) in candidates.row(s) {
+            pairs.push((s, t, v));
+        }
+    }
+    // Stable sort over row-major candidate order: equal scores resolve
+    // towards the lower (source, candidate-rank) pair, deterministically.
     pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
     let mut target_of = vec![None; ns];
     let mut used_target = vec![false; nt];
@@ -255,6 +301,38 @@ mod tests {
             matching.accuracy_against(&GroundTruth::new(vec![None, None])),
             0.0
         );
+    }
+
+    #[test]
+    fn topk_greedy_matches_dense_greedy_when_k_covers_all() {
+        use crate::topk::TopKRowsBuilder;
+        let m =
+            DenseMatrix::from_vec(3, 3, vec![0.9, 0.1, 0.2, 0.8, 0.7, 0.3, 0.1, 0.6, 0.5]).unwrap();
+        let mut builder = TopKRowsBuilder::new(3, 3);
+        for r in 0..3 {
+            builder.push_row(m.row(r));
+        }
+        let topk = builder.finish();
+        let dense = greedy_matching(&m);
+        let sparse = greedy_matching_topk(&topk);
+        let dense_pairs: Vec<_> = dense.pairs().collect();
+        let sparse_pairs: Vec<_> = sparse.pairs().collect();
+        assert_eq!(dense_pairs, sparse_pairs);
+        assert!((dense.total_score() - sparse.total_score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_greedy_is_one_to_one_under_truncation() {
+        use crate::topk::TopKRowsBuilder;
+        // Both sources retain only target 0; greedy gives it to the higher
+        // score and leaves the other source unmatched (no dense fallback).
+        let mut builder = TopKRowsBuilder::new(3, 1);
+        builder.push_row(&[0.9, 0.0, 0.0]);
+        builder.push_row(&[0.8, 0.0, 0.0]);
+        let matching = greedy_matching_topk(&builder.finish());
+        assert_eq!(matching.target_of(0), Some(0));
+        assert_eq!(matching.target_of(1), None);
+        assert_eq!(matching.len(), 1);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Versioned binary persistence for session stage artifacts.
 //!
-//! Two artifact kinds are persisted: the trained shared encoder
-//! ([`TrainedEncoder`](crate::session::TrainedEncoder)) and the source-side
+//! Three artifact kinds are persisted: the trained shared encoder
+//! ([`TrainedEncoder`](crate::session::TrainedEncoder)), the source-side
 //! topology views including the GOMs
-//! ([`TopologyViews`](crate::session::TopologyViews)).  Together they let a
-//! serving process warm-start — skip orbit counting *and* training — from
-//! artifacts produced by another process.
+//! ([`TopologyViews`](crate::session::TopologyViews)), and the `Large`-tier
+//! top-k alignment candidates ([`TopKRows`](crate::topk::TopKRows)).
+//! Together they let a serving process warm-start — skip orbit counting *and*
+//! training — from artifacts produced by another process, and let a
+//! `Large`-tier run hand its candidate set to downstream tooling without
+//! ever materialising the dense matrix.
 //!
 //! ## Format
 //!
@@ -15,7 +18,7 @@
 //! offset  size  field
 //! 0       4     magic  b"HTCB"
 //! 4       2     format version (currently 1)
-//! 6       1     artifact kind  (1 = encoder, 2 = topology views)
+//! 6       1     artifact kind  (1 = encoder, 2 = topology views, 3 = top-k rows)
 //! 7       ...   kind-specific payload
 //! ```
 //!
@@ -29,6 +32,7 @@
 use crate::config::MAX_DIFFUSION_VIEWS;
 use crate::error::HtcError;
 use crate::session::{TopologyViews, TrainedEncoder, ViewKind};
+use crate::topk::TopKRows;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
 use htc_nn::{Activation, GcnEncoder};
@@ -39,6 +43,7 @@ const MAGIC: [u8; 4] = *b"HTCB";
 const FORMAT_VERSION: u16 = 1;
 const KIND_ENCODER: u8 = 1;
 const KIND_VIEWS: u8 = 2;
+const KIND_TOPK: u8 = 3;
 
 const VIEWS_ORBITS: u8 = 0;
 const VIEWS_LOW_ORDER: u8 = 1;
@@ -456,6 +461,54 @@ pub(crate) fn load_views(path: &Path) -> Result<TopologyViews> {
     })
 }
 
+/// Payload: `u64 cols`, `u64 k`, a row count followed by the `row_ptr` tail
+/// (entry 0 is always 0 and is not stored), then a candidate count followed
+/// by `(u64 column, f64 score)` pairs.  The candidate count is redundant with
+/// the last `row_ptr` entry on purpose: it lets the reader bound the
+/// allocation against the remaining file size *before* trusting `row_ptr`,
+/// and [`TopKRows::from_parts`] then cross-checks the two.
+pub(crate) fn save_topk(topk: &TopKRows, path: &Path) -> Result<()> {
+    let (cols, k, row_ptr, indices, scores) = topk.parts();
+    let mut w = Writer::with_header(KIND_TOPK);
+    w.u64(cols as u64);
+    w.u64(k as u64);
+    w.u64((row_ptr.len() - 1) as u64);
+    for &p in &row_ptr[1..] {
+        w.u64(p as u64);
+    }
+    w.u64(indices.len() as u64);
+    for (&c, &v) in indices.iter().zip(scores) {
+        w.u64(c as u64);
+        w.f64(v);
+    }
+    w.write_to(path)
+}
+
+pub(crate) fn load_topk(path: &Path) -> Result<TopKRows> {
+    let bytes = read_file(path)?;
+    let mut r = Reader::new(&bytes);
+    r.header(KIND_TOPK)?;
+    let cols = r.idx()?;
+    let k = r.idx()?;
+    // Each row owes one u64 row_ptr entry.
+    let rows = r.len(8)?;
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0usize);
+    for _ in 0..rows {
+        row_ptr.push(r.idx()?);
+    }
+    // Each candidate owes a u64 column and an f64 score.
+    let candidates = r.len(8 + 8)?;
+    let mut indices = Vec::with_capacity(candidates);
+    let mut scores = Vec::with_capacity(candidates);
+    for _ in 0..candidates {
+        indices.push(r.idx()? as u32);
+        scores.push(r.f64()?);
+    }
+    r.finish()?;
+    TopKRows::from_parts(cols, k, row_ptr, indices, scores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +596,68 @@ mod tests {
                 assert_eq!(v1.to_bits(), v2.to_bits());
             }
         }
+    }
+
+    fn sample_topk() -> TopKRows {
+        use crate::topk::TopKRowsBuilder;
+        let mut b = TopKRowsBuilder::new(5, 2);
+        b.push_row(&[0.1, 0.9, 0.4, 0.8, 0.2]);
+        b.push_row(&[0.0, 0.0, 0.0, 0.0, 0.0]);
+        b.push_row(&[-1.0, 3.5, 2.0, 3.5, 0.5]);
+        b.finish()
+    }
+
+    #[test]
+    fn topk_round_trip_is_bit_exact() {
+        let topk = sample_topk();
+        let path = artifact_path("topk.bin");
+        topk.save(&path).unwrap();
+        let loaded = TopKRows::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.shape(), topk.shape());
+        assert_eq!(loaded.k(), topk.k());
+        assert_eq!(loaded.num_candidates(), topk.num_candidates());
+        for r in 0..topk.rows() {
+            let a: Vec<(usize, u64)> = topk.row(r).map(|(c, v)| (c, v.to_bits())).collect();
+            let b: Vec<(usize, u64)> = loaded.row(r).map(|(c, v)| (c, v.to_bits())).collect();
+            assert_eq!(a, b, "row {r} must survive bit-exactly");
+        }
+    }
+
+    #[test]
+    fn topk_truncation_and_corruption_are_rejected() {
+        let topk = sample_topk();
+        let path = artifact_path("topk-trunc.bin");
+        topk.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = TopKRows::load(&path).unwrap_err();
+            assert!(
+                matches!(err, HtcError::Persistence(_)),
+                "top-k cut at {cut}: {err}"
+            );
+        }
+
+        // A top-k artifact is not an encoder artifact and vice versa.
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TrainedEncoder::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        // Flip a row_ptr entry so the rows no longer obey the retention
+        // order contract: structural validation must reject it.
+        let mut corrupt = bytes.clone();
+        // Payload layout: header (7) + cols (8) + k (8) + row count (8);
+        // first row_ptr entry follows.
+        let row_ptr_at = 7 + 24;
+        corrupt[row_ptr_at..row_ptr_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = TopKRows::load(&path).unwrap_err();
+        assert!(matches!(err, HtcError::Persistence(_)), "{err}");
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

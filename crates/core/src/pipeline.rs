@@ -6,6 +6,7 @@
 
 use crate::config::HtcConfig;
 use crate::session::AlignmentSession;
+use crate::topk::TopKRows;
 use crate::Result;
 use htc_graph::AttributedNetwork;
 use htc_linalg::DenseMatrix;
@@ -25,10 +26,22 @@ pub mod stages {
     pub const INTEGRATION: &str = "weighted integration";
 }
 
+/// The alignment artifact a run produced: the full dense matrix in the
+/// default tier, or the blocked top-k retention in [`ScaleTier::Large`]
+/// (`crate::ScaleTier::Large`), where the `n_s × n_t` matrix is never
+/// materialised.
+#[derive(Debug, Clone)]
+pub(crate) enum AlignmentArtifact {
+    /// The full matrix `M ∈ R^{n_s × n_t}`.
+    Dense(DenseMatrix),
+    /// Top-k retained candidates per source row.
+    TopK(TopKRows),
+}
+
 /// The outcome of one HTC alignment run.
 #[derive(Debug, Clone)]
 pub struct HtcResult {
-    alignment: DenseMatrix,
+    artifact: AlignmentArtifact,
     orbit_importance: Vec<f64>,
     trusted_counts: Vec<usize>,
     loss_history: Vec<f64>,
@@ -40,7 +53,7 @@ impl HtcResult {
     /// Assembles a result from the outputs of the final pipeline stages (the
     /// session API is the only producer).
     pub(crate) fn from_parts(
-        alignment: DenseMatrix,
+        artifact: AlignmentArtifact,
         orbit_importance: Vec<f64>,
         trusted_counts: Vec<usize>,
         loss_history: Vec<f64>,
@@ -48,7 +61,7 @@ impl HtcResult {
         embeddings: Option<Vec<(DenseMatrix, DenseMatrix)>>,
     ) -> Self {
         Self {
-            alignment,
+            artifact,
             orbit_importance,
             trusted_counts,
             loss_history,
@@ -58,8 +71,46 @@ impl HtcResult {
     }
 
     /// The final alignment matrix `M ∈ R^{n_s × n_t}`.
+    ///
+    /// # Panics
+    /// Panics for a `Large`-tier result, which never materialises the dense
+    /// matrix — use [`score`](Self::score), [`top_k`](Self::top_k) or
+    /// [`predicted_anchors`](Self::predicted_anchors) instead.
     pub fn alignment(&self) -> &DenseMatrix {
-        &self.alignment
+        match &self.artifact {
+            AlignmentArtifact::Dense(m) => m,
+            AlignmentArtifact::TopK(_) => panic!(
+                "this Large-tier result holds a top-k artifact, not a dense alignment \
+                 matrix; use score()/top_k()/predicted_anchors()"
+            ),
+        }
+    }
+
+    /// The alignment score of `(source, target)` under either artifact.  For
+    /// a `Large`-tier result a pair outside the retained top-k set scores
+    /// 0.0 (its true score is below the retention floor of its row).
+    pub fn score(&self, source: usize, target: usize) -> f64 {
+        match &self.artifact {
+            AlignmentArtifact::Dense(m) => m.get(source, target),
+            AlignmentArtifact::TopK(t) => t.score(source, target).unwrap_or(0.0),
+        }
+    }
+
+    /// The `(source nodes, target nodes)` shape of the alignment.
+    pub fn shape(&self) -> (usize, usize) {
+        match &self.artifact {
+            AlignmentArtifact::Dense(m) => m.shape(),
+            AlignmentArtifact::TopK(t) => t.shape(),
+        }
+    }
+
+    /// The retained top-k candidates of a `Large`-tier run; `None` for a
+    /// dense-tier result.
+    pub fn top_k(&self) -> Option<&TopKRows> {
+        match &self.artifact {
+            AlignmentArtifact::Dense(_) => None,
+            AlignmentArtifact::TopK(t) => Some(t),
+        }
     }
 
     /// Per-orbit importance weights `γ_k` (Eq. 15); sums to 1.
@@ -88,9 +139,15 @@ impl HtcResult {
         self.embeddings.as_deref()
     }
 
-    /// For every source node, the index of the best-scoring target node.
+    /// For every source node, the index of the best-scoring target node
+    /// (among the retained candidates in the `Large` tier; a source row with
+    /// no retained candidate maps to target 0, matching the dense argmax of
+    /// an all-equal row).
     pub fn predicted_anchors(&self) -> Vec<usize> {
-        htc_linalg::ops::row_argmax(&self.alignment)
+        match &self.artifact {
+            AlignmentArtifact::Dense(m) => htc_linalg::ops::row_argmax(m),
+            AlignmentArtifact::TopK(t) => t.best_per_row(),
+        }
     }
 }
 
@@ -239,6 +296,73 @@ mod tests {
     // The single-thread-vs-multi-thread exactness check lives in
     // `tests/thread_determinism.rs`: it mutates `HTC_NUM_THREADS`, which is
     // only safe in a test binary where it is the sole test.
+
+    #[test]
+    fn large_tier_produces_topk_artifact() {
+        let pair = tiny_pair();
+        let mut config = HtcConfig::fast()
+            .with_scale(crate::config::ScaleTier::Large)
+            .with_top_k(5);
+        config.batch_size = 4;
+        let result = HtcAligner::new(config)
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let topk = result.top_k().expect("Large tier retains top-k candidates");
+        assert_eq!(topk.shape(), (14, 14));
+        assert_eq!(topk.k(), 5);
+        assert_eq!(result.shape(), (14, 14));
+        let anchors = result.predicted_anchors();
+        assert_eq!(anchors.len(), 14);
+        for (s, &t) in anchors.iter().enumerate() {
+            assert!(result.score(s, t).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k artifact")]
+    fn large_tier_alignment_accessor_panics() {
+        let pair = tiny_pair();
+        let config = HtcConfig::fast()
+            .with_scale(crate::config::ScaleTier::Large)
+            .with_top_k(5);
+        let result = HtcAligner::new(config)
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let _ = result.alignment();
+    }
+
+    #[test]
+    fn large_tier_with_covering_k_matches_dense_bit_for_bit() {
+        // With k ≥ n_t and full-batch training the Large tier differs from
+        // the dense tier only in how the integration result is *stored*:
+        // every retained score must equal the dense matrix entry bit for bit
+        // and the predicted anchors must coincide.
+        let pair = tiny_pair();
+        let dense = HtcAligner::new(HtcConfig::fast())
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        let large_cfg = HtcConfig::fast()
+            .with_scale(crate::config::ScaleTier::Large)
+            .with_top_k(14);
+        let large = HtcAligner::new(large_cfg)
+            .align(&pair.source, &pair.target)
+            .unwrap();
+        assert_eq!(dense.predicted_anchors(), large.predicted_anchors());
+        assert_eq!(dense.trusted_counts(), large.trusted_counts());
+        let topk = large.top_k().unwrap();
+        for r in 0..14 {
+            let mut retained = 0;
+            for (c, v) in topk.row(r) {
+                assert_eq!(
+                    v.to_bits(),
+                    dense.alignment().get(r, c).to_bits(),
+                    "retained score ({r},{c}) must match the dense integration"
+                );
+                retained += 1;
+            }
+            assert_eq!(retained, 14, "k = n_t retains the whole row");
+        }
+    }
 
     #[test]
     fn low_order_mode_uses_single_view() {

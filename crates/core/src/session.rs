@@ -45,11 +45,11 @@ use crate::config::{HtcConfig, TopologyMode};
 use crate::diffusion::diffusion_propagators;
 use crate::error::HtcError;
 use crate::finetune::{refine_orbit, OrbitRefinement};
-use crate::integrate::{orbit_importance, AlignmentAccumulator};
+use crate::integrate::{orbit_importance, AlignmentAccumulator, TopKAccumulator};
 use crate::laplacian::{normalized_adjacency, orbit_laplacians};
 use crate::lisi::lisi_matrix;
 use crate::persist;
-use crate::pipeline::{stages, HtcResult};
+use crate::pipeline::{stages, AlignmentArtifact, HtcResult};
 use crate::training::{train_multi_orbit_observed, train_single_graph_observed, TrainedModel};
 use crate::Result;
 use htc_graph::AttributedNetwork;
@@ -486,8 +486,14 @@ fn prepare(network: &AttributedNetwork, config: &HtcConfig) -> AttributedNetwork
 
 /// Runs one observed, timed pipeline stage: fires `on_stage_start`
 /// (translating a veto into [`HtcError::Cancelled`]), executes `body`,
-/// records the elapsed time under `stage` in `timer`, fires `on_stage_end`,
-/// and returns the body's output together with the elapsed time.
+/// records the elapsed time and the process peak RSS observed at stage end
+/// under `stage` in `timer`, fires `on_stage_end`, and returns the body's
+/// output together with the elapsed time.
+///
+/// The RSS sample is the *process high-water mark* at the moment the stage
+/// finished (0 where procfs is unavailable) — it tells which stage first
+/// pushed the process to its peak, which is the number the `Large`-tier
+/// memory budget is written against.
 fn run_stage<R>(
     observer: Option<&Arc<dyn ProgressObserver>>,
     timer: &mut StageTimer,
@@ -502,7 +508,7 @@ fn run_stage<R>(
     let start = Instant::now();
     let result = body()?;
     let elapsed = start.elapsed();
-    timer.record(stage, elapsed);
+    timer.record_with_peak_rss(stage, elapsed, htc_metrics::peak_rss_bytes().unwrap_or(0));
     if let Some(obs) = observer {
         obs.on_stage_end(stage, elapsed);
     }
@@ -934,12 +940,12 @@ fn align_with_shared_encoder(
     let trusted_counts: Vec<usize> = refinements.iter().map(|r| r.trusted_count).collect();
     let gamma = orbit_importance(&trusted_counts);
     let (alignment, _) = run_stage(observer, &mut timer, stages::INTEGRATION, || {
-        Ok(integrate_refinements(
+        Ok(integrate_refinements_artifact(
+            config,
             &refinements,
             &gamma,
             source.num_nodes(),
             target.num_nodes(),
-            config.nearest_neighbors,
         ))
     })?;
 
@@ -995,9 +1001,45 @@ fn refine_all_orbits(
     .collect()
 }
 
-/// Stage 5: per-orbit LISI matrices across the pool, then the weighted
-/// accumulation sequentially in orbit order (bit-identical for every thread
-/// count).
+/// Stage 5, dispatching on the configured scale tier: the dense weighted
+/// accumulation below, or — in the `Large` tier — a gamma-weighted merge of
+/// the top-k artifacts each refinement already produced during its best
+/// iteration (no additional similarity sweep; the `n_s × n_t` matrix is
+/// never materialised).
+fn integrate_refinements_artifact(
+    config: &HtcConfig,
+    refinements: &[OrbitRefinement],
+    gamma: &[f64],
+    source_nodes: usize,
+    target_nodes: usize,
+) -> AlignmentArtifact {
+    if config.scale.is_large() {
+        let mut accum = TopKAccumulator::new(source_nodes, target_nodes, config.top_k);
+        for (refinement, &weight) in refinements.iter().zip(gamma) {
+            if weight == 0.0 {
+                continue;
+            }
+            let topk = refinement
+                .topk
+                .as_ref()
+                .expect("Large-tier refinements carry their top-k artifact");
+            accum.add_weighted(topk, weight);
+        }
+        AlignmentArtifact::TopK(accum.finish())
+    } else {
+        AlignmentArtifact::Dense(integrate_refinements(
+            refinements,
+            gamma,
+            source_nodes,
+            target_nodes,
+            config.nearest_neighbors,
+        ))
+    }
+}
+
+/// Stage 5 (dense tier): per-orbit LISI matrices across the pool, then the
+/// weighted accumulation sequentially in orbit order (bit-identical for every
+/// thread count).
 fn integrate_refinements(
     refinements: &[OrbitRefinement],
     gamma: &[f64],
@@ -1227,18 +1269,18 @@ impl<'s> PairAlignment<'s> {
         let gamma = orbit_importance(&trusted_counts);
         let source_nodes = self.session.source.num_nodes();
         let target_nodes = self.target.num_nodes();
-        let nearest_neighbors = self.session.config.nearest_neighbors;
+        let config = &self.session.config;
         let (alignment, _) = run_stage(
             self.session.observer.as_ref(),
             &mut self.timer,
             stages::INTEGRATION,
             || {
-                Ok(integrate_refinements(
+                Ok(integrate_refinements_artifact(
+                    config,
                     refinements.refinements(),
                     &gamma,
                     source_nodes,
                     target_nodes,
-                    nearest_neighbors,
                 ))
             },
         )?;

@@ -1,0 +1,486 @@
+//! Sparse per-row candidate retention for the `Large` scale tier.
+//!
+//! The dense pipeline materialises full `n_s × n_t` similarity matrices per
+//! orbit — the memory wall that caps the committed benchmarks at paper scale.
+//! [`TopKRows`] is the artifact that replaces them: for every source row only
+//! the `k` best-scoring target candidates survive, stored CSR-style
+//! (`row_ptr` / `indices` / `scores`), so the footprint is O(n_s · k) no
+//! matter how large the target side grows.
+//!
+//! ## Determinism contract
+//!
+//! Retention is deterministic: within a row, candidates are ordered by score
+//! descending with ties broken towards the **lower column index** — exactly
+//! the tie-break of [`htc_linalg::ops::argmax`], so the best retained
+//! candidate of a row always equals the dense row arg-max whenever that
+//! arg-max scores high enough to be retained (and always, when `k ≥ n_t`).
+//! Selection uses a bounded binary min-heap per row, so pushing a full row
+//! costs O(n_t · log k).
+
+use crate::error::HtcError;
+use crate::Result;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One retained candidate; the `Ord` implementation ranks by score first and
+/// breaks ties towards the lower index ("greater" = better candidate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    score: f64,
+    index: u32,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("similarity scores are finite (checked on push)")
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded min-heap keeping the `k` best candidates seen so far.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundedTopK {
+    heap: BinaryHeap<std::cmp::Reverse<Candidate>>,
+}
+
+impl BoundedTopK {
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Offers `(index, score)`; keeps it only if it beats the current worst
+    /// of the `k` retained (score higher, or equal score at a lower index).
+    ///
+    /// # Panics
+    /// Panics on NaN scores — similarity scores are finite by construction
+    /// and a NaN would silently poison the ordering.
+    pub(crate) fn push(&mut self, k: usize, index: u32, score: f64) {
+        assert!(!score.is_nan(), "top-k retention received a NaN score");
+        let candidate = Candidate { score, index };
+        if self.heap.len() < k {
+            self.heap.push(std::cmp::Reverse(candidate));
+        } else if let Some(worst) = self.heap.peek() {
+            if candidate > worst.0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(candidate));
+            }
+        }
+    }
+
+    /// Drains the retained candidates, best first (score descending, ties
+    /// towards the lower index).
+    fn drain_sorted(&mut self) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = self.heap.drain().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    }
+}
+
+/// Incrementally builds a [`TopKRows`] from rows pushed in order.
+#[derive(Debug, Clone)]
+pub struct TopKRowsBuilder {
+    cols: usize,
+    k: usize,
+    row_ptr: Vec<usize>,
+    indices: Vec<u32>,
+    scores: Vec<f64>,
+    heap: BoundedTopK,
+}
+
+impl TopKRowsBuilder {
+    /// A builder retaining `k` candidates per row over `cols` columns.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` (a retention of nothing is a configuration error,
+    /// caught earlier by `HtcConfig::validate`) or when `cols` exceeds the
+    /// `u32` index space of the artifact.
+    pub fn new(cols: usize, k: usize) -> Self {
+        assert!(k > 0, "top-k retention requires k >= 1");
+        assert!(
+            cols <= u32::MAX as usize,
+            "TopKRows stores column indices as u32"
+        );
+        Self {
+            cols,
+            k,
+            row_ptr: vec![0],
+            indices: Vec::new(),
+            scores: Vec::new(),
+            heap: BoundedTopK::default(),
+        }
+    }
+
+    /// Retains the top-k of a fully materialised row.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != cols` or any value is NaN.
+    pub fn push_row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "row width mismatch");
+        self.heap.clear();
+        for (c, &v) in values.iter().enumerate() {
+            self.heap.push(self.k, c as u32, v);
+        }
+        self.commit_heap();
+    }
+
+    /// Retains the top-k of a row given as sparse `(index, score)` candidates
+    /// (used by the weighted-integration accumulator, where a row is the
+    /// union of several orbits' retained sets).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or any score is NaN.
+    pub fn push_row_sparse(&mut self, candidates: impl Iterator<Item = (u32, f64)>) {
+        self.heap.clear();
+        for (c, v) in candidates {
+            assert!((c as usize) < self.cols, "candidate index out of range");
+            self.heap.push(self.k, c, v);
+        }
+        self.commit_heap();
+    }
+
+    fn commit_heap(&mut self) {
+        for candidate in self.heap.drain_sorted() {
+            self.indices.push(candidate.index);
+            self.scores.push(candidate.score);
+        }
+        self.row_ptr.push(self.indices.len());
+    }
+
+    /// Finalises the artifact.
+    pub fn finish(self) -> TopKRows {
+        TopKRows {
+            cols: self.cols,
+            k: self.k,
+            row_ptr: self.row_ptr,
+            indices: self.indices,
+            scores: self.scores,
+        }
+    }
+}
+
+/// Per-source-row top-k candidate lists — the `Large`-tier replacement for a
+/// dense `n_s × n_t` alignment/similarity matrix.  See the module docs for
+/// the retention and ordering contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKRows {
+    cols: usize,
+    k: usize,
+    /// `row_ptr[r]..row_ptr[r + 1]` slices `indices`/`scores` for row `r`.
+    row_ptr: Vec<usize>,
+    indices: Vec<u32>,
+    scores: Vec<f64>,
+}
+
+impl TopKRows {
+    /// Number of source rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of target columns of the (conceptual) full matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the conceptual full matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols)
+    }
+
+    /// The retention parameter `k` the artifact was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of retained candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The retained candidates of row `r`, best first: `(column, score)`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.indices[span.clone()]
+            .iter()
+            .zip(&self.scores[span])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// The best candidate of row `r` (`None` only when the row retained
+    /// nothing, i.e. the matrix has zero columns).
+    pub fn best(&self, r: usize) -> Option<usize> {
+        self.row(r).next().map(|(c, _)| c)
+    }
+
+    /// Best candidate per row, with empty rows mapped to 0 — the same
+    /// convention as `htc_linalg::ops::row_argmax`.
+    pub fn best_per_row(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| self.best(r).unwrap_or(0))
+            .collect()
+    }
+
+    /// The retained score of `(r, c)`, or `None` when the candidate was not
+    /// retained.  O(k) scan — `k` is small by design.
+    pub fn score(&self, r: usize, c: usize) -> Option<f64> {
+        self.row(r).find(|&(idx, _)| idx == c).map(|(_, v)| v)
+    }
+
+    /// Whether candidate `(r, c)` was retained.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        self.score(r, c).is_some()
+    }
+
+    /// Fraction of rows whose `reference[r]` candidate was retained — the
+    /// top-k recall figure of the bench cross-check (`reference` is the dense
+    /// path's per-row arg-max).
+    ///
+    /// # Panics
+    /// Panics if `reference.len()` differs from the number of rows.
+    pub fn recall_of(&self, reference: &[usize]) -> f64 {
+        assert_eq!(reference.len(), self.rows(), "one reference per row");
+        if reference.is_empty() {
+            return 1.0;
+        }
+        let hits = reference
+            .iter()
+            .enumerate()
+            .filter(|&(r, &c)| self.contains(r, c))
+            .count();
+        hits as f64 / reference.len() as f64
+    }
+
+    /// Expands to a dense matrix with non-retained entries set to `fill`
+    /// (tests and small cross-checks only; defeats the purpose at scale).
+    pub fn to_dense(&self, fill: f64) -> htc_linalg::DenseMatrix {
+        let mut out = htc_linalg::DenseMatrix::filled(self.rows(), self.cols, fill);
+        for r in 0..self.rows() {
+            for (c, v) in self.row(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds an artifact from raw parts, validating every structural
+    /// invariant — the deserialisation entry point (`crate::persist`), where
+    /// the parts come from an untrusted byte stream.
+    pub(crate) fn from_parts(
+        cols: usize,
+        k: usize,
+        row_ptr: Vec<usize>,
+        indices: Vec<u32>,
+        scores: Vec<f64>,
+    ) -> Result<Self> {
+        let invalid = |msg: String| HtcError::Persistence(msg);
+        if k == 0 {
+            return Err(invalid("top-k artifact with k = 0".into()));
+        }
+        if cols > u32::MAX as usize {
+            return Err(invalid("top-k artifact column space exceeds u32".into()));
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&indices.len()) {
+            return Err(invalid("top-k row_ptr does not span the candidates".into()));
+        }
+        if indices.len() != scores.len() {
+            return Err(invalid("top-k indices/scores length mismatch".into()));
+        }
+        for w in row_ptr.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if end < start {
+                return Err(invalid("top-k row_ptr is not monotone".into()));
+            }
+            if end - start > k.min(cols) {
+                return Err(invalid(format!(
+                    "top-k row retains {} candidates, more than k = {k}",
+                    end - start
+                )));
+            }
+            // Rows must obey the retention order: score descending, ties
+            // towards the lower index — downstream consumers (best(),
+            // matching) rely on it.
+            for i in start..end {
+                if (indices[i] as usize) >= cols {
+                    return Err(invalid("top-k candidate index out of range".into()));
+                }
+                if scores[i].is_nan() {
+                    return Err(invalid("top-k candidate score is NaN".into()));
+                }
+                if i > start {
+                    let prev = Candidate {
+                        score: scores[i - 1],
+                        index: indices[i - 1],
+                    };
+                    let cur = Candidate {
+                        score: scores[i],
+                        index: indices[i],
+                    };
+                    if cur >= prev {
+                        return Err(invalid("top-k row candidates out of order".into()));
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            cols,
+            k,
+            row_ptr,
+            indices,
+            scores,
+        })
+    }
+
+    /// Raw parts for serialisation: `(cols, k, row_ptr, indices, scores)`.
+    pub(crate) fn parts(&self) -> (usize, usize, &[usize], &[u32], &[f64]) {
+        (
+            self.cols,
+            self.k,
+            &self.row_ptr,
+            &self.indices,
+            &self.scores,
+        )
+    }
+
+    /// Persists the artifact to `path` in the versioned binary format shared
+    /// with the other session artifacts; the round-trip is bit-exact.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        crate::persist::save_topk(self, path.as_ref())
+    }
+
+    /// Loads an artifact previously written by [`TopKRows::save`], validating
+    /// every structural invariant of the candidate lists.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        crate::persist::load_topk(path.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htc_linalg::ops::row_argmax;
+    use htc_linalg::DenseMatrix;
+
+    fn build(rows: &[&[f64]], k: usize) -> TopKRows {
+        let mut b = TopKRowsBuilder::new(rows[0].len(), k);
+        for row in rows {
+            b.push_row(row);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn retains_best_k_in_order() {
+        let t = build(&[&[0.1, 0.9, 0.5, 0.7]], 2);
+        assert_eq!(t.shape(), (1, 4));
+        assert_eq!(t.num_candidates(), 2);
+        let row: Vec<(usize, f64)> = t.row(0).collect();
+        assert_eq!(row, vec![(1, 0.9), (3, 0.7)]);
+        assert_eq!(t.best(0), Some(1));
+        assert!(t.contains(0, 3));
+        assert!(!t.contains(0, 0));
+        assert_eq!(t.score(0, 1), Some(0.9));
+        assert_eq!(t.score(0, 2), None);
+    }
+
+    #[test]
+    fn ties_break_towards_lower_index() {
+        // All-equal row: retention must pick the lowest indices, ordered
+        // ascending — matching argmax's lower-index-wins convention.
+        let t = build(&[&[0.5, 0.5, 0.5, 0.5, 0.5]], 3);
+        let cols: Vec<usize> = t.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+        // Tie at the retention boundary: 0.9 at index 2 beats 0.9 at index 3.
+        let t = build(&[&[0.1, 0.9, 0.9, 0.9]], 2);
+        let cols: Vec<usize> = t.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn best_matches_dense_argmax_when_k_covers_all() {
+        let m = DenseMatrix::from_vec(
+            3,
+            4,
+            vec![
+                0.3, 0.3, 0.1, 0.2, -1.0, -2.0, -0.5, -0.5, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let mut b = TopKRowsBuilder::new(4, 4);
+        for r in 0..3 {
+            b.push_row(m.row(r));
+        }
+        let t = b.finish();
+        assert_eq!(t.best_per_row(), row_argmax(&m));
+    }
+
+    #[test]
+    fn k_larger_than_cols_keeps_everything() {
+        let t = build(&[&[0.2, 0.8]], 10);
+        assert_eq!(t.num_candidates(), 2);
+        assert_eq!(t.k(), 10);
+    }
+
+    #[test]
+    fn sparse_push_unions_candidates() {
+        let mut b = TopKRowsBuilder::new(6, 2);
+        b.push_row_sparse([(4u32, 0.5), (1u32, 0.9), (5u32, 0.1)].into_iter());
+        let t = b.finish();
+        let row: Vec<(usize, f64)> = t.row(0).collect();
+        assert_eq!(row, vec![(1, 0.9), (4, 0.5)]);
+    }
+
+    #[test]
+    fn to_dense_and_recall() {
+        let t = build(&[&[0.9, 0.1, 0.5], &[0.2, 0.3, 0.8]], 2);
+        let d = t.to_dense(f64::NEG_INFINITY);
+        assert_eq!(d.get(0, 0), 0.9);
+        assert_eq!(d.get(0, 2), 0.5);
+        assert_eq!(d.get(0, 1), f64::NEG_INFINITY);
+        assert_eq!(t.recall_of(&[0, 2]), 1.0);
+        assert_eq!(t.recall_of(&[1, 2]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_are_rejected() {
+        build(&[&[0.0, f64::NAN]], 1);
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        let good = TopKRows::from_parts(4, 2, vec![0, 2], vec![1, 3], vec![0.9, 0.7]);
+        assert!(good.is_ok());
+        // Too many candidates in a row for k.
+        assert!(TopKRows::from_parts(4, 1, vec![0, 2], vec![1, 3], vec![0.9, 0.7]).is_err());
+        // Out-of-range index.
+        assert!(TopKRows::from_parts(2, 2, vec![0, 1], vec![5], vec![0.9]).is_err());
+        // Out-of-order row (ascending scores).
+        assert!(TopKRows::from_parts(4, 2, vec![0, 2], vec![1, 3], vec![0.1, 0.7]).is_err());
+        // Tie ordered by descending index violates the tie-break.
+        assert!(TopKRows::from_parts(4, 2, vec![0, 2], vec![3, 1], vec![0.7, 0.7]).is_err());
+        // row_ptr not spanning the candidate arrays.
+        assert!(TopKRows::from_parts(4, 2, vec![0, 1], vec![1, 3], vec![0.9, 0.7]).is_err());
+        // Length mismatch between indices and scores.
+        assert!(TopKRows::from_parts(4, 2, vec![0, 1], vec![1], vec![0.9, 0.7]).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let t = build(&[&[0.9, 0.1, 0.5], &[0.2, 0.3, 0.8]], 2);
+        let (cols, k, row_ptr, indices, scores) = t.parts();
+        let back =
+            TopKRows::from_parts(cols, k, row_ptr.to_vec(), indices.to_vec(), scores.to_vec())
+                .unwrap();
+        assert_eq!(back, t);
+    }
+}

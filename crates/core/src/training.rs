@@ -12,12 +12,21 @@ use crate::config::HtcConfig;
 use crate::error::HtcError;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
+use htc_nn::NodeBatch;
 use htc_nn::{
     loss::reconstruction_loss_and_grad_into, Adam, BackwardScratch, ForwardCache, GcnEncoder,
     LossScratch,
 };
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// One-hop halo cap for neighbourhood-sampled mini-batches: each core node
+/// contributes at most this many neighbours (the first ones in CSR order, so
+/// the expansion is deterministic).  A small fixed cap bounds a batch at
+/// `batch_size * (1 + NEIGHBOR_CAP)` nodes regardless of hub degrees, which
+/// is what keeps per-step memory flat on power-law graphs.
+const NEIGHBOR_CAP: usize = 16;
 
 /// The outcome of the multi-orbit-aware training stage.
 #[derive(Debug, Clone)]
@@ -101,8 +110,16 @@ pub fn train_single_graph_observed(
     train_over_passes(&passes, attrs.cols(), config, on_epoch)
 }
 
-/// The shared epoch loop: one Adam step per epoch over the gradient summed
-/// across `passes`, in the exact order given.
+/// The shared epoch loop.
+///
+/// With `config.batch_size == 0` (the dense tier): one Adam step per epoch
+/// over the gradient summed across `passes`, in the exact order given.
+///
+/// With `config.batch_size > 0` (the `Large` tier): each epoch shuffles a
+/// per-pass node permutation and takes one Adam step per batch index, where a
+/// step accumulates the gradients of every pass's current
+/// neighbourhood-sampled [`NodeBatch`] in the same pass order.  See the
+/// determinism notes inside the loop.
 fn train_over_passes(
     passes: &[(&CsrMatrix, &DenseMatrix)],
     input_dim: usize,
@@ -131,26 +148,100 @@ fn train_over_passes(
     let mut loss_scratch = LossScratch::new();
     let mut backward_scratch = BackwardScratch::new();
 
+    // Mini-batch state (only used when `config.batch_size > 0`): one node
+    // permutation per pass, reshuffled every epoch from the same seeded RNG
+    // stream that initialised the encoder.
+    let minibatch = config.batch_size > 0;
+    let mut permutations: Vec<Vec<usize>> = if minibatch {
+        passes
+            .iter()
+            .map(|(lap, _)| (0..lap.rows()).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut loss_history = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
-        for accum in &mut grad_accum {
-            accum.data_mut().fill(0.0);
-        }
-        let mut total_loss = 0.0;
-        for &(lap, attrs) in passes {
-            encoder.forward_cached_into(lap, attrs, &mut cache)?;
-            total_loss += reconstruction_loss_and_grad_into(
-                lap,
-                cache.output(),
-                &mut grad_h,
-                &mut loss_scratch,
-            );
-            encoder.backward_into(lap, &cache, &grad_h, &mut grads, &mut backward_scratch)?;
-            for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
-                accum.add_scaled_inplace(grad, 1.0)?;
+        let total_loss = if minibatch {
+            // Neighbourhood-sampled mini-batch epoch.  The permutations are
+            // drawn in pass order from the single seeded RNG, and within one
+            // optimisation step the passes are visited in the same
+            // orbit-major interleaving as the full-batch loop — (source, k),
+            // (target, k), (source, k+1), … — which fixes the floating-point
+            // accumulation order of the losses and gradient sums; the
+            // session API's bit-identity guarantee depends on it.  Every
+            // batch is processed strictly sequentially (parallelism lives
+            // inside the kernels, which are bit-identical across thread
+            // counts), so a fixed seed yields bit-identical weights across
+            // `HTC_NUM_THREADS` and `HTC_FORCE_ISA` settings.
+            for perm in &mut permutations {
+                perm.shuffle(&mut rng);
             }
-        }
-        optimizer.step(encoder.weights_mut(), &grad_accum);
+            let num_batches = passes
+                .iter()
+                .map(|(lap, _)| lap.rows().div_ceil(config.batch_size))
+                .max()
+                .unwrap_or(0);
+            let mut epoch_loss = 0.0;
+            for b in 0..num_batches {
+                for accum in &mut grad_accum {
+                    accum.data_mut().fill(0.0);
+                }
+                let mut step_has_work = false;
+                for (perm, &(lap, attrs)) in permutations.iter().zip(passes) {
+                    let start = b * config.batch_size;
+                    if start >= perm.len() {
+                        continue;
+                    }
+                    let end = (start + config.batch_size).min(perm.len());
+                    let batch = NodeBatch::expand(lap, &perm[start..end], NEIGHBOR_CAP)?;
+                    let sub_attrs = attrs.select_rows(batch.nodes());
+                    encoder.forward_cached_into(batch.propagator(), &sub_attrs, &mut cache)?;
+                    epoch_loss += reconstruction_loss_and_grad_into(
+                        batch.propagator(),
+                        cache.output(),
+                        &mut grad_h,
+                        &mut loss_scratch,
+                    );
+                    encoder.backward_into(
+                        batch.propagator(),
+                        &cache,
+                        &grad_h,
+                        &mut grads,
+                        &mut backward_scratch,
+                    )?;
+                    for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
+                        accum.add_scaled_inplace(grad, 1.0)?;
+                    }
+                    step_has_work = true;
+                }
+                if step_has_work {
+                    optimizer.step(encoder.weights_mut(), &grad_accum);
+                }
+            }
+            epoch_loss
+        } else {
+            for accum in &mut grad_accum {
+                accum.data_mut().fill(0.0);
+            }
+            let mut epoch_loss = 0.0;
+            for &(lap, attrs) in passes {
+                encoder.forward_cached_into(lap, attrs, &mut cache)?;
+                epoch_loss += reconstruction_loss_and_grad_into(
+                    lap,
+                    cache.output(),
+                    &mut grad_h,
+                    &mut loss_scratch,
+                );
+                encoder.backward_into(lap, &cache, &grad_h, &mut grads, &mut backward_scratch)?;
+                for (accum, grad) in grad_accum.iter_mut().zip(&grads) {
+                    accum.add_scaled_inplace(grad, 1.0)?;
+                }
+            }
+            optimizer.step(encoder.weights_mut(), &grad_accum);
+            epoch_loss
+        };
         loss_history.push(total_loss);
         if !on_epoch(epoch, total_loss) {
             return Err(HtcError::Cancelled);
@@ -276,6 +367,41 @@ mod tests {
             train_multi_orbit_observed(&ls, &lt, &xs, &xt, &config, &mut |epoch, _| epoch < 2)
                 .unwrap_err();
         assert_eq!(err, HtcError::Cancelled);
+    }
+
+    #[test]
+    fn minibatch_training_converges_and_is_deterministic() {
+        let (ls, lt, xs, xt) = toy_setup();
+        let mut config = HtcConfig::fast();
+        config.epochs = 40;
+        config.batch_size = 3; // 6 nodes → 2 batches per pass per epoch
+        let a = train_multi_orbit(&ls, &lt, &xs, &xt, &config).unwrap();
+        assert_eq!(a.loss_history.len(), 40);
+        assert!(a.loss_history.iter().all(|l| l.is_finite()));
+        assert!(
+            a.loss_history.last().unwrap() < &a.loss_history[0],
+            "mini-batch training should reduce the loss ({} -> {})",
+            a.loss_history[0],
+            a.loss_history.last().unwrap()
+        );
+        let b = train_multi_orbit(&ls, &lt, &xs, &xt, &config).unwrap();
+        assert_eq!(a.loss_history, b.loss_history);
+        for (wa, wb) in a.encoder.weights().iter().zip(b.encoder.weights()) {
+            assert!(wa.approx_eq(wb, 0.0));
+        }
+    }
+
+    #[test]
+    fn minibatch_covering_batch_still_trains() {
+        // batch_size ≥ n: every epoch is a single batch containing all nodes
+        // (plus a no-op halo), i.e. the mini-batch machinery degrades
+        // gracefully to whole-graph steps.
+        let (ls, lt, xs, xt) = toy_setup();
+        let mut config = HtcConfig::fast();
+        config.epochs = 30;
+        config.batch_size = 64;
+        let model = train_multi_orbit(&ls, &lt, &xs, &xt, &config).unwrap();
+        assert!(model.loss_history.last().unwrap() < &model.loss_history[0]);
     }
 
     #[test]

@@ -81,19 +81,42 @@ pub fn top_k_mean(values: &[f64], k: usize) -> f64 {
     // Partial selection: keep a small sorted buffer of the k largest values.
     let mut top: Vec<f64> = Vec::with_capacity(k + 1);
     for &v in values {
-        if top.len() < k {
-            top.push(v);
-            if top.len() == k {
-                top.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-            }
-        } else if v > top[0] {
-            top[0] = v;
-            let mut i = 0;
-            while i + 1 < k && top[i] > top[i + 1] {
-                top.swap(i, i + 1);
-                i += 1;
-            }
+        top_k_push(&mut top, k, v);
+    }
+    top_k_mean_finish(&top, k)
+}
+
+/// One step of the partial selection behind [`top_k_mean`]: offers `v` to the
+/// sorted-ascending buffer `top` of (at most) the `k` largest values seen so
+/// far.  `k` must already be clamped to the total number of values the caller
+/// will offer.
+///
+/// Exposed so streaming consumers — the blocked LISI path accumulates the
+/// per-*column* hubness statistic across row blocks — run the *identical*
+/// insertion sequence as the dense all-at-once path and therefore produce a
+/// bit-identical buffer (content and order, hence a bit-identical
+/// [`top_k_mean_finish`] sum).
+pub fn top_k_push(top: &mut Vec<f64>, k: usize, v: f64) {
+    if top.len() < k {
+        top.push(v);
+        if top.len() == k {
+            top.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         }
+    } else if v > top[0] {
+        top[0] = v;
+        let mut i = 0;
+        while i + 1 < k && top[i] > top[i + 1] {
+            top.swap(i, i + 1);
+            i += 1;
+        }
+    }
+}
+
+/// Completes a [`top_k_push`] accumulation: the mean over the buffer, summed
+/// in buffer order (ascending after the buffer filled), divided by `k`.
+pub fn top_k_mean_finish(top: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
     }
     top.iter().sum::<f64>() / k as f64
 }
@@ -242,6 +265,22 @@ mod tests {
             sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
             let expected: f64 = sorted[..k].iter().sum::<f64>() / k as f64;
             assert!((top_k_mean(&v, k) - expected).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn streaming_top_k_push_is_bit_identical_to_top_k_mean() {
+        let v: Vec<f64> = (0..50).map(|i| (((i * 53) % 23) as f64).sin()).collect();
+        for k in [1, 2, 5, 23, 50] {
+            let k = k.min(v.len());
+            let mut top = Vec::with_capacity(k + 1);
+            for &x in &v {
+                top_k_push(&mut top, k, x);
+            }
+            // Exact equality, not approximate: the blocked LISI path depends
+            // on the streaming accumulation reproducing the dense sum
+            // bit-for-bit.
+            assert_eq!(top_k_mean_finish(&top, k), top_k_mean(&v, k), "k={k}");
         }
     }
 

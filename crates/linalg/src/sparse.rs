@@ -8,7 +8,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
-use crate::parallel::parallel_rows_mut;
+use crate::parallel::{parallel_map, parallel_rows_mut};
 use crate::Result;
 
 /// An immutable sparse matrix in compressed-sparse-row format.
@@ -307,6 +307,69 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Sparse × sparse product `self * rhs` (SpGEMM), parallelised over
+    /// output rows.
+    ///
+    /// Each output row merges the `rhs` rows selected by its non-zeros: the
+    /// partial products are gathered in CSR traversal (ascending `k`) order,
+    /// stably sorted by output column and summed left to right.  The
+    /// accumulation order of every output element is therefore a fixed
+    /// function of the operands, so results are bit-identical for every
+    /// thread count.  Structural non-zeros are kept even when their value
+    /// sums to exactly zero, matching the usual SpGEMM convention.
+    ///
+    /// Cost is `O(flops · log(row flops))` with `flops = Σ_{(i,k)∈self}
+    /// nnz(rhs row k)` — no dense accumulator is allocated, so squaring a
+    /// sparse adjacency matrix stays `O(e · D)` rather than `O(n²)`.
+    pub fn matmul_sparse(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr matmul_sparse",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let merged: Vec<(Vec<usize>, Vec<f64>)> = parallel_map(self.rows, |r| {
+            let mut products: Vec<(usize, f64)> = Vec::new();
+            for (k, a) in self.row(r) {
+                for (j, b) in rhs.row(k) {
+                    products.push((j, a * b));
+                }
+            }
+            // Stable sort: equal columns keep their ascending-`k` gather
+            // order, fixing the summation order below.
+            products.sort_by_key(|&(j, _)| j);
+            let mut cols = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            for (j, p) in products {
+                if cols.last() == Some(&j) {
+                    *vals.last_mut().expect("cols and vals grow together") += p;
+                } else {
+                    cols.push(j);
+                    vals.push(p);
+                }
+            }
+            (cols, vals)
+        });
+        let nnz = merged.iter().map(|(c, _)| c.len()).sum();
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (c, v) in merged {
+            indices.extend(c);
+            values.extend(v);
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Sparse × vector product.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
@@ -346,6 +409,59 @@ impl CsrMatrix {
             }
         }
         Ok(out)
+    }
+
+    /// Principal sub-matrix over `nodes`: rows *and* columns are restricted
+    /// to the given index set, renumbered to `0..nodes.len()` — the
+    /// sub-propagator extraction behind neighbourhood-sampled mini-batch
+    /// training.  O(Σ row_nnz(nodes) + cols) with no triplet round-trip:
+    /// because `nodes` is ascending and CSR rows store ascending columns,
+    /// the renumbered rows come out sorted directly.
+    ///
+    /// Returns an error if any index is out of range.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is not strictly increasing (callers construct batch
+    /// node sets sorted and deduplicated; violating that is a bug, not an
+    /// input condition).
+    pub fn sub_matrix(&self, nodes: &[usize]) -> Result<CsrMatrix> {
+        for w in nodes.windows(2) {
+            assert!(w[0] < w[1], "sub_matrix nodes must be strictly increasing");
+        }
+        if let Some(&max) = nodes.last() {
+            if max >= self.rows || max >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (max, max),
+                    shape: self.shape(),
+                });
+            }
+        }
+        const ABSENT: usize = usize::MAX;
+        let mut position = vec![ABSENT; self.cols];
+        for (i, &n) in nodes.iter().enumerate() {
+            position[n] = i;
+        }
+        let mut indptr = Vec::with_capacity(nodes.len() + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for &r in nodes {
+            for (c, v) in self.row(r) {
+                let p = position[c];
+                if p != ABSENT {
+                    indices.push(p);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: nodes.len(),
+            cols: nodes.len(),
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Element-wise sum of two CSR matrices with matching shapes.
@@ -465,6 +581,57 @@ mod tests {
     }
 
     #[test]
+    fn sub_matrix_matches_dense_extraction() {
+        // 4×4 with structure in every row so renumbering is exercised.
+        let m = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (1, 2, 4.0),
+                (2, 2, 5.0),
+                (3, 0, 6.0),
+                (3, 3, 7.0),
+            ],
+        )
+        .unwrap();
+        let nodes = [0usize, 2, 3];
+        let sub = m.sub_matrix(&nodes).unwrap();
+        assert_eq!(sub.shape(), (3, 3));
+        let dense = m.to_dense();
+        for (i, &r) in nodes.iter().enumerate() {
+            for (j, &c) in nodes.iter().enumerate() {
+                assert_eq!(sub.get(i, j), dense.get(r, c));
+            }
+        }
+        // Rows stay sorted and renumbered: row 0 keeps only column 3 → new 2.
+        let row0: Vec<(usize, f64)> = sub.row(0).collect();
+        assert_eq!(row0, vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn sub_matrix_full_selection_is_identity_operation() {
+        let m = sample();
+        assert_eq!(m.sub_matrix(&[0, 1, 2]).unwrap(), m);
+        let empty = m.sub_matrix(&[]).unwrap();
+        assert_eq!(empty.shape(), (0, 0));
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn sub_matrix_rejects_out_of_range_nodes() {
+        assert!(sample().sub_matrix(&[0, 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn sub_matrix_panics_on_unsorted_nodes() {
+        let _ = sample().sub_matrix(&[1, 0]);
+    }
+
+    #[test]
     fn matmul_dense_matches_dense_matmul() {
         let m = sample();
         let x = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
@@ -507,6 +674,47 @@ mod tests {
             }
         }
         assert!(fast.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn matmul_sparse_matches_dense_product() {
+        let a = sample();
+        let b =
+            CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 0.5), (2, 2, 4.0)])
+                .unwrap();
+        let product = a.matmul_sparse(&b).unwrap();
+        assert_eq!(product.shape(), (3, 4));
+        let reference = a.to_dense().matmul(&b.to_dense()).unwrap();
+        assert!(product.to_dense().approx_eq(&reference, 0.0));
+        // Rows come out with sorted columns (CSR invariant).
+        for r in 0..3 {
+            let cols: Vec<usize> = product.row(r).map(|(c, _)| c).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn adjacency_square_counts_common_neighbors() {
+        // Path 0-1-2-3: (A²)(u, v) is the number of common neighbours for
+        // u ≠ v — the triangle kernel of sparse-aware orbit counting.
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let mut triplets = Vec::new();
+        for &(u, v) in &edges {
+            triplets.push((u, v, 1.0));
+            triplets.push((v, u, 1.0));
+        }
+        let a = CsrMatrix::from_triplets(4, 4, &triplets).unwrap();
+        let a2 = a.matmul_sparse(&a).unwrap();
+        assert_eq!(a2.get(0, 2), 1.0); // via node 1
+        assert_eq!(a2.get(0, 3), 0.0);
+        assert_eq!(a2.get(1, 1), 2.0); // degree on the diagonal
+    }
+
+    #[test]
+    fn matmul_sparse_rejects_shape_mismatch() {
+        let a = sample();
+        let b = CsrMatrix::zeros(4, 2);
+        assert!(a.matmul_sparse(&b).is_err());
     }
 
     #[test]

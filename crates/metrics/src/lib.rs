@@ -6,10 +6,14 @@
 //!   convenience [`AlignmentReport`] bundling both;
 //! * [`timing`] — a stage timer used to produce the runtime decomposition of
 //!   Fig. 8 and the runtime comparison of Fig. 7, plus the lock-free
-//!   [`Counter`]/[`Gauge`] primitives serving runtimes expose via `/stats`.
+//!   [`Counter`]/[`Gauge`] primitives serving runtimes expose via `/stats`;
+//! * [`memory`] — zero-dependency peak-RSS introspection (`/proc/self/status`
+//!   `VmHWM`) backing the `Large` tier's memory budget.
 
 pub mod alignment;
+pub mod memory;
 pub mod timing;
 
 pub use alignment::{mrr, precision_at_q, AlignmentReport};
+pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use timing::{Counter, Gauge, StageTimer};

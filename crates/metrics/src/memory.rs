@@ -1,0 +1,86 @@
+//! Process-memory introspection with zero dependencies.
+//!
+//! The `Large` scale tier exists to bound peak resident memory, so the
+//! benchmark harness and the serving runtime need to *observe* peak RSS
+//! without pulling in a crate.  On Linux the kernel already tracks the
+//! high-water mark per process: `/proc/self/status` carries `VmHWM` (peak
+//! resident set) and `VmRSS` (current resident set) in kB.  This module is a
+//! self-read of that file — no syscalls beyond `open`/`read`, no caching, and
+//! graceful `None` on platforms without procfs so callers can skip the figure
+//! instead of failing.
+//!
+//! `VmHWM` is monotone for the lifetime of the process, which makes it the
+//! right primitive for "peak RSS at end of stage" attribution: sampling it
+//! after each pipeline stage yields a non-decreasing series whose first jump
+//! identifies the stage where memory peaked.
+
+/// Peak resident set size (high-water mark) of the current process in bytes,
+/// or `None` when `/proc/self/status` is unavailable or unparsable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_status_field("VmHWM:")
+}
+
+/// Current resident set size of the current process in bytes, or `None` when
+/// `/proc/self/status` is unavailable or unparsable.
+pub fn current_rss_bytes() -> Option<u64> {
+    read_status_field("VmRSS:")
+}
+
+fn read_status_field(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_field(&status, key)
+}
+
+/// Extracts a `<key>  <value> kB` line from `/proc/self/status` content and
+/// returns the value in bytes.  Split out from the procfs read so the parser
+/// is testable on any platform.
+fn parse_status_field(status: &str, key: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
+            return kb.checked_mul(1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = "Name:\tbench_pipeline\n\
+                           VmPeak:\t  204800 kB\n\
+                           VmHWM:\t   51200 kB\n\
+                           VmRSS:\t   40960 kB\n\
+                           Threads:\t4\n";
+
+    #[test]
+    fn parses_fields_in_bytes() {
+        assert_eq!(parse_status_field(FIXTURE, "VmHWM:"), Some(51200 * 1024));
+        assert_eq!(parse_status_field(FIXTURE, "VmRSS:"), Some(40960 * 1024));
+        assert_eq!(parse_status_field(FIXTURE, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        assert_eq!(
+            parse_status_field("VmHWM:\tnot-a-number kB\n", "VmHWM:"),
+            None
+        );
+        assert_eq!(parse_status_field("VmHWM:\n", "VmHWM:"), None);
+        assert_eq!(parse_status_field("", "VmHWM:"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn live_readings_are_sane() {
+        assert!(peak_rss_bytes().expect("procfs available on linux") > 0);
+        assert!(current_rss_bytes().expect("procfs available on linux") > 0);
+        // Compare the two from one snapshot: separate procfs reads race with
+        // allocations from concurrently running tests.
+        let status = std::fs::read_to_string("/proc/self/status").unwrap();
+        let peak = parse_status_field(&status, "VmHWM:").unwrap();
+        let current = parse_status_field(&status, "VmRSS:").unwrap();
+        assert!(peak >= current);
+    }
+}

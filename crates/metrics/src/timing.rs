@@ -83,12 +83,15 @@ impl Gauge {
     }
 }
 
-/// One named stage: accumulated duration plus how many times it was recorded.
+/// One named stage: accumulated duration plus how many times it was recorded,
+/// and the highest process peak-RSS reading observed when the stage finished
+/// (0 = never sampled, e.g. on platforms without procfs).
 #[derive(Debug, Clone)]
 struct StageEntry {
     name: String,
     duration: Duration,
     count: usize,
+    peak_rss_bytes: u64,
 }
 
 /// Accumulates named stage durations in insertion order.
@@ -114,14 +117,24 @@ impl StageTimer {
     /// Adds `duration` to the accumulated time of `stage` (creating it if
     /// needed) and increments the stage's occurrence count.
     pub fn record(&mut self, stage: &str, duration: Duration) {
+        self.record_with_peak_rss(stage, duration, 0);
+    }
+
+    /// [`record`](Self::record) plus a peak-RSS sample (bytes) taken when the
+    /// stage finished.  `VmHWM` is monotone, so the entry keeps the maximum of
+    /// all samples; pass 0 when no reading is available and the stored value
+    /// is left untouched.
+    pub fn record_with_peak_rss(&mut self, stage: &str, duration: Duration, peak_rss_bytes: u64) {
         if let Some(entry) = self.stages.iter_mut().find(|e| e.name == stage) {
             entry.duration += duration;
             entry.count += 1;
+            entry.peak_rss_bytes = entry.peak_rss_bytes.max(peak_rss_bytes);
         } else {
             self.stages.push(StageEntry {
                 name: stage.to_string(),
                 duration,
                 count: 1,
+                peak_rss_bytes,
             });
         }
     }
@@ -148,6 +161,16 @@ impl StageTimer {
             .unwrap_or(0)
     }
 
+    /// Highest peak-RSS sample (bytes) recorded for `stage`, or 0 when the
+    /// stage was never recorded with a memory reading.
+    pub fn peak_rss_bytes(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|e| e.name == stage)
+            .map(|e| e.peak_rss_bytes)
+            .unwrap_or(0)
+    }
+
     /// Total accumulated duration across all stages.
     pub fn total(&self) -> Duration {
         self.stages.iter().map(|e| e.duration).sum()
@@ -165,6 +188,7 @@ impl StageTimer {
             if let Some(mine) = self.stages.iter_mut().find(|e| e.name == entry.name) {
                 mine.duration += entry.duration;
                 mine.count += entry.count;
+                mine.peak_rss_bytes = mine.peak_rss_bytes.max(entry.peak_rss_bytes);
             } else {
                 self.stages.push(entry.clone());
             }
@@ -196,7 +220,10 @@ impl StageTimer {
     /// order — the occurrence-count-aware variant of
     /// [`stages_json`](Self::stages_json), used by serving processes whose
     /// `/stats` endpoints report how often each stage ran (e.g. to verify a
-    /// cached artifact skipped its stage).
+    /// cached artifact skipped its stage).  Stages recorded with a peak-RSS
+    /// sample additionally carry `"peak_rss_bytes"`; stages without one omit
+    /// the key so emitters on procfs-less platforms stay byte-identical to
+    /// the pre-memory-tracking format.
     pub fn stages_json_detailed(&self) -> String {
         let mut out = String::from("[");
         for (i, entry) in self.stages.iter().enumerate() {
@@ -206,11 +233,15 @@ impl StageTimer {
             let seconds = entry.duration.as_secs_f64();
             out.push_str(&format!(
                 "{{\"stage\": \"{}\", \"seconds\": {seconds:.6}, \"count\": {}, \
-                 \"mean_seconds\": {:.6}}}",
+                 \"mean_seconds\": {:.6}",
                 entry.name.replace('\\', "\\\\").replace('"', "\\\""),
                 entry.count,
                 seconds / entry.count.max(1) as f64
             ));
+            if entry.peak_rss_bytes > 0 {
+                out.push_str(&format!(", \"peak_rss_bytes\": {}", entry.peak_rss_bytes));
+            }
+            out.push('}');
         }
         out.push(']');
         out
@@ -352,5 +383,44 @@ mod tests {
              \"mean_seconds\": 0.200000}]"
         );
         assert_eq!(StageTimer::new().stages_json_detailed(), "[]");
+    }
+
+    #[test]
+    fn record_with_peak_rss_keeps_maximum() {
+        let mut t = StageTimer::new();
+        t.record_with_peak_rss("training", Duration::from_millis(100), 2048);
+        t.record_with_peak_rss("training", Duration::from_millis(100), 1024);
+        assert_eq!(t.peak_rss_bytes("training"), 2048);
+        assert_eq!(t.count("training"), 2);
+        // A zero sample (no reading available) never shrinks the mark.
+        t.record("training", Duration::from_millis(10));
+        assert_eq!(t.peak_rss_bytes("training"), 2048);
+        assert_eq!(t.peak_rss_bytes("missing"), 0);
+    }
+
+    #[test]
+    fn merge_takes_peak_rss_maximum() {
+        let mut a = StageTimer::new();
+        a.record_with_peak_rss("x", Duration::from_millis(10), 100);
+        let mut b = StageTimer::new();
+        b.record_with_peak_rss("x", Duration::from_millis(5), 300);
+        b.record_with_peak_rss("y", Duration::from_millis(2), 7);
+        a.merge(&b);
+        assert_eq!(a.peak_rss_bytes("x"), 300);
+        assert_eq!(a.peak_rss_bytes("y"), 7);
+    }
+
+    #[test]
+    fn detailed_json_includes_peak_rss_only_when_sampled() {
+        let mut t = StageTimer::new();
+        t.record_with_peak_rss("training", Duration::from_millis(200), 4096);
+        t.record("matching", Duration::from_millis(100));
+        assert_eq!(
+            t.stages_json_detailed(),
+            "[{\"stage\": \"training\", \"seconds\": 0.200000, \"count\": 1, \
+             \"mean_seconds\": 0.200000, \"peak_rss_bytes\": 4096}, \
+             {\"stage\": \"matching\", \"seconds\": 0.100000, \"count\": 1, \
+             \"mean_seconds\": 0.100000}]"
+        );
     }
 }

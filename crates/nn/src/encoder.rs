@@ -76,6 +76,75 @@ impl BackwardScratch {
     }
 }
 
+/// A neighbourhood-sampled mini-batch: a core set of nodes plus a capped
+/// one-hop halo, restricted to a self-contained sub-problem.
+///
+/// The `Large` training tier cannot afford full-graph forward/backward passes
+/// per step, so each optimisation step runs on the subgraph induced by a
+/// slice of a shuffled node permutation (the *core* nodes) together with up
+/// to `neighbor_cap` of each core node's one-hop neighbours.  The halo gives
+/// the first GCN layer real aggregation context for every core node; deeper
+/// layers see progressively truncated neighbourhoods, which is the standard
+/// sampling approximation.
+///
+/// Determinism: the halo takes the *first* `neighbor_cap` neighbours in CSR
+/// storage order (ascending column index), the combined node set is sorted
+/// ascending, and [`CsrMatrix::sub_matrix`] preserves CSR order — so for a
+/// fixed core set the batch is a pure function of the propagator, independent
+/// of thread count or ISA lane.
+#[derive(Debug, Clone)]
+pub struct NodeBatch {
+    nodes: Vec<usize>,
+    propagator: CsrMatrix,
+}
+
+impl NodeBatch {
+    /// Expands `core` (any order, duplicates allowed) against `propagator`
+    /// and extracts the induced sub-propagator.
+    ///
+    /// `neighbor_cap = 0` disables halo expansion entirely (the batch is the
+    /// core set alone).
+    pub fn expand(
+        propagator: &CsrMatrix,
+        core: &[usize],
+        neighbor_cap: usize,
+    ) -> Result<Self, LinalgError> {
+        let mut nodes: Vec<usize> = core.to_vec();
+        for &n in core {
+            nodes.extend(propagator.row(n).take(neighbor_cap).map(|(c, _)| c));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let sub = propagator.sub_matrix(&nodes)?;
+        Ok(Self {
+            nodes,
+            propagator: sub,
+        })
+    }
+
+    /// The batch node ids, sorted ascending — row `i` of the sub-propagator
+    /// (and of any attribute selection) corresponds to `nodes()[i]` in the
+    /// full graph.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// The induced sub-propagator (symmetric, like its parent).
+    pub fn propagator(&self) -> &CsrMatrix {
+        &self.propagator
+    }
+
+    /// Number of nodes in the batch (core plus halo).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 /// A multi-layer GCN encoder with shared weights.
 #[derive(Debug, Clone)]
 pub struct GcnEncoder {
@@ -394,6 +463,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn node_batch_expands_capped_csr_order_halo() {
+        let prop = toy_propagator();
+        // Core {0}: neighbours in CSR order are 0 then 1; cap 1 keeps only
+        // the first, but 0 is already a core node, so the halo is just {0}.
+        let batch = NodeBatch::expand(&prop, &[0], 1).unwrap();
+        assert_eq!(batch.nodes(), &[0]);
+        // Cap 2 reaches node 1 as well.
+        let batch = NodeBatch::expand(&prop, &[0], 2).unwrap();
+        assert_eq!(batch.nodes(), &[0, 1]);
+        assert_eq!(batch.propagator().shape(), (2, 2));
+        // The induced sub-propagator matches the dense principal block.
+        let dense = prop.to_dense();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(batch.propagator().get(i, j), dense.get(i, j));
+            }
+        }
+        // Symmetry is preserved by principal-block extraction.
+        assert!(batch.propagator().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn node_batch_is_order_insensitive_and_deduplicated() {
+        let prop = toy_propagator();
+        let a = NodeBatch::expand(&prop, &[3, 1], 8).unwrap();
+        let b = NodeBatch::expand(&prop, &[1, 3, 1], 8).unwrap();
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.propagator(), b.propagator());
+        // With an uncapped halo the two cores pull in all four path nodes.
+        assert_eq!(a.nodes(), &[0, 1, 2, 3]);
+        assert_eq!(a.propagator(), &prop);
+    }
+
+    #[test]
+    fn node_batch_zero_cap_keeps_core_only() {
+        let prop = toy_propagator();
+        let batch = NodeBatch::expand(&prop, &[1, 2], 0).unwrap();
+        assert_eq!(batch.nodes(), &[1, 2]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
     }
 
     #[test]

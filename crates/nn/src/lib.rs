@@ -25,5 +25,5 @@ pub mod loss;
 
 pub use activation::Activation;
 pub use adam::Adam;
-pub use encoder::{BackwardScratch, ForwardCache, GcnEncoder};
+pub use encoder::{BackwardScratch, ForwardCache, GcnEncoder, NodeBatch};
 pub use loss::{reconstruction_loss, reconstruction_loss_and_grad, LossScratch};

@@ -27,6 +27,8 @@ pub mod counting;
 pub mod gom;
 pub mod orbit;
 
-pub use counting::{count_edge_orbits, EdgeOrbitCounts};
+pub use counting::{
+    count_edge_orbits, count_edge_orbits_enumerated, count_edge_orbits_sparse, EdgeOrbitCounts,
+};
 pub use gom::{GomSet, GomWeighting};
 pub use orbit::{EdgeOrbit, Graphlet, NUM_EDGE_ORBITS};

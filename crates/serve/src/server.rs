@@ -105,6 +105,12 @@ pub struct ServerConfig {
     /// `/healthz` so the supervisor can verify it is probing the shard it
     /// thinks it is.  `None` for a standalone daemon.
     pub shard_id: Option<usize>,
+    /// Upper bound on the node count of either request network
+    /// (`--max-nodes`); larger requests get a structured `413 too_large`
+    /// before any pipeline work runs.  The guard exists for the Large tier:
+    /// a single oversized inline graph can otherwise occupy a worker for
+    /// minutes.  `0` disables the bound.
+    pub max_nodes: usize,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +130,7 @@ impl Default for ServerConfig {
             fairness: FairnessConfig::default(),
             fault: None,
             shard_id: None,
+            max_nodes: 0,
         }
     }
 }
@@ -773,6 +780,22 @@ fn stats_json(shared: &Arc<Shared>) -> String {
                 ),
             ]),
         ),
+        ("pipeline", {
+            // The tier the default preset runs at — operators use this
+            // to confirm a node serves Large-tier (blocked top-k)
+            // traffic before pointing a 100k-node workload at it.
+            let default_config =
+                preset_config(&shared.config.default_preset).unwrap_or_else(|_| HtcConfig::fast());
+            json::obj(vec![
+                (
+                    "default_preset",
+                    json::str(shared.config.default_preset.clone()),
+                ),
+                ("scale", json::str(default_config.scale.name())),
+                ("top_k", json::num(default_config.top_k as f64)),
+                ("max_nodes", json::num(shared.config.max_nodes as f64)),
+            ])
+        }),
         ("busy_sessions", json::num(busy_sessions as f64)),
         (
             "shared_stages",
@@ -808,8 +831,9 @@ fn preset_config(name: &str) -> Result<HtcConfig, ServeError> {
         "fast" => Ok(HtcConfig::fast()),
         "small" => Ok(HtcConfig::small()),
         "paper" => Ok(HtcConfig::paper()),
+        "large" => Ok(HtcConfig::large()),
         other => Err(ServeError::bad_request(format!(
-            "unknown preset {other:?} (expected fast|small|paper)"
+            "unknown preset {other:?} (expected fast|small|paper|large)"
         ))),
     }
 }
@@ -985,6 +1009,20 @@ fn parse_align_request(shared: &Shared, body: &[u8]) -> Result<AlignRequest, Ser
     let artifact_root = shared.config.artifact_root.as_deref();
     let source = parse_network(artifact_root, source_spec, "source")?;
     let target = parse_network(artifact_root, target_spec, "target")?;
+    let max_nodes = shared.config.max_nodes;
+    if max_nodes > 0 {
+        let nodes = source.num_nodes().max(target.num_nodes());
+        if nodes > max_nodes {
+            return Err(ServeError::new(
+                413,
+                "too_large",
+                format!(
+                    "request network has {nodes} nodes, above this server's \
+                     --max-nodes limit of {max_nodes}"
+                ),
+            ));
+        }
+    }
     let path_field = |key: &str| -> Result<Option<PathBuf>, ServeError> {
         match source_spec.get(key) {
             None | Some(Json::Null) => Ok(None),
@@ -1416,7 +1454,9 @@ fn render_align_response_to<W: std::fmt::Write>(
         out.write_char(',')?;
         json::write_num(out, t as f64)?;
         out.write_char(',')?;
-        json::write_num(out, result.alignment().get(s, t))?;
+        // `score` reads the dense matrix or the Large tier's top-k rows,
+        // whichever artifact this result carries.
+        json::write_num(out, result.score(s, t))?;
         out.write_char(']')?;
     }
     out.write_str("],\"orbit_importance\":")?;

@@ -285,3 +285,59 @@ fn artifact_root_rejects_traversal() {
     server.shutdown();
     std::fs::remove_dir_all(&root).ok();
 }
+
+/// A `max_nodes` bound turns oversized requests into a structured 413 before
+/// any pipeline work, within-bound requests still align, and `/stats`
+/// advertises the serving tier in its `pipeline` block.
+#[test]
+fn max_nodes_rejects_oversized_requests_with_structured_413() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        default_preset: "large".into(),
+        max_nodes: 16,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let big = generate_pair(&SyntheticPairConfig::tiny(24).with_seed(9));
+    let body = format!(
+        "{{\"source\":{},\"target\":{}}}",
+        network_json(&big.source),
+        network_json(&big.target)
+    );
+    let (status, response) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 413, "{}", response.render());
+    assert_eq!(
+        response.get("kind").unwrap().as_str(),
+        Some("too_large"),
+        "{}",
+        response.render()
+    );
+
+    // A within-bound request aligns under the Large-tier default preset.
+    let small = generate_pair(&SyntheticPairConfig::tiny(12).with_seed(9));
+    let body = format!(
+        "{{\"epochs\":4,\"source\":{},\"target\":{}}}",
+        network_json(&small.source),
+        network_json(&small.target)
+    );
+    let (status, response) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 200, "{}", response.render());
+    assert_eq!(
+        response.get("anchors").unwrap().as_arr().unwrap().len(),
+        small.source.num_nodes()
+    );
+
+    let (status, stats) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let pipeline = stats.get("pipeline").expect("stats carry a pipeline block");
+    assert_eq!(pipeline.get("scale").unwrap().as_str(), Some("large"));
+    assert_eq!(get_num(pipeline, &["max_nodes"]), 16.0);
+    assert!(get_num(pipeline, &["top_k"]) > 0.0);
+    assert_eq!(
+        pipeline.get("default_preset").unwrap().as_str(),
+        Some("large")
+    );
+    server.shutdown();
+}

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! htc-align --source data/source --target data/target \
-//!           [--output anchors.tsv] [--preset fast|small|paper] \
+//!           [--output anchors.tsv] [--preset fast|small|paper|large] \
 //!           [--orbits K] [--one-to-one] [--seed N] [--threads N] [--json]
 //! ```
 //!
@@ -22,7 +22,7 @@
 //! All flags, including the preset name, are validated at parse time, before
 //! any network is read or aligned.
 
-use htc::core::matching::greedy_matching;
+use htc::core::matching::{greedy_matching, greedy_matching_topk};
 use htc::core::{HtcAligner, HtcConfig};
 use htc::graph::io::read_network;
 use std::path::PathBuf;
@@ -34,6 +34,7 @@ enum Preset {
     Fast,
     Small,
     Paper,
+    Large,
 }
 
 impl Preset {
@@ -42,8 +43,9 @@ impl Preset {
             "fast" => Ok(Preset::Fast),
             "small" => Ok(Preset::Small),
             "paper" => Ok(Preset::Paper),
+            "large" => Ok(Preset::Large),
             other => Err(format!(
-                "unknown preset {other:?} (expected fast|small|paper)"
+                "unknown preset {other:?} (expected fast|small|paper|large)"
             )),
         }
     }
@@ -53,6 +55,7 @@ impl Preset {
             Preset::Fast => "fast",
             Preset::Small => "small",
             Preset::Paper => "paper",
+            Preset::Large => "large",
         }
     }
 
@@ -61,6 +64,7 @@ impl Preset {
             Preset::Fast => HtcConfig::fast(),
             Preset::Small => HtcConfig::small(),
             Preset::Paper => HtcConfig::paper(),
+            Preset::Large => HtcConfig::large(),
         }
     }
 }
@@ -81,7 +85,7 @@ struct CliArgs {
 fn print_usage() {
     eprintln!(
         "usage: htc-align --source <stem> --target <stem> [--output <file>] \
-         [--preset fast|small|paper] [--orbits K] [--one-to-one] [--seed N] \
+         [--preset fast|small|paper|large] [--orbits K] [--one-to-one] [--seed N] \
          [--threads N] [--json]"
     );
 }
@@ -263,13 +267,18 @@ fn main() -> ExitCode {
     if args.output.is_some() || !args.json {
         let mut lines = String::from("source\ttarget\tscore\n");
         if args.one_to_one {
-            let matching = greedy_matching(result.alignment());
+            // A Large-tier result carries top-k rows instead of a dense
+            // matrix; the greedy matcher has a variant for each artifact.
+            let matching = match result.top_k() {
+                Some(topk) => greedy_matching_topk(topk),
+                None => greedy_matching(result.alignment()),
+            };
             for (s, t) in matching.pairs() {
-                lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.alignment().get(s, t)));
+                lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.score(s, t)));
             }
         } else {
             for (s, &t) in result.predicted_anchors().iter().enumerate() {
-                lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.alignment().get(s, t)));
+                lines.push_str(&format!("{s}\t{t}\t{:.6}\n", result.score(s, t)));
             }
         }
         match &args.output {

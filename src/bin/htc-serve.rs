@@ -10,12 +10,12 @@
 //! and a restarted daemon warm-starts from them.
 //!
 //! ```text
-//! htc-serve [--addr 127.0.0.1:8700] [--preset fast|small|paper]
+//! htc-serve [--addr 127.0.0.1:8700] [--preset fast|small|paper|large]
 //!           [--cache-capacity N] [--batch-window-ms N]
 //!           [--artifact-root DIR] [--cache-dir DIR] [--threads N]
 //!           [--workers N] [--queue-capacity N] [--keep-alive-secs N]
 //!           [--request-deadline-secs N] [--peer-rps N] [--fault-plan SPEC]
-//!           [--shard-id N]
+//!           [--shard-id N] [--max-nodes N]
 //! ```
 //!
 //! Request-lifecycle hardening: `--request-deadline-secs` caps each
@@ -31,8 +31,11 @@
 //! `POST /shutdown` or a `SIGINT`/`SIGTERM` — all three take the same
 //! deterministic drain (stop accepting, serve the queue, join workers).
 //! `--shard-id` tags the process as one member of an `htc-fleet` (reported
-//! on `/healthz`).  See README.md for the request format and a curl
-//! quickstart.
+//! on `/healthz`).  `--max-nodes` rejects requests whose networks exceed the
+//! given node count with a structured `413 too_large` — the guard for
+//! Large-tier (`--preset large`) deployments, where a single oversized
+//! inline graph can occupy a worker for minutes.  See README.md for the
+//! request format and a curl quickstart.
 
 use htc::serve::{runtime::MAX_WORKERS, FaultPlan, Server, ServerConfig};
 use std::path::PathBuf;
@@ -47,11 +50,11 @@ struct ServeArgs {
 
 fn print_usage() {
     eprintln!(
-        "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper] \
+        "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper|large] \
          [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
          [--cache-dir DIR] [--threads N] [--workers N] [--queue-capacity N] \
          [--keep-alive-secs N] [--request-deadline-secs N] [--peer-rps N] \
-         [--fault-plan SPEC] [--shard-id N]"
+         [--fault-plan SPEC] [--shard-id N] [--max-nodes N]"
     );
 }
 
@@ -71,9 +74,9 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
             "--addr" => config.addr = value("--addr")?,
             "--preset" => {
                 let name = value("--preset")?;
-                if !matches!(name.as_str(), "fast" | "small" | "paper") {
+                if !matches!(name.as_str(), "fast" | "small" | "paper" | "large") {
                     return Err(format!(
-                        "unknown preset {name:?} (expected fast|small|paper)"
+                        "unknown preset {name:?} (expected fast|small|paper|large)"
                     ));
                 }
                 config.default_preset = name;
@@ -143,6 +146,12 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
                     .parse()
                     .map_err(|e| format!("bad --shard-id value: {e}"))?;
                 config.shard_id = Some(id);
+            }
+            "--max-nodes" => {
+                // 0 keeps the default "unbounded" behaviour explicit.
+                config.max_nodes = value("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-nodes value: {e}"))?;
             }
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
