@@ -294,9 +294,26 @@ fn recall_check(config: &htc_core::HtcConfig) -> (f64, String) {
     (recall, json)
 }
 
+/// Committed single-thread fine-tuning baseline at 100k nodes (seconds) —
+/// the pre-parallel-sweep `BENCH_pipeline.json` figure the multi-threaded
+/// stage is gated against.
+const FINETUNE_BASELINE_SECONDS: f64 = 604.180561;
+/// Node count the committed baseline was measured at; the baseline gates
+/// only apply when the scenario runs at this size.
+const FINETUNE_BASELINE_NODES: usize = 100_000;
+/// Required fine-tuning speedup over the baseline on a ≥ 4-core machine.
+const FINETUNE_SPEEDUP_TARGET: f64 = 3.0;
+
 /// Runs the Large-tier scenario and renders its JSON object plus a pass
-/// flag (false on a peak-RSS budget or recall regression — the caller still
-/// writes the artifact, then exits non-zero).
+/// flag (false on a peak-RSS budget, recall, determinism, or fine-tuning
+/// performance regression — the caller still writes the artifact, then
+/// exits non-zero).
+///
+/// The alignment is measured twice: at `HTC_NUM_THREADS=4` (first, so the
+/// persistent pool — whose worker count is fixed at first use — is created
+/// multi-threaded) and again at `HTC_NUM_THREADS=1`.  The two runs must
+/// produce byte-identical matchings; their fine-tuning stage walls are both
+/// recorded, with the 4-thread figure gated against the committed baseline.
 fn large_scale_json(scale: Scale, flags: &LargeFlags, runs: usize) -> (String, bool) {
     let config = htc_config_for_scale(scale);
     let budget_bytes = flags.rss_budget_mb * 1024 * 1024;
@@ -310,11 +327,14 @@ fn large_scale_json(scale: Scale, flags: &LargeFlags, runs: usize) -> (String, b
         config.batch_size,
     );
 
+    let saved_threads = std::env::var("HTC_NUM_THREADS").ok();
+    std::env::set_var("HTC_NUM_THREADS", "4");
     let mut best_wall = f64::INFINITY;
+    let mut finetune_4 = f64::INFINITY;
     let mut last_result = None;
     for run in 0..runs.max(1) {
         eprintln!(
-            "[bench_pipeline] large-tier run {}/{}",
+            "[bench_pipeline] large-tier run {}/{} (4 threads)",
             run + 1,
             runs.max(1)
         );
@@ -323,24 +343,65 @@ fn large_scale_json(scale: Scale, flags: &LargeFlags, runs: usize) -> (String, b
             .align(&pair.source, &pair.target)
             .expect("generated datasets satisfy the input contract");
         best_wall = best_wall.min(wall_start.elapsed().as_secs_f64());
+        finetune_4 = finetune_4.min(result.timer().duration(stages::FINE_TUNING).as_secs_f64());
         last_result = Some(result);
     }
     let result = last_result.expect("at least one run");
+
+    eprintln!("[bench_pipeline] large-tier run (1 thread, determinism cross-check)");
+    std::env::set_var("HTC_NUM_THREADS", "1");
+    let single = HtcAligner::new(config.clone())
+        .align(&pair.source, &pair.target)
+        .expect("generated datasets satisfy the input contract");
+    let finetune_1 = single.timer().duration(stages::FINE_TUNING).as_secs_f64();
+    match &saved_threads {
+        Some(value) => std::env::set_var("HTC_NUM_THREADS", value),
+        None => std::env::remove_var("HTC_NUM_THREADS"),
+    }
+
+    let matchings_identical = result.predicted_anchors() == single.predicted_anchors()
+        && result.top_k() == single.top_k();
+
     let peak_rss = htc_metrics::peak_rss_bytes().unwrap_or(0);
     let within_budget = peak_rss <= budget_bytes;
     let (recall, recall_json) = recall_check(&config);
 
+    // Fine-tuning gates: no regression against the committed 100k baseline
+    // ever; the ≥ 3× speedup additionally requires the cores it was promised
+    // on (the thread-count invariance and budget gates apply everywhere).
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let speedup_vs_baseline = FINETUNE_BASELINE_SECONDS / finetune_4.max(1e-9);
+    let thread_scaling = finetune_1 / finetune_4.max(1e-9);
+    let baseline_applies = flags.nodes == FINETUNE_BASELINE_NODES;
+    let regression_ok = !baseline_applies || finetune_4 <= FINETUNE_BASELINE_SECONDS;
+    let speedup_enforced = baseline_applies && cores >= 4;
+    let speedup_ok = !speedup_enforced || speedup_vs_baseline >= FINETUNE_SPEEDUP_TARGET;
+
     eprintln!(
-        "[bench_pipeline] large-tier: wall {best_wall:.1}s, peak RSS {:.0} MiB \
-         (budget {} MiB), recall {recall:.4}",
+        "[bench_pipeline] large-tier: wall {best_wall:.1}s, fine-tuning {finetune_4:.1}s (4t) / \
+         {finetune_1:.1}s (1t), peak RSS {:.0} MiB (budget {} MiB), recall {recall:.4}, \
+         matchings identical: {matchings_identical}",
         peak_rss as f64 / (1024.0 * 1024.0),
         flags.rss_budget_mb,
+    );
+    let finetune_json = format!(
+        "{{\"baseline_seconds\": {FINETUNE_BASELINE_SECONDS}, \
+         \"baseline_nodes\": {FINETUNE_BASELINE_NODES}, \
+         \"threads_4_seconds\": {finetune_4:.6}, \"threads_1_seconds\": {finetune_1:.6}, \
+         \"speedup_vs_baseline\": {speedup_vs_baseline:.3}, \
+         \"thread_scaling\": {thread_scaling:.3}, \"cores\": {cores}, \
+         \"matchings_identical\": {matchings_identical}, \
+         \"speedup_target\": {FINETUNE_SPEEDUP_TARGET}, \
+         \"speedup_enforced\": {speedup_enforced}}}"
     );
     let json = format!(
         "  \"large_scale\": {{\"dataset\": \"{}\", \"nodes\": [{}, {}], \"edges\": [{}, {}], \
          \"top_k\": {}, \"batch_size\": {}, \"wall_seconds\": {best_wall:.6}, \
          \"peak_rss_bytes\": {peak_rss}, \"rss_budget_bytes\": {budget_bytes}, \
-         \"within_budget\": {within_budget}, \"recall_check\": {recall_json}, \"stages\": {}}}",
+         \"within_budget\": {within_budget}, \"recall_check\": {recall_json}, \
+         \"fine_tuning\": {finetune_json}, \"stages\": {}}}",
         json_escape(&pair.name),
         pair.source.num_nodes(),
         pair.target.num_nodes(),
@@ -359,7 +420,27 @@ fn large_scale_json(scale: Scale, flags: &LargeFlags, runs: usize) -> (String, b
     if recall < RECALL_THRESHOLD {
         eprintln!("error: dense-vs-blocked recall {recall:.4} fell below {RECALL_THRESHOLD}");
     }
-    (json, within_budget && recall >= RECALL_THRESHOLD)
+    if !matchings_identical {
+        eprintln!("error: matchings differ between HTC_NUM_THREADS=4 and =1");
+    }
+    if !regression_ok {
+        eprintln!(
+            "error: fine-tuning took {finetune_4:.1}s on 4 threads, \
+             above the committed {FINETUNE_BASELINE_SECONDS:.1}s baseline"
+        );
+    }
+    if !speedup_ok {
+        eprintln!(
+            "error: fine-tuning speedup {speedup_vs_baseline:.2}× is below the \
+             {FINETUNE_SPEEDUP_TARGET}× target on a {cores}-core machine"
+        );
+    }
+    let ok = within_budget
+        && recall >= RECALL_THRESHOLD
+        && matchings_identical
+        && regression_ok
+        && speedup_ok;
+    (json, ok)
 }
 
 fn main() {
@@ -397,7 +478,7 @@ fn main() {
         let flags = parse_large_flags(std::env::args().skip(1));
         let (large, ok) = large_scale_json(args.scale, &flags, args.runs);
         let json = format!(
-            "{{\n  \"schema\": \"htc-bench-pipeline-v5\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n{}\n}}\n",
+            "{{\n  \"schema\": \"htc-bench-pipeline-v6\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n{}\n}}\n",
             args.scale,
             args.runs,
             htc_linalg::parallel::num_threads(),
@@ -464,7 +545,7 @@ fn main() {
     let fleet = fleet_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v5\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v6\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),

@@ -136,6 +136,11 @@ pub struct HtcConfig {
     /// any value preserves the bit-identity contract across
     /// `HTC_NUM_THREADS`.
     pub batch_size: usize,
+    /// Memory budget (MiB) for caching pass-1 correlation blocks of the
+    /// blocked LISI sweep so pass 2 can skip recomputing their GEMMs.  Only
+    /// consulted in the `Large` tier; 0 disables the cache.  A pure
+    /// execution-strategy knob: results are bit-identical for every value.
+    pub sweep_cache_mb: usize,
 }
 
 impl Default for HtcConfig {
@@ -166,6 +171,7 @@ impl HtcConfig {
             scale: ScaleTier::Dense,
             top_k: 10,
             batch_size: 0,
+            sweep_cache_mb: 256,
         }
     }
 
@@ -201,6 +207,7 @@ impl HtcConfig {
             scale: ScaleTier::Dense,
             top_k: 10,
             batch_size: 0,
+            sweep_cache_mb: 256,
         }
     }
 
@@ -226,6 +233,7 @@ impl HtcConfig {
             scale: ScaleTier::Large,
             top_k: 10,
             batch_size: 4096,
+            sweep_cache_mb: 256,
         }
     }
 
@@ -362,6 +370,13 @@ impl HtcConfig {
     /// batch).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style setter for the blocked-sweep correlation-cache budget
+    /// (MiB; 0 disables the cache).
+    pub fn with_sweep_cache_mb(mut self, mb: usize) -> Self {
+        self.sweep_cache_mb = mb;
         self
     }
 }

@@ -15,13 +15,17 @@
 //! for a few rounds before saturating.
 
 use crate::config::HtcConfig;
+use crate::error::HtcError;
 use crate::lisi::{
-    default_block_rows, lisi_matrix_into, lisi_topk, trusted_pairs, BlockedLisiScratch, LisiScratch,
+    default_block_rows, lisi_matrix_into, lisi_topk_with, trusted_pairs, BlockedLisiScratch,
+    LisiScratch, SweepControl, SweepStats,
 };
+use crate::session::ProgressObserver;
 use crate::topk::TopKRows;
 use crate::Result;
 use htc_linalg::{CsrMatrix, DenseMatrix};
-use htc_nn::GcnEncoder;
+use htc_nn::{ForwardCache, GcnEncoder};
+use std::sync::Arc;
 
 /// The refined state of a single orbit after fine-tuning.
 #[derive(Debug, Clone)]
@@ -40,9 +44,12 @@ pub struct OrbitRefinement {
     /// re-running a blocked similarity sweep per orbit.  `None` in the dense
     /// tier (integration recomputes the full LISI matrix there, as before).
     pub topk: Option<TopKRows>,
+    /// Accumulated GEMM-vs-selection breakdown over every blocked sweep this
+    /// refinement ran (all-zero in the dense tier).
+    pub sweep_stats: SweepStats,
 }
 
-/// Runs Algorithm 2 for one orbit.
+/// Runs Algorithm 2 for one orbit with no observer (orbit index 0).
 ///
 /// `lap_source` / `lap_target` are the orbit's normalised Laplacians;
 /// the encoder is the (already trained) shared encoder.  When
@@ -57,14 +64,58 @@ pub fn refine_orbit(
     target_attrs: &DenseMatrix,
     config: &HtcConfig,
 ) -> Result<OrbitRefinement> {
+    refine_orbit_observed(
+        encoder,
+        lap_source,
+        lap_target,
+        source_attrs,
+        target_attrs,
+        config,
+        0,
+        None,
+    )
+}
+
+/// [`refine_orbit`] with progress reporting and cooperative cancellation.
+///
+/// The observer's [`on_finetune_iteration`](ProgressObserver::on_finetune_iteration)
+/// fires once per refinement iteration with the orbit index and trusted-pair
+/// count; in the `Large` tier
+/// [`on_sweep_block`](ProgressObserver::on_sweep_block) additionally fires at
+/// row-block granularity inside each blocked sweep, so deadline observers can
+/// interrupt a multi-minute sweep mid-flight.  Both cancel with
+/// [`HtcError::Cancelled`] when they return `false`.
+///
+/// The iteration loop is allocation-free after warm-up: forward passes reuse
+/// two [`ForwardCache`]s, the Eq. 14 reinforcement boost rescales into
+/// persistent boosted-Laplacian scratch (`scale_sym_into`), and the LISI
+/// buffers are shared across iterations.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_orbit_observed(
+    encoder: &GcnEncoder,
+    lap_source: &CsrMatrix,
+    lap_target: &CsrMatrix,
+    source_attrs: &DenseMatrix,
+    target_attrs: &DenseMatrix,
+    config: &HtcConfig,
+    orbit: usize,
+    observer: Option<&Arc<dyn ProgressObserver>>,
+) -> Result<OrbitRefinement> {
     let mut reinforcement_source = vec![1.0; lap_source.rows()];
     let mut reinforcement_target = vec![1.0; lap_target.rows()];
 
-    let mut current_source = encoder.forward(lap_source, source_attrs)?;
-    let mut current_target = encoder.forward(lap_target, target_attrs)?;
+    // Reusable forward caches (one warm-up allocation per side) and
+    // boosted-Laplacian scratch for the Eq. 14 re-encoding.
+    let mut source_cache = ForwardCache::new();
+    let mut target_cache = ForwardCache::new();
+    let mut boosted_source = CsrMatrix::zeros(0, 0);
+    let mut boosted_target = CsrMatrix::zeros(0, 0);
 
-    let mut best_source = current_source.clone();
-    let mut best_target = current_target.clone();
+    encoder.forward_into(lap_source, source_attrs, &mut source_cache)?;
+    encoder.forward_into(lap_target, target_attrs, &mut target_cache)?;
+
+    let mut best_source = source_cache.output().clone();
+    let mut best_target = target_cache.output().clone();
     let mut best_count = 0usize;
     let mut iterations = 0usize;
 
@@ -82,23 +133,38 @@ pub fn refine_orbit(
     let mut lisi = DenseMatrix::zeros(0, 0);
     let mut blocked_scratch = BlockedLisiScratch::new();
     let mut best_topk: Option<TopKRows> = None;
+    let mut sweep_stats = SweepStats::default();
+
+    let sweep_progress = observer.map(|obs| {
+        let obs = Arc::clone(obs);
+        move |done: usize, total: usize| obs.on_sweep_block(done, total)
+    });
+    let control = SweepControl {
+        corr_cache_bytes: config.sweep_cache_mb.saturating_mul(1 << 20),
+        chunks: None,
+        progress: sweep_progress
+            .as_ref()
+            .map(|f| f as &(dyn Fn(usize, usize) -> bool + Sync)),
+    };
 
     for _ in 0..max_iters {
         iterations += 1;
         let (pairs, iter_topk) = if large {
-            let blocked = lisi_topk(
-                &current_source,
-                &current_target,
+            let blocked = lisi_topk_with(
+                source_cache.output(),
+                target_cache.output(),
                 config.nearest_neighbors,
                 config.top_k,
-                default_block_rows(current_target.rows()),
+                default_block_rows(target_cache.output().rows()),
                 &mut blocked_scratch,
-            );
+                &control,
+            )?;
+            sweep_stats.accumulate(&blocked.stats);
             (blocked.trusted_pairs(), Some(blocked.topk))
         } else {
             lisi_matrix_into(
-                &current_source,
-                &current_target,
+                source_cache.output(),
+                target_cache.output(),
                 config.nearest_neighbors,
                 &mut lisi_scratch,
                 &mut lisi,
@@ -106,13 +172,18 @@ pub fn refine_orbit(
             (trusted_pairs(&lisi), None)
         };
         let count = pairs.len();
+        if let Some(obs) = observer {
+            if !obs.on_finetune_iteration(orbit, iterations, count) {
+                return Err(HtcError::Cancelled);
+            }
+        }
         if count <= best_count && iterations > 1 {
             break;
         }
         if count > best_count || iterations == 1 {
             best_count = count.max(best_count);
-            best_source.copy_from(&current_source);
-            best_target.copy_from(&current_target);
+            best_source.copy_from(source_cache.output());
+            best_target.copy_from(target_cache.output());
             best_topk = iter_topk;
         }
         if !config.fine_tune {
@@ -124,10 +195,18 @@ pub fn refine_orbit(
             reinforcement_target[t] *= config.reinforcement_rate;
         }
         // Eq. 14: re-encode with R L̃ R.
-        let boosted_source = lap_source.scale_sym(&reinforcement_source, &reinforcement_source)?;
-        let boosted_target = lap_target.scale_sym(&reinforcement_target, &reinforcement_target)?;
-        current_source = encoder.forward(&boosted_source, source_attrs)?;
-        current_target = encoder.forward(&boosted_target, target_attrs)?;
+        lap_source.scale_sym_into(
+            &reinforcement_source,
+            &reinforcement_source,
+            &mut boosted_source,
+        )?;
+        lap_target.scale_sym_into(
+            &reinforcement_target,
+            &reinforcement_target,
+            &mut boosted_target,
+        )?;
+        encoder.forward_into(&boosted_source, source_attrs, &mut source_cache)?;
+        encoder.forward_into(&boosted_target, target_attrs, &mut target_cache)?;
     }
 
     Ok(OrbitRefinement {
@@ -136,6 +215,7 @@ pub fn refine_orbit(
         trusted_count: best_count,
         iterations,
         topk: best_topk,
+        sweep_stats,
     })
 }
 
@@ -246,6 +326,127 @@ mod tests {
             .topk
             .expect("large tier keeps the best iteration's top-k");
         assert_eq!(topk.shape(), (8, 8));
+    }
+
+    /// Records every observer callback; cancels via `on_sweep_block` after a
+    /// configurable number of blocks (`usize::MAX` = never).
+    struct SweepRecorder {
+        iterations: std::sync::Mutex<Vec<(usize, usize, usize)>>,
+        blocks_seen: std::sync::atomic::AtomicUsize,
+        cancel_after_blocks: usize,
+    }
+
+    impl SweepRecorder {
+        fn new(cancel_after_blocks: usize) -> Self {
+            Self {
+                iterations: std::sync::Mutex::new(Vec::new()),
+                blocks_seen: std::sync::atomic::AtomicUsize::new(0),
+                cancel_after_blocks,
+            }
+        }
+    }
+
+    impl ProgressObserver for SweepRecorder {
+        fn on_finetune_iteration(&self, orbit: usize, iteration: usize, trusted: usize) -> bool {
+            self.iterations
+                .lock()
+                .unwrap()
+                .push((orbit, iteration, trusted));
+            true
+        }
+
+        fn on_sweep_block(&self, _done: usize, _total: usize) -> bool {
+            let seen = self
+                .blocks_seen
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            seen < self.cancel_after_blocks
+        }
+    }
+
+    #[test]
+    fn observer_receives_per_iteration_trusted_counts() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let config = HtcConfig::fast();
+        let recorder = Arc::new(SweepRecorder::new(usize::MAX));
+        let observer: Arc<dyn ProgressObserver> = recorder.clone();
+        let refinement = refine_orbit_observed(
+            &encoder,
+            &ls[0],
+            &lt[0],
+            &xs,
+            &xt,
+            &config,
+            3,
+            Some(&observer),
+        )
+        .unwrap();
+        let events = recorder.iterations.lock().unwrap().clone();
+        assert_eq!(events.len(), refinement.iterations);
+        for (i, &(orbit, iteration, _trusted)) in events.iter().enumerate() {
+            assert_eq!(orbit, 3);
+            assert_eq!(iteration, i + 1);
+        }
+        // The best count the refinement reports was among the observed ones.
+        assert!(events
+            .iter()
+            .any(|&(_, _, t)| t == refinement.trusted_count));
+        // Dense tier: no blocked sweeps, so no block events and zero stats.
+        assert_eq!(
+            recorder
+                .blocks_seen
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        assert_eq!(refinement.sweep_stats, SweepStats::default());
+    }
+
+    #[test]
+    fn large_tier_reports_sweep_stats_and_cancels_mid_sweep() {
+        let (encoder, ls, lt, xs, xt) = trained_setup();
+        let config = HtcConfig::fast()
+            .with_scale(crate::config::ScaleTier::Large)
+            .with_top_k(8);
+        // Uncancelled run: block events fire and stats accumulate.
+        let recorder = Arc::new(SweepRecorder::new(usize::MAX));
+        let observer: Arc<dyn ProgressObserver> = recorder.clone();
+        let refinement = refine_orbit_observed(
+            &encoder,
+            &ls[0],
+            &lt[0],
+            &xs,
+            &xt,
+            &config,
+            0,
+            Some(&observer),
+        )
+        .unwrap();
+        assert!(refinement.sweep_stats.blocks > 0);
+        assert!(
+            recorder
+                .blocks_seen
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 2 * refinement.sweep_stats.blocks
+        );
+
+        // Cancelling from the second block event aborts mid-sweep with
+        // HtcError::Cancelled instead of waiting for an iteration boundary.
+        let canceller = Arc::new(SweepRecorder::new(2));
+        let observer: Arc<dyn ProgressObserver> = canceller.clone();
+        let err = refine_orbit_observed(
+            &encoder,
+            &ls[0],
+            &lt[0],
+            &xs,
+            &xt,
+            &config,
+            0,
+            Some(&observer),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HtcError::Cancelled));
+        // The cancel fired before any iteration completed.
+        assert!(canceller.iterations.lock().unwrap().is_empty());
     }
 
     #[test]

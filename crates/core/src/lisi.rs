@@ -14,12 +14,16 @@
 //!
 //! A *trusted pair* is a pair that are mutually each other's LISI arg-max.
 
+use crate::error::HtcError;
 use crate::topk::{TopKRows, TopKRowsBuilder};
 use htc_linalg::ops::{
-    argmax, col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means,
+    col_top_k_means, mutual_argmax_pairs, pearson_normalize_rows, row_top_k_means, top_k_gate,
     top_k_mean, top_k_mean_finish, top_k_push,
 };
+use htc_linalg::parallel::parallel_scratch_map;
 use htc_linalg::DenseMatrix;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Reusable buffers for the LISI computation.
 ///
@@ -132,6 +136,54 @@ pub fn trusted_pairs(lisi: &DenseMatrix) -> Vec<(usize, usize)> {
     mutual_argmax_pairs(lisi)
 }
 
+/// Controls the chunk-parallel blocked sweep of [`lisi_topk_with`]:
+/// correlation-block caching budget, an explicit chunk-count override, and a
+/// cooperative progress / cancellation callback.
+#[derive(Default)]
+pub struct SweepControl<'a> {
+    /// Byte budget for caching pass-1 correlation blocks so pass 2 can skip
+    /// their GEMMs (split evenly across chunks, filled greedily from each
+    /// chunk's first block).  `0` disables the cache: pass 2 recomputes every
+    /// block, keeping peak memory at one block per chunk.
+    pub corr_cache_bytes: usize,
+    /// Explicit number of parallel chunks.  `None` uses one chunk per worker
+    /// thread ([`htc_linalg::parallel::num_threads`]).  Results are
+    /// bit-identical for every chunk count — this override exists so tests
+    /// can force multi-chunk merges on single-core machines.
+    pub chunks: Option<usize>,
+    /// Invoked after every processed block with `(blocks_done, total_blocks)`
+    /// (both passes counted).  Returning `false` cancels the sweep
+    /// cooperatively: in-flight blocks finish, no further blocks start, and
+    /// [`lisi_topk_with`] returns [`HtcError::Cancelled`].
+    pub progress: Option<&'a (dyn Fn(usize, usize) -> bool + Sync)>,
+}
+
+/// Kernel-level breakdown of one blocked sweep.  Seconds are CPU-seconds
+/// summed across chunks, so they exceed wall time when chunks run in
+/// parallel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepStats {
+    /// Time spent in correlation GEMMs (including source-block staging).
+    pub gemm_seconds: f64,
+    /// Time spent in streaming selection (hubness, combine, arg-max, top-k).
+    pub select_seconds: f64,
+    /// Row blocks per pass.
+    pub blocks: usize,
+    /// Blocks whose pass-1 correlation was cached and reused by pass 2.
+    pub cached_blocks: usize,
+}
+
+impl SweepStats {
+    /// Adds another sweep's totals into this one (per-iteration
+    /// accumulation in the fine-tuning loop).
+    pub fn accumulate(&mut self, other: &SweepStats) {
+        self.gemm_seconds += other.gemm_seconds;
+        self.select_seconds += other.select_seconds;
+        self.blocks += other.blocks;
+        self.cached_blocks += other.cached_blocks;
+    }
+}
+
 /// Result of a blocked LISI evaluation: the retained top-k candidates plus
 /// the *exact* full-width row/column arg-maxes (tracked during the streaming
 /// pass, so trusted pairs need no dense matrix).
@@ -139,6 +191,8 @@ pub fn trusted_pairs(lisi: &DenseMatrix) -> Vec<(usize, usize)> {
 pub struct BlockedLisi {
     /// Top-k retained LISI candidates per source row.
     pub topk: TopKRows,
+    /// GEMM-vs-selection timing breakdown of the sweep that produced this.
+    pub stats: SweepStats,
     /// Exact arg-max of every (conceptual) LISI row.
     row_best: Vec<usize>,
     /// Exact arg-max of every (conceptual) LISI column.
@@ -164,23 +218,51 @@ impl BlockedLisi {
     }
 }
 
-/// Reusable buffers for the blocked LISI path (normalised embedding copies,
-/// one correlation row-block, per-column hubness state).
+/// Per-chunk working state of the parallel blocked sweep.  Each chunk owns a
+/// contiguous ascending range of row blocks and touches nothing outside this
+/// struct while a pass runs, so chunks need no locking; the partial column
+/// state is merged sequentially, in ascending chunk order, between and after
+/// the passes.
+#[derive(Debug, Clone, Default)]
+struct ChunkScratch {
+    /// Normalised source rows of each of the chunk's blocks, staged in pass 1
+    /// and reused by pass 2 (sweep fusion: the copy happens once).
+    source_blocks: Vec<DenseMatrix>,
+    /// Pass-1 correlation blocks retained for pass 2 where the
+    /// [`SweepControl::corr_cache_bytes`] budget allows.
+    corr_blocks: Vec<DenseMatrix>,
+    /// Which of the chunk's blocks have a cached correlation.
+    corr_cached: Vec<bool>,
+    /// Fallback `block_rows × n_t` correlation block for uncached blocks.
+    corr_block: DenseMatrix,
+    /// One fully materialised LISI row (the combine kernel's output).
+    lisi_row: Vec<f64>,
+    /// Candidate-index scratch for the vectorised threshold scans.
+    idx: Vec<u32>,
+    /// Chunk-partial per-column selection buffers for `D_s(h_t)` (Eq. 10).
+    col_top: Vec<Vec<f64>>,
+    /// Running k-th value per column: the exact threshold below which
+    /// `top_k_push` would reject, hoisted out so a vectorised scan can skip
+    /// the heap machinery for entries that cannot enter.
+    col_gate: Vec<f64>,
+    /// `D_t(h_s)` for the chunk's own rows (chunk-local indexing).
+    hub_rows: Vec<f64>,
+    /// Chunk-partial per-column arg-max value / row while streaming pass 2.
+    col_best_val: Vec<f64>,
+    col_best_row: Vec<usize>,
+}
+
+/// Reusable buffers for the blocked LISI path: normalised embedding copies
+/// plus one [`ChunkScratch`] per parallel chunk.
 #[derive(Debug, Clone, Default)]
 pub struct BlockedLisiScratch {
     norm_source: DenseMatrix,
     norm_target: DenseMatrix,
-    /// Rows `r0..r1` of the normalised source, copied out so the row-block
-    /// correlation is a plain GEMM against the full normalised target.
-    source_block: DenseMatrix,
-    /// One `block_rows × n_t` correlation block.
-    corr_block: DenseMatrix,
-    /// One fully materialised LISI row (the combine kernel's output).
-    lisi_row: Vec<f64>,
-    /// Per-column partial-selection buffers for `D_s(h_t)` (Eq. 10).
-    col_top: Vec<Vec<f64>>,
-    /// Per-column running arg-max value / row while streaming pass 2.
-    col_best_val: Vec<f64>,
+    chunks: Vec<ChunkScratch>,
+    /// Merged `D_s(h_t)` (Eq. 10) over all chunks.
+    hub_target: Vec<f64>,
+    /// Selection buffer for the sequential per-column hubness merge.
+    merge_buf: Vec<f64>,
 }
 
 impl BlockedLisiScratch {
@@ -212,8 +294,9 @@ pub fn default_block_rows(target_nodes: usize) -> usize {
 /// ISA-dispatched `lisi_combine` kernel.
 ///
 /// Two passes over the correlation blocks are required — the hubness terms
-/// need global column statistics before any LISI value can be finalised — so
-/// the blocked path trades one extra GEMM sweep for O(n·m) memory.
+/// need global column statistics before any LISI value can be finalised.
+/// This wrapper runs [`lisi_topk_with`] with default controls (no
+/// correlation cache, chunk count from the thread pool, no cancellation).
 pub fn lisi_topk(
     source: &DenseMatrix,
     target: &DenseMatrix,
@@ -222,106 +305,337 @@ pub fn lisi_topk(
     block_rows: usize,
     scratch: &mut BlockedLisiScratch,
 ) -> BlockedLisi {
+    lisi_topk_with(
+        source,
+        target,
+        m,
+        k,
+        block_rows,
+        scratch,
+        &SweepControl::default(),
+    )
+    .expect("an uncancellable sweep cannot fail")
+}
+
+/// Chunk-parallel blocked LISI sweep.
+///
+/// The row blocks are partitioned into contiguous ascending chunks — one per
+/// worker thread unless [`SweepControl::chunks`] overrides — and both passes
+/// fan the chunks across the persistent thread pool.  Each chunk streams its
+/// own blocks with purely chunk-local state:
+///
+/// * **pass 1** accumulates chunk-partial per-column top-`m` buffers behind a
+///   running k-th-value gate (`scan_gt` emits only candidates the buffer
+///   could accept — the gate is exactly `top_k_push`'s own rejection test,
+///   so gated-out values provably leave the buffer unchanged);
+/// * the chunk buffers are then **merged sequentially in ascending chunk
+///   order** by replaying them through [`top_k_push`]: the merged buffer
+///   holds the global top-`col_k` multiset of each column sorted ascending —
+///   exactly the dense path's buffer — so the summed mean is bit-identical;
+/// * **pass 2** recombines each block (reusing pass-1 correlations where the
+///   cache budget allowed), tracks chunk-partial row/column arg-maxes with
+///   the fused `lisi_combine_argmax` kernel, and feeds rows to a chunk-local
+///   [`TopKRowsBuilder`]; builders and column maxima are again merged in
+///   ascending chunk order (strict `>`, so the lower row index wins ties,
+///   like the dense arg-max).
+///
+/// Chunk boundaries therefore never influence a result bit: the output is
+/// identical across `HTC_NUM_THREADS`, chunk-count overrides, and the dense
+/// path wherever they overlap (test-enforced).
+pub fn lisi_topk_with(
+    source: &DenseMatrix,
+    target: &DenseMatrix,
+    m: usize,
+    k: usize,
+    block_rows: usize,
+    scratch: &mut BlockedLisiScratch,
+    control: &SweepControl<'_>,
+) -> crate::Result<BlockedLisi> {
     let m = m.max(1);
     let block_rows = block_rows.max(1);
     let (n_s, n_t) = (source.rows(), target.rows());
 
-    scratch.norm_source.copy_from(source);
-    scratch.norm_target.copy_from(target);
-    pearson_normalize_rows(&mut scratch.norm_source);
-    pearson_normalize_rows(&mut scratch.norm_target);
+    let BlockedLisiScratch {
+        norm_source,
+        norm_target,
+        chunks,
+        hub_target,
+        merge_buf,
+    } = scratch;
 
-    // Pass 1: per-row hubness D_t(h_s) directly; per-column hubness D_s(h_t)
-    // streamed across blocks with the exact dense insertion sequence
-    // (ascending row order, k pre-clamped like `top_k_mean` does).
-    let col_k = m.min(n_s.max(1));
-    scratch.col_top.resize(n_t, Vec::new());
-    for buf in &mut scratch.col_top {
-        buf.clear();
-        buf.reserve(col_k + 1);
+    norm_source.copy_from(source);
+    norm_target.copy_from(target);
+    pearson_normalize_rows(norm_source);
+    pearson_normalize_rows(norm_target);
+    let norm_source = &*norm_source;
+    let norm_target = &*norm_target;
+
+    let num_blocks = n_s.div_ceil(block_rows);
+    let mut stats = SweepStats {
+        blocks: num_blocks,
+        ..SweepStats::default()
+    };
+    if num_blocks == 0 {
+        return Ok(BlockedLisi {
+            topk: TopKRowsBuilder::new(n_t, k).finish(),
+            stats,
+            row_best: Vec::new(),
+            col_best: vec![0; n_t],
+        });
     }
-    let mut hub_source = vec![0.0; n_s];
-    for_each_block(n_s, block_rows, |r0, r1| {
-        corr_block(scratch, r0, r1);
-        for (i, r) in (r0..r1).enumerate() {
-            let row = scratch.corr_block.row(i);
-            hub_source[r] = top_k_mean(row, m);
-            for (c, &v) in row.iter().enumerate() {
-                top_k_push(&mut scratch.col_top[c], col_k, v);
+
+    let num_chunks = control
+        .chunks
+        .unwrap_or_else(htc_linalg::parallel::num_threads)
+        .clamp(1, num_blocks);
+    chunks.resize_with(num_chunks, ChunkScratch::default);
+
+    // Contiguous ascending block ranges, one per chunk: the merge order (and
+    // with it every tie-break) is a function of the partition alone, never of
+    // which thread finishes first.
+    let mut plan = Vec::with_capacity(num_chunks);
+    {
+        let (base, rem) = (num_blocks / num_chunks, num_blocks % num_chunks);
+        let mut b0 = 0;
+        for i in 0..num_chunks {
+            let b1 = b0 + base + usize::from(i < rem);
+            plan.push((b0, b1));
+            b0 = b1;
+        }
+    }
+
+    let col_k = m.min(n_s.max(1));
+    let chunk_cache_budget = control.corr_cache_bytes / num_chunks;
+    let cancelled = AtomicBool::new(false);
+    let blocks_done = AtomicUsize::new(0);
+    let total_ticks = 2 * num_blocks;
+    let tick = |_: ()| {
+        let done = blocks_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(progress) = control.progress {
+            if !progress(done, total_ticks) {
+                cancelled.store(true, Ordering::Relaxed);
             }
         }
-    });
-    let hub_target: Vec<f64> = scratch
-        .col_top
-        .iter()
-        .map(|buf| top_k_mean_finish(buf, col_k))
-        .collect();
+    };
 
-    // Pass 2: recompute each correlation block (bit-identical GEMM), combine
-    // into full LISI rows, and stream those rows into top-k retention plus
-    // exact row/column arg-max tracking.
-    let combine = htc_linalg::kernels::active().lisi_combine;
-    let mut builder = TopKRowsBuilder::new(n_t, k);
-    let mut row_best = vec![0usize; n_s];
-    let mut col_best = vec![0usize; n_t];
-    scratch.col_best_val.clear();
-    scratch.col_best_val.resize(n_t, f64::NEG_INFINITY);
-    scratch.lisi_row.resize(n_t, 0.0);
-    for_each_block(n_s, block_rows, |r0, r1| {
-        corr_block(scratch, r0, r1);
-        for (i, r) in (r0..r1).enumerate() {
-            combine(
-                scratch.corr_block.row(i),
-                &hub_target,
-                hub_source[r],
-                &mut scratch.lisi_row,
-            );
-            row_best[r] = argmax(&scratch.lisi_row).unwrap_or(0);
-            for (c, &v) in scratch.lisi_row.iter().enumerate() {
-                // Strict `>` with ascending row order replicates the dense
-                // col_argmax tie-break (lower row index wins).
-                if v > scratch.col_best_val[c] {
-                    scratch.col_best_val[c] = v;
-                    col_best[c] = r;
+    // Pass 1: per-row hubness D_t(h_s) directly; chunk-partial per-column
+    // top-k buffers for D_s(h_t), threshold-gated.
+    let pass1 = parallel_scratch_map(chunks.as_mut_slice(), |ci, cs: &mut ChunkScratch| {
+        let (b_lo, b_hi) = plan[ci];
+        let chunk_r0 = b_lo * block_rows;
+        let chunk_rows = (b_hi * block_rows).min(n_s) - chunk_r0;
+        let n_local = b_hi - b_lo;
+        let ChunkScratch {
+            source_blocks,
+            corr_blocks,
+            corr_cached,
+            corr_block,
+            idx,
+            col_top,
+            col_gate,
+            hub_rows,
+            ..
+        } = cs;
+        source_blocks.resize_with(n_local, DenseMatrix::default);
+        corr_blocks.resize_with(n_local, DenseMatrix::default);
+        corr_cached.clear();
+        corr_cached.resize(n_local, false);
+        col_top.resize_with(n_t, Vec::new);
+        for buf in col_top.iter_mut() {
+            buf.clear();
+            buf.reserve(col_k + 1);
+        }
+        col_gate.clear();
+        col_gate.resize(n_t, f64::NEG_INFINITY);
+        hub_rows.clear();
+        hub_rows.resize(chunk_rows, 0.0);
+        idx.resize(n_t, 0);
+        let scan_gt = htc_linalg::kernels::active().scan_gt;
+        let d = norm_source.cols();
+        let (mut gemm_s, mut select_s, mut cached) = (0.0f64, 0.0f64, 0usize);
+        let mut cache_used = 0usize;
+        for (local_b, b) in (b_lo..b_hi).enumerate() {
+            if cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let r0 = b * block_rows;
+            let r1 = (r0 + block_rows).min(n_s);
+            let t0 = Instant::now();
+            let src = &mut source_blocks[local_b];
+            src.resize_for_overwrite(r1 - r0, d);
+            for (i, r) in (r0..r1).enumerate() {
+                src.row_mut(i).copy_from_slice(norm_source.row(r));
+            }
+            let block_bytes = (r1 - r0) * n_t * std::mem::size_of::<f64>();
+            let out = if cache_used + block_bytes <= chunk_cache_budget {
+                cache_used += block_bytes;
+                cached += 1;
+                corr_cached[local_b] = true;
+                &mut corr_blocks[local_b]
+            } else {
+                &mut *corr_block
+            };
+            src.matmul_transpose_into(norm_target, out)
+                .expect("embedding dimensions match because the encoder is shared");
+            gemm_s += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            for (i, r) in (r0..r1).enumerate() {
+                let row = out.row(i);
+                hub_rows[r - chunk_r0] = top_k_mean(row, m);
+                // `row[c] > col_gate[c]` is exactly the rejection test
+                // `top_k_push` itself applies once the buffer is full (and
+                // `-inf` while filling), hoisted into one vectorised scan.
+                let hits = scan_gt(row, col_gate, idx);
+                for &c in &idx[..hits] {
+                    let c = c as usize;
+                    top_k_push(&mut col_top[c], col_k, row[c]);
+                    col_gate[c] = top_k_gate(&col_top[c], col_k);
                 }
             }
-            builder.push_row(&scratch.lisi_row);
+            select_s += t1.elapsed().as_secs_f64();
+            tick(());
         }
+        (gemm_s, select_s, cached)
+    });
+    for (gemm_s, select_s, cached) in pass1 {
+        stats.gemm_seconds += gemm_s;
+        stats.select_seconds += select_s;
+        stats.cached_blocks += cached;
+    }
+    if cancelled.load(Ordering::Relaxed) {
+        return Err(HtcError::Cancelled);
+    }
+
+    // Sequential hubness merge: replay every chunk's column buffer through
+    // `top_k_push` in ascending chunk order.  The merged buffer is the
+    // column's global top-`col_k` multiset sorted ascending — identical to
+    // the dense path's buffer — so the summed mean matches bit-for-bit.
+    hub_target.clear();
+    if num_chunks == 1 {
+        hub_target.extend(
+            chunks[0]
+                .col_top
+                .iter()
+                .map(|buf| top_k_mean_finish(buf, col_k)),
+        );
+    } else {
+        hub_target.reserve(n_t);
+        for c in 0..n_t {
+            merge_buf.clear();
+            for cs in chunks.iter() {
+                for &v in &cs.col_top[c] {
+                    top_k_push(merge_buf, col_k, v);
+                }
+            }
+            hub_target.push(top_k_mean_finish(merge_buf, col_k));
+        }
+    }
+    let hub_target: &[f64] = hub_target;
+
+    // Pass 2: recombine each block (cached correlations skip the GEMM),
+    // track chunk-partial row/column arg-maxes, retain top-k per row.
+    let pass2 = parallel_scratch_map(chunks.as_mut_slice(), |ci, cs: &mut ChunkScratch| {
+        let (b_lo, b_hi) = plan[ci];
+        let chunk_r0 = b_lo * block_rows;
+        let chunk_rows = (b_hi * block_rows).min(n_s) - chunk_r0;
+        let ChunkScratch {
+            source_blocks,
+            corr_blocks,
+            corr_cached,
+            corr_block,
+            lisi_row,
+            idx,
+            hub_rows,
+            col_best_val,
+            col_best_row,
+            ..
+        } = cs;
+        lisi_row.resize(n_t, 0.0);
+        idx.resize(n_t, 0);
+        col_best_val.clear();
+        col_best_val.resize(n_t, f64::NEG_INFINITY);
+        col_best_row.clear();
+        col_best_row.resize(n_t, 0);
+        let kernels = htc_linalg::kernels::active();
+        let mut row_best = vec![0usize; chunk_rows];
+        let mut builder = TopKRowsBuilder::new(n_t, k);
+        let (mut gemm_s, mut select_s) = (0.0f64, 0.0f64);
+        for (local_b, b) in (b_lo..b_hi).enumerate() {
+            if cancelled.load(Ordering::Relaxed) {
+                return None;
+            }
+            let r0 = b * block_rows;
+            let r1 = (r0 + block_rows).min(n_s);
+            let t0 = Instant::now();
+            if !corr_cached[local_b] {
+                source_blocks[local_b]
+                    .matmul_transpose_into(norm_target, corr_block)
+                    .expect("embedding dimensions match because the encoder is shared");
+            }
+            let corr: &DenseMatrix = if corr_cached[local_b] {
+                &corr_blocks[local_b]
+            } else {
+                corr_block
+            };
+            gemm_s += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            for (i, r) in (r0..r1).enumerate() {
+                let local_r = r - chunk_r0;
+                row_best[local_r] = (kernels.lisi_combine_argmax)(
+                    corr.row(i),
+                    hub_target,
+                    hub_rows[local_r],
+                    lisi_row,
+                );
+                // Column arg-max: strict `>` with ascending row order inside
+                // the chunk replicates the dense tie-break (lower row wins).
+                let hits = (kernels.scan_gt)(lisi_row, col_best_val, idx);
+                for &c in &idx[..hits] {
+                    let c = c as usize;
+                    col_best_val[c] = lisi_row[c];
+                    col_best_row[c] = r;
+                }
+                builder.push_row(lisi_row);
+            }
+            select_s += t1.elapsed().as_secs_f64();
+            tick(());
+        }
+        Some((row_best, builder, gemm_s, select_s))
     });
 
-    BlockedLisi {
+    // Merge in ascending chunk order: row arg-maxes and builders concatenate;
+    // column arg-maxes keep the earlier (lower-row) chunk on exact ties.
+    let mut row_best = Vec::with_capacity(n_s);
+    let mut builder = TopKRowsBuilder::new(n_t, k);
+    for slot in pass2 {
+        let Some((chunk_best, chunk_builder, gemm_s, select_s)) = slot else {
+            return Err(HtcError::Cancelled);
+        };
+        row_best.extend(chunk_best);
+        builder.append(&chunk_builder);
+        stats.gemm_seconds += gemm_s;
+        stats.select_seconds += select_s;
+    }
+    if cancelled.load(Ordering::Relaxed) {
+        return Err(HtcError::Cancelled);
+    }
+    let mut col_best = vec![0usize; n_t];
+    let mut col_val = vec![f64::NEG_INFINITY; n_t];
+    for cs in chunks.iter() {
+        for c in 0..n_t {
+            if cs.col_best_val[c] > col_val[c] {
+                col_val[c] = cs.col_best_val[c];
+                col_best[c] = cs.col_best_row[c];
+            }
+        }
+    }
+
+    Ok(BlockedLisi {
         topk: builder.finish(),
+        stats,
         row_best,
         col_best,
-    }
-}
-
-/// Invokes `body(r0, r1)` for consecutive row ranges of height `block_rows`.
-fn for_each_block(rows: usize, block_rows: usize, mut body: impl FnMut(usize, usize)) {
-    let mut r0 = 0;
-    while r0 < rows {
-        let r1 = (r0 + block_rows).min(rows);
-        body(r0, r1);
-        r0 = r1;
-    }
-}
-
-/// Computes rows `r0..r1` of the correlation matrix into
-/// `scratch.corr_block` by copying the normalised source rows out and running
-/// one GEMM against the full normalised target.
-fn corr_block(scratch: &mut BlockedLisiScratch, r0: usize, r1: usize) {
-    let d = scratch.norm_source.cols();
-    scratch.source_block.resize_for_overwrite(r1 - r0, d);
-    for (i, r) in (r0..r1).enumerate() {
-        scratch
-            .source_block
-            .row_mut(i)
-            .copy_from_slice(scratch.norm_source.row(r));
-    }
-    scratch
-        .source_block
-        .matmul_transpose_into(&scratch.norm_target, &mut scratch.corr_block)
-        .expect("embedding dimensions match because the encoder is shared");
+    })
 }
 
 #[cfg(test)]
@@ -453,6 +767,91 @@ mod tests {
         assert_eq!(blocked.trusted_pairs(), trusted_pairs(&dense));
     }
 
+    /// Retained candidates (scores as raw bits), row arg-maxes and trusted
+    /// pairs of a blocked run, flattened for exact comparison across sweep
+    /// configurations.
+    type SweepFingerprint = (
+        Vec<(usize, Vec<(usize, u64)>)>,
+        Vec<usize>,
+        Vec<(usize, usize)>,
+    );
+
+    fn sweep_fingerprint(b: &BlockedLisi) -> SweepFingerprint {
+        let rows = (0..b.topk.rows())
+            .map(|r| (r, b.topk.row(r).map(|(c, v)| (c, v.to_bits())).collect()))
+            .collect();
+        (rows, b.row_best().to_vec(), b.trusted_pairs())
+    }
+
+    #[test]
+    fn chunked_sweep_is_invariant_to_chunk_count_and_cache() {
+        // The determinism contract of `lisi_topk_with`: chunk partitioning
+        // and correlation caching are pure execution strategies — every
+        // combination must produce the same bits.  Block height 3 over 26
+        // rows gives 9 blocks, so chunk counts 2/3/5 all split unevenly.
+        let hs = random_embedding(26, 5, 31);
+        let ht = random_embedding(19, 5, 32);
+        let mut scratch = BlockedLisiScratch::new();
+        let reference = lisi_topk(&hs, &ht, 3, 6, 3, &mut scratch);
+        let reference = sweep_fingerprint(&reference);
+        for chunks in [1usize, 2, 3, 5, 9] {
+            for cache_bytes in [0usize, 4096, usize::MAX] {
+                let control = SweepControl {
+                    corr_cache_bytes: cache_bytes,
+                    chunks: Some(chunks),
+                    progress: None,
+                };
+                let got = lisi_topk_with(&hs, &ht, 3, 6, 3, &mut scratch, &control).unwrap();
+                assert_eq!(
+                    sweep_fingerprint(&got),
+                    reference,
+                    "chunks={chunks} cache={cache_bytes}"
+                );
+                if cache_bytes == usize::MAX {
+                    assert_eq!(got.stats.cached_blocks, got.stats.blocks);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_progress_reports_blocks_and_cancellation_aborts() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hs = random_embedding(20, 4, 41);
+        let ht = random_embedding(10, 4, 42);
+        let mut scratch = BlockedLisiScratch::new();
+        // 20 rows / block height 4 = 5 blocks → 10 ticks over both passes.
+        let ticks = AtomicUsize::new(0);
+        let observe = |done: usize, total: usize| {
+            assert_eq!(total, 10);
+            assert!(done >= 1 && done <= total);
+            ticks.fetch_add(1, Ordering::Relaxed);
+            true
+        };
+        let control = SweepControl {
+            corr_cache_bytes: 0,
+            chunks: Some(2),
+            progress: Some(&observe),
+        };
+        lisi_topk_with(&hs, &ht, 2, 5, 4, &mut scratch, &control).unwrap();
+        assert_eq!(ticks.load(Ordering::Relaxed), 10);
+
+        // Cancelling after the third tick aborts with HtcError::Cancelled.
+        let seen = AtomicUsize::new(0);
+        let cancel_after_3 =
+            |_done: usize, _total: usize| seen.fetch_add(1, Ordering::Relaxed) + 1 < 3;
+        let control = SweepControl {
+            corr_cache_bytes: 0,
+            chunks: Some(2),
+            progress: Some(&cancel_after_3),
+        };
+        let err = lisi_topk_with(&hs, &ht, 2, 5, 4, &mut scratch, &control).unwrap_err();
+        assert!(matches!(err, crate::error::HtcError::Cancelled));
+        // Cancellation is cooperative at block granularity: no further
+        // blocks start, so the observer fires at most once more per chunk.
+        assert!(seen.load(Ordering::Relaxed) < 10);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -463,13 +862,19 @@ mod tests {
         #[test]
         fn blocked_topk_equals_dense_argmax_path(
             seed in 0u64..500, ns in 1usize..12, nt in 1usize..12,
-            d in 2usize..6, m in 1usize..6, block in 1usize..14
+            d in 2usize..6, m in 1usize..6, block in 1usize..14,
+            chunks in 1usize..5, cache_mb in 0usize..2
         ) {
             let hs = random_embedding(ns, d, seed);
             let ht = random_embedding(nt, d, seed.wrapping_add(13));
             let dense = lisi_matrix(&hs, &ht, m);
             let mut scratch = BlockedLisiScratch::new();
-            let blocked = lisi_topk(&hs, &ht, m, nt, block, &mut scratch);
+            let control = SweepControl {
+                corr_cache_bytes: cache_mb << 20,
+                chunks: Some(chunks),
+                progress: None,
+            };
+            let blocked = lisi_topk_with(&hs, &ht, m, nt, block, &mut scratch, &control).unwrap();
             prop_assert_eq!(blocked.topk.num_candidates(), ns * nt);
             for r in 0..ns {
                 for (c, v) in blocked.topk.row(r) {

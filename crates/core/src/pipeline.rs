@@ -22,6 +22,12 @@ pub mod stages {
     pub const TRAINING: &str = "multi-orbit-aware training";
     /// Trusted-pair based fine-tuning stage.
     pub const FINE_TUNING: &str = "trusted-pair fine-tuning";
+    /// Kernel-level breakdown of fine-tuning (`Large` tier): CPU-seconds the
+    /// blocked sweeps spent in correlation GEMMs, summed across chunks.
+    pub const FINE_TUNING_GEMM: &str = "fine-tuning: correlation gemm (cpu)";
+    /// Kernel-level breakdown of fine-tuning (`Large` tier): CPU-seconds the
+    /// blocked sweeps spent in streaming selection, summed across chunks.
+    pub const FINE_TUNING_SELECT: &str = "fine-tuning: streaming selection (cpu)";
     /// Weighted integration stage.
     pub const INTEGRATION: &str = "weighted integration";
 }

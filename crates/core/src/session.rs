@@ -44,7 +44,7 @@
 use crate::config::{HtcConfig, TopologyMode};
 use crate::diffusion::diffusion_propagators;
 use crate::error::HtcError;
-use crate::finetune::{refine_orbit, OrbitRefinement};
+use crate::finetune::{refine_orbit_observed, OrbitRefinement};
 use crate::integrate::{orbit_importance, AlignmentAccumulator, TopKAccumulator};
 use crate::laplacian::{normalized_adjacency, orbit_laplacians};
 use crate::lisi::lisi_matrix;
@@ -92,6 +92,27 @@ pub trait ProgressObserver: Send + Sync {
     /// `align_many` is about to serve target `_index` of `_total`.  Return
     /// `false` to cancel (may fire on a pool worker thread).
     fn on_target_start(&self, _index: usize, _total: usize) -> bool {
+        true
+    }
+
+    /// One fine-tuning refinement iteration finished for `_orbit` with
+    /// `_trusted_pairs` trusted pairs.  Return `false` to cancel.  Orbits
+    /// refine on pool workers, so different orbits' events may interleave.
+    fn on_finetune_iteration(
+        &self,
+        _orbit: usize,
+        _iteration: usize,
+        _trusted_pairs: usize,
+    ) -> bool {
+        true
+    }
+
+    /// The blocked LISI sweep of a `Large`-tier refinement finished one row
+    /// block (`_done` of `_total`, counting both passes of the current
+    /// sweep).  Return `false` to cancel — this is the finest-grained
+    /// cancellation point, so deadlines interrupt a multi-minute sweep
+    /// mid-flight instead of only between iterations.
+    fn on_sweep_block(&self, _done: usize, _total: usize) -> bool {
         true
     }
 
@@ -153,6 +174,14 @@ impl ProgressObserver for DeadlineObserver {
     }
 
     fn on_target_start(&self, _index: usize, _total: usize) -> bool {
+        self.check()
+    }
+
+    fn on_finetune_iteration(&self, _orbit: usize, _iteration: usize, _trusted: usize) -> bool {
+        self.check()
+    }
+
+    fn on_sweep_block(&self, _done: usize, _total: usize) -> bool {
         self.check()
     }
 }
@@ -934,8 +963,10 @@ fn align_with_shared_encoder(
             source.attributes(),
             target.attributes(),
             config,
+            observer,
         )
     })?;
+    record_sweep_breakdown(&mut timer, &refinements);
 
     let trusted_counts: Vec<usize> = refinements.iter().map(|r| r.trusted_count).collect();
     let gamma = orbit_importance(&trusted_counts);
@@ -979,6 +1010,7 @@ fn refine_all_orbits(
     source_attrs: &DenseMatrix,
     target_attrs: &DenseMatrix,
     config: &HtcConfig,
+    observer: Option<&Arc<dyn ProgressObserver>>,
 ) -> Result<Vec<OrbitRefinement>> {
     let source_laps = source_propagators.laplacians();
     let target_laps = target_propagators.laplacians();
@@ -988,17 +1020,38 @@ fn refine_all_orbits(
         "both graphs must expose the same number of topological views"
     );
     parallel_task_map(source_laps.len(), |k| {
-        refine_orbit(
+        refine_orbit_observed(
             encoder,
             &source_laps[k],
             &target_laps[k],
             source_attrs,
             target_attrs,
             config,
+            k,
+            observer,
         )
     })
     .into_iter()
     .collect()
+}
+
+/// Folds every refinement's accumulated sweep breakdown into the timer as
+/// CPU-second pseudo-stages (only when the `Large` tier actually swept).
+fn record_sweep_breakdown(timer: &mut StageTimer, refinements: &[OrbitRefinement]) {
+    let mut total = crate::lisi::SweepStats::default();
+    for refinement in refinements {
+        total.accumulate(&refinement.sweep_stats);
+    }
+    if total.blocks > 0 {
+        timer.record(
+            stages::FINE_TUNING_GEMM,
+            Duration::from_secs_f64(total.gemm_seconds.max(0.0)),
+        );
+        timer.record(
+            stages::FINE_TUNING_SELECT,
+            Duration::from_secs_f64(total.select_seconds.max(0.0)),
+        );
+    }
 }
 
 /// Stage 5, dispatching on the configured scale tier: the dense weighted
@@ -1235,21 +1288,19 @@ impl<'s> PairAlignment<'s> {
         let source_attrs = self.session.source.attributes();
         let target_attrs = self.target.attributes();
         let config = &self.session.config;
-        let (refinements, _) = run_stage(
-            self.session.observer.as_ref(),
-            &mut self.timer,
-            stages::FINE_TUNING,
-            || {
-                refine_all_orbits(
-                    encoder,
-                    source_props,
-                    target_props,
-                    source_attrs,
-                    target_attrs,
-                    config,
-                )
-            },
-        )?;
+        let observer = self.session.observer.as_ref();
+        let (refinements, _) = run_stage(observer, &mut self.timer, stages::FINE_TUNING, || {
+            refine_all_orbits(
+                encoder,
+                source_props,
+                target_props,
+                source_attrs,
+                target_attrs,
+                config,
+                observer,
+            )
+        })?;
+        record_sweep_breakdown(&mut self.timer, &refinements);
         self.refinements = Some(OrbitRefinements { refinements });
         Ok(())
     }

@@ -84,6 +84,11 @@ impl BoundedTopK {
         out.sort_unstable_by(|a, b| b.cmp(a));
         out
     }
+
+    /// The score of the current worst retained candidate (`None` while empty).
+    fn worst_score(&self) -> Option<f64> {
+        self.heap.peek().map(|r| r.0.score)
+    }
 }
 
 /// Incrementally builds a [`TopKRows`] from rows pushed in order.
@@ -95,6 +100,8 @@ pub struct TopKRowsBuilder {
     indices: Vec<u32>,
     scores: Vec<f64>,
     heap: BoundedTopK,
+    /// Scratch for the threshold-gated `push_row` scan (candidate indices).
+    scan_idx: Vec<u32>,
 }
 
 impl TopKRowsBuilder {
@@ -117,18 +124,45 @@ impl TopKRowsBuilder {
             indices: Vec::new(),
             scores: Vec::new(),
             heap: BoundedTopK::default(),
+            scan_idx: Vec::new(),
         }
     }
 
     /// Retains the top-k of a fully materialised row.
+    ///
+    /// The first `k` values enter the heap unconditionally (a filling heap
+    /// accepts everything); the remainder is pre-filtered by the
+    /// ISA-dispatched `scan_above` kernel against the heap's worst score at
+    /// that point.  The gate is exact: a tail value `v ≤ floor` could never
+    /// displace the worst candidate — candidates arrive in ascending column
+    /// order, so on an exact tie the incumbent's lower index wins — and the
+    /// scan's `!(v <= floor)` predicate still emits NaNs so the heap's NaN
+    /// guard fires exactly as it would without the gate.  Emitted candidates
+    /// are re-offered to the heap, which re-checks them against its live
+    /// (possibly risen) floor.
     ///
     /// # Panics
     /// Panics if `values.len() != cols` or any value is NaN.
     pub fn push_row(&mut self, values: &[f64]) {
         assert_eq!(values.len(), self.cols, "row width mismatch");
         self.heap.clear();
-        for (c, &v) in values.iter().enumerate() {
+        let split = self.k.min(values.len());
+        for (c, &v) in values[..split].iter().enumerate() {
             self.heap.push(self.k, c as u32, v);
+        }
+        if split < values.len() {
+            let tail = &values[split..];
+            self.scan_idx.resize(tail.len(), 0);
+            let floor = self
+                .heap
+                .worst_score()
+                .expect("k >= 1 values entered the heap");
+            let scan = htc_linalg::kernels::active().scan_above;
+            let hits = scan(tail, floor, &mut self.scan_idx);
+            for &offset in &self.scan_idx[..hits] {
+                let c = split + offset as usize;
+                self.heap.push(self.k, c as u32, values[c]);
+            }
         }
         self.commit_heap();
     }
@@ -154,6 +188,24 @@ impl TopKRowsBuilder {
             self.scores.push(candidate.score);
         }
         self.row_ptr.push(self.indices.len());
+    }
+
+    /// Appends every row of `other` after this builder's rows — the merge
+    /// step of a chunked build, where each parallel chunk fills its own
+    /// builder over a contiguous row range and the chunks are concatenated in
+    /// ascending order.  The result is identical to pushing all rows through
+    /// one builder sequentially.
+    ///
+    /// # Panics
+    /// Panics when the builders disagree on `cols` or `k`.
+    pub(crate) fn append(&mut self, other: &TopKRowsBuilder) {
+        assert_eq!(self.cols, other.cols, "chunk builders must agree on cols");
+        assert_eq!(self.k, other.k, "chunk builders must agree on k");
+        let offset = self.indices.len();
+        self.indices.extend_from_slice(&other.indices);
+        self.scores.extend_from_slice(&other.scores);
+        self.row_ptr
+            .extend(other.row_ptr[1..].iter().map(|p| p + offset));
     }
 
     /// Finalises the artifact.
@@ -454,6 +506,77 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_scores_are_rejected() {
         build(&[&[0.0, f64::NAN]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_below_the_gate_floor_is_still_rejected() {
+        // The NaN sits deep in the gated tail of a row whose floor (0.9) no
+        // finite tail value beats — the scan must emit it anyway so the heap
+        // assert fires instead of the row silently retaining garbage.
+        let mut row = vec![0.9, 0.8, 0.1, 0.2, 0.3, 0.1, 0.2, 0.3, 0.1, 0.2];
+        row.push(f64::NAN);
+        row.extend_from_slice(&[0.1, 0.2]);
+        build(&[&row], 2);
+    }
+
+    #[test]
+    fn gated_push_row_matches_ungated_reference() {
+        // Rows engineered around the gate: exact ties at the floor (must be
+        // rejected — ascending order means the incumbent's lower index wins),
+        // values just above it, rising floors, negative floors, and a row
+        // whose best values all sit in the gated tail.
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.1, 0.9, 0.9, 0.2, 0.9],
+            vec![-1.0, -2.0, -3.0, -0.5, -2.0, -1.0, -0.25],
+            vec![0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0, 0.0],
+            vec![0.25; 7],
+        ];
+        for k in [1usize, 2, 3, 6, 7, 9] {
+            let mut gated = TopKRowsBuilder::new(7, k);
+            for row in &rows {
+                gated.push_row(row);
+            }
+            // Ungated reference: offer every value through the sparse path,
+            // which has no threshold gate.
+            let mut reference = TopKRowsBuilder::new(7, k);
+            for row in &rows {
+                reference.push_row_sparse(row.iter().enumerate().map(|(c, &v)| (c as u32, v)));
+            }
+            assert_eq!(gated.finish(), reference.finish(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn append_concatenates_chunk_builders() {
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|r| {
+                (0..5)
+                    .map(|c| (((r * 7 + c * 3) % 11) as f64).sin())
+                    .collect()
+            })
+            .collect();
+        // Sequential reference over all rows.
+        let mut seq = TopKRowsBuilder::new(5, 2);
+        for row in &rows {
+            seq.push_row(row);
+        }
+        // Chunked build: rows 0..4 and 4..9 in separate builders, appended in
+        // ascending chunk order (including an empty middle chunk).
+        let mut first = TopKRowsBuilder::new(5, 2);
+        for row in &rows[..4] {
+            first.push_row(row);
+        }
+        let empty = TopKRowsBuilder::new(5, 2);
+        let mut second = TopKRowsBuilder::new(5, 2);
+        for row in &rows[4..] {
+            second.push_row(row);
+        }
+        first.append(&empty);
+        first.append(&second);
+        assert_eq!(first.finish(), seq.finish());
     }
 
     #[test]

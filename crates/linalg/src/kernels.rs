@@ -21,9 +21,11 @@
 //! per step, so results are bit-identical across thread counts and tile
 //! positions for a *fixed* ISA.  Across ISAs there are two regimes:
 //!
-//! * the element-wise kernels (AXPY, ReLU backprop, LISI combine) perform
-//!   exactly the scalar kernel's operation sequence with separate multiply
-//!   and add instructions, so they are **bit-identical to scalar** on every
+//! * the element-wise and streaming-selection kernels (AXPY, ReLU backprop,
+//!   LISI combine, LISI combine+argmax, the threshold scans) perform exactly
+//!   the scalar kernel's operation sequence with separate multiply and add
+//!   instructions — and identical compare predicates / tie-breaks for the
+//!   selection kernels — so they are **bit-identical to scalar** on every
 //!   host;
 //! * the SIMD GEMM micro-kernels use fused multiply-add (`fmadd`), which
 //!   skips the intermediate rounding of the scalar kernel's `mul` + `add`.
@@ -142,6 +144,28 @@ pub type ReluBackpropFn = fn(z: &[f64], g: &[f64], dz: &mut [f64]);
 /// with `penalty + hub[j]` rounded first — the scalar operation order.
 pub type LisiCombineFn = fn(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64]);
 
+/// Fused LISI combine + row arg-max: writes the combine sweep into `out` and
+/// returns the index of the row maximum (strict `>`, ties towards the lower
+/// index — the `ops::argmax` convention).  Returns 0 for an empty row.
+/// Bit-identical to running [`LisiCombineFn`] followed by a scalar arg-max.
+pub type LisiCombineArgmaxFn =
+    fn(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64]) -> usize;
+
+/// Vectorized threshold scan with per-element thresholds: appends to
+/// `out_idx` (from the front) every index `j` with `values[j] > thresholds[j]`
+/// (strict, so NaN values are *not* emitted — matching a scalar `>` loop) and
+/// returns the number of emitted indices, in ascending order.  `out_idx` must
+/// have room for `values.len()` entries.
+pub type ScanGtFn = fn(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize;
+
+/// Vectorized threshold scan with one scalar threshold and the predicate
+/// `!(values[j] <= threshold)`: every qualifying index is emitted in
+/// ascending order and the count returned.  The negated-`<=` predicate means
+/// **NaN values are emitted** — deliberately, so a downstream NaN guard (the
+/// top-k heap's assert) still fires on data that a strict-`>` gate would
+/// silently skip.
+pub type ScanAboveFn = fn(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize;
+
 /// The kernels selected for one ISA, plus the tile geometry the GEMM driver
 /// must pack for.
 #[derive(Clone, Copy)]
@@ -164,6 +188,12 @@ pub struct KernelSet {
     pub relu_backprop: ReluBackpropFn,
     /// The fused LISI-combine kernel.
     pub lisi_combine: LisiCombineFn,
+    /// The fused LISI-combine + arg-max kernel (blocked sweep, pass 2).
+    pub lisi_combine_argmax: LisiCombineArgmaxFn,
+    /// Per-element strict-`>` threshold scan (blocked sweep selection gates).
+    pub scan_gt: ScanGtFn,
+    /// Scalar-threshold `!(v <= t)` scan (top-k row retention gate).
+    pub scan_above: ScanAboveFn,
 }
 
 impl std::fmt::Debug for KernelSet {
@@ -344,6 +374,55 @@ fn scalar_lisi_combine(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64])
     }
 }
 
+/// Scalar LISI combine + arg-max: the reference operation sequence — combine
+/// each element (scalar order), track the running maximum with strict `>` in
+/// ascending index order (lower index wins ties).
+fn scalar_lisi_combine_argmax(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64]) -> usize {
+    assert!(corr.len() == hub.len() && hub.len() == out.len());
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_idx = 0usize;
+    for (j, ((o, &c), &h)) in out.iter_mut().zip(corr).zip(hub).enumerate() {
+        let v = 2.0 * c - (penalty + h);
+        *o = v;
+        if v > best_val {
+            best_val = v;
+            best_idx = j;
+        }
+    }
+    best_idx
+}
+
+/// Scalar per-element strict-`>` threshold scan.
+fn scalar_scan_gt(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+    assert!(values.len() == thresholds.len() && out_idx.len() >= values.len());
+    debug_assert!(values.len() <= u32::MAX as usize);
+    let mut count = 0;
+    for (j, (&v, &t)) in values.iter().zip(thresholds).enumerate() {
+        if v > t {
+            out_idx[count] = j as u32;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Scalar `!(v <= t)` scan (emits NaNs; see [`ScanAboveFn`]).
+// The negated comparison is the point: `!(v <= t)` is true for NaN where
+// `v > t` is not, and the NaN must reach the caller's push path.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn scalar_scan_above(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+    assert!(out_idx.len() >= values.len());
+    debug_assert!(values.len() <= u32::MAX as usize);
+    let mut count = 0;
+    for (j, &v) in values.iter().enumerate() {
+        if !(v <= threshold) {
+            out_idx[count] = j as u32;
+            count += 1;
+        }
+    }
+    count
+}
+
 static SCALAR_KERNELS: KernelSet = KernelSet {
     isa: Isa::Scalar,
     mr: SCALAR_MR,
@@ -353,6 +432,9 @@ static SCALAR_KERNELS: KernelSet = KernelSet {
     axpy: scalar_axpy,
     relu_backprop: scalar_relu_backprop,
     lisi_combine: scalar_lisi_combine,
+    lisi_combine_argmax: scalar_lisi_combine_argmax,
+    scan_gt: scalar_scan_gt,
+    scan_above: scalar_scan_above,
 };
 
 // ---------------------------------------------------------------------------
@@ -373,6 +455,9 @@ mod x86 {
         axpy: avx512_axpy,
         relu_backprop: avx512_relu_backprop,
         lisi_combine: avx512_lisi_combine,
+        lisi_combine_argmax: avx512_lisi_combine_argmax,
+        scan_gt: avx512_scan_gt,
+        scan_above: avx512_scan_above,
     };
 
     pub(super) static AVX2_KERNELS: KernelSet = KernelSet {
@@ -384,6 +469,9 @@ mod x86 {
         axpy: avx2_axpy,
         relu_backprop: avx2_relu_backprop,
         lisi_combine: avx2_lisi_combine,
+        lisi_combine_argmax: avx2_lisi_combine_argmax,
+        scan_gt: avx2_scan_gt,
+        scan_above: avx2_scan_above,
     };
 
     // -- AVX-512 ------------------------------------------------------------
@@ -535,6 +623,179 @@ mod x86 {
         }
     }
 
+    fn avx512_lisi_combine_argmax(
+        corr: &[f64],
+        hub: &[f64],
+        penalty: f64,
+        out: &mut [f64],
+    ) -> usize {
+        assert!(corr.len() == hub.len() && hub.len() == out.len());
+        // SAFETY: avx512f was detected at dispatch time.
+        unsafe { avx512_lisi_combine_argmax_inner(corr, hub, penalty, out) }
+    }
+
+    /// Combine (scalar operation order — bit-identical values) fused with a
+    /// lane-parallel running max.  Each lane tracks the first index achieving
+    /// its own maximum (strict `>` keeps the earliest); the horizontal reduce
+    /// then picks the lowest index among the lanes holding the global max,
+    /// which is exactly the first occurrence — the scalar arg-max.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_lisi_combine_argmax_inner(
+        corr: &[f64],
+        hub: &[f64],
+        penalty: f64,
+        out: &mut [f64],
+    ) -> usize {
+        let n = corr.len();
+        let lanes = n - n % 8;
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        // SAFETY: all three slices have length n; the loop stays below lanes.
+        unsafe {
+            let two = _mm512_set1_pd(2.0);
+            let pen = _mm512_set1_pd(penalty);
+            let mut vmax = _mm512_set1_pd(f64::NEG_INFINITY);
+            let mut vidx = _mm512_setzero_si512();
+            let mut cur = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+            let step = _mm512_set1_epi64(8);
+            let mut i = 0;
+            while i < lanes {
+                let cv = _mm512_loadu_pd(corr.as_ptr().add(i));
+                let hv = _mm512_loadu_pd(hub.as_ptr().add(i));
+                let v = _mm512_sub_pd(_mm512_mul_pd(two, cv), _mm512_add_pd(pen, hv));
+                _mm512_storeu_pd(out.as_mut_ptr().add(i), v);
+                let gt = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(v, vmax);
+                vmax = _mm512_mask_mov_pd(vmax, gt, v);
+                vidx = _mm512_mask_mov_epi64(vidx, gt, cur);
+                cur = _mm512_add_epi64(cur, step);
+                i += 8;
+            }
+            if lanes > 0 {
+                let mut vals = [0.0f64; 8];
+                let mut idxs = [0i64; 8];
+                _mm512_storeu_pd(vals.as_mut_ptr(), vmax);
+                _mm512_storeu_si512(idxs.as_mut_ptr().cast(), vidx);
+                for (&v, &ix) in vals.iter().zip(&idxs) {
+                    let ix = ix as usize;
+                    if v > best_val || (v == best_val && ix < best_idx) {
+                        best_val = v;
+                        best_idx = ix;
+                    }
+                }
+            }
+        }
+        for j in lanes..n {
+            let v = 2.0 * corr[j] - (penalty + hub[j]);
+            out[j] = v;
+            if v > best_val {
+                best_val = v;
+                best_idx = j;
+            }
+        }
+        best_idx
+    }
+
+    fn avx512_scan_gt(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+        assert!(values.len() == thresholds.len() && out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: avx512f was detected at dispatch time.
+        unsafe { avx512_scan_gt_inner(values, thresholds, out_idx) }
+    }
+
+    /// Two 8-double compares per iteration feed one 16-lane epi32 compress:
+    /// qualifying indices are packed to the lane front and stored as a block.
+    /// The full 16-lane store is unconditional — lanes beyond the compressed
+    /// count hold junk that the next store (or the returned count) masks out.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_scan_gt_inner(
+        values: &[f64],
+        thresholds: &[f64],
+        out_idx: &mut [u32],
+    ) -> usize {
+        let n = values.len();
+        let lanes = n - n % 16;
+        let mut count = 0usize;
+        // SAFETY: count ≤ i at the top of each iteration (at most one index is
+        // emitted per element scanned), so the 16-lane store at
+        // out_idx[count..count + 16] stays within out_idx.len() ≥ n ≥ i + 16.
+        unsafe {
+            let mut cur = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+            let step = _mm512_set1_epi32(16);
+            let mut i = 0;
+            while i < lanes {
+                let v0 = _mm512_loadu_pd(values.as_ptr().add(i));
+                let t0 = _mm512_loadu_pd(thresholds.as_ptr().add(i));
+                let v1 = _mm512_loadu_pd(values.as_ptr().add(i + 8));
+                let t1 = _mm512_loadu_pd(thresholds.as_ptr().add(i + 8));
+                let m0 = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(v0, t0);
+                let m1 = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(v1, t1);
+                let mask = (m0 as u16) | ((m1 as u16) << 8);
+                let packed = _mm512_maskz_compress_epi32(mask, cur);
+                _mm512_storeu_si512(out_idx.as_mut_ptr().add(count).cast(), packed);
+                count += mask.count_ones() as usize;
+                cur = _mm512_add_epi32(cur, step);
+                i += 16;
+            }
+        }
+        for j in lanes..n {
+            if values[j] > thresholds[j] {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn avx512_scan_above(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+        assert!(out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: avx512f was detected at dispatch time.
+        unsafe { avx512_scan_above_inner(values, threshold, out_idx) }
+    }
+
+    /// Same compress pattern as [`avx512_scan_gt_inner`] but with the
+    /// `_CMP_NLE_UQ` predicate — `!(v <= t)` — so NaN lanes are emitted.
+    // The scalar tail mirrors the vector predicate exactly: `!(v <= t)`
+    // must stay negated so NaN survives, and the index loop keeps it
+    // symmetrical with the compress-store above.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_scan_above_inner(
+        values: &[f64],
+        threshold: f64,
+        out_idx: &mut [u32],
+    ) -> usize {
+        let n = values.len();
+        let lanes = n - n % 16;
+        let mut count = 0usize;
+        // SAFETY: see `avx512_scan_gt_inner` — identical bounds argument.
+        unsafe {
+            let t = _mm512_set1_pd(threshold);
+            let mut cur = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+            let step = _mm512_set1_epi32(16);
+            let mut i = 0;
+            while i < lanes {
+                let v0 = _mm512_loadu_pd(values.as_ptr().add(i));
+                let v1 = _mm512_loadu_pd(values.as_ptr().add(i + 8));
+                let m0 = _mm512_cmp_pd_mask::<_CMP_NLE_UQ>(v0, t);
+                let m1 = _mm512_cmp_pd_mask::<_CMP_NLE_UQ>(v1, t);
+                let mask = (m0 as u16) | ((m1 as u16) << 8);
+                let packed = _mm512_maskz_compress_epi32(mask, cur);
+                _mm512_storeu_si512(out_idx.as_mut_ptr().add(count).cast(), packed);
+                count += mask.count_ones() as usize;
+                cur = _mm512_add_epi32(cur, step);
+                i += 16;
+            }
+        }
+        for j in lanes..n {
+            if !(values[j] <= threshold) {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
+
     // -- AVX2 + FMA ---------------------------------------------------------
 
     fn avx2_gemm(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MAX_TILE]) {
@@ -680,6 +941,155 @@ mod x86 {
             *o = 2.0 * c - (penalty + h);
         }
     }
+
+    fn avx2_lisi_combine_argmax(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64]) -> usize {
+        assert!(corr.len() == hub.len() && hub.len() == out.len());
+        // SAFETY: avx2+fma were detected at dispatch time.
+        unsafe { avx2_lisi_combine_argmax_inner(corr, hub, penalty, out) }
+    }
+
+    /// See [`avx512_lisi_combine_argmax_inner`]: lane-parallel running max
+    /// with per-lane first-occurrence indices, reduced towards the lowest
+    /// index among equal lane maxima.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn avx2_lisi_combine_argmax_inner(
+        corr: &[f64],
+        hub: &[f64],
+        penalty: f64,
+        out: &mut [f64],
+    ) -> usize {
+        let n = corr.len();
+        let lanes = n - n % 4;
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        // SAFETY: all three slices have length n; the loop stays below lanes.
+        unsafe {
+            let two = _mm256_set1_pd(2.0);
+            let pen = _mm256_set1_pd(penalty);
+            let mut vmax = _mm256_set1_pd(f64::NEG_INFINITY);
+            let mut vidx = _mm256_setzero_si256();
+            let mut cur = _mm256_setr_epi64x(0, 1, 2, 3);
+            let step = _mm256_set1_epi64x(4);
+            let mut i = 0;
+            while i < lanes {
+                let cv = _mm256_loadu_pd(corr.as_ptr().add(i));
+                let hv = _mm256_loadu_pd(hub.as_ptr().add(i));
+                let v = _mm256_sub_pd(_mm256_mul_pd(two, cv), _mm256_add_pd(pen, hv));
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), v);
+                let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(v, vmax);
+                vmax = _mm256_blendv_pd(vmax, v, gt);
+                vidx = _mm256_castpd_si256(_mm256_blendv_pd(
+                    _mm256_castsi256_pd(vidx),
+                    _mm256_castsi256_pd(cur),
+                    gt,
+                ));
+                cur = _mm256_add_epi64(cur, step);
+                i += 4;
+            }
+            if lanes > 0 {
+                let mut vals = [0.0f64; 4];
+                let mut idxs = [0i64; 4];
+                _mm256_storeu_pd(vals.as_mut_ptr(), vmax);
+                _mm256_storeu_si256(idxs.as_mut_ptr().cast(), vidx);
+                for (&v, &ix) in vals.iter().zip(&idxs) {
+                    let ix = ix as usize;
+                    if v > best_val || (v == best_val && ix < best_idx) {
+                        best_val = v;
+                        best_idx = ix;
+                    }
+                }
+            }
+        }
+        for j in lanes..n {
+            let v = 2.0 * corr[j] - (penalty + hub[j]);
+            out[j] = v;
+            if v > best_val {
+                best_val = v;
+                best_idx = j;
+            }
+        }
+        best_idx
+    }
+
+    fn avx2_scan_gt(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+        assert!(values.len() == thresholds.len() && out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: avx2+fma were detected at dispatch time.
+        unsafe { avx2_scan_gt_inner(values, thresholds, out_idx) }
+    }
+
+    /// Compare + movemask + trailing-zeros bit loop: the common no-hit case is
+    /// one compare and one branch per 4 elements.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn avx2_scan_gt_inner(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+        let n = values.len();
+        let lanes = n - n % 4;
+        let mut count = 0usize;
+        // SAFETY: the vector loop reads 4-wide below lanes ≤ n on two
+        // equal-length slices; emitted indices go through checked slice stores.
+        unsafe {
+            let mut i = 0;
+            while i < lanes {
+                let v = _mm256_loadu_pd(values.as_ptr().add(i));
+                let t = _mm256_loadu_pd(thresholds.as_ptr().add(i));
+                let mut bits = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(v, t)) as u32;
+                while bits != 0 {
+                    out_idx[count] = (i + bits.trailing_zeros() as usize) as u32;
+                    count += 1;
+                    bits &= bits - 1;
+                }
+                i += 4;
+            }
+        }
+        for j in lanes..n {
+            if values[j] > thresholds[j] {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn avx2_scan_above(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+        assert!(out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: avx2+fma were detected at dispatch time.
+        unsafe { avx2_scan_above_inner(values, threshold, out_idx) }
+    }
+
+    /// See [`avx2_scan_gt_inner`], with `_CMP_NLE_UQ` (`!(v <= t)`) so NaN
+    /// lanes are emitted.
+    // See `avx512_scan_above_inner` for why the tail predicate stays
+    // negated and index-based.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn avx2_scan_above_inner(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+        let n = values.len();
+        let lanes = n - n % 4;
+        let mut count = 0usize;
+        // SAFETY: the vector loop reads 4-wide below lanes ≤ n.
+        unsafe {
+            let t = _mm256_set1_pd(threshold);
+            let mut i = 0;
+            while i < lanes {
+                let v = _mm256_loadu_pd(values.as_ptr().add(i));
+                let mut bits = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_NLE_UQ>(v, t)) as u32;
+                while bits != 0 {
+                    out_idx[count] = (i + bits.trailing_zeros() as usize) as u32;
+                    count += 1;
+                    bits &= bits - 1;
+                }
+                i += 4;
+            }
+        }
+        for j in lanes..n {
+            if !(values[j] <= threshold) {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -700,6 +1110,9 @@ mod aarch64 {
         axpy: neon_axpy,
         relu_backprop: neon_relu_backprop,
         lisi_combine: neon_lisi_combine,
+        lisi_combine_argmax: neon_lisi_combine_argmax,
+        scan_gt: neon_scan_gt,
+        scan_above: neon_scan_above,
     };
 
     fn neon_gemm(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MAX_TILE]) {
@@ -828,6 +1241,153 @@ mod aarch64 {
             *o = 2.0 * c - (penalty + h);
         }
     }
+
+    fn neon_lisi_combine_argmax(corr: &[f64], hub: &[f64], penalty: f64, out: &mut [f64]) -> usize {
+        assert!(corr.len() == hub.len() && hub.len() == out.len());
+        // SAFETY: neon was detected at dispatch time.
+        unsafe { neon_lisi_combine_argmax_inner(corr, hub, penalty, out) }
+    }
+
+    /// Two-lane running max with per-lane first-occurrence indices, reduced
+    /// towards the lowest index among equal lane maxima (the scalar arg-max).
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_lisi_combine_argmax_inner(
+        corr: &[f64],
+        hub: &[f64],
+        penalty: f64,
+        out: &mut [f64],
+    ) -> usize {
+        let n = corr.len();
+        let lanes = n - n % 2;
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        // SAFETY: all three slices have length n; the loop stays below lanes.
+        unsafe {
+            let two = vdupq_n_f64(2.0);
+            let pen = vdupq_n_f64(penalty);
+            let mut vmax = vdupq_n_f64(f64::NEG_INFINITY);
+            let mut vidx = vdupq_n_u64(0);
+            let mut cur = vcombine_u64(vdup_n_u64(0), vdup_n_u64(1));
+            let step = vdupq_n_u64(2);
+            let mut i = 0;
+            while i < lanes {
+                let cv = vld1q_f64(corr.as_ptr().add(i));
+                let hv = vld1q_f64(hub.as_ptr().add(i));
+                let v = vsubq_f64(vmulq_f64(two, cv), vaddq_f64(pen, hv));
+                vst1q_f64(out.as_mut_ptr().add(i), v);
+                let gt = vcgtq_f64(v, vmax);
+                vmax = vbslq_f64(gt, v, vmax);
+                vidx = vbslq_u64(gt, cur, vidx);
+                cur = vaddq_u64(cur, step);
+                i += 2;
+            }
+            if lanes > 0 {
+                let vals = [vgetq_lane_f64::<0>(vmax), vgetq_lane_f64::<1>(vmax)];
+                let idxs = [vgetq_lane_u64::<0>(vidx), vgetq_lane_u64::<1>(vidx)];
+                for (&v, &ix) in vals.iter().zip(&idxs) {
+                    let ix = ix as usize;
+                    if v > best_val || (v == best_val && ix < best_idx) {
+                        best_val = v;
+                        best_idx = ix;
+                    }
+                }
+            }
+        }
+        for j in lanes..n {
+            let v = 2.0 * corr[j] - (penalty + hub[j]);
+            out[j] = v;
+            if v > best_val {
+                best_val = v;
+                best_idx = j;
+            }
+        }
+        best_idx
+    }
+
+    fn neon_scan_gt(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+        assert!(values.len() == thresholds.len() && out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: neon was detected at dispatch time.
+        unsafe { neon_scan_gt_inner(values, thresholds, out_idx) }
+    }
+
+    /// Two-lane compare + per-lane emit.
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_scan_gt_inner(values: &[f64], thresholds: &[f64], out_idx: &mut [u32]) -> usize {
+        let n = values.len();
+        let lanes = n - n % 2;
+        let mut count = 0usize;
+        // SAFETY: the vector loop reads 2-wide below lanes ≤ n on two
+        // equal-length slices; emitted indices go through checked slice stores.
+        unsafe {
+            let mut i = 0;
+            while i < lanes {
+                let v = vld1q_f64(values.as_ptr().add(i));
+                let t = vld1q_f64(thresholds.as_ptr().add(i));
+                let gt = vcgtq_f64(v, t);
+                if vgetq_lane_u64::<0>(gt) != 0 {
+                    out_idx[count] = i as u32;
+                    count += 1;
+                }
+                if vgetq_lane_u64::<1>(gt) != 0 {
+                    out_idx[count] = (i + 1) as u32;
+                    count += 1;
+                }
+                i += 2;
+            }
+        }
+        for j in lanes..n {
+            if values[j] > thresholds[j] {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn neon_scan_above(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+        assert!(out_idx.len() >= values.len());
+        assert!(values.len() <= u32::MAX as usize, "scan indices are u32");
+        // SAFETY: neon was detected at dispatch time.
+        unsafe { neon_scan_above_inner(values, threshold, out_idx) }
+    }
+
+    /// `!(v <= t)` via an inverted `vcleq` mask — a NaN lane compares false
+    /// on `<=`, so its zero mask bit emits the index (see [`ScanAboveFn`]).
+    // See `avx512_scan_above_inner` for why the tail predicate stays
+    // negated and index-based.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_scan_above_inner(values: &[f64], threshold: f64, out_idx: &mut [u32]) -> usize {
+        let n = values.len();
+        let lanes = n - n % 2;
+        let mut count = 0usize;
+        // SAFETY: the vector loop reads 2-wide below lanes ≤ n.
+        unsafe {
+            let t = vdupq_n_f64(threshold);
+            let mut i = 0;
+            while i < lanes {
+                let v = vld1q_f64(values.as_ptr().add(i));
+                let le = vcleq_f64(v, t);
+                if vgetq_lane_u64::<0>(le) == 0 {
+                    out_idx[count] = i as u32;
+                    count += 1;
+                }
+                if vgetq_lane_u64::<1>(le) == 0 {
+                    out_idx[count] = (i + 1) as u32;
+                    count += 1;
+                }
+                i += 2;
+            }
+        }
+        for j in lanes..n {
+            if !(values[j] <= threshold) {
+                out_idx[count] = j as u32;
+                count += 1;
+            }
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -950,6 +1510,86 @@ mod tests {
                 scalar_lisi_combine(&x, &hub, -0.625, &mut out_ref);
                 assert_eq!(out_simd, out_ref, "{isa:?} lisi_combine n={n}");
             }
+        }
+    }
+
+    /// The streaming-selection kernels (combine+argmax, threshold scans) must
+    /// reproduce the scalar kernels exactly: same values, same arg-max index
+    /// (the `pseudo` data is full of exact ties), same emitted index lists.
+    #[test]
+    fn selection_kernels_are_bit_identical_to_scalar() {
+        for isa in runnable_isas() {
+            let ks = kernel_set(isa).expect("runnable_isas() only yields supported ISAs");
+            for n in [0usize, 1, 2, 3, 7, 8, 15, 16, 31, 64, 1000, 1003] {
+                let corr = pseudo(8, n);
+                let hub = pseudo(9, n);
+                let thresholds = pseudo(10, n);
+
+                let mut out_simd = vec![0.0; n];
+                let mut out_ref = vec![0.0; n];
+                let best_simd = (ks.lisi_combine_argmax)(&corr, &hub, 0.375, &mut out_simd);
+                let best_ref = scalar_lisi_combine_argmax(&corr, &hub, 0.375, &mut out_ref);
+                assert_eq!(out_simd, out_ref, "{isa:?} combine_argmax values n={n}");
+                assert_eq!(best_simd, best_ref, "{isa:?} combine_argmax index n={n}");
+
+                let mut idx_simd = vec![0u32; n];
+                let mut idx_ref = vec![0u32; n];
+                let c_simd = (ks.scan_gt)(&corr, &thresholds, &mut idx_simd);
+                let c_ref = scalar_scan_gt(&corr, &thresholds, &mut idx_ref);
+                assert_eq!(c_simd, c_ref, "{isa:?} scan_gt count n={n}");
+                assert_eq!(
+                    &idx_simd[..c_simd],
+                    &idx_ref[..c_ref],
+                    "{isa:?} scan_gt n={n}"
+                );
+
+                for t in [f64::NEG_INFINITY, -1.0, 0.125, f64::INFINITY] {
+                    let c_simd = (ks.scan_above)(&corr, t, &mut idx_simd);
+                    let c_ref = scalar_scan_above(&corr, t, &mut idx_ref);
+                    assert_eq!(c_simd, c_ref, "{isa:?} scan_above count n={n} t={t}");
+                    assert_eq!(
+                        &idx_simd[..c_simd],
+                        &idx_ref[..c_ref],
+                        "{isa:?} scan_above n={n} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// An all-equal row must arg-max to index 0 on every ISA (lower-index
+    /// tie-break across lane boundaries).
+    #[test]
+    fn combine_argmax_breaks_ties_towards_lower_index() {
+        for isa in runnable_isas() {
+            let ks = kernel_set(isa).expect("runnable_isas() only yields supported ISAs");
+            for n in [1usize, 5, 8, 17, 33] {
+                let corr = vec![0.25; n];
+                let hub = vec![0.0; n];
+                let mut out = vec![0.0; n];
+                assert_eq!(
+                    (ks.lisi_combine_argmax)(&corr, &hub, 0.0, &mut out),
+                    0,
+                    "{isa:?} n={n}"
+                );
+            }
+        }
+    }
+
+    /// `scan_above` must emit NaN values — its consumer's NaN guard (the
+    /// top-k heap assert) relies on them surfacing rather than being skipped.
+    #[test]
+    fn scan_above_emits_nan_candidates_on_every_isa() {
+        for isa in runnable_isas() {
+            let ks = kernel_set(isa).expect("runnable_isas() only yields supported ISAs");
+            let mut values = pseudo(11, 37);
+            values[5] = f64::NAN;
+            values[20] = f64::NAN;
+            values[36] = f64::NAN;
+            let mut idx = vec![0u32; values.len()];
+            // Nothing finite beats +inf, but every NaN must be surfaced.
+            let count = (ks.scan_above)(&values, f64::INFINITY, &mut idx);
+            assert_eq!(&idx[..count], &[5, 20, 36], "{isa:?}");
         }
     }
 

@@ -112,6 +112,21 @@ pub fn top_k_push(top: &mut Vec<f64>, k: usize, v: f64) {
     }
 }
 
+/// The admission gate of [`top_k_push`]: the smallest retained value once the
+/// buffer holds `k` entries (`top[0]` — only values strictly above it can
+/// enter), or `-∞` while the buffer is still filling (everything enters).
+///
+/// A caller that pre-filters candidates with `v > top_k_gate(top, k)` and
+/// only then calls [`top_k_push`] reproduces the unfiltered push sequence
+/// exactly: the gate is the push's own rejection test, hoisted out.
+pub fn top_k_gate(top: &[f64], k: usize) -> f64 {
+    if top.len() < k {
+        f64::NEG_INFINITY
+    } else {
+        top[0]
+    }
+}
+
 /// Completes a [`top_k_push`] accumulation: the mean over the buffer, summed
 /// in buffer order (ascending after the buffer filled), divided by `k`.
 pub fn top_k_mean_finish(top: &[f64], k: usize) -> f64 {
@@ -266,6 +281,25 @@ mod tests {
             let expected: f64 = sorted[..k].iter().sum::<f64>() / k as f64;
             assert!((top_k_mean(&v, k) - expected).abs() < 1e-12, "k={k}");
         }
+    }
+
+    #[test]
+    fn top_k_gate_matches_push_rejection() {
+        let k = 3;
+        let mut top = Vec::with_capacity(k + 1);
+        // While filling, the gate admits everything.
+        assert_eq!(top_k_gate(&top, k), f64::NEG_INFINITY);
+        for v in [0.5, -0.2, 0.1] {
+            top_k_push(&mut top, k, v);
+        }
+        // Full buffer: the gate is the buffer minimum, and a value equal to
+        // it is rejected by push (no state change) exactly as the gate says.
+        assert_eq!(top_k_gate(&top, k), -0.2);
+        let before = top.clone();
+        top_k_push(&mut top, k, -0.2);
+        assert_eq!(top, before);
+        top_k_push(&mut top, k, -0.1);
+        assert_eq!(top_k_gate(&top, k), -0.1);
     }
 
     #[test]

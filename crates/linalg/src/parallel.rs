@@ -421,6 +421,53 @@ where
         .collect()
 }
 
+/// Maps `f` over the slots of `scratch` with **one pool task per slot**,
+/// handing each task exclusive `&mut` access to its slot, and collects the
+/// results in order.
+///
+/// This is [`parallel_task_map`] for workers that carry per-task state: the
+/// blocked LISI sweep gives every chunk its own scratch (correlation block,
+/// per-column selection buffers) that must persist across two parallel passes,
+/// so the tasks borrow the slots rather than returning them.  Like every
+/// helper here it runs inline when `HTC_NUM_THREADS=1`, when there is at most
+/// one slot, or when already on a pool worker — with identical results, since
+/// each slot's work is self-contained.
+pub fn parallel_scratch_map<S, T, F>(scratch: &mut [S], f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let len = scratch.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    if num_threads() <= 1 || len == 1 || on_pool_worker() {
+        return scratch
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| f(i, slot))
+            .collect();
+    }
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let out_base = SendPtr(out.as_mut_ptr());
+    let scratch_base = SendPtr(scratch.as_mut_ptr());
+    let adapter = |start: usize, end: usize| {
+        for i in start..end {
+            // SAFETY: each index is covered by exactly one task chunk, so the
+            // scratch slot and output slot derived here are exclusive.
+            let slot = unsafe { &mut *scratch_base.ptr().add(i) };
+            let value = f(i, slot);
+            unsafe { *out_base.ptr().add(i) = Some(value) };
+        }
+    };
+    let chunks: Vec<(usize, usize)> = (0..len).map(|i| (i, i + 1)).collect();
+    Pool::global().run_chunks(&chunks, &adapter);
+    out.into_iter()
+        .map(|slot| slot.expect("every task fills its slot"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +547,21 @@ mod tests {
         let seq: Vec<usize> = (0..17).map(|i| i * 3).collect();
         assert_eq!(par.iter().map(|p| p.0).collect::<Vec<_>>(), seq);
         assert!(parallel_task_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_scratch_map_gives_each_task_its_slot() {
+        let mut scratch: Vec<Vec<usize>> = (0..13).map(|_| Vec::new()).collect();
+        let out = parallel_scratch_map(&mut scratch, |i, slot| {
+            slot.push(i * 2);
+            i * 2
+        });
+        assert_eq!(out, (0..13).map(|i| i * 2).collect::<Vec<_>>());
+        for (i, slot) in scratch.iter().enumerate() {
+            assert_eq!(slot.as_slice(), &[i * 2]);
+        }
+        let mut empty: Vec<usize> = Vec::new();
+        assert!(parallel_scratch_map(&mut empty, |_, _| 0).is_empty());
     }
 
     #[test]

@@ -411,6 +411,41 @@ impl CsrMatrix {
         Ok(out)
     }
 
+    /// Like [`CsrMatrix::scale_sym`], but writes into `out`, reusing its
+    /// buffers — the allocation-free path (after warm-up) for loops that
+    /// rescale the same sparsity pattern repeatedly, such as the per-iteration
+    /// reinforcement boost `R L̃ R` of fine-tuning.
+    pub fn scale_sym_into(&self, left: &[f64], right: &[f64], out: &mut CsrMatrix) -> Result<()> {
+        if left.len() != self.rows {
+            return Err(LinalgError::DataLength {
+                expected: self.rows,
+                actual: left.len(),
+            });
+        }
+        if right.len() != self.cols {
+            return Err(LinalgError::DataLength {
+                expected: self.cols,
+                actual: right.len(),
+            });
+        }
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.indptr.clear();
+        out.indptr.extend_from_slice(&self.indptr);
+        out.indices.clear();
+        out.indices.extend_from_slice(&self.indices);
+        out.values.clear();
+        out.values.extend_from_slice(&self.values);
+        for (r, &scale_r) in left.iter().enumerate() {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            for idx in start..end {
+                let c = self.indices[idx];
+                out.values[idx] *= scale_r * right[c];
+            }
+        }
+        Ok(())
+    }
+
     /// Principal sub-matrix over `nodes`: rows *and* columns are restricted
     /// to the given index set, renumbered to `0..nodes.len()` — the
     /// sub-propagator extraction behind neighbourhood-sampled mini-batch
@@ -747,6 +782,24 @@ mod tests {
             .matmul(&DenseMatrix::from_diagonal(&right))
             .unwrap();
         assert!(scaled.to_dense().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn scale_sym_into_matches_scale_sym_and_reuses_buffers() {
+        let m = sample();
+        let left = vec![1.0, 2.0, 3.0];
+        let right = vec![0.5, 1.0, 2.0];
+        let expected = m.scale_sym(&left, &right).unwrap();
+        // Start from a differently-shaped matrix to prove `out` is fully
+        // overwritten, then rescale in place repeatedly.
+        let mut out = CsrMatrix::identity(7);
+        for _ in 0..3 {
+            m.scale_sym_into(&left, &right, &mut out).unwrap();
+            assert_eq!(out.to_dense(), expected.to_dense());
+        }
+        assert!(m
+            .scale_sym_into(&left, &[1.0], &mut out)
+            .is_err_and(|e| matches!(e, LinalgError::DataLength { .. })));
     }
 
     #[test]

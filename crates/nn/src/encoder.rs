@@ -234,6 +234,20 @@ impl GcnEncoder {
         Ok(self.forward_cached(propagator, features)?.output)
     }
 
+    /// Like [`GcnEncoder::forward`], but writes into a caller-owned cache and
+    /// returns a borrow of its output — the allocation-free inference path
+    /// (after warm-up) used by the fine-tuning refinement loop, which
+    /// re-encodes the boosted source graph every iteration.
+    pub fn forward_into<'c>(
+        &self,
+        propagator: &CsrMatrix,
+        features: &DenseMatrix,
+        cache: &'c mut ForwardCache,
+    ) -> Result<&'c DenseMatrix, LinalgError> {
+        self.forward_cached_into(propagator, features, cache)?;
+        Ok(&cache.output)
+    }
+
     /// Forward pass that also records the intermediate quantities needed by
     /// [`GcnEncoder::backward`].
     pub fn forward_cached(
