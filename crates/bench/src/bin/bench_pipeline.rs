@@ -16,9 +16,12 @@
 //! catalog source served against several targets through
 //! `AlignmentSession::align_many` (orbit counting + training once) versus the
 //! same targets aligned independently (the only option before the session
-//! API), and a `fleet` scenario measuring served throughput behind the
+//! API), a `fleet` scenario measuring served throughput behind the
 //! consistent-hash router at 1, 2, and 4 in-process shards (warm artifact
-//! caches, keep-alive clients — the scale-out curve in PERFORMANCE.md).
+//! caches, keep-alive clients — the scale-out curve in PERFORMANCE.md), and
+//! an `idle_clients` scenario measuring live `/align` p99 over a population
+//! of parked keep-alive connections versus an empty server — the reactor's
+//! "idle connections cost no workers" claim as a tracked ratio.
 //!
 //! `--scale large` switches to the Large-tier scenario instead of the preset
 //! loops: one seeded power-law pair of `--large-nodes` nodes (default
@@ -227,6 +230,136 @@ fn fleet_json() -> String {
          \"duration_seconds\": {:.1}, \"scaling\": [{}]}}",
         DURATION.as_secs_f64(),
         scaling.join(", ")
+    )
+}
+
+/// Size of the parked keep-alive population in the `idle_clients` scenario.
+const IDLE_POPULATION: usize = 2000;
+/// Live (closed-loop) clients measured over the parked population.
+const IDLE_LIVE_CLIENTS: usize = 4;
+/// Measurement window for each of the two latency phases.
+const IDLE_PHASE_DURATION: Duration = Duration::from_secs(2);
+
+/// Closed-loop latency measurement: `clients` threads hammer `/align` on
+/// keep-alive connections for `duration`; returns (requests, p50 ms, p99 ms).
+fn measure_live_latency(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    body: &str,
+    duration: Duration,
+) -> (u64, f64, f64) {
+    let deadline = Instant::now() + duration;
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.to_string();
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut client = Client::connect(addr).expect("live client connect");
+                while Instant::now() < deadline {
+                    let start = Instant::now();
+                    match client.request("POST", "/align", &body) {
+                        Ok(response) if response.status == 200 => {
+                            latencies_us.push(start.elapsed().as_micros() as u64);
+                        }
+                        _ => client = Client::connect(addr).expect("live client reconnect"),
+                    }
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for thread in threads {
+        latencies.extend(thread.join().expect("live client thread"));
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx] as f64 / 1000.0
+    };
+    (latencies.len() as u64, pct(0.50), pct(0.99))
+}
+
+/// Times the idle-client scenario and renders its JSON object: live `/align`
+/// latency over an empty server versus the same load over a population of
+/// parked keep-alive connections.  The parked sockets live in the reactor,
+/// not on workers, so the p99 ratio should stay near 1 — the artifact records
+/// it so a regression (idle connections bleeding into live latency) shows up
+/// in the perf trajectory.
+fn idle_clients_json() -> String {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(14).with_seed(9));
+    let body = format!(
+        "{{\"preset\":\"fast\",\"epochs\":4,\"source\":{},\"target\":{}}}",
+        network_spec(&pair.source),
+        network_spec(&pair.target)
+    );
+    let server = Server::start(ServerConfig {
+        // The population sits parked far longer than the default keep-alive;
+        // the scenario measures parked cost, not idle reaping.
+        keep_alive: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("start idle-scenario server");
+    let addr = server.addr();
+    let mut warm = Client::connect(addr).expect("warmup connect");
+    let response = warm.request("POST", "/align", &body).expect("warmup align");
+    assert_eq!(
+        response.status,
+        200,
+        "warmup failed: {}",
+        response.body_str()
+    );
+
+    eprintln!("[bench_pipeline] idle-client scenario: baseline ({IDLE_LIVE_CLIENTS} live clients)");
+    let (baseline_requests, baseline_p50, baseline_p99) =
+        measure_live_latency(addr, IDLE_LIVE_CLIENTS, &body, IDLE_PHASE_DURATION);
+
+    eprintln!("[bench_pipeline] idle-client scenario: parking {IDLE_POPULATION} idle connections");
+    let mut idlers: Vec<Client> = Vec::with_capacity(IDLE_POPULATION);
+    for i in 0..IDLE_POPULATION {
+        idlers.push(Client::connect(addr).expect("idle client connect"));
+        if i % 100 == 99 {
+            // Gentle ramp keeps the accept backlog comfortable.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    eprintln!("[bench_pipeline] idle-client scenario: loaded ({IDLE_POPULATION} parked)");
+    let (loaded_requests, loaded_p50, loaded_p99) =
+        measure_live_latency(addr, IDLE_LIVE_CLIENTS, &body, IDLE_PHASE_DURATION);
+
+    // Occupancy and health straight from the server, while the population is
+    // still parked: every idle connection must be in the reactor, none shed.
+    let stats_response = warm.request("GET", "/stats", "").expect("stats scrape");
+    let stats = htc_serve::json::parse(stats_response.body_str()).expect("parse stats");
+    let runtime = stats.get("runtime").expect("stats runtime section");
+    let gauge = |key: &str| {
+        runtime
+            .get(key)
+            .and_then(htc_serve::json::Json::as_f64)
+            .unwrap_or(-1.0) as i64
+    };
+    let parked = gauge("parked");
+    let shed = gauge("shed_connections");
+    let panics = gauge("worker_panics");
+    drop(idlers);
+    server.shutdown();
+
+    format!(
+        "  \"idle_clients\": {{\"idle_population\": {IDLE_POPULATION}, \
+         \"live_clients\": {IDLE_LIVE_CLIENTS}, \
+         \"phase_seconds\": {:.1}, \
+         \"baseline\": {{\"requests\": {baseline_requests}, \"p50_ms\": {baseline_p50:.3}, \
+         \"p99_ms\": {baseline_p99:.3}}}, \
+         \"loaded\": {{\"requests\": {loaded_requests}, \"p50_ms\": {loaded_p50:.3}, \
+         \"p99_ms\": {loaded_p99:.3}}}, \
+         \"p99_ratio\": {:.3}, \"parked_sampled\": {parked}, \
+         \"shed_connections\": {shed}, \"worker_panics\": {panics}}}",
+        IDLE_PHASE_DURATION.as_secs_f64(),
+        loaded_p99 / baseline_p99.max(1e-9),
     )
 }
 
@@ -478,7 +611,7 @@ fn main() {
         let flags = parse_large_flags(std::env::args().skip(1));
         let (large, ok) = large_scale_json(args.scale, &flags, args.runs);
         let json = format!(
-            "{{\n  \"schema\": \"htc-bench-pipeline-v6\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n{}\n}}\n",
+            "{{\n  \"schema\": \"htc-bench-pipeline-v7\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n{}\n}}\n",
             args.scale,
             args.runs,
             htc_linalg::parallel::num_threads(),
@@ -543,16 +676,18 @@ fn main() {
 
     let one_vs_many = one_vs_many_json(args.scale);
     let fleet = fleet_json();
+    let idle_clients = idle_clients_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"htc-bench-pipeline-v6\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        "{{\n  \"schema\": \"htc-bench-pipeline-v7\",\n  \"scale\": \"{:?}\",\n  \"runs\": {},\n  \"threads\": {},\n  \"isa\": \"{}\",\n  \"datasets\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
         args.scale,
         args.runs,
         htc_linalg::parallel::num_threads(),
         htc_linalg::active_isa().name(),
         datasets_json.join(",\n"),
         one_vs_many,
-        fleet
+        fleet,
+        idle_clients
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark artifact");
     eprintln!("[bench_pipeline] wrote {out_path}");

@@ -29,15 +29,16 @@ use crate::pool::UpstreamPool;
 use crate::shard::{ShardSet, ShardState};
 use htc_metrics::Counter;
 use htc_serve::http::{
-    await_request, read_request, read_response_head, relay_response, write_json_response,
-    write_json_response_with, AwaitOutcome, Client, HttpError, RelayError, Request,
+    read_request_limited, read_response_head, relay_response, write_json_response,
+    write_json_response_with, Client, HttpError, ReadLimits, RelayError, Request,
 };
 use htc_serve::json::{self, Json};
 use htc_serve::routing_fingerprint;
 use htc_serve::runtime::{
-    default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics, ShutdownSignal,
+    default_workers, Conn, ConnHandler, ConnectionRuntime, Disposition, RuntimeConfig,
+    RuntimeMetrics, ShutdownSignal,
 };
-use std::io::BufReader;
+use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,6 +124,8 @@ impl Router {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             retry_after_secs: 1,
+            idle_timeout: config.keep_alive,
+            ..RuntimeConfig::default()
         };
         let pool = UpstreamPool::new(shards.len(), config.max_idle_per_shard);
         let shared = Arc::new(RouterShared {
@@ -135,8 +138,7 @@ impl Router {
             config,
         });
         let handler_shared = Arc::clone(&shared);
-        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
-            Arc::new(move |stream, _accepted_at| handle_connection(stream, &handler_shared));
+        let handler: ConnHandler = Arc::new(move |conn| handle_connection(conn, &handler_shared));
         let runtime =
             ConnectionRuntime::start(listener, runtime_config, shutdown, runtime_metrics, handler)?;
         Ok(Router {
@@ -171,16 +173,30 @@ impl Router {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    while let AwaitOutcome::Ready = await_request(&mut reader, shared.config.keep_alive, || {
-        shared.shutdown.is_triggered()
-    }) {
-        let request = match read_request(&mut reader) {
+/// Serves one request burst on a dispatched client connection (see
+/// `htc_serve::server::handle_connection` for the burst contract): the
+/// readable request plus anything pipelined behind it, then back to the
+/// reactor on `KeepAlive`.
+fn handle_connection(conn: &mut Conn, shared: &Arc<RouterShared>) -> Disposition {
+    let limits = ReadLimits::default();
+    loop {
+        if !conn.has_buffered() {
+            // First request of the burst, or a clean FIN from a parked peer:
+            // peek so a normal hangup is not answered with a 400.
+            let reader = conn.reader_mut();
+            if reader
+                .get_ref()
+                .set_read_timeout(Some(limits.stall))
+                .is_err()
+            {
+                return Disposition::Close;
+            }
+            match reader.fill_buf() {
+                Ok([]) | Err(_) => return Disposition::Close,
+                Ok(_) => {}
+            }
+        }
+        let request = match read_request_limited(conn.reader_mut(), &limits) {
             Ok(request) => request,
             Err(HttpError { status, message }) => {
                 let body = json::obj(vec![
@@ -188,16 +204,17 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
                     ("kind", json::str("http")),
                 ])
                 .render();
-                let _ = write_json_response(&mut stream, status, &body, false);
-                break;
+                let _ = write_json_response(conn.stream_mut(), status, &body, false);
+                return Disposition::Close;
             }
         };
         shared.runtime_metrics.total_requests.inc();
         let keep_alive = request.keep_alive && !shared.shutdown.is_triggered();
+        let stream = conn.stream_mut();
         let connection_usable = match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/align") => proxy_align(&mut stream, &request, shared, keep_alive),
+            ("POST", "/align") => proxy_align(stream, &request, shared, keep_alive),
             ("GET", "/healthz") => write_json_response(
-                &mut stream,
+                stream,
                 200,
                 &json::obj(vec![
                     ("status", json::str("ok")),
@@ -212,22 +229,21 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
             )
             .map(|()| true),
             ("GET", "/fleet/healthz") => {
-                write_json_response(&mut stream, 200, &fleet_healthz(shared), keep_alive)
-                    .map(|()| true)
+                write_json_response(stream, 200, &fleet_healthz(shared), keep_alive).map(|()| true)
             }
             ("GET", "/stats") => {
-                write_json_response(&mut stream, 200, &fleet_stats(shared), keep_alive)
-                    .map(|()| true)
+                write_json_response(stream, 200, &fleet_stats(shared), keep_alive).map(|()| true)
             }
             ("POST", "/shutdown") => {
                 let body = json::obj(vec![("status", json::str("stopping"))]).render();
-                let written = write_json_response(&mut stream, 200, &body, false);
+                let written = write_json_response(stream, 200, &body, false);
                 shared.shutdown.trigger();
                 let _ = written;
-                break;
+                conn.note_request();
+                return Disposition::Close;
             }
             ("POST", _) | ("GET", _) => write_json_response(
-                &mut stream,
+                stream,
                 404,
                 &json::obj(vec![
                     ("error", json::str(format!("no route {}", request.path))),
@@ -238,7 +254,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
             )
             .map(|()| true),
             (method, _) => write_json_response(
-                &mut stream,
+                stream,
                 405,
                 &json::obj(vec![
                     ("error", json::str(format!("method {method} not allowed"))),
@@ -249,9 +265,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
             )
             .map(|()| true),
         };
+        conn.note_request();
         match connection_usable {
-            Ok(true) if keep_alive => {}
-            _ => break,
+            Ok(true) if keep_alive => {
+                if !conn.has_buffered() {
+                    return Disposition::KeepAlive;
+                }
+            }
+            _ => return Disposition::Close,
         }
     }
 }
@@ -506,6 +527,10 @@ const SUMMED_STATS: &[(&str, &str)] = &[
     ("runtime", "total_requests"),
     ("runtime", "shed_connections"),
     ("runtime", "worker_panics"),
+    ("runtime", "parked"),
+    ("runtime", "reactor_wakeups"),
+    ("runtime", "stall_timeouts_closed"),
+    ("runtime", "peer_cap_rejections"),
     ("cache", "hits"),
     ("cache", "misses"),
     ("cache", "evictions"),

@@ -33,6 +33,20 @@
 //! * `slow_socket=N@MS` — every Nth request stalls `MS` milliseconds before
 //!   being served; `@MS` defaults to 50.
 //! * `panic=N` — every Nth align request panics inside the handler.
+//!
+//! Client-side stall phases — consulted by the chaos harness's *clients*
+//! (and `serve_load --slow-writer`), not the daemon, to decide which
+//! exchange stalls and for how long.  They exercise the server's
+//! slow-client defenses (head deadline, mid-body stall cap, write-progress
+//! teardown) on a deterministic schedule:
+//!
+//! * `stall_header=N@MS` — every Nth request drips its header bytes with
+//!   `MS` milliseconds between them (slowloris); `@MS` defaults to 100.
+//! * `stall_body=N@MS` — every Nth request sends its head, then stalls
+//!   `MS` milliseconds mid-body; `@MS` defaults to 100.
+//! * `stall_read=N@MS` — every Nth request stops reading the response for
+//!   `MS` milliseconds (a stalled reader on a streamed body); `@MS`
+//!   defaults to 100.
 
 use htc_metrics::Counter;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,6 +121,12 @@ pub struct FaultPlan {
     slow_socket: Site,
     slow_socket_ms: u64,
     panic: Site,
+    stall_header: Site,
+    stall_header_ms: u64,
+    stall_body: Site,
+    stall_body_ms: u64,
+    stall_read: Site,
+    stall_read_ms: u64,
     /// Total faults injected so far (surfaced as `faults_injected` in
     /// `/stats`).
     pub injected: Counter,
@@ -121,6 +141,9 @@ impl FaultPlan {
         let mut torn = (0u64, 16usize);
         let mut slow = (0u64, 50u64);
         let mut panic_every = 0u64;
+        let mut stall_header = (0u64, 100u64);
+        let mut stall_body = (0u64, 100u64);
+        let mut stall_read = (0u64, 100u64);
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (key, value) = item
                 .split_once('=')
@@ -152,6 +175,24 @@ impl FaultPlan {
                     }
                 }
                 "panic" => panic_every = parse_u64("panic", value)?,
+                "stall_header" => {
+                    stall_header.0 = parse_u64("stall_header", period_str)?;
+                    if let Some(p) = param {
+                        stall_header.1 = parse_u64("stall_header ms", p)?;
+                    }
+                }
+                "stall_body" => {
+                    stall_body.0 = parse_u64("stall_body", period_str)?;
+                    if let Some(p) = param {
+                        stall_body.1 = parse_u64("stall_body ms", p)?;
+                    }
+                }
+                "stall_read" => {
+                    stall_read.0 = parse_u64("stall_read", period_str)?;
+                    if let Some(p) = param {
+                        stall_read.1 = parse_u64("stall_read ms", p)?;
+                    }
+                }
                 other => return Err(format!("unknown fault key {other:?}")),
             }
         }
@@ -164,6 +205,12 @@ impl FaultPlan {
             slow_socket: Site::new(slow.0, seed, "slow_socket"),
             slow_socket_ms: slow.1,
             panic: Site::new(panic_every, seed, "panic"),
+            stall_header: Site::new(stall_header.0, seed, "stall_header"),
+            stall_header_ms: stall_header.1,
+            stall_body: Site::new(stall_body.0, seed, "stall_body"),
+            stall_body_ms: stall_body.1,
+            stall_read: Site::new(stall_read.0, seed, "stall_read"),
+            stall_read_ms: stall_read.1,
             injected: Counter::new(),
         })
     }
@@ -232,6 +279,39 @@ impl FaultPlan {
         }
         fire
     }
+
+    /// Client-side: consult once per request; `Some(d)` means drip the
+    /// request header with `d` between bytes (slowloris).
+    pub fn stall_header_delay(&self) -> Option<Duration> {
+        if self.stall_header.fire() {
+            self.injected.inc();
+            Some(Duration::from_millis(self.stall_header_ms))
+        } else {
+            None
+        }
+    }
+
+    /// Client-side: consult once per request; `Some(d)` means stall `d`
+    /// mid-body after the head has been sent.
+    pub fn stall_body_delay(&self) -> Option<Duration> {
+        if self.stall_body.fire() {
+            self.injected.inc();
+            Some(Duration::from_millis(self.stall_body_ms))
+        } else {
+            None
+        }
+    }
+
+    /// Client-side: consult once per request; `Some(d)` means stop reading
+    /// the response for `d` (a stalled reader on a streamed body).
+    pub fn stall_read_delay(&self) -> Option<Duration> {
+        if self.stall_read.fire() {
+            self.injected.inc();
+            Some(Duration::from_millis(self.stall_read_ms))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,7 +321,8 @@ mod tests {
     #[test]
     fn parses_a_full_spec() {
         let plan = FaultPlan::parse(
-            "seed=7, store_write_err=5,store_read_err=4,torn_write=3@64,slow_socket=2@25,panic=9",
+            "seed=7, store_write_err=5,store_read_err=4,torn_write=3@64,slow_socket=2@25,panic=9,\
+             stall_header=6@40,stall_body=7@60,stall_read=8",
         )
         .unwrap();
         assert_eq!(plan.seed(), 7);
@@ -252,6 +333,24 @@ mod tests {
         assert_eq!(plan.slow_socket.period, 2);
         assert_eq!(plan.slow_socket_ms, 25);
         assert_eq!(plan.panic.period, 9);
+        assert_eq!(plan.stall_header.period, 6);
+        assert_eq!(plan.stall_header_ms, 40);
+        assert_eq!(plan.stall_body.period, 7);
+        assert_eq!(plan.stall_body_ms, 60);
+        assert_eq!(plan.stall_read.period, 8);
+        assert_eq!(plan.stall_read_ms, 100);
+    }
+
+    #[test]
+    fn client_stall_sites_fire_on_their_own_schedules() {
+        let plan = FaultPlan::parse("seed=2,stall_header=3@10").unwrap();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| plan.stall_header_delay().is_some())
+            .collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 3, "{fired:?}");
+        // Sites not named in the plan never fire.
+        assert!(plan.stall_body_delay().is_none());
+        assert!(plan.stall_read_delay().is_none());
     }
 
     #[test]

@@ -10,15 +10,23 @@
 //!
 //! ## Connection lifecycle
 //!
-//! A worker serves **many requests per socket**: it parks in
-//! [`await_request`] until the peer sends the first byte of the next request
-//! (or the idle timeout / shutdown fires), parses one request with
-//! [`read_request`], writes one response, and loops while
-//! [`Request::keep_alive`] holds.  `HTTP/1.1` defaults to keep-alive,
-//! `HTTP/1.0` to close; a `Connection: close`/`keep-alive` header overrides
-//! either way.  Any parse error closes the connection after the error
-//! response — resynchronising inside a hostile byte stream is not worth the
-//! attack surface.
+//! A connection serves **many requests per socket**, but a worker only ever
+//! holds it for one request *burst*: between requests the socket parks in
+//! the runtime's reactor (`crate::reactor`), and when it becomes readable a
+//! pool worker parses one request with [`read_request`], writes one
+//! response, serves any pipelined requests already buffered, and hands the
+//! socket back to the reactor while [`Request::keep_alive`] holds.
+//! `HTTP/1.1` defaults to keep-alive, `HTTP/1.0` to close; a
+//! `Connection: close`/`keep-alive` header overrides either way.  Any parse
+//! error closes the connection after the error response — resynchronising
+//! inside a hostile byte stream is not worth the attack surface.
+//!
+//! Slow-client defenses live in [`ReadLimits`]: the request head must
+//! *complete* within a head deadline (a slow-header drip cannot ride
+//! per-read timeouts forever), each read must progress within a stall cap
+//! (a mid-body stall is torn down promptly), and the whole request is
+//! bounded by a total deadline.  All three map to `408`, and the server
+//! layer counts them as `stall_timeouts_closed`.
 //!
 //! ## Responses
 //!
@@ -39,20 +47,58 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// for graphs in this workspace's serving range fit comfortably; anything
 /// larger should ship as a persisted artifact path instead.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Socket timeout while actively reading or writing a request/response; a
-/// peer that stalls mid-exchange frees its worker.  (Idle time *between*
-/// requests is governed by the runtime's keep-alive timeout instead.)
+/// Default per-read stall cap while actively reading a request; a peer that
+/// stalls mid-exchange frees its worker.  (Idle time *between* requests is
+/// governed by the reactor's timer wheel instead.)
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
-/// Hard ceiling on parsing **one whole request**.  Per-read timeouts alone
-/// would let a byte-trickling peer (one byte per 25 s) pin a pool worker for
-/// hours and stall the shutdown join behind it; the deadline caps any
-/// request's parse time — and therefore the worst-case drain — at 30 s.
+/// Default hard ceiling on parsing **one whole request**.  Per-read timeouts
+/// alone would let a byte-trickling peer (one byte per 25 s) pin a pool
+/// worker for hours and stall the shutdown join behind it; the deadline caps
+/// any request's parse time — and therefore the worst-case drain — at 30 s.
 const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
-/// How often [`await_request`] wakes to re-check the shutdown flag while
-/// parked on an idle connection.
-const IDLE_POLL_SLICE: Duration = Duration::from_millis(100);
+/// Default deadline for the request *head* to arrive completely.  Tighter
+/// than the whole-request deadline: heads are tiny, so a head that trickles
+/// for this long is a slowloris, not a slow network.
+const HEAD_DEADLINE: Duration = Duration::from_secs(10);
 /// Chunked responses buffer up to this much before writing a chunk.
 const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Read-progress deadlines for parsing one request — the slow-client
+/// defenses.  The server layer derives these from its configured stall
+/// timeout; [`Default`] gives the standalone values.
+#[derive(Debug, Clone)]
+pub struct ReadLimits {
+    /// The whole head (request line + headers) must arrive within this.
+    pub head_deadline: Duration,
+    /// Every individual read must make progress within this (mid-body
+    /// stall cap).
+    pub stall: Duration,
+    /// The whole request (head + body) must arrive within this.
+    pub total: Duration,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        Self {
+            head_deadline: HEAD_DEADLINE,
+            stall: SOCKET_TIMEOUT,
+            total: REQUEST_DEADLINE,
+        }
+    }
+}
+
+impl ReadLimits {
+    /// Limits derived from one stall budget: the head must complete and any
+    /// single read must progress within `stall`; the total request budget
+    /// stays at the standalone default (never below the stall budget).
+    pub fn with_stall(stall: Duration) -> Self {
+        Self {
+            head_deadline: stall,
+            stall,
+            total: REQUEST_DEADLINE.max(stall),
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -96,72 +142,14 @@ impl HttpError {
     }
 }
 
-/// Why [`await_request`] returned.
-#[derive(Debug, PartialEq, Eq)]
-pub enum AwaitOutcome {
-    /// The first byte of the next request is buffered; parse it.
-    Ready,
-    /// The peer closed (or broke) the connection while it was idle.
-    Closed,
-    /// No request arrived within the idle timeout.
-    IdleTimeout,
-    /// The cancellation probe fired (server shutting down).
-    Cancelled,
-}
-
-/// Parks on an idle persistent connection until the peer starts the next
-/// request, the idle budget runs out, the peer disconnects, or `cancelled`
-/// returns true.
-///
-/// Waiting happens in short poll slices so a worker parked on an idle
-/// connection notices shutdown within ~[`IDLE_POLL_SLICE`] instead of holding
-/// the pool hostage for the full keep-alive window.  The cancellation probe
-/// fires only *after* a read attempt found nothing: a connection whose
-/// request bytes are already in flight (e.g. one that waited in the hand-off
-/// queue while `/shutdown` was posted) still gets that request served — the
-/// drain guarantee — while a genuinely idle connection closes within one
-/// slice.
-pub fn await_request(
-    reader: &mut BufReader<TcpStream>,
-    idle_timeout: Duration,
-    cancelled: impl Fn() -> bool,
-) -> AwaitOutcome {
-    if !reader.buffer().is_empty() {
-        // A pipelined request is already buffered.
-        return AwaitOutcome::Ready;
-    }
-    let deadline = Instant::now() + idle_timeout;
-    loop {
-        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-            return AwaitOutcome::IdleTimeout;
-        };
-        if remaining.is_zero() {
-            return AwaitOutcome::IdleTimeout;
-        }
-        let slice = remaining.min(IDLE_POLL_SLICE);
-        if reader.get_ref().set_read_timeout(Some(slice)).is_err() {
-            return AwaitOutcome::Closed;
-        }
-        match reader.fill_buf() {
-            Ok([]) => return AwaitOutcome::Closed,
-            Ok(_) => return AwaitOutcome::Ready,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
-            Err(_) => return AwaitOutcome::Closed,
-        }
-        if cancelled() {
-            return AwaitOutcome::Cancelled;
-        }
-    }
-}
-
 /// Arms the socket's read timeout with whatever is shorter: the per-read
-/// stall cap or the time left until the whole-request deadline.  A spent
-/// deadline is a `408`.
-fn arm_read_timeout(reader: &BufReader<TcpStream>, deadline: Instant) -> Result<(), HttpError> {
+/// stall cap or the time left until the phase deadline.  A spent deadline is
+/// a `408`.
+fn arm_read_timeout(
+    reader: &BufReader<TcpStream>,
+    deadline: Instant,
+    stall: Duration,
+) -> Result<(), HttpError> {
     let remaining = deadline
         .checked_duration_since(Instant::now())
         .filter(|d| !d.is_zero())
@@ -171,7 +159,7 @@ fn arm_read_timeout(reader: &BufReader<TcpStream>, deadline: Instant) -> Result<
         })?;
     reader
         .get_ref()
-        .set_read_timeout(Some(remaining.min(SOCKET_TIMEOUT)))
+        .set_read_timeout(Some(remaining.min(stall)))
         .map_err(|e| HttpError::bad_request(format!("socket: {e}")))
 }
 
@@ -196,11 +184,12 @@ fn read_line_limited(
     reader: &mut BufReader<TcpStream>,
     limit: usize,
     deadline: Instant,
+    stall: Duration,
     what: &str,
 ) -> Result<String, HttpError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
-        arm_read_timeout(reader, deadline)?;
+        arm_read_timeout(reader, deadline, stall)?;
         let buf = match reader.fill_buf() {
             Ok(buf) => buf,
             Err(e) => return Err(read_error(e, what)),
@@ -230,18 +219,28 @@ fn read_line_limited(
     }
 }
 
-/// Reads one request from the connection's buffered reader.  The caller has
-/// already established that request bytes are (about to be) available via
-/// [`await_request`]; every read is bounded by both the per-read stall cap
-/// and the whole-request [`REQUEST_DEADLINE`].
+/// Reads one request from the connection's buffered reader with the default
+/// [`ReadLimits`].  The caller has already established that request bytes
+/// are (about to be) available — the reactor dispatched this connection as
+/// readable, or a pipelined request is buffered.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
-    let deadline = Instant::now() + REQUEST_DEADLINE;
-    reader
-        .get_ref()
-        .set_write_timeout(Some(SOCKET_TIMEOUT))
-        .ok();
+    read_request_limited(reader, &ReadLimits::default())
+}
 
-    let request_line = read_line_limited(reader, MAX_HEAD_BYTES, deadline, "request line")?;
+/// [`read_request`] with explicit read-progress deadlines: the head must
+/// complete within `limits.head_deadline`, every read must progress within
+/// `limits.stall`, and the whole request must arrive within `limits.total`.
+pub fn read_request_limited(
+    reader: &mut BufReader<TcpStream>,
+    limits: &ReadLimits,
+) -> Result<Request, HttpError> {
+    let start = Instant::now();
+    let head_deadline = start + limits.head_deadline.min(limits.total);
+    let deadline = start + limits.total;
+    let stall = limits.stall;
+
+    let request_line =
+        read_line_limited(reader, MAX_HEAD_BYTES, head_deadline, stall, "request line")?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -263,7 +262,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
     let mut keep_alive = !http_10;
     let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let line = read_line_limited(reader, head_budget, deadline, "headers")?;
+        let line = read_line_limited(reader, head_budget, head_deadline, stall, "headers")?;
         head_budget = head_budget.saturating_sub(line.len());
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
@@ -300,7 +299,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
     let mut body = vec![0u8; content_length];
     let mut filled = 0;
     while filled < content_length {
-        arm_read_timeout(reader, deadline)?;
+        arm_read_timeout(reader, deadline, stall)?;
         match reader.read(&mut body[filled..]) {
             Ok(0) => return Err(HttpError::bad_request("connection closed mid-body")),
             Ok(n) => filled += n,
@@ -334,6 +333,16 @@ fn status_text(status: u16) -> &'static str {
         504 => "Gateway Timeout",
         _ => "Response",
     }
+}
+
+/// Whether an I/O error is a progress stall (a read/write timeout fired
+/// because the peer stopped moving bytes) rather than a disconnect.  The
+/// server layer counts these as `stall_timeouts_closed`.
+pub fn is_stall_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn connection_header(keep_alive: bool) -> &'static str {
@@ -473,7 +482,9 @@ impl std::fmt::Write for ChunkedWriter<'_> {
 /// per request, `TCP_NODELAY`, chunked-aware reads) lives in exactly one
 /// place.
 pub struct Client {
-    writer: TcpStream,
+    /// Sole owner of the socket: reads go through the buffer, writes through
+    /// [`BufReader::get_mut`].  One fd per connection, not two — at 10 000
+    /// keep-alive clients the difference is half the process's fd budget.
     reader: BufReader<TcpStream>,
     /// Overall budget for reading one whole response; see
     /// [`set_response_deadline`](Self::set_response_deadline).
@@ -491,8 +502,8 @@ impl Client {
     /// would stall ~40ms behind Nagle + delayed ACK); reads are bounded by
     /// the response deadline (default 60 s per response).
     pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        Client::from_stream(writer)
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
     }
 
     /// [`connect`](Self::connect) with a bound on the TCP handshake itself —
@@ -503,19 +514,17 @@ impl Client {
         addr: std::net::SocketAddr,
         timeout: Duration,
     ) -> std::io::Result<Client> {
-        let writer = TcpStream::connect_timeout(&addr, timeout)?;
-        Client::from_stream(writer)
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Client::from_stream(stream)
     }
 
     /// Wraps an already-connected stream (e.g. one opened before the server
     /// had a free worker, to observe queueing).
-    pub fn from_stream(writer: TcpStream) -> std::io::Result<Client> {
-        writer.set_nodelay(true).ok();
-        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
-        let reader = BufReader::new(writer.try_clone()?);
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
         Ok(Client {
-            writer,
-            reader,
+            reader: BufReader::new(stream),
             response_deadline: CLIENT_RESPONSE_DEADLINE,
         })
     }
@@ -559,7 +568,7 @@ impl Client {
              Content-Length: {}\r\n{extra}Connection: {connection}\r\n\r\n{body}",
             body.len()
         );
-        self.writer.write_all(request.as_bytes())
+        self.reader.get_mut().write_all(request.as_bytes())
     }
 
     /// Writes one keep-alive request.
@@ -590,7 +599,7 @@ impl Client {
         let mut request = Vec::with_capacity(head.len() + body.len());
         request.extend_from_slice(head.as_bytes());
         request.extend_from_slice(body);
-        self.writer.write_all(&request)
+        self.reader.get_mut().write_all(&request)
     }
 
     /// The buffered read half — the fleet router relays response bytes
@@ -619,7 +628,7 @@ impl Client {
 
     /// Raw access to the socket, for tests that write hostile bytes.
     pub fn stream_mut(&mut self) -> &mut TcpStream {
-        &mut self.writer
+        self.reader.get_mut()
     }
 
     /// True once the server has closed the connection — clean FIN (EOF) or

@@ -5,13 +5,18 @@
 //! from one catalog source" deployment shape the session API was built for.
 //!
 //! The daemon is hand-rolled over [`std::net::TcpListener`] (the workspace is
-//! offline — no hyper, no serde): [`runtime`] implements the bounded
-//! acceptor + worker-pool executor with `503 Retry-After` load shedding,
-//! [`http`] the persistent-connection HTTP/1.1 subset (keep-alive, idle
-//! timeouts, chunked response streaming), [`json`] the JSON subset,
+//! offline — no hyper, no serde): [`reactor`] is the event-driven readiness
+//! loop (epoll/kqueue via raw syscalls — no libc, no mio) that parks idle
+//! keep-alive sockets and enforces idle timeouts on a timer wheel,
+//! [`runtime`] the acceptor + reactor + bounded worker-pool executor with
+//! `503 Retry-After` load shedding and per-peer connection caps, [`http`]
+//! the persistent-connection HTTP/1.1 subset (keep-alive, slow-client read
+//! deadlines, chunked response streaming), [`json`] the JSON subset,
 //! [`cache`] the fingerprint-keyed LRU artifact cache with its durable
 //! `--cache-dir` spill layer, and [`server`] the routing, request batching
-//! and panic recovery.
+//! and panic recovery.  Worker occupancy is per in-flight *request burst*,
+//! not per connection: ten thousand idle persistent clients cost file
+//! descriptors and reactor bookkeeping, never pool threads.
 //!
 //! ```no_run
 //! use htc_serve::{Server, ServerConfig};
@@ -32,7 +37,8 @@
 //! * `GET /healthz` — liveness.
 //! * `GET /stats` — cache hit rates (memory + durable spill layer), request
 //!   counters, batching figures, connection-runtime gauges (active
-//!   connections, queue depth, keep-alive reuse ratio) and per-stage
+//!   connections, queue depth, parked connections, reactor wakeups, stall
+//!   teardowns, peer-cap rejections, keep-alive reuse ratio) and per-stage
 //!   [`StageTimer`](htc_metrics::StageTimer) aggregates.
 //! * `POST /shutdown` — clean stop: the acknowledgement flushes, then the
 //!   worker pool drains and joins deterministically.
@@ -54,6 +60,7 @@ pub mod fair;
 pub mod fault;
 pub mod http;
 pub mod json;
+pub mod reactor;
 pub mod runtime;
 pub mod server;
 pub mod signal;
@@ -61,6 +68,9 @@ pub mod signal;
 pub use cache::{attribute_fingerprint, ArtifactCache, CacheKey, CacheStats, DurableStore};
 pub use fair::{FairnessConfig, PeerLimiter, SourceGate};
 pub use fault::{FaultPlan, WriteFault};
-pub use runtime::{default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics};
+pub use runtime::{
+    default_workers, Conn, ConnHandler, ConnectionRuntime, Disposition, RuntimeConfig,
+    RuntimeMetrics,
+};
 pub use server::{routing_fingerprint, ServeError, Server, ServerConfig};
 pub use signal::install_shutdown_handler;

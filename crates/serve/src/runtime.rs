@@ -1,36 +1,44 @@
-//! The connection runtime: a bounded acceptor + worker-pool executor.
+//! The connection runtime: acceptor + reactor + bounded worker pool.
 //!
 //! The first `htc-serve` iteration spawned one OS thread per connection and
-//! spoke one-shot HTTP.  Under heavy traffic that model has two failure
-//! modes: unbounded thread creation (every accepted socket is a new stack)
-//! and zero backpressure (the kernel accept queue is the only limit, and a
-//! client never learns the server is saturated).  This module replaces it
-//! with:
+//! spoke one-shot HTTP.  PR 4 replaced that with a bounded worker pool — but
+//! one worker still owned one connection for its whole keep-alive lifetime,
+//! so a few thousand idle persistent clients exhausted the pool.  This
+//! revision makes worker occupancy **per in-flight request**:
 //!
-//! * a fixed pool of `workers` threads (default [`default_workers`]:
-//!   `min(2 × cores, 64)`) that each own one connection at a time for its
-//!   whole keep-alive lifetime;
-//! * a bounded hand-off queue between the acceptor and the pool.  When the
-//!   queue is full the acceptor **sheds load**: it answers the new
-//!   connection `503 Service Unavailable` with a `Retry-After` hint and
-//!   closes it, so overload degrades into fast, explicit retries instead of
-//!   unbounded memory growth;
-//! * live occupancy metrics ([`RuntimeMetrics`]) surfaced through `/stats`;
+//! * the acceptor registers every new connection with the event-driven
+//!   [`reactor`](crate::reactor) instead of handing it a worker.  Sockets
+//!   between requests park there, watched by epoll/kqueue, costing no
+//!   threads;
+//! * only when a parked socket becomes **readable** does the reactor push it
+//!   onto the bounded hand-off queue.  When the queue is full the connection
+//!   is **shed** with `503 Retry-After`, so overload degrades into fast,
+//!   explicit retries instead of unbounded memory growth;
+//! * a worker serves one request *burst* — the readable request plus any
+//!   pipelined requests already buffered — then returns a [`Disposition`]:
+//!   `KeepAlive` re-parks the socket in the reactor, `Close` drops it;
+//! * idle keep-alive timeouts are enforced by the reactor's timer wheel (no
+//!   per-connection poll slices), and per-peer connection caps are enforced
+//!   at accept ([`RuntimeConfig::peer_max_conns`]) so one host cannot
+//!   monopolise the parked population;
+//! * live occupancy metrics ([`RuntimeMetrics`], now including the parked
+//!   gauge and reactor counters) are surfaced through `/stats`;
 //! * deterministic shutdown: [`ShutdownSignal::trigger`] stops the acceptor,
-//!   the queue drains (already-accepted connections are still served), and
-//!   every worker is **joined** before [`ConnectionRuntime::join`] returns —
-//!   no fire-and-forget helper threads, no process exit racing a response
-//!   flush.
+//!   the reactor reaps every parked socket, the queue drains (dispatched
+//!   connections are still served), and every worker **and** the reactor are
+//!   joined before [`ConnectionRuntime::join`] returns.
 //!
-//! The runtime is protocol-agnostic: it hands raw [`TcpStream`]s to the
-//! handler closure, which owns the keep-alive request loop (see
-//! `server::handle_connection`).
+//! The runtime stays protocol-agnostic: the handler closure owns the burst
+//! loop over a [`Conn`] (see `server::handle_connection`) and reports how
+//! the connection should continue via its [`Disposition`].
 
 use crate::http::write_retry_after;
+use crate::reactor::Reactor;
 use htc_metrics::{Counter, Gauge};
-use std::collections::VecDeque;
-use std::io::Read;
-use std::net::{TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Read};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -38,10 +46,14 @@ use std::time::{Duration, Instant};
 /// Hard ceiling on the worker pool, mirroring the compute pool's cap.
 pub const MAX_WORKERS: usize = 256;
 
+/// Read-buffer size for each connection.  Small on purpose: with ten
+/// thousand parked connections the buffers dominate per-connection memory,
+/// and request heads fit comfortably while bodies bypass the buffer.
+const CONN_BUF_BYTES: usize = 4 * 1024;
+
 /// The default worker count: `min(2 × available cores, 64)`.  Workers block
-/// on socket I/O for most of their life (the compute-heavy stages run on the
-/// shared linalg pool), so oversubscribing the cores 2× keeps them busy
-/// without letting a big machine spawn hundreds of idle stacks.
+/// on socket I/O only while a request is in flight (idle connections park in
+/// the reactor), so this now bounds *concurrent requests*, not connections.
 pub fn default_workers() -> usize {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -54,11 +66,30 @@ pub fn default_workers() -> usize {
 pub struct RuntimeConfig {
     /// Worker-pool size; clamped to `1..=MAX_WORKERS`.
     pub workers: usize,
-    /// Accepted connections waiting for a worker beyond this count are shed
+    /// Readable connections waiting for a worker beyond this count are shed
     /// with `503 Retry-After`.
     pub queue_capacity: usize,
     /// `Retry-After` hint (seconds) sent with shed connections.
     pub retry_after_secs: u32,
+    /// How long a parked connection may sit idle between requests before the
+    /// reactor closes it (the HTTP keep-alive timeout).
+    pub idle_timeout: Duration,
+    /// Write-progress deadline applied to every connection: a peer that
+    /// accepts no response bytes for this long (stalled reader) fails the
+    /// write and is torn down instead of pinning a worker behind a dead
+    /// socket.  The kernel send buffer is the bounded staging area.
+    pub stall_timeout: Duration,
+    /// Maximum simultaneous connections per peer IP; `0` disables the cap.
+    /// Enforced at accept with a `429` teardown, counted in
+    /// [`RuntimeMetrics::peer_cap_rejections`].
+    pub peer_max_conns: usize,
+    /// Cap (bytes) on each accepted connection's kernel send buffer; `0`
+    /// keeps the kernel default with autotuning.  Autotuned send buffers
+    /// grow to megabytes, so a stalled reader can absorb that much response
+    /// before the write-progress deadline ever engages — capping the buffer
+    /// bounds per-connection kernel memory and makes the stall teardown
+    /// deterministic.
+    pub sndbuf: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -67,29 +98,77 @@ impl Default for RuntimeConfig {
             workers: default_workers(),
             queue_capacity: 128,
             retry_after_secs: 1,
+            idle_timeout: Duration::from_secs(15),
+            stall_timeout: Duration::from_secs(5),
+            peer_max_conns: 0,
+            sndbuf: 0,
         }
     }
 }
 
-/// Live occupancy counters, updated lock-free by the acceptor and workers.
+/// Best-effort `SO_SNDBUF` cap on an accepted socket.  Setting the option
+/// also locks it (`SOCK_SNDBUF_LOCK`), which is the point: it disables send
+/// autotuning so the buffer cannot quietly grow back to megabytes under a
+/// stalled reader.  Raw syscall — same no-libc discipline as the reactor.
+#[cfg(unix)]
+fn set_sndbuf(stream: &TcpStream, bytes: usize) {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    }
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SO_SNDBUF: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    const SO_SNDBUF: i32 = 0x1001;
+    let value = i32::try_from(bytes).unwrap_or(i32::MAX);
+    unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &value,
+            std::mem::size_of::<i32>() as u32,
+        );
+    }
+}
+
+#[cfg(not(unix))]
+fn set_sndbuf(_stream: &TcpStream, _bytes: usize) {}
+
+/// Live occupancy counters, updated lock-free by the acceptor, the reactor
+/// and the workers.
 ///
 /// `total_requests / total_connections` is the keep-alive reuse ratio: 1.0
 /// means every connection carried exactly one request (no reuse); a serving
 /// workload with persistent clients should sit well above it.
 #[derive(Debug, Default)]
 pub struct RuntimeMetrics {
-    /// Connections currently owned by workers.
+    /// Connections currently owned by workers (in-flight request bursts).
     pub active_connections: Gauge,
-    /// Accepted connections waiting for a worker.
+    /// Readable connections waiting for a worker.
     pub queue_depth: Gauge,
-    /// Connections ever accepted (including shed ones).
+    /// Connections currently parked in the reactor between requests.
+    pub parked: Gauge,
+    /// Times the reactor loop woke (events, parks, or timer ticks).  An idle
+    /// parked population holds this flat — the busy-poll regression guard.
+    pub reactor_wakeups: Counter,
+    /// Connections torn down because a read or write stopped progressing
+    /// within the stall deadline (slow-header, mid-body, stalled-reader).
+    pub stall_timeouts_closed: Counter,
+    /// Connections refused at accept by the per-peer connection cap.
+    pub peer_cap_rejections: Counter,
+    /// Connections ever accepted (including shed and refused ones).
     pub total_connections: Counter,
     /// HTTP requests served across all connections (incremented by the
     /// protocol handler, one per parsed request).
     pub total_requests: Counter,
     /// Connections answered `503` because the queue was full.
     pub shed_connections: Counter,
-    /// Request handlers that panicked (caught at the connection boundary).
+    /// Request handlers that panicked (caught at the burst boundary).
     pub worker_panics: Counter,
     /// Requests answered `504` because their deadline (which covers queue
     /// wait, not just compute) expired.
@@ -141,7 +220,7 @@ impl ShutdownSignal {
         let addr = *self.addr.lock().unwrap();
         if let Some(addr) = addr {
             // Wake the blocking accept; the acceptor re-checks the flag
-            // before handing any connection to the pool.
+            // before registering any connection, then drains the reactor.
             let _ = TcpStream::connect(addr);
         }
     }
@@ -151,15 +230,165 @@ impl ShutdownSignal {
     }
 }
 
-struct Queue {
+/// Per-peer simultaneous-connection accounting behind
+/// [`RuntimeConfig::peer_max_conns`].
+#[derive(Default)]
+struct PeerTable {
+    counts: Mutex<HashMap<IpAddr, usize>>,
+}
+
+impl PeerTable {
+    /// Claims a slot for `ip`, or `None` when the peer is at its cap.
+    fn try_acquire(self: &Arc<Self>, ip: IpAddr, cap: usize) -> Option<PeerSlot> {
+        let mut counts = self.counts.lock().unwrap();
+        let count = counts.entry(ip).or_insert(0);
+        if *count >= cap {
+            return None;
+        }
+        *count += 1;
+        Some(PeerSlot {
+            table: Arc::clone(self),
+            ip,
+        })
+    }
+}
+
+/// RAII release of one peer-cap slot: lives inside the [`Conn`], so however
+/// a connection ends — served, shed, idle-reaped, drain sweep — the peer's
+/// count comes back down.
+struct PeerSlot {
+    table: Arc<PeerTable>,
+    ip: IpAddr,
+}
+
+impl Drop for PeerSlot {
+    fn drop(&mut self) {
+        let mut counts = self.table.counts.lock().unwrap();
+        if let Some(count) = counts.get_mut(&self.ip) {
+            *count -= 1;
+            if *count == 0 {
+                counts.remove(&self.ip);
+            }
+        }
+    }
+}
+
+/// One live connection, owned alternately by a worker (request burst in
+/// flight) and the reactor (parked between requests).  The buffered reader
+/// is created once at accept and travels with the socket, so bytes that
+/// arrive between "burst finished" and "reactor registered" are never lost:
+/// the burst loop serves everything buffered before returning `KeepAlive`,
+/// and level-triggered readiness re-reports anything that raced in after.
+pub struct Conn {
+    /// Sole owner of the socket fd.  Reads go through the buffer; writes go
+    /// through [`BufReader::get_mut`] (writing does not disturb the read
+    /// buffer).  One fd per parked connection instead of the two a
+    /// `try_clone` split would cost — at 10 000 idle clients that halves the
+    /// server's fd footprint.
+    reader: BufReader<TcpStream>,
+    accepted_at: Instant,
+    dispatched_at: Instant,
+    requests_served: u64,
+    /// Held for the connection's lifetime; dropping it releases the peer's
+    /// connection-cap slot.
+    _peer_slot: Option<PeerSlot>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer_slot: Option<PeerSlot>) -> Conn {
+        let accepted_at = Instant::now();
+        Conn {
+            reader: BufReader::with_capacity(CONN_BUF_BYTES, stream),
+            accepted_at,
+            dispatched_at: accepted_at,
+            requests_served: 0,
+            _peer_slot: peer_slot,
+        }
+    }
+
+    pub fn reader_mut(&mut self) -> &mut BufReader<TcpStream> {
+        &mut self.reader
+    }
+
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// The write half.  Writing through the buffered reader's inner stream is
+    /// safe — only reads through the buffer itself would desynchronise it.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
+    }
+
+    /// When the acceptor took this connection.
+    pub fn accepted_at(&self) -> Instant {
+        self.accepted_at
+    }
+
+    /// When the reactor last handed this connection to the worker pool — the
+    /// deadline anchor for the burst's first request.  Queue wait counts
+    /// against the request budget; parked idle time (the client's own) does
+    /// not, so a connection that idled longer than the request deadline is
+    /// not condemned the moment it finally speaks.
+    pub fn dispatched_at(&self) -> Instant {
+        self.dispatched_at
+    }
+
+    /// Stamped by the reactor as it hands the connection to the pool.
+    pub(crate) fn note_dispatched(&mut self) {
+        self.dispatched_at = Instant::now();
+    }
+
+    /// Requests completed on this connection so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Records one completed request (drives the first-request deadline
+    /// anchor and the reuse accounting).
+    pub fn note_request(&mut self) {
+        self.requests_served += 1;
+    }
+
+    /// Whether a pipelined request is already buffered — if so the burst
+    /// loop must keep serving instead of parking (the reactor would never
+    /// see buffered bytes, only socket readiness).
+    pub fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        self.reader.get_ref().as_raw_fd()
+    }
+
+    /// Surrenders the socket, discarding any buffered-but-unparsed request
+    /// bytes — only used on the shed path, where the connection is about to
+    /// be closed with an error response anyway.
+    pub(crate) fn into_stream(self) -> TcpStream {
+        self.reader.into_inner()
+    }
+}
+
+/// What a handler decided about the connection after one request burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Park in the reactor and wait for the next request.
+    KeepAlive,
+    /// Close the connection now.
+    Close,
+}
+
+/// The protocol handler: serves one request burst on a dispatched
+/// connection and reports how the connection should continue.
+pub type ConnHandler = Arc<dyn Fn(&mut Conn) -> Disposition + Send + Sync>;
+
+pub(crate) struct Queue {
     state: Mutex<QueueState>,
     available: Condvar,
 }
 
 struct QueueState {
-    /// Each queued connection carries its accept timestamp, so the protocol
-    /// layer can charge queue wait against the request deadline.
-    connections: VecDeque<(TcpStream, Instant)>,
+    connections: VecDeque<Conn>,
     closed: bool,
 }
 
@@ -174,31 +403,30 @@ impl Queue {
         }
     }
 
-    /// Enqueues if below `capacity`; the rejected stream comes back for
+    /// Enqueues if below `capacity`; the rejected connection comes back for
     /// shedding.  The depth gauge is incremented under the queue lock so it
     /// never counts rejected connections and a worker's decrement (which can
     /// only follow a successful pop, hence this lock) is always ordered
     /// after it.
-    fn push(&self, stream: TcpStream, capacity: usize, depth: &Gauge) -> Result<(), TcpStream> {
+    pub(crate) fn push(&self, conn: Conn, capacity: usize, depth: &Gauge) -> Result<(), Conn> {
         let mut state = self.state.lock().unwrap();
         if state.closed || state.connections.len() >= capacity {
-            return Err(stream);
+            return Err(conn);
         }
-        state.connections.push_back((stream, Instant::now()));
+        state.connections.push_back(conn);
         depth.inc();
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection (with its accept timestamp); `None`
-    /// once the queue is closed **and** drained — the worker's signal to
-    /// exit.
-    fn pop(&self) -> Option<(TcpStream, Instant)> {
+    /// Blocks for the next readable connection; `None` once the queue is
+    /// closed **and** drained — the worker's signal to exit.
+    fn pop(&self) -> Option<Conn> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(entry) = state.connections.pop_front() {
-                return Some(entry);
+            if let Some(conn) = state.connections.pop_front() {
+                return Some(conn);
             }
             if state.closed {
                 return None;
@@ -213,7 +441,7 @@ impl Queue {
     }
 }
 
-/// A running acceptor + worker pool bound to one listener.
+/// A running acceptor + reactor + worker pool bound to one listener.
 pub struct ConnectionRuntime {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<RuntimeMetrics>,
@@ -222,37 +450,46 @@ pub struct ConnectionRuntime {
 }
 
 impl ConnectionRuntime {
-    /// Starts the pool and the accept loop.  `handler` owns each connection
-    /// for its lifetime (the keep-alive loop) and runs on a pool worker
-    /// under a panic guard: a panic that unwinds out of it drops the
-    /// connection, increments `worker_panics`, and the worker lives on to
-    /// serve the next connection — the pool never shrinks.
+    /// Starts the reactor, the pool and the accept loop.  `handler` serves
+    /// one request burst per dispatch and runs on a pool worker under a
+    /// panic guard: a panic that unwinds out of it drops the connection,
+    /// increments `worker_panics`, and the worker lives on — the pool never
+    /// shrinks.
     ///
     /// `metrics` is caller-supplied so the protocol layer can hold the same
-    /// handle (it increments `total_requests` and `worker_panics`) and report
-    /// everything through one `/stats` snapshot.
+    /// handle (it increments `total_requests` and the stall counters) and
+    /// report everything through one `/stats` snapshot.
     pub fn start(
         listener: TcpListener,
         config: RuntimeConfig,
         shutdown: Arc<ShutdownSignal>,
         metrics: Arc<RuntimeMetrics>,
-        handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync>,
+        handler: ConnHandler,
     ) -> std::io::Result<ConnectionRuntime> {
         let addr = listener.local_addr()?;
         shutdown.bind(addr);
         let workers = config.workers.clamp(1, MAX_WORKERS);
         let queue = Arc::new(Queue::new());
+        let mut reactor = Reactor::start(
+            config.idle_timeout,
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            config.queue_capacity.max(1),
+            config.retry_after_secs,
+        )?;
+        let reactor_handle = reactor.handle();
 
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let handler = Arc::clone(&handler);
+            let reactor_handle = reactor_handle.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("htc-serve-worker-{i}"))
                     .spawn(move || {
-                        while let Some((stream, accepted_at)) = queue.pop() {
+                        while let Some(mut conn) = queue.pop() {
                             metrics.queue_depth.dec();
                             metrics.active_connections.inc();
                             // The protocol handler catches panics per
@@ -262,11 +499,16 @@ impl ConnectionRuntime {
                             // — never a worker, and never a drifting gauge.
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    handler(stream, accepted_at)
+                                    handler(&mut conn)
                                 }));
                             metrics.active_connections.dec();
-                            if outcome.is_err() {
-                                metrics.worker_panics.inc();
+                            match outcome {
+                                Ok(Disposition::KeepAlive) => reactor_handle.park(conn),
+                                Ok(Disposition::Close) => drop(conn),
+                                Err(_) => {
+                                    metrics.worker_panics.inc();
+                                    drop(conn);
+                                }
                             }
                         }
                     })?,
@@ -278,9 +520,20 @@ impl ConnectionRuntime {
         let accept_thread = std::thread::Builder::new()
             .name("htc-serve-accept".into())
             .spawn(move || {
-                accept_loop(listener, &config, &queue, &accept_metrics, &accept_shutdown);
-                // Drain deterministically: no new connections, already-queued
-                // ones are still served, then every worker is joined.
+                accept_loop(
+                    listener,
+                    &config,
+                    &reactor_handle,
+                    &accept_metrics,
+                    &accept_shutdown,
+                );
+                // Deterministic drain, in dependency order: no new
+                // connections; the reactor reaps every parked socket and is
+                // joined; the queue closes so workers finish what was
+                // already dispatched; every worker is joined.  Bursts that
+                // finish mid-drain and try to re-park find the reactor
+                // draining and close instead.
+                reactor.drain_and_join();
                 queue.close();
                 for handle in worker_handles {
                     let _ = handle.join();
@@ -303,8 +556,9 @@ impl ConnectionRuntime {
         self.workers
     }
 
-    /// Waits until the accept loop has exited and every worker is joined.
-    /// Call [`ShutdownSignal::trigger`] (or POST `/shutdown`) to initiate.
+    /// Waits until the accept loop has exited, the reactor has reaped every
+    /// parked connection, and every worker is joined.  Call
+    /// [`ShutdownSignal::trigger`] (or POST `/shutdown`) to initiate.
     pub fn join(&mut self) {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -315,8 +569,8 @@ impl ConnectionRuntime {
 impl Drop for ConnectionRuntime {
     fn drop(&mut self) {
         // RAII backstop: a runtime dropped without an explicit shutdown still
-        // stops accepting and joins every worker instead of hanging or
-        // leaking detached threads.
+        // stops accepting, reaps the parked population and joins every worker
+        // instead of hanging or leaking detached threads.
         self.shutdown.trigger();
         self.join();
     }
@@ -325,11 +579,11 @@ impl Drop for ConnectionRuntime {
 fn accept_loop(
     listener: TcpListener,
     config: &RuntimeConfig,
-    queue: &Queue,
+    reactor: &crate::reactor::ReactorHandle,
     metrics: &RuntimeMetrics,
     shutdown: &ShutdownSignal,
 ) {
-    let capacity = config.queue_capacity.max(1);
+    let peers = Arc::new(PeerTable::default());
     for stream in listener.incoming() {
         if shutdown.is_triggered() {
             break;
@@ -343,14 +597,54 @@ fn accept_loop(
         // on a warm connection.
         let _ = stream.set_nodelay(true);
         metrics.total_connections.inc();
-        match queue.push(stream, capacity, &metrics.queue_depth) {
-            Ok(()) => {}
-            Err(rejected) => {
-                metrics.shed_connections.inc();
-                shed(rejected, config.retry_after_secs, metrics.queue_depth.get());
+        let peer_slot = if config.peer_max_conns > 0 {
+            let ip = stream.peer_addr().map(|a| a.ip());
+            match ip {
+                Ok(ip) => match peers.try_acquire(ip, config.peer_max_conns) {
+                    Some(slot) => Some(slot),
+                    None => {
+                        metrics.peer_cap_rejections.inc();
+                        reject_peer_cap(stream, config.retry_after_secs);
+                        continue;
+                    }
+                },
+                Err(_) => None,
             }
+        } else {
+            None
+        };
+        // The write-progress deadline: a stalled reader fails the in-flight
+        // write once the kernel send buffer has absorbed what it can.
+        if !config.stall_timeout.is_zero() {
+            let _ = stream.set_write_timeout(Some(config.stall_timeout));
         }
+        if config.sndbuf > 0 {
+            set_sndbuf(&stream, config.sndbuf);
+        }
+        // Every connection starts parked: the reactor dispatches it to the
+        // pool the moment the first request bytes arrive, so a client that
+        // connects and stalls costs no worker at all.
+        reactor.park(Conn::new(stream, peer_slot));
     }
+}
+
+/// Refuses one over-cap connection from a greedy peer: a bounded-write `429`
+/// with a backoff hint, then close.  Runs on the acceptor thread, so every
+/// wait is tightly bounded.
+fn reject_peer_cap(mut stream: TcpStream, retry_after_secs: u32) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = format!(
+        "{{\"error\":\"too many connections from this peer\",\
+         \"kind\":\"peer_connection_cap\",\"retry_after_ms\":{}}}",
+        u64::from(retry_after_secs) * 1000,
+    );
+    let response = format!(
+        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    use std::io::Write;
+    let _ = stream.write_all(response.as_bytes());
 }
 
 /// Sheds one over-capacity connection: writes the `503 Retry-After`, sends
@@ -358,9 +652,10 @@ fn accept_loop(
 /// Dropping the socket with unread bytes pending would RST and frequently
 /// destroy the in-flight 503 — the client would see "connection reset"
 /// instead of the explicit backoff hint.  All waits are tightly bounded
-/// because this runs on the acceptor thread: a well-behaved peer drains in
+/// because this runs on the reactor thread: a well-behaved peer drains in
 /// one non-blocking read; a hostile one costs at most ~160 ms.
-fn shed(mut rejected: TcpStream, retry_after_secs: u32, queue_depth: u64) {
+pub(crate) fn shed_conn(conn: Conn, retry_after_secs: u32, queue_depth: u64) {
+    let mut rejected = conn.into_stream();
     rejected
         .set_write_timeout(Some(Duration::from_secs(1)))
         .ok();
@@ -389,7 +684,17 @@ fn shed(mut rejected: TcpStream, retry_after_secs: u32, queue_depth: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read, Write};
+    use std::io::Write;
+
+    fn test_config(workers: usize, queue_capacity: usize, retry_after_secs: u32) -> RuntimeConfig {
+        RuntimeConfig {
+            workers,
+            queue_capacity,
+            retry_after_secs,
+            idle_timeout: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        }
+    }
 
     #[test]
     fn default_workers_is_bounded() {
@@ -407,28 +712,26 @@ mod tests {
         assert!((m.reuse_ratio() - 3.0).abs() < 1e-12);
     }
 
-    /// Pool mechanics without HTTP: connections are served by exactly
-    /// `workers` threads, excess queues, and shutdown drains deterministically.
+    /// Pool mechanics without HTTP: readable connections are dispatched to
+    /// exactly `workers` threads, excess queues, and shutdown drains
+    /// deterministically.
     #[test]
     fn pool_serves_queues_and_drains() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(ShutdownSignal::new());
-        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
-            Arc::new(|mut stream: TcpStream, _accepted: Instant| {
-                let mut byte = [0u8; 1];
-                // Echo one byte, then close: the "request" is the byte itself.
-                if stream.read_exact(&mut byte).is_ok() {
-                    let _ = stream.write_all(&byte);
-                }
-            });
+        let handler: ConnHandler = Arc::new(|conn: &mut Conn| {
+            let mut byte = [0u8; 1];
+            // Echo one byte, then close: the "request" is the byte itself.
+            let got = conn.reader_mut().read(&mut byte).map(|n| n == 1);
+            if got.unwrap_or(false) {
+                let _ = conn.stream_mut().write_all(&byte);
+            }
+            Disposition::Close
+        });
         let mut runtime = ConnectionRuntime::start(
             listener,
-            RuntimeConfig {
-                workers: 2,
-                queue_capacity: 16,
-                retry_after_secs: 1,
-            },
+            test_config(2, 16, 1),
             Arc::clone(&shutdown),
             Arc::new(RuntimeMetrics::default()),
             handler,
@@ -458,9 +761,11 @@ mod tests {
 
         shutdown.trigger();
         runtime.join();
-        // After join, the gauges are settled: nothing active, nothing queued.
+        // After join, the gauges are settled: nothing active, queued or
+        // parked.
         assert_eq!(metrics.active_connections.get(), 0);
         assert_eq!(metrics.queue_depth.get(), 0);
+        assert_eq!(metrics.parked.get(), 0);
         assert!(metrics.active_connections.high_water() <= 2);
     }
 
@@ -471,22 +776,18 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(ShutdownSignal::new());
-        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
-            Arc::new(|mut stream: TcpStream, _accepted: Instant| {
-                let mut byte = [0u8; 1];
-                stream.read_exact(&mut byte).unwrap();
-                if byte[0] == b'!' {
-                    panic!("injected handler failure");
-                }
-                stream.write_all(&byte).unwrap();
-            });
+        let handler: ConnHandler = Arc::new(|conn: &mut Conn| {
+            let mut byte = [0u8; 1];
+            conn.reader_mut().read_exact(&mut byte).unwrap();
+            if byte[0] == b'!' {
+                panic!("injected handler failure");
+            }
+            conn.stream_mut().write_all(&byte).unwrap();
+            Disposition::Close
+        });
         let mut runtime = ConnectionRuntime::start(
             listener,
-            RuntimeConfig {
-                workers: 1,
-                queue_capacity: 4,
-                retry_after_secs: 1,
-            },
+            test_config(1, 4, 1),
             Arc::clone(&shutdown),
             Arc::new(RuntimeMetrics::default()),
             handler,
@@ -516,7 +817,10 @@ mod tests {
         assert_eq!(metrics.active_connections.get(), 0);
     }
 
-    /// A full queue sheds with 503 + Retry-After written by the acceptor.
+    /// A full queue sheds with 503 + Retry-After, written by the reactor on
+    /// dispatch.  Saturation now requires *in-flight requests* (idle
+    /// connections park for free), so every client sends a byte: the first
+    /// pins the only worker, the second fills the queue, the third is shed.
     #[test]
     fn full_queue_sheds_with_retry_after() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -524,22 +828,18 @@ mod tests {
         let shutdown = Arc::new(ShutdownSignal::new());
         // The handler announces itself, then parks until released — which
         // lets the test sequence "worker busy" and "queue full"
-        // deterministically instead of racing the accept loop.
+        // deterministically instead of racing the dispatch loop.
         let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
         let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
         let release_rx = Arc::new(Mutex::new(release_rx));
-        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
-            Arc::new(move |_stream: TcpStream, _accepted: Instant| {
-                let _ = started_tx.send(());
-                let _ = release_rx.lock().unwrap().recv();
-            });
+        let handler: ConnHandler = Arc::new(move |_conn: &mut Conn| {
+            let _ = started_tx.send(());
+            let _ = release_rx.lock().unwrap().recv();
+            Disposition::Close
+        });
         let mut runtime = ConnectionRuntime::start(
             listener,
-            RuntimeConfig {
-                workers: 1,
-                queue_capacity: 1,
-                retry_after_secs: 7,
-            },
+            test_config(1, 1, 7),
             Arc::clone(&shutdown),
             Arc::new(RuntimeMetrics::default()),
             handler,
@@ -551,13 +851,16 @@ mod tests {
         let release_tx = release_tx;
         let metrics = runtime.metrics();
 
-        // First connection occupies the worker (wait for its handler)...
-        let held_a = TcpStream::connect(addr).unwrap();
+        // First connection sends a byte and occupies the worker...
+        let mut held_a = TcpStream::connect(addr).unwrap();
+        held_a.write_all(b"a").unwrap();
         started_rx
             .recv_timeout(Duration::from_secs(10))
             .expect("worker picked up the first connection");
-        // ...second fills the queue (the worker is parked, so it stays).
-        let held_b = TcpStream::connect(addr).unwrap();
+        // ...second sends a byte and fills the queue (the worker is parked,
+        // so its dispatch stays queued).
+        let mut held_b = TcpStream::connect(addr).unwrap();
+        held_b.write_all(b"b").unwrap();
         for _ in 0..200 {
             if metrics.queue_depth.get() == 1 {
                 break;
@@ -567,8 +870,10 @@ mod tests {
         assert_eq!(metrics.active_connections.get(), 1);
         assert_eq!(metrics.queue_depth.get(), 1);
 
-        // Third connection: shed.
+        // Third connection sends a byte: its dispatch finds the queue full
+        // and the reactor sheds it.
         let mut shed = TcpStream::connect(addr).unwrap();
+        shed.write_all(b"c").unwrap();
         shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut response = String::new();
         shed.read_to_string(&mut response).unwrap();
@@ -584,5 +889,75 @@ mod tests {
         drop(held_a);
         drop(held_b);
         assert_eq!(metrics.queue_depth.get(), 0);
+    }
+
+    /// The per-peer connection cap refuses the over-cap connect with a 429
+    /// and releases the slot when an earlier connection closes.
+    #[test]
+    fn peer_cap_rejects_and_releases() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(ShutdownSignal::new());
+        let handler: ConnHandler = Arc::new(|_conn: &mut Conn| Disposition::Close);
+        let config = RuntimeConfig {
+            workers: 1,
+            peer_max_conns: 2,
+            ..RuntimeConfig::default()
+        };
+        let runtime = ConnectionRuntime::start(
+            listener,
+            config,
+            Arc::clone(&shutdown),
+            Arc::new(RuntimeMetrics::default()),
+            handler,
+        )
+        .unwrap();
+        let metrics = runtime.metrics();
+
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        // Both idle connections must be parked (at the cap) before the third
+        // connect, or the refusal would race the accepts.
+        for _ in 0..200 {
+            if metrics.parked.get() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(metrics.parked.get(), 2);
+
+        let mut over = TcpStream::connect(addr).unwrap();
+        over.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut response = String::new();
+        over.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("peer_connection_cap"), "{response}");
+        assert_eq!(metrics.peer_cap_rejections.get(), 1);
+
+        // Closing one in-cap connection frees a slot for a fresh connect.
+        drop(a);
+        let mut slot_freed = false;
+        for _ in 0..200 {
+            let c = TcpStream::connect(addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_millis(100))).ok();
+            let mut probe = c;
+            let mut buf = [0u8; 1];
+            match probe.read(&mut buf) {
+                // Parked and idle: no response bytes, read times out.
+                Err(ref e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    slot_freed = true;
+                    break;
+                }
+                // A 429 means the old slot has not drained yet; retry.
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(slot_freed, "peer slot was not released");
+        drop(b);
     }
 }

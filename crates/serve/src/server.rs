@@ -3,10 +3,11 @@
 //!
 //! ## Life of an align request
 //!
-//! 1. The connection is owned by a pool worker (see [`crate::runtime`]) that
-//!    loops requests over the socket while the client keeps it alive.  The
-//!    JSON body is parsed and the **source** network resolved (inline
-//!    payload or persisted files).
+//! 1. The connection parks in the event-driven reactor between requests
+//!    (see [`crate::runtime`] and [`crate::reactor`]); when it becomes
+//!    readable, a pool worker serves one request *burst* and hands the
+//!    socket back.  The JSON body is parsed and the **source** network
+//!    resolved (inline payload or persisted files).
 //! 2. The source is keyed by [`CacheKey`] — structural graph fingerprint,
 //!    attribute fingerprint, configuration tag — and looked up in the LRU
 //!    [`ArtifactCache`].  A hit reuses the cached
@@ -36,12 +37,13 @@ use crate::cache::{attribute_fingerprint, ArtifactCache, CacheKey, DurableStore}
 use crate::fair::{FairnessConfig, PeerLimiter, SourceGate};
 use crate::fault::FaultPlan;
 use crate::http::{
-    await_request, begin_chunked_json, read_request, write_json_response, write_json_response_with,
-    AwaitOutcome, HttpError, Request,
+    begin_chunked_json, is_stall_error, read_request_limited, write_json_response,
+    write_json_response_with, HttpError, ReadLimits, Request,
 };
 use crate::json::{self, Json};
 use crate::runtime::{
-    default_workers, ConnectionRuntime, RuntimeConfig, RuntimeMetrics, ShutdownSignal,
+    default_workers, Conn, ConnHandler, ConnectionRuntime, Disposition, RuntimeConfig,
+    RuntimeMetrics, ShutdownSignal,
 };
 use htc_core::{
     graph_fingerprint, AlignmentSession, DeadlineObserver, HtcConfig, HtcError, HtcResult,
@@ -51,7 +53,7 @@ use htc_graph::io::read_network;
 use htc_graph::{AttributedNetwork, Graph};
 use htc_linalg::DenseMatrix;
 use htc_metrics::StageTimer;
-use std::io::BufReader;
+use std::io::BufRead;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,9 +82,23 @@ pub struct ServerConfig {
     /// Accepted connections queued beyond this are shed with
     /// `503 Retry-After`.
     pub queue_capacity: usize,
-    /// How long an idle keep-alive connection may sit between requests
-    /// before the server closes it.
+    /// How long an idle keep-alive connection may sit parked in the reactor
+    /// between requests before the server closes it.
     pub keep_alive: Duration,
+    /// Per-read progress deadline for slow clients: a request whose header
+    /// section does not complete (or whose body makes no read progress)
+    /// within this window gets a `408` and a teardown instead of a pinned
+    /// worker.  Also the socket write timeout, so a stalled reader of a
+    /// chunked response fills the kernel send buffer and is then torn down.
+    pub stall_timeout: Duration,
+    /// Maximum simultaneous connections per peer IP; over-cap connects are
+    /// answered `429` at accept.  `0` disables the cap.
+    pub peer_max_conns: usize,
+    /// Cap (bytes) on each connection's kernel send buffer (`SO_SNDBUF`,
+    /// locked against autotuning).  Bounds how much response a stalled
+    /// reader can absorb before the write deadline engages; `0` keeps the
+    /// kernel default.
+    pub sndbuf: usize,
     /// Durable artifact-cache directory: cached sources spill their views +
     /// encoder here and restarts repopulate the LRU lazily (warm starts).
     /// Unset disables persistence.
@@ -124,6 +140,9 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 128,
             keep_alive: Duration::from_secs(15),
+            stall_timeout: Duration::from_secs(5),
+            peer_max_conns: 0,
+            sndbuf: 0,
             cache_dir: None,
             stream_threshold: 16 * 1024,
             request_deadline: Duration::ZERO,
@@ -309,6 +328,10 @@ impl Server {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             retry_after_secs: 1,
+            idle_timeout: config.keep_alive,
+            stall_timeout: config.stall_timeout,
+            peer_max_conns: config.peer_max_conns,
+            sndbuf: config.sndbuf,
         };
         let shared = Arc::new(Shared {
             cache: Mutex::new(ArtifactCache::new(config.cache_capacity)),
@@ -323,10 +346,7 @@ impl Server {
             config,
         });
         let handler_shared = Arc::clone(&shared);
-        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> =
-            Arc::new(move |stream, accepted_at| {
-                handle_connection(stream, accepted_at, &handler_shared)
-            });
+        let handler: ConnHandler = Arc::new(move |conn| handle_connection(conn, &handler_shared));
         let runtime =
             ConnectionRuntime::start(listener, runtime_config, shutdown, metrics, handler)?;
         Ok(Server {
@@ -411,37 +431,63 @@ fn request_deadline(
     }
 }
 
-/// Owns one connection for its lifetime: waits for requests, serves them,
-/// and honours keep-alive until the peer closes, the idle timeout fires, a
-/// parse error poisons the byte stream, or the server shuts down.
-/// `accepted_at` is the instant the acceptor queued the connection — the
-/// deadline anchor for the first request.
-fn handle_connection(stream: TcpStream, accepted_at: Instant, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let peer_ip = stream
+/// Serves one request *burst* on a dispatched connection: the request that
+/// made the socket readable, plus any pipelined requests already buffered.
+/// Returns [`Disposition::KeepAlive`] to park the socket back in the reactor
+/// between requests, [`Disposition::Close`] to end the connection (peer
+/// hangup, parse error, stall teardown, `Connection: close`, or shutdown).
+fn handle_connection(conn: &mut Conn, shared: &Arc<Shared>) -> Disposition {
+    let peer_ip = conn
+        .stream()
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "unknown".into());
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    let mut first_request = true;
-    while let AwaitOutcome::Ready = await_request(&mut reader, shared.config.keep_alive, || {
-        shared.shutdown.is_triggered()
-    }) {
-        // First request: the budget covers queue wait (anchor = accept).
-        // Keep-alive successors: idle time between requests is the client's
-        // own, so the anchor resets to now.
-        let anchor = if first_request {
-            accepted_at
+    // Zero disables the configured stall budget and falls back to the
+    // standalone (30 s-class) defaults.
+    let limits = if shared.config.stall_timeout.is_zero() {
+        ReadLimits::default()
+    } else {
+        ReadLimits::with_stall(shared.config.stall_timeout)
+    };
+    let mut served_in_burst = 0u64;
+    loop {
+        if !conn.has_buffered() {
+            // A dispatch with no buffered bytes is either the first request
+            // of the burst or a clean FIN from a parked peer; peek before
+            // parsing so a normal hangup is not answered with a 400.
+            let reader = conn.reader_mut();
+            if reader
+                .get_ref()
+                .set_read_timeout(Some(limits.stall))
+                .is_err()
+            {
+                return Disposition::Close;
+            }
+            match reader.fill_buf() {
+                Ok([]) => return Disposition::Close,
+                Ok(_) => {}
+                Err(e) => {
+                    if is_stall_error(&e) {
+                        shared.metrics.stall_timeouts_closed.inc();
+                    }
+                    return Disposition::Close;
+                }
+            }
+        }
+        // First request of the burst: the budget covers queue wait (anchor =
+        // the reactor's dispatch stamp) but not parked idle time, which is
+        // the client's own.  Pipelined successors anchor at now.
+        let anchor = if served_in_burst == 0 {
+            conn.dispatched_at()
         } else {
             Instant::now()
         };
-        first_request = false;
-        let request = match read_request(&mut reader) {
+        let request = match read_request_limited(conn.reader_mut(), &limits) {
             Ok(request) => request,
             Err(HttpError { status, message }) => {
+                if status == 408 {
+                    shared.metrics.stall_timeouts_closed.inc();
+                }
                 let body = json::obj(vec![
                     ("error", json::str(message)),
                     ("kind", json::str("http")),
@@ -449,9 +495,9 @@ fn handle_connection(stream: TcpStream, accepted_at: Instant, shared: &Arc<Share
                 .render();
                 // A connection whose byte stream failed to parse is not worth
                 // resynchronising: answer and close.  The worker itself moves
-                // on to the next queued connection unharmed.
-                let _ = write_json_response(&mut stream, status, &body, false);
-                break;
+                // on to the next dispatched connection unharmed.
+                let _ = write_json_response(conn.stream_mut(), status, &body, false);
+                return Disposition::Close;
             }
         };
         shared.metrics.total_requests.inc();
@@ -483,14 +529,13 @@ fn handle_connection(stream: TcpStream, accepted_at: Instant, shared: &Arc<Share
                 ))
             })
         });
+        let stream = conn.stream_mut();
         let io_outcome = match reply {
-            Reply::Json(status, body) => {
-                write_json_response(&mut stream, status, &body, keep_alive)
-            }
+            Reply::Json(status, body) => write_json_response(stream, status, &body, keep_alive),
             Reply::Error(err) => {
                 let retry_secs = err.retry_after_ms.map(|ms| ms.div_ceil(1000).max(1));
                 write_json_response_with(
-                    &mut stream,
+                    stream,
                     err.status,
                     &err.to_json(shared.metrics.queue_depth.get()),
                     keep_alive,
@@ -501,26 +546,36 @@ fn handle_connection(stream: TcpStream, accepted_at: Instant, shared: &Arc<Share
                 outcome,
                 cache_hit,
                 pairwise,
-            } => write_align_response(
-                &mut stream,
-                shared,
-                &outcome,
-                cache_hit,
-                pairwise,
-                keep_alive,
-            ),
+            } => write_align_response(stream, shared, &outcome, cache_hit, pairwise, keep_alive),
             Reply::Shutdown(body) => {
                 // Deterministic shutdown: the acknowledgement is fully
                 // written and flushed *before* the drain begins — no helper
                 // thread racing the response out of the process.
-                let written = write_json_response(&mut stream, 200, &body, false);
+                let written = write_json_response(stream, 200, &body, false);
                 shared.shutdown.trigger();
                 let _ = written;
-                break;
+                conn.note_request();
+                return Disposition::Close;
             }
         };
-        if io_outcome.is_err() || !keep_alive {
-            break;
+        conn.note_request();
+        served_in_burst += 1;
+        if let Err(e) = io_outcome {
+            // A write that timed out (rather than failed outright) is a
+            // stalled reader: the kernel send buffer absorbed what it could
+            // and the peer stopped draining it.
+            if is_stall_error(&e) {
+                shared.metrics.stall_timeouts_closed.inc();
+            }
+            return Disposition::Close;
+        }
+        if !keep_alive {
+            return Disposition::Close;
+        }
+        if !conn.has_buffered() {
+            // Burst over: nothing pipelined behind this request, so hand the
+            // socket back to the reactor until it is readable again.
+            return Disposition::KeepAlive;
         }
     }
 }
@@ -714,6 +769,19 @@ fn stats_json(shared: &Arc<Shared>) -> String {
                     json::num(metrics.total_requests.get() as f64),
                 ),
                 ("reuse_ratio", json::num(metrics.reuse_ratio())),
+                ("parked", json::num(metrics.parked.get() as f64)),
+                (
+                    "reactor_wakeups",
+                    json::num(metrics.reactor_wakeups.get() as f64),
+                ),
+                (
+                    "stall_timeouts_closed",
+                    json::num(metrics.stall_timeouts_closed.get() as f64),
+                ),
+                (
+                    "peer_cap_rejections",
+                    json::num(metrics.peer_cap_rejections.get() as f64),
+                ),
                 (
                     "shed_connections",
                     json::num(metrics.shed_connections.get() as f64),

@@ -3,8 +3,12 @@
 //! guarantees hold — injected durable-store faults never corrupt warm starts
 //! (restart round-trips are bit-identical), deadlines fire as structured
 //! 504s within budget with the session still reusable, worker panics are
-//! contained and drained, rate-limited clients get `429 Retry-After`, and a
-//! stalled server cannot hang a client past its response deadline.
+//! contained and drained, rate-limited clients get `429 Retry-After`, a
+//! stalled server cannot hang a client past its response deadline, and —
+//! the other direction — stalled *clients* (header drips, mid-body stalls,
+//! readers that stop draining a chunked response) are torn down on the
+//! `stall_timeout` progress deadlines while concurrent warm requests stay
+//! bit-identical.
 //!
 //! Every fault plan here is seeded, so the suite is deterministic run to
 //! run — no sleeps-and-hope, no flaky "usually recovers".
@@ -15,7 +19,7 @@ use htc_serve::http::Client;
 use htc_serve::json::{self, network_spec as network_json};
 use htc_serve::{FairnessConfig, Server, ServerConfig};
 use std::io::{Read, Write};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -394,4 +398,262 @@ fn stalled_server_cannot_hang_the_client() {
         "client must give up well before the server un-stalls, took {elapsed:?}"
     );
     stall.join().unwrap();
+}
+
+/// Locks a client socket's receive buffer small so unread response bytes
+/// back up to the server's writer quickly (and deterministically, since the
+/// lock also disables receive-window autotuning).
+#[cfg(target_os = "linux")]
+fn shrink_rcvbuf(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+    }
+    // SOL_SOCKET (1) / SO_RCVBUF (8).
+    let val: i32 = 4096;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            1,
+            8,
+            (&val as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "SO_RCVBUF");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn shrink_rcvbuf(_stream: &TcpStream) {}
+
+/// Slow-header drip: clients that feed their request head one byte at a
+/// time — scheduled by the new client-side `stall_header` fault site — are
+/// torn down on the head-progress deadline with a structured 408 (or a
+/// hard close), while concurrent warm requests on the same server return
+/// anchors bit-identical to the fault-free exchange.
+#[test]
+fn slow_header_drips_are_torn_down_while_warm_requests_stay_bit_identical() {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(10).with_seed(41));
+    let source = network_json(&pair.source);
+    let target = network_json(&pair.target);
+    let body = align_body(&source, &target);
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        stall_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Fault-free reference exchange on the same server.
+    let (status, reference) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 200, "{}", reference.render());
+
+    // The client-side plan decides which exchanges stall: period 2 fires on
+    // half of the 4 connections below, 50 ms between header bytes (slower
+    // than the 300 ms head deadline allows for a full request line).
+    let plan = FaultPlan::parse("seed=4,stall_header=2@50").unwrap();
+    let mut stalled = 0u32;
+    for _ in 0..4 {
+        match plan.stall_header_delay() {
+            Some(delay) => {
+                stalled += 1;
+                let drip = std::thread::spawn(move || {
+                    let mut socket = TcpStream::connect(addr).unwrap();
+                    for byte in b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" {
+                        if socket.write_all(&[*byte]).is_err() {
+                            break; // the server already tore the connection down
+                        }
+                        std::thread::sleep(delay);
+                    }
+                    socket
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    let mut tail = String::new();
+                    let _ = socket.read_to_string(&mut tail);
+                    tail
+                });
+                // While the dripper stalls, a warm request must be served
+                // bit-identically — stalled clients cost a deadline, not
+                // determinism.
+                let (status, warm) = request(addr, "POST", "/align", &body);
+                assert_eq!(status, 200, "{}", warm.render());
+                assert_eq!(
+                    warm.get("anchors").unwrap(),
+                    reference.get("anchors").unwrap(),
+                    "warm request concurrent with a stalled client must stay bit-identical"
+                );
+                let tail = drip.join().unwrap();
+                assert!(
+                    tail.is_empty() || tail.starts_with("HTTP/1.1 408"),
+                    "dripper is torn down with a structured 408 or a hard close: {tail:?}"
+                );
+            }
+            None => {
+                let (status, health) = request(addr, "GET", "/healthz", "");
+                assert_eq!(status, 200, "{}", health.render());
+            }
+        }
+    }
+    assert_eq!(stalled, 2, "stall_header=2 fires on half the exchanges");
+    let (_, stats) = request(addr, "GET", "/stats", "");
+    assert!(
+        get_num(&stats, &["runtime", "stall_timeouts_closed"]) >= f64::from(stalled),
+        "every dripped head counts as a stall teardown: {}",
+        stats.render()
+    );
+    server.shutdown();
+}
+
+/// Mid-body stall: the head arrives intact with a `Content-Length`, the
+/// body never follows.  The per-read progress deadline (not the 30 s
+/// standalone budget) tears the connection down with a 408, and the server
+/// keeps serving fresh clients.
+#[test]
+fn mid_body_stall_is_torn_down_on_progress_deadline() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        stall_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // The stall site's parsed delay drives the client's pacing, as it does
+    // in the `serve_load` generator.
+    let plan = FaultPlan::parse("seed=6,stall_body=1@40").unwrap();
+    let delay = plan.stall_body_delay().expect("period 1 always fires");
+
+    let mut socket = TcpStream::connect(addr).unwrap();
+    socket
+        .write_all(b"POST /align HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(delay);
+    socket.write_all(b"{\"preset\"").unwrap(); // 9 of 1000 bytes, then silence
+    let started = Instant::now();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut tail = String::new();
+    let _ = socket.read_to_string(&mut tail);
+    let elapsed = started.elapsed();
+    assert!(
+        tail.is_empty() || tail.starts_with("HTTP/1.1 408"),
+        "stalled body is torn down with a structured 408 or a hard close: {tail:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "teardown rides the 300 ms stall deadline, not the standalone budget \
+         (took {elapsed:?})"
+    );
+
+    // The worker that owned the stalled connection is free again.
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (_, stats) = request(addr, "GET", "/stats", "");
+    assert!(
+        get_num(&stats, &["runtime", "stall_timeouts_closed"]) >= 1.0,
+        "{}",
+        stats.render()
+    );
+    server.shutdown();
+}
+
+/// Stalled reader on a chunked response: a client that pipelines align
+/// requests and never drains the socket backs the streamed responses up
+/// through the kernel buffers until the server's write stalls past the
+/// deadline — the connection is torn down (write-progress deadline, counted
+/// as a stall teardown) instead of wedging a worker forever, and a warm
+/// client served during the stall gets bit-identical anchors.
+#[test]
+fn stalled_chunked_reader_is_torn_down_by_write_deadline() {
+    let pair = generate_pair(&SyntheticPairConfig::tiny(14).with_seed(9));
+    let source = network_json(&pair.source);
+    let target = network_json(&pair.target);
+    let body = align_body(&source, &target);
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        stream_threshold: 1, // every align response streams chunked
+        stall_timeout: Duration::from_millis(400),
+        keep_alive: Duration::from_secs(30),
+        // Locked send buffer: without it the kernel autotunes to megabytes
+        // and a stalled reader absorbs the whole burst without the write
+        // ever blocking.
+        sndbuf: 64 * 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Reference exchange: warms the cache (pipelined repeats are cheap
+    // fine-tunes) and measures the per-response size for the burst below.
+    let mut reference_client = Client::connect(addr).unwrap();
+    reference_client.send("POST", "/align", &body).unwrap();
+    let reference = reference_client.read().expect("reference align");
+    assert_eq!(reference.status, 200, "{:?}", reference.body_str());
+    assert_eq!(reference.header("transfer-encoding"), Some("chunked"));
+    let reference_anchors = json::parse(reference.body_str())
+        .unwrap()
+        .get("anchors")
+        .unwrap()
+        .clone();
+    drop(reference_client);
+
+    // Stalled reader: locked-small receive buffer, a pipelined burst sized
+    // to several hundred KB of responses, and not a single read.  Write
+    // timeouts stand in for a stalled pipe on the send side too: once the
+    // server stops draining requests (its writer is blocked), the client
+    // just stops pushing.
+    let mut socket = TcpStream::connect(addr).unwrap();
+    shrink_rcvbuf(&socket);
+    socket
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let one = format!(
+        "POST /align HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let repeats = (768 * 1024 / reference.body_str().len().max(256)).clamp(64, 2000);
+    for _ in 0..repeats {
+        if socket.write_all(one.as_bytes()).is_err() {
+            break;
+        }
+    }
+
+    // While the reader stalls, a warm client is served bit-identically.
+    let (status, warm) = request(addr, "POST", "/align", &body);
+    assert_eq!(status, 200, "{}", warm.render());
+    assert_eq!(
+        warm.get("anchors").unwrap(),
+        &reference_anchors,
+        "warm request concurrent with a stalled reader must stay bit-identical"
+    );
+
+    // The write-progress deadline fires and the teardown is counted.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (_, stats) = request(addr, "GET", "/stats", "");
+        if get_num(&stats, &["runtime", "stall_timeouts_closed"]) >= 1.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "write stall never tore the reader down: {}",
+            stats.render()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The stalled socket really is dead: draining it bottoms out at
+    // EOF/reset rather than yielding responses forever.
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = [0u8; 64 * 1024];
+    loop {
+        match socket.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    server.shutdown();
 }

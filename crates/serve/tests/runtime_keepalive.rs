@@ -1,16 +1,18 @@
 //! Integration tests for the connection runtime over real sockets: bounded
-//! worker pool with queueing (not spawning), `503 Retry-After` load
-//! shedding, keep-alive request loops with idle timeouts and hostile-input
-//! edge cases, chunked response streaming, the durable `--cache-dir`
-//! restart warm start, and deterministic shutdown.
+//! worker pool with queueing (not spawning), reactor-parked keep-alive
+//! (idle connections cost no worker and generate no wakeups), `503
+//! Retry-After` load shedding, hostile-input edge cases, chunked response
+//! streaming, the durable `--cache-dir` restart warm start, and
+//! deterministic shutdown with a parked population.
 
 use htc_datasets::{generate_pair, SyntheticPairConfig};
 use htc_graph::AttributedNetwork;
 use htc_serve::http::Client as HttpClient;
 use htc_serve::json;
-use htc_serve::{Server, ServerConfig};
+use htc_serve::{FaultPlan, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Thin test wrapper over the shared keep-alive [`HttpClient`]: unwraps
@@ -127,6 +129,13 @@ fn bounded_pool_queues_and_reuses_connections() {
     assert_eq!(get_num(&stats, &["runtime", "worker_panics"]), 0.0);
     assert_eq!(get_num(&stats, &["runtime", "workers"]), 2.0);
     assert!(get_num(&stats, &["runtime", "total_connections"]) >= 5.0);
+    // The reactor gauges are surfaced on /stats: the loop has woken (parks
+    // and dispatches), and no stall teardowns or peer-cap refusals happened
+    // in this well-behaved run.
+    assert!(get_num(&stats, &["runtime", "reactor_wakeups"]) >= 1.0);
+    assert!(get_num(&stats, &["runtime", "parked"]) >= 0.0);
+    assert_eq!(get_num(&stats, &["runtime", "stall_timeouts_closed"]), 0.0);
+    assert_eq!(get_num(&stats, &["runtime", "peer_cap_rejections"]), 0.0);
 
     // Deterministic shutdown over the wire: the acknowledgement arrives in
     // full, then join() returns with every worker drained.
@@ -138,28 +147,44 @@ fn bounded_pool_queues_and_reuses_connections() {
     assert_eq!(metrics.queue_depth.get(), 0);
 }
 
-/// When every worker is occupied and the hand-off queue is full, a new
-/// connection is shed with `503` + `Retry-After` instead of growing state.
+/// When every worker is occupied and the hand-off queue is full, the next
+/// *readable* connection is shed with `503` + `Retry-After` instead of
+/// growing state.  Under the reactor, idle connections park for free, so
+/// saturation requires in-flight requests: a `slow_socket` fault pins the
+/// single worker inside the handler for seconds.
 #[test]
 fn saturated_queue_sheds_with_503_retry_after() {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 1,
         keep_alive: Duration::from_secs(30),
+        // Every request stalls 2.5 s inside the handler before being served
+        // — a deterministic way to hold the only worker busy.
+        fault: Some(Arc::new(FaultPlan::parse("slow_socket=1@2500").unwrap())),
         ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = server.addr();
     let metrics = server.metrics();
 
-    // Occupier: completes one request, then idles holding the only worker.
+    // Occupier: its request is dispatched and pins the worker mid-handler.
     let mut occupier = Client::connect(addr);
-    let (status, _) = occupier.request("GET", "/healthz", "");
-    assert_eq!(status, 200);
-    // Queued connection: accepted, waiting for the worker.
-    let queued = TcpStream::connect(addr).unwrap();
-    for _ in 0..200 {
-        if metrics.active_connections.get() == 1 && metrics.queue_depth.get() == 1 {
+    occupier.send("GET", "/healthz", "");
+    for _ in 0..400 {
+        if metrics.active_connections.get() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(metrics.active_connections.get(), 1);
+
+    // Queued connection: readable, dispatched, waiting for the worker.
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    for _ in 0..400 {
+        if metrics.queue_depth.get() == 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -167,9 +192,11 @@ fn saturated_queue_sheds_with_503_retry_after() {
     assert_eq!(metrics.active_connections.get(), 1);
     assert_eq!(metrics.queue_depth.get(), 1);
 
-    // Next connection overflows the queue: 503 with a Retry-After hint,
-    // written by the acceptor, then closed.
+    // Next readable connection overflows the queue: 503 with a Retry-After
+    // hint, written by the reactor on dispatch, then closed.
     let mut shed = TcpStream::connect(addr).unwrap();
+    shed.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
     shed.set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     let mut response = String::new();
@@ -179,21 +206,111 @@ fn saturated_queue_sheds_with_503_retry_after() {
     assert!(response.contains("overloaded"), "{response}");
     assert_eq!(metrics.shed_connections.get(), 1);
 
-    // Releasing the occupier lets the queued connection reach the worker.
-    drop(occupier);
+    // The occupier's (slow) response lands, then the queued connection
+    // reaches the freed worker.
+    assert_eq!(occupier.read().status, 200);
     queued
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     let mut queued = Client(HttpClient::from_stream(queued).unwrap());
-    let (status, _) = queued.request("GET", "/healthz", "");
+    let response = queued.read();
     assert_eq!(
-        status, 200,
+        response.status, 200,
         "queued connection is served once a worker frees"
     );
 
     server.shutdown();
     assert_eq!(metrics.active_connections.get(), 0);
     assert_eq!(metrics.queue_depth.get(), 0);
+    assert_eq!(metrics.parked.get(), 0);
+}
+
+/// The busy-poll regression guard: a parked idle connection generates no
+/// reactor wakeups between timer ticks.  The loop sleeps straight to the
+/// next armed idle deadline (tens of seconds away here), so a quiet window
+/// must add at most the handful of wakeups the probe's own exchange causes.
+#[test]
+fn idle_parked_connection_generates_no_wakeups() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        keep_alive: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Park one idle keep-alive connection.
+    let mut idle = Client::connect(addr);
+    let (status, _) = idle.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // Sample the wakeup counter across a quiet window on a second
+    // connection.  Each /stats exchange wakes the reactor twice (readable
+    // dispatch + re-park); the idle connection must contribute nothing —
+    // under the old 100 ms poll slices this window alone would show 12+.
+    let mut probe = Client::connect(addr);
+    let (_, s0) = probe.request("GET", "/stats", "");
+    std::thread::sleep(Duration::from_millis(1200));
+    let (_, s1) = probe.request("GET", "/stats", "");
+    assert!(
+        get_num(&s1, &["runtime", "parked"]) >= 1.0,
+        "the idle connection is parked in the reactor: {}",
+        s1.render()
+    );
+    let woke = get_num(&s1, &["runtime", "reactor_wakeups"])
+        - get_num(&s0, &["runtime", "reactor_wakeups"]);
+    assert!(
+        woke <= 4.0,
+        "idle parked connections must not wake the reactor (wakeups over a \
+         quiet 1.2 s window: {woke})"
+    );
+
+    // The parked connection is still live after the quiet window.
+    let (status, _) = idle.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Deterministic drain with a parked population: shutdown with hundreds of
+/// idle keep-alive sockets reaps every one (clients see the close), joins
+/// every worker, and settles the gauges to zero.
+#[test]
+fn shutdown_reaps_parked_population() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        keep_alive: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let metrics = server.metrics();
+
+    const PARKED: usize = 300;
+    let mut clients: Vec<Client> = (0..PARKED)
+        .map(|_| {
+            let mut client = Client::connect(addr);
+            let (status, _) = client.request("GET", "/healthz", "");
+            assert_eq!(status, 200);
+            client
+        })
+        .collect();
+    for _ in 0..800 {
+        if metrics.parked.get() == PARKED as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(metrics.parked.get(), PARKED as u64);
+
+    // SIGTERM-equivalent: trigger + join.  Every parked socket must be
+    // reaped and every worker joined before this returns.
+    server.shutdown();
+    assert_eq!(metrics.parked.get(), 0);
+    assert_eq!(metrics.active_connections.get(), 0);
+    assert_eq!(metrics.queue_depth.get(), 0);
+    for client in &mut clients {
+        assert!(client.closed(), "drained server closed every parked socket");
+    }
 }
 
 /// HTTP edge cases under keep-alive: zero-length bodies, back-to-back

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release --example serve_load -- [--clients N] [--duration-secs S]
 //!     [--nodes N] [--workers N] [--addr HOST:PORT] [--close] [--hot-client]
-//!     [--fleet N] [--sources K]
+//!     [--fleet N] [--sources K] [--idle-clients N] [--slow-writer]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (worker pool sized by
@@ -28,6 +28,21 @@
 //! how often the hot client was rate-limited — CI asserts the ratio stays
 //! bounded while the hot client is actually throttled.
 //!
+//! `--idle-clients N` parks an idle keep-alive population alongside the
+//! live load: N extra connections that ping `/healthz` on a jittered 8–20 s
+//! think time and otherwise sit parked in the reactor.  The run reports the
+//! population's health (`idle_clients:` line — connected, pings, errors,
+//! shed) and a mid-run `parked_vs_active:` sample from `/stats`, so the live
+//! `latency_ms:` percentiles can be compared against an idle-free baseline.
+//! Raise the fd ulimit before asking for thousands.
+//!
+//! `--slow-writer` runs the slow-client drill instead: an in-process server
+//! with a short stall deadline, `--clients` live clients measured as usual,
+//! and a procession of hostile writers that drip partial request heads at
+//! the `stall_header` fault-site pace.  Every dripper must be torn down on
+//! the deadline (greppable `slow_writer:` line), while live latencies stay
+//! level.
+//!
 //! `--fleet N` runs the scale-out drill: N in-process shard servers sharing
 //! one spill directory behind a consistent-hash [`Router`], hammered with
 //! `--sources K` distinct source graphs so the load spreads across shards.
@@ -41,10 +56,12 @@ use htc::datasets::{generate_pair, SyntheticPairConfig};
 use htc::fleet::{owner, Router, RouterConfig, ShardSet};
 use htc::serve::http::Client;
 use htc::serve::json::{self, network_spec};
-use htc::serve::{routing_fingerprint, Server, ServerConfig};
+use htc::serve::{routing_fingerprint, FaultPlan, Server, ServerConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,6 +75,26 @@ const DRILL_PEER_BURST: f64 = 16.0;
 /// Backoff when the server gives no hint (connect refused, socket errors).
 const BACKOFF_BASE_MS: u64 = 10;
 const BACKOFF_MAX_MS: u64 = 500;
+/// Idle-population think time: jittered 8–20 s — the population is *mostly*
+/// idle, pinging rarely.  Together with the per-thread socket share below
+/// this keeps the worst-case gap between pings on any one socket (think time
+/// plus one serial sweep of the thread's other sockets) well under the
+/// server's keep-alive, so parked pingers are never reaped as dead.
+const IDLE_THINK_MIN_MS: u64 = 8000;
+const IDLE_THINK_MAX_MS: u64 = 20000;
+/// Sockets owned by one idle pinger thread.  Pings within a thread are
+/// serial, so this bounds the sweep delay a due ping can suffer behind its
+/// neighbours' round trips (500 × a loaded ~15 ms RTT ≈ 7.5 s worst case).
+const IDLE_SOCKETS_PER_THREAD: usize = 500;
+/// Keep-alive the in-process server uses when an idle population is
+/// requested: think time + worst-case sweep delay must fit inside it.
+const IDLE_KEEP_ALIVE_SECS: u64 = 60;
+/// Connect ramp: one chunk per tick keeps the accept backlog comfortable
+/// even when asking for tens of thousands of connections.
+const IDLE_RAMP_CHUNK: usize = 100;
+const IDLE_RAMP_TICK_MS: u64 = 10;
+/// The slow-writer drill's server-side stall deadline.
+const SLOW_WRITER_STALL_MS: u64 = 500;
 
 struct LoadArgs {
     clients: usize,
@@ -69,6 +106,8 @@ struct LoadArgs {
     hot_client: bool,
     fleet: usize,
     sources: usize,
+    idle_clients: usize,
+    slow_writer: bool,
 }
 
 impl Default for LoadArgs {
@@ -83,6 +122,8 @@ impl Default for LoadArgs {
             hot_client: false,
             fleet: 0,
             sources: 1,
+            idle_clients: 0,
+            slow_writer: false,
         }
     }
 }
@@ -127,6 +168,12 @@ fn parse_args() -> Result<LoadArgs, String> {
                     .parse()
                     .map_err(|e| format!("bad --sources: {e}"))?;
             }
+            "--idle-clients" => {
+                args.idle_clients = value("--idle-clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --idle-clients: {e}"))?;
+            }
+            "--slow-writer" => args.slow_writer = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -141,6 +188,14 @@ fn parse_args() -> Result<LoadArgs, String> {
     }
     if args.fleet > 0 && (args.addr.is_some() || args.hot_client) {
         return Err("--fleet runs its own in-process fleet; drop --addr/--hot-client".into());
+    }
+    if args.slow_writer && (args.addr.is_some() || args.hot_client || args.fleet > 0) {
+        return Err(
+            "--slow-writer runs its own in-process server; drop --addr/--hot-client/--fleet".into(),
+        );
+    }
+    if args.idle_clients > 0 && (args.hot_client || args.fleet > 0 || args.slow_writer) {
+        return Err("--idle-clients only combines with the plain load mode".into());
     }
     if args.fleet > 0 && args.sources == 1 {
         // One source pins every request to one shard; spread the keyspace so
@@ -421,9 +476,21 @@ fn print_status_classes(stats: &ClientStats) {
 }
 
 /// Scrape the server's own counters (greppable; CI asserts on these).
+/// Retries a shed (non-200) scrape: right after a big idle population hangs
+/// up, the dispatch queue can briefly fill with hangup wakeups and the first
+/// stats probe may be turned away.
 fn print_runtime_counters(addr: SocketAddr) {
-    let mut client = Client::connect(addr).expect("stats connect");
-    let response = client.request("GET", "/stats", "").expect("read stats");
+    let mut response = None;
+    for _ in 0..5 {
+        let mut client = Client::connect(addr).expect("stats connect");
+        let reply = client.request("GET", "/stats", "").expect("read stats");
+        if reply.status == 200 {
+            response = Some(reply);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let response = response.expect("stats probe kept being shed");
     let stats = json::parse(response.body_str()).expect("parse stats");
     let num = |v: &json::Json, key: &str| v.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
     // Older daemons have no runtime section; report what exists.
@@ -433,6 +500,11 @@ fn print_runtime_counters(addr: SocketAddr) {
         println!(
             "shed_connections: {}",
             num(runtime, "shed_connections") as i64
+        );
+        println!("parked: {}", num(runtime, "parked") as i64);
+        println!(
+            "stall_timeouts_closed: {}",
+            num(runtime, "stall_timeouts_closed") as i64
         );
     } else {
         println!("reuse_ratio: n/a (server reports no runtime section)");
@@ -601,6 +673,264 @@ fn drill_phase(
     (victim_stats, hot_stats)
 }
 
+/// What the idle keep-alive population saw.
+#[derive(Default)]
+struct IdleStats {
+    requested: usize,
+    connected: usize,
+    connect_errors: usize,
+    pings: u64,
+    ping_errors: u64,
+    shed: u64,
+}
+
+impl IdleStats {
+    fn merge(&mut self, other: IdleStats) {
+        self.requested += other.requested;
+        self.connected += other.connected;
+        self.connect_errors += other.connect_errors;
+        self.pings += other.pings;
+        self.ping_errors += other.ping_errors;
+        self.shed += other.shed;
+    }
+}
+
+/// One pinger thread: owns up to [`IDLE_SOCKETS_PER_THREAD`] keep-alive
+/// connections, ramps them up in chunks, then pings each on its own
+/// jittered think-time schedule until told to stop.  Between pings the
+/// sockets sit parked in the server's reactor — the whole point of the
+/// drill is that this population costs no workers.
+fn run_idle_thread(
+    addr: SocketAddr,
+    count: usize,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+    settled: Arc<AtomicUsize>,
+) -> IdleStats {
+    let mut stats = IdleStats {
+        requested: count,
+        ..IdleStats::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let think = |rng: &mut StdRng| {
+        Duration::from_millis(rng.gen_range(IDLE_THINK_MIN_MS..IDLE_THINK_MAX_MS))
+    };
+    let mut sockets: Vec<(Client, Instant)> = Vec::with_capacity(count);
+    let mut opened = 0;
+    while opened < count {
+        let chunk = (count - opened).min(IDLE_RAMP_CHUNK);
+        for _ in 0..chunk {
+            match Client::connect(addr) {
+                Ok(client) => {
+                    stats.connected += 1;
+                    let due = Instant::now() + think(&mut rng);
+                    sockets.push((client, due));
+                }
+                Err(_) => stats.connect_errors += 1,
+            }
+            settled.fetch_add(1, Ordering::Relaxed);
+        }
+        opened += chunk;
+        std::thread::sleep(Duration::from_millis(IDLE_RAMP_TICK_MS));
+    }
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        let mut next_due = now + Duration::from_millis(250);
+        let mut i = 0;
+        while i < sockets.len() {
+            if sockets[i].1 > now {
+                next_due = next_due.min(sockets[i].1);
+                i += 1;
+                continue;
+            }
+            match exchange(&mut sockets[i].0, "GET", "/healthz", "", false) {
+                Ok(200) => {
+                    stats.pings += 1;
+                    // Reschedule from the fresh clock, not the sweep start:
+                    // a long sweep must not compress the next think time.
+                    sockets[i].1 = Instant::now() + think(&mut rng);
+                    i += 1;
+                }
+                Ok(503) => {
+                    // Shed under load: the server closed the socket.
+                    stats.shed += 1;
+                    sockets.swap_remove(i);
+                }
+                Ok(_) | Err(_) => {
+                    stats.ping_errors += 1;
+                    sockets.swap_remove(i);
+                }
+            }
+        }
+        let now = Instant::now();
+        if next_due > now {
+            // Bounded naps keep the stop latency low without busy-waiting.
+            std::thread::sleep((next_due - now).min(Duration::from_millis(250)));
+        }
+    }
+    stats
+}
+
+/// The parked idle population for `--idle-clients`: pinger threads plus the
+/// signals to wait for ramp-up and to wind the population down.
+struct IdlePopulation {
+    threads: Vec<std::thread::JoinHandle<IdleStats>>,
+    stop: Arc<AtomicBool>,
+    settled: Arc<AtomicUsize>,
+    requested: usize,
+}
+
+impl IdlePopulation {
+    fn start(addr: SocketAddr, total: usize) -> IdlePopulation {
+        let stop = Arc::new(AtomicBool::new(false));
+        let settled = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        let mut remaining = total;
+        let mut seed = 0x1d7e_0000u64;
+        while remaining > 0 {
+            let share = remaining.min(IDLE_SOCKETS_PER_THREAD);
+            remaining -= share;
+            let stop = Arc::clone(&stop);
+            let settled = Arc::clone(&settled);
+            seed += 1;
+            threads.push(std::thread::spawn(move || {
+                run_idle_thread(addr, share, seed, stop, settled)
+            }));
+        }
+        IdlePopulation {
+            threads,
+            stop,
+            settled,
+            requested: total,
+        }
+    }
+
+    /// Blocks until every connect attempt has resolved (or the timeout
+    /// passes), so the live measurement starts against a fully parked
+    /// population rather than mid-ramp.
+    fn await_ready(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        while self.settled.load(Ordering::Relaxed) < self.requested && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn stop_and_join(self) -> IdleStats {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut stats = IdleStats::default();
+        for thread in self.threads {
+            stats.merge(thread.join().expect("idle pinger thread"));
+        }
+        stats
+    }
+}
+
+/// One `/stats` sample of the runtime occupancy gauges.
+fn sample_parked(addr: SocketAddr) -> (i64, i64) {
+    let sample = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.request("GET", "/stats", "").ok())
+        .and_then(|r| json::parse(r.body_str()).ok());
+    let gauge = |key: &str| {
+        sample
+            .as_ref()
+            .and_then(|s| s.get("runtime"))
+            .and_then(|r| r.get(key))
+            .and_then(json::Json::as_f64)
+            .map_or(-1, |v| v as i64)
+    };
+    (gauge("parked"), gauge("active_connections"))
+}
+
+/// The `--slow-writer` drill: live clients measured as usual while a
+/// procession of hostile writers drips partial request heads at the
+/// `stall_header` fault-site pace.  Every dripper must be torn down on the
+/// server's stall deadline — not after the 30 s standalone budget, and
+/// never by wedging a worker.
+fn slow_writer_drill(args: &LoadArgs) {
+    let server = Server::start(ServerConfig {
+        workers: args.workers,
+        stall_timeout: Duration::from_millis(SLOW_WRITER_STALL_MS),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    let body = align_body(args.nodes);
+    warmup(addr, std::slice::from_ref(&body));
+
+    println!(
+        "serve_load: slow-writer drill, {} live clients + header drippers, {:.1}s, \
+         stall deadline {SLOW_WRITER_STALL_MS}ms",
+        args.clients,
+        args.duration.as_secs_f64()
+    );
+
+    let deadline = Instant::now() + args.duration;
+    let bodies = Arc::new(vec![body]);
+    let live: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let bodies = Arc::clone(&bodies);
+            let opts = ClientOpts::plain(false, 0x51de_0000 + i as u64);
+            std::thread::spawn(move || run_client(addr, bodies, deadline, opts))
+        })
+        .collect();
+
+    // The drippers run serially on this thread: each connects, feeds header
+    // bytes at the fault site's pace (far slower than the deadline allows a
+    // head to complete), and measures how long the server lets it live.
+    let plan = FaultPlan::parse("seed=11,stall_header=1@100").expect("valid fault plan");
+    let mut writers = 0u64;
+    let mut torn_down = 0u64;
+    let mut max_teardown_ms = 0u64;
+    while Instant::now() < deadline {
+        let pace = plan
+            .stall_header_delay()
+            .expect("stall_header=1 always fires");
+        let Ok(mut socket) = TcpStream::connect(addr) else {
+            break;
+        };
+        writers += 1;
+        let started = Instant::now();
+        let mut head_complete = true;
+        for byte in b"GET /healthz HTTP/1.1\r\nHost: drip\r\n\r\n" {
+            if socket.write_all(&[*byte]).is_err() {
+                head_complete = false;
+                break;
+            }
+            std::thread::sleep(pace);
+        }
+        let _ = socket.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut tail = String::new();
+        let read = socket.read_to_string(&mut tail);
+        let elapsed = started.elapsed();
+        let torn =
+            !head_complete || read.is_err() || tail.is_empty() || tail.starts_with("HTTP/1.1 408");
+        if torn && elapsed < Duration::from_millis(SLOW_WRITER_STALL_MS * 8) {
+            torn_down += 1;
+            max_teardown_ms = max_teardown_ms.max(elapsed.as_millis() as u64);
+        }
+    }
+
+    let mut stats = ClientStats::default();
+    for thread in live {
+        stats.merge(thread.join().expect("live client"));
+    }
+    stats.latencies.sort_unstable();
+    println!("requests: {} ok, {} errors", stats.ok, stats.errors());
+    println!(
+        "latency_ms: p50 {:.2} p95 {:.2} p99 {:.2}",
+        percentile(&stats.latencies, 0.50),
+        percentile(&stats.latencies, 0.95),
+        percentile(&stats.latencies, 0.99),
+    );
+    println!(
+        "slow_writer: writers={writers} torn_down={torn_down} max_teardown_ms={max_teardown_ms}"
+    );
+    print_status_classes(&stats);
+    print_runtime_counters(addr);
+    shutdown(server, addr);
+}
+
 /// The `--hot-client` fairness drill: baseline victims alone, then victims
 /// next to one greedy client against a rate-limiting server.
 fn hot_client_drill(args: &LoadArgs) {
@@ -685,17 +1015,27 @@ fn main() {
         hot_client_drill(&args);
         return;
     }
+    if args.slow_writer {
+        slow_writer_drill(&args);
+        return;
+    }
 
     // An in-process fleet or server unless an external one was named.
     let fleet = (args.fleet > 0).then(|| InProcessFleet::start(args.fleet, args.workers));
     let server = if args.addr.is_none() && fleet.is_none() {
-        Some(
-            Server::start(ServerConfig {
-                workers: args.workers,
-                ..ServerConfig::default()
-            })
-            .expect("start server"),
-        )
+        let mut config = ServerConfig {
+            workers: args.workers,
+            ..ServerConfig::default()
+        };
+        if args.idle_clients > 0 {
+            // The idle population's ping gap (think time + sweep delay) must
+            // stay inside the keep-alive window, or the server reaps healthy
+            // pingers as dead and the drill measures its own cadence bug.
+            config.keep_alive = config
+                .keep_alive
+                .max(Duration::from_secs(IDLE_KEEP_ALIVE_SECS));
+        }
+        Some(Server::start(config).expect("start server"))
     } else {
         None
     };
@@ -709,8 +1049,24 @@ fn main() {
     let bodies = Arc::new(align_bodies(args.nodes, args.sources));
     warmup(addr, &bodies);
 
+    // The idle population parks fully before the live clock starts, so the
+    // percentiles measure serving *over* N parked connections, not the ramp.
+    let idle = (args.idle_clients > 0).then(|| IdlePopulation::start(addr, args.idle_clients));
+    if let Some(idle) = &idle {
+        idle.await_ready(Duration::from_secs(120));
+    }
+
     let deadline = Instant::now() + args.duration;
     let started = Instant::now();
+    // Mid-run occupancy sample: how many connections sat parked in the
+    // reactor while the live load ran.
+    let sampler = idle.is_some().then(|| {
+        let half = args.duration / 2;
+        std::thread::spawn(move || {
+            std::thread::sleep(half);
+            sample_parked(addr)
+        })
+    });
     let clients: Vec<_> = (0..args.clients)
         .map(|i| {
             let bodies = Arc::clone(&bodies);
@@ -724,9 +1080,11 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
     stats.latencies.sort_unstable();
+    let parked_sample = sampler.map(|t| t.join().expect("stats sampler"));
+    let idle_stats = idle.map(IdlePopulation::stop_and_join);
 
     println!(
-        "serve_load: {} clients, {:.1}s, {}{}",
+        "serve_load: {} clients, {:.1}s, {}{}{}",
         args.clients,
         args.duration.as_secs_f64(),
         if args.close_per_request {
@@ -736,6 +1094,11 @@ fn main() {
         },
         if args.fleet > 0 {
             format!(", fleet of {} shards, {} sources", args.fleet, args.sources)
+        } else {
+            String::new()
+        },
+        if args.idle_clients > 0 {
+            format!(", {} idle keep-alive clients", args.idle_clients)
         } else {
             String::new()
         }
@@ -751,6 +1114,21 @@ fn main() {
         percentile(&stats.latencies, 0.95),
         percentile(&stats.latencies, 0.99),
     );
+    if let Some(idle_stats) = &idle_stats {
+        println!(
+            "idle_clients: requested={} connected={} connect_errors={} pings={} \
+             ping_errors={} shed={}",
+            idle_stats.requested,
+            idle_stats.connected,
+            idle_stats.connect_errors,
+            idle_stats.pings,
+            idle_stats.ping_errors,
+            idle_stats.shed
+        );
+    }
+    if let Some((parked, active)) = parked_sample {
+        println!("parked_vs_active: parked={parked} active={active}");
+    }
     print_status_classes(&stats);
     if let Some(fleet) = &fleet {
         report_fleet(&stats, &bodies, fleet.shards.len());

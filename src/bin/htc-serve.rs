@@ -5,15 +5,20 @@
 //! source skips straight to per-target fine-tuning, and concurrent
 //! same-source requests are batched onto one `align_many` fan-out.
 //! Connections are served by a bounded worker pool with HTTP keep-alive;
-//! when the hand-off queue is full, new connections are shed with
-//! `503 Retry-After`.  With `--cache-dir`, cached artifacts spill to disk
-//! and a restarted daemon warm-starts from them.
+//! idle keep-alive sockets park in an epoll/kqueue reactor (workers are
+//! occupied per in-flight request, not per connection), slow clients are
+//! torn down on `--stall-timeout-ms` progress deadlines, `--peer-max-conns`
+//! caps simultaneous connections per peer IP, and when the hand-off queue
+//! is full readable connections are shed with `503 Retry-After`.  With
+//! `--cache-dir`, cached artifacts spill to disk and a restarted daemon
+//! warm-starts from them.
 //!
 //! ```text
 //! htc-serve [--addr 127.0.0.1:8700] [--preset fast|small|paper|large]
 //!           [--cache-capacity N] [--batch-window-ms N]
 //!           [--artifact-root DIR] [--cache-dir DIR] [--threads N]
 //!           [--workers N] [--queue-capacity N] [--keep-alive-secs N]
+//!           [--stall-timeout-ms N] [--peer-max-conns N] [--sndbuf-bytes N]
 //!           [--request-deadline-secs N] [--peer-rps N] [--fault-plan SPEC]
 //!           [--shard-id N] [--max-nodes N]
 //! ```
@@ -53,7 +58,8 @@ fn print_usage() {
         "usage: htc-serve [--addr HOST:PORT] [--preset fast|small|paper|large] \
          [--cache-capacity N] [--batch-window-ms N] [--artifact-root DIR] \
          [--cache-dir DIR] [--threads N] [--workers N] [--queue-capacity N] \
-         [--keep-alive-secs N] [--request-deadline-secs N] [--peer-rps N] \
+         [--keep-alive-secs N] [--stall-timeout-ms N] [--peer-max-conns N] \
+         [--sndbuf-bytes N] [--request-deadline-secs N] [--peer-rps N] \
          [--fault-plan SPEC] [--shard-id N] [--max-nodes N]"
     );
 }
@@ -124,6 +130,25 @@ fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Result<ServeArgs, Strin
                     return Err("--keep-alive-secs must be at least 1".into());
                 }
                 config.keep_alive = Duration::from_secs(secs);
+            }
+            "--stall-timeout-ms" => {
+                let ms: u64 = value("--stall-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --stall-timeout-ms value: {e}"))?;
+                // 0 falls back to the standalone (30 s-class) read limits.
+                config.stall_timeout = Duration::from_millis(ms);
+            }
+            "--peer-max-conns" => {
+                // 0 keeps the cap disabled.
+                config.peer_max_conns = value("--peer-max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad --peer-max-conns value: {e}"))?;
+            }
+            "--sndbuf-bytes" => {
+                // 0 keeps the kernel default (autotuned) send buffer.
+                config.sndbuf = value("--sndbuf-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --sndbuf-bytes value: {e}"))?;
             }
             "--request-deadline-secs" => {
                 let secs: u64 = value("--request-deadline-secs")?
